@@ -1,0 +1,241 @@
+//! One trait over every near-clique finder, for like-for-like comparison.
+//!
+//! Experiment E11 scores all algorithms — the paper's `DistNearClique`,
+//! the §3 strawmen, and the centralized comparators it cites — on the
+//! same instances with the same interface: *give me your best dense set*.
+
+use graphs::{exact, goldberg, kcore, peel, quasi, FixedBitSet, Graph};
+use nearclique::{run_near_clique, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::neighbors::run_neighbors_neighbors;
+use crate::shingles::{run_shingles, ShinglesConfig};
+
+/// A near-clique discovery algorithm under test.
+pub trait NearCliqueFinder {
+    /// Human-readable algorithm name (table row label).
+    fn name(&self) -> &'static str;
+
+    /// Returns the algorithm's best set on `g` (empty set = nothing
+    /// found). `seed` drives any randomness.
+    fn find(&self, g: &Graph, seed: u64) -> FixedBitSet;
+}
+
+/// The paper's algorithm, via [`nearclique::run_near_clique`].
+#[derive(Clone, Debug)]
+pub struct DistNearCliqueFinder {
+    /// Parameters for the run.
+    pub params: NearCliqueParams,
+}
+
+impl NearCliqueFinder for DistNearCliqueFinder {
+    fn name(&self) -> &'static str {
+        "dist-near-clique"
+    }
+
+    fn find(&self, g: &Graph, seed: u64) -> FixedBitSet {
+        run_near_clique(g, &self.params, seed)
+            .largest_set()
+            .unwrap_or_else(|| FixedBitSet::new(g.node_count()))
+    }
+}
+
+/// The §3 shingles strawman.
+#[derive(Clone, Debug)]
+pub struct ShinglesFinder {
+    /// Survival thresholds.
+    pub config: ShinglesConfig,
+}
+
+impl NearCliqueFinder for ShinglesFinder {
+    fn name(&self) -> &'static str {
+        "shingles"
+    }
+
+    fn find(&self, g: &Graph, seed: u64) -> FixedBitSet {
+        run_shingles(g, self.config, seed)
+            .largest_set()
+            .unwrap_or_else(|| FixedBitSet::new(g.node_count()))
+    }
+}
+
+/// The §3 neighbors'-neighbors strawman (LOCAL model; small `n` only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeighborsFinder;
+
+impl NearCliqueFinder for NeighborsFinder {
+    fn name(&self) -> &'static str {
+        "neighbors-neighbors"
+    }
+
+    fn find(&self, g: &Graph, seed: u64) -> FixedBitSet {
+        run_neighbors_neighbors(g, seed)
+            .largest_set()
+            .unwrap_or_else(|| FixedBitSet::new(g.node_count()))
+    }
+}
+
+/// Charikar greedy peeling with a size floor ([`graphs::peel`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PeelFinder {
+    /// Minimum acceptable set size.
+    pub min_size: usize,
+}
+
+impl NearCliqueFinder for PeelFinder {
+    fn name(&self) -> &'static str {
+        "greedy-peel"
+    }
+
+    fn find(&self, g: &Graph, _seed: u64) -> FixedBitSet {
+        if g.node_count() == 0 {
+            return FixedBitSet::new(0);
+        }
+        peel::densest_at_least_k(g, self.min_size.clamp(1, g.node_count())).set
+    }
+}
+
+/// Abello-style quasi-clique GRASP ([`graphs::quasi`]).
+#[derive(Clone, Debug)]
+pub struct QuasiFinder {
+    /// GRASP configuration.
+    pub config: quasi::QuasiCliqueConfig,
+}
+
+impl NearCliqueFinder for QuasiFinder {
+    fn name(&self) -> &'static str {
+        "quasi-clique"
+    }
+
+    fn find(&self, g: &Graph, seed: u64) -> FixedBitSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        quasi::quasi_clique(g, &self.config, &mut rng)
+    }
+}
+
+/// The innermost k-core ([`graphs::kcore`]): the cheapest dense-set
+/// heuristic, `O(m)` time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KCoreFinder;
+
+impl NearCliqueFinder for KCoreFinder {
+    fn name(&self) -> &'static str {
+        "innermost-kcore"
+    }
+
+    fn find(&self, g: &Graph, _seed: u64) -> FixedBitSet {
+        kcore::innermost_core(g)
+    }
+}
+
+/// Exact densest subgraph (max average degree) via Goldberg's flow
+/// construction ([`graphs::goldberg`]) — the exact counterpart of
+/// [`PeelFinder`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GoldbergFinder;
+
+impl NearCliqueFinder for GoldbergFinder {
+    fn name(&self) -> &'static str {
+        "exact-densest"
+    }
+
+    fn find(&self, g: &Graph, _seed: u64) -> FixedBitSet {
+        goldberg::densest_subgraph_exact(g).set
+    }
+}
+
+/// Exact maximum clique (ground truth; exponential, small `n` only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactFinder;
+
+impl NearCliqueFinder for ExactFinder {
+    fn name(&self) -> &'static str {
+        "exact-max-clique"
+    }
+
+    fn find(&self, g: &Graph, _seed: u64) -> FixedBitSet {
+        exact::maximum_clique(g)
+    }
+}
+
+/// Convenience: scores of one finder on one instance.
+#[derive(Clone, Debug)]
+pub struct FinderScore {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Size of the returned set.
+    pub size: usize,
+    /// Pair density of the returned set.
+    pub density: f64,
+}
+
+/// Runs a collection of finders on one graph and reports their scores.
+pub fn score_all(
+    g: &Graph,
+    finders: &[&dyn NearCliqueFinder],
+    seed: u64,
+) -> Vec<FinderScore> {
+    finders
+        .iter()
+        .map(|f| {
+            let set = f.find(g, seed);
+            FinderScore {
+                name: f.name(),
+                size: set.len(),
+                density: graphs::density::density(g, &set),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators::planted_clique;
+
+    #[test]
+    fn all_finders_run_on_a_planted_instance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = planted_clique(60, 15, 0.05, &mut rng);
+        let dist = DistNearCliqueFinder {
+            params: NearCliqueParams::new(0.25, 0.1).unwrap().with_lambda(2),
+        };
+        let shingles = ShinglesFinder { config: ShinglesConfig::default() };
+        let peel = PeelFinder { min_size: 10 };
+        let quasi = QuasiFinder { config: quasi::QuasiCliqueConfig::default() };
+        let exact = ExactFinder;
+        let finders: Vec<&dyn NearCliqueFinder> =
+            vec![&dist, &shingles, &peel, &quasi, &exact];
+        let scores = score_all(&p.graph, &finders, 3);
+        assert_eq!(scores.len(), 5);
+        let exact_score = scores.iter().find(|s| s.name == "exact-max-clique").unwrap();
+        assert!(exact_score.size >= 15);
+        assert_eq!(exact_score.density, 1.0);
+        for s in &scores {
+            assert!(s.size <= 60);
+        }
+    }
+
+    #[test]
+    fn peel_finder_clamps_min_size() {
+        let g = Graph::complete(5);
+        let f = PeelFinder { min_size: 100 };
+        let set = f.find(&g, 0);
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn empty_graph_is_survivable_by_everyone() {
+        let g = Graph::empty(4);
+        let dist = DistNearCliqueFinder { params: NearCliqueParams::new(0.2, 0.3).unwrap() };
+        let shingles = ShinglesFinder {
+            config: ShinglesConfig { min_size: 2, min_density: 0.5 },
+        };
+        let exact = ExactFinder;
+        let finders: Vec<&dyn NearCliqueFinder> = vec![&dist, &shingles, &exact];
+        for s in score_all(&g, &finders, 1) {
+            assert!(s.size <= 4);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Comparators for `DistNearClique`.
+//!
+//! The paper motivates its algorithm by eliminating two simple approaches
+//! (§3) and situating itself against centralized dense-subgraph work. This
+//! crate makes those comparisons executable:
+//!
+//! * [`shingles`] — the shingles algorithm (random minimum labels +
+//!   density filtering), a constant-round CONGEST protocol that Claim 1
+//!   proves inadequate on the Figure 1 family.
+//! * [`neighbors`] — the neighbors'-neighbors algorithm: correct, but
+//!   `Θ(Δ log n)`-bit messages (LOCAL model) and NP-hard local work.
+//! * [`finder`] — the [`finder::NearCliqueFinder`] trait unifying those
+//!   with the centralized comparators from [`graphs`] (greedy peeling,
+//!   quasi-clique GRASP, exact maximum clique) and with
+//!   [`nearclique::run_near_clique`] itself, so experiment E11 can score
+//!   them all identically.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::shingles::{run_shingles, ShinglesConfig};
+//! use graphs::Graph;
+//!
+//! let g = Graph::complete(10);
+//! let run = run_shingles(&g, ShinglesConfig { min_size: 2, min_density: 0.9 }, 7);
+//! assert_eq!(run.largest_set().unwrap().len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod finder;
+pub mod neighbors;
+pub mod shingles;
+
+pub use finder::{
+    score_all, DistNearCliqueFinder, ExactFinder, FinderScore, GoldbergFinder, KCoreFinder,
+    NearCliqueFinder, NeighborsFinder, PeelFinder, QuasiFinder, ShinglesFinder,
+};
+pub use neighbors::{run_neighbors_neighbors, NeighborsRun};
+pub use shingles::{run_shingles, ShinglesConfig, ShinglesRun};

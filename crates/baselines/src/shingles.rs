@@ -1,0 +1,357 @@
+//! The "shingles algorithm" of §3, as a CONGEST protocol.
+//!
+//! Based on the shingles idea of Broder et al. \[6\]: every node draws a
+//! random identifier, the label of a node is the minimum identifier in its
+//! closed neighborhood, and nodes sharing a label form a candidate set.
+//! The candidate's density is computed by its leader (the namesake node —
+//! every member is the leader or adjacent to it, so reporting takes one
+//! round) and only candidates of sufficient size and density survive.
+//!
+//! The algorithm runs in exactly five synchronous rounds with
+//! `O(log n)`-bit messages — and Claim 1 of the paper proves it *cannot*
+//! find a large near-clique on the Figure 1 family. Experiment E4
+//! reproduces that failure against `DistNearClique`'s success.
+//!
+//! Candidate sets are disjoint by construction (each node has one label),
+//! so the conflict-resolution step of the paper's sketch is vacuous here;
+//! the paper's description allows overlapping variants, ours is the
+//! disjoint one.
+
+use congest::{bits_for_count, Context, Message, Metrics, NetworkBuilder, Port, Protocol,
+              RunLimits, Termination};
+use graphs::{FixedBitSet, Graph};
+use rand::Rng;
+
+/// Shingles protocol messages. All `O(log n)` bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShingleMsg {
+    /// Round 1: my random shingle.
+    Rand(u64),
+    /// Round 2: my chosen label (minimum shingle seen).
+    Label(u64),
+    /// Round 3: member report to the leader: my degree into the set.
+    Report {
+        /// The label being reported for.
+        label: u64,
+        /// `|Γ(me) ∩ set|`.
+        in_degree: u32,
+    },
+    /// Round 4: leader's verdict for its set.
+    Verdict {
+        /// The label the verdict concerns.
+        label: u64,
+        /// Whether the set met the size and density thresholds.
+        survive: bool,
+    },
+}
+
+impl Message for ShingleMsg {
+    fn bit_size(&self) -> usize {
+        let payload = match self {
+            ShingleMsg::Rand(_) | ShingleMsg::Label(_) => 64,
+            ShingleMsg::Report { .. } => 64 + 32,
+            ShingleMsg::Verdict { .. } => 64 + 1,
+        };
+        congest::TAG_BITS + payload
+    }
+}
+
+/// Survival thresholds for candidate sets.
+#[derive(Clone, Copy, Debug)]
+pub struct ShinglesConfig {
+    /// Minimum acceptable candidate size.
+    pub min_size: usize,
+    /// Minimum acceptable pair density (Definition 1 convention), i.e.
+    /// `1 − ε` for an ε-near-clique target.
+    pub min_density: f64,
+}
+
+impl Default for ShinglesConfig {
+    fn default() -> Self {
+        Self { min_size: 2, min_density: 0.5 }
+    }
+}
+
+/// Per-node state of the shingles protocol.
+#[derive(Debug)]
+pub struct Shingles {
+    config: ShinglesConfig,
+    phase: u8,
+    my_rand: u64,
+    /// `(shingle, port)` pairs; port `usize::MAX` = self.
+    rands: Vec<(u64, Port)>,
+    label: u64,
+    label_port: Option<Port>, // port toward the leader (None = self)
+    neighbor_labels: Vec<(Port, u64)>,
+    // Leader state.
+    reports: Vec<u32>,
+    own_in_degree: u32,
+    output: Option<u64>,
+}
+
+impl Shingles {
+    /// Creates the per-node state.
+    #[must_use]
+    pub fn new(config: ShinglesConfig) -> Self {
+        Self {
+            config,
+            phase: 0,
+            my_rand: 0,
+            rands: Vec::new(),
+            label: u64::MAX,
+            label_port: None,
+            neighbor_labels: Vec::new(),
+            reports: Vec::new(),
+            own_in_degree: 0,
+            output: None,
+        }
+    }
+
+    fn is_leader(&self) -> bool {
+        self.label == self.my_rand
+    }
+}
+
+impl Protocol for Shingles {
+    type Msg = ShingleMsg;
+    type Output = Option<u64>;
+
+    fn init(&mut self, ctx: &mut Context<'_, ShingleMsg>) {
+        // The paper draws from a space large enough that collisions are
+        // negligible; 64 bits gives collision probability ≈ n²/2⁶⁴.
+        self.my_rand = ctx.rng().gen();
+        self.rands.push((self.my_rand, usize::MAX));
+        ctx.broadcast(ShingleMsg::Rand(self.my_rand));
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, ShingleMsg>, inbox: &[(Port, ShingleMsg)]) {
+        self.phase += 1;
+        match self.phase {
+            1 => {
+                for (port, msg) in inbox {
+                    match msg {
+                        ShingleMsg::Rand(r) => self.rands.push((*r, *port)),
+                        other => panic!("unexpected in shingles round 1: {other:?}"),
+                    }
+                }
+                let &(min, port) = self
+                    .rands
+                    .iter()
+                    .min_by_key(|&&(r, _)| r)
+                    .expect("own shingle always present");
+                self.label = min;
+                self.label_port = (port != usize::MAX).then_some(port);
+                ctx.broadcast(ShingleMsg::Label(self.label));
+            }
+            2 => {
+                for (port, msg) in inbox {
+                    match msg {
+                        ShingleMsg::Label(l) => self.neighbor_labels.push((*port, *l)),
+                        other => panic!("unexpected in shingles round 2: {other:?}"),
+                    }
+                }
+                self.own_in_degree = self
+                    .neighbor_labels
+                    .iter()
+                    .filter(|&&(_, l)| l == self.label)
+                    .count() as u32;
+                if let Some(port) = self.label_port {
+                    ctx.send(
+                        port,
+                        ShingleMsg::Report { label: self.label, in_degree: self.own_in_degree },
+                    );
+                }
+            }
+            3 => {
+                for (_port, msg) in inbox {
+                    match msg {
+                        ShingleMsg::Report { label, in_degree } => {
+                            debug_assert_eq!(*label, self.my_rand, "reports go to the namesake");
+                            self.reports.push(*in_degree);
+                        }
+                        other => panic!("unexpected in shingles round 3: {other:?}"),
+                    }
+                }
+                // The namesake leads its set even when it is not a member
+                // itself (its own label may be smaller — the paper's Case 2
+                // situation where vmin ∈ I₁ leads C₁ ∪ {vmin}).
+                let is_member = self.is_leader();
+                if is_member || !self.reports.is_empty() {
+                    let size = self.reports.len() + usize::from(is_member);
+                    let directed: u64 = self.reports.iter().map(|&d| u64::from(d)).sum::<u64>()
+                        + if is_member { u64::from(self.own_in_degree) } else { 0 };
+                    let density = if size <= 1 {
+                        1.0
+                    } else {
+                        directed as f64 / (size as f64 * (size as f64 - 1.0))
+                    };
+                    let survive =
+                        size >= self.config.min_size && density >= self.config.min_density - 1e-9;
+                    if survive && is_member {
+                        self.output = Some(self.my_rand);
+                    }
+                    ctx.broadcast(ShingleMsg::Verdict { label: self.my_rand, survive });
+                }
+            }
+            4 => {
+                for (_port, msg) in inbox {
+                    match msg {
+                        ShingleMsg::Verdict { label, survive } => {
+                            if *label == self.label && *survive {
+                                self.output = Some(self.label);
+                            }
+                        }
+                        other => panic!("unexpected in shingles round 4: {other:?}"),
+                    }
+                }
+            }
+            _ => debug_assert!(inbox.is_empty(), "shingles is a 4-round protocol"),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        // The protocol is a fixed 4-round script; stay non-idle until it
+        // has played out so isolated nodes also reach their verdicts.
+        self.phase >= 4
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.output
+    }
+}
+
+/// Result of one shingles run.
+#[derive(Clone, Debug)]
+pub struct ShinglesRun {
+    /// Per-node labels (`None` = ⊥).
+    pub labels: Vec<Option<u64>>,
+    /// Simulator metrics (constant rounds, `O(log n)` bits).
+    pub metrics: Metrics,
+}
+
+impl ShinglesRun {
+    /// The largest surviving candidate set, if any.
+    #[must_use]
+    pub fn largest_set(&self) -> Option<FixedBitSet> {
+        let n = self.labels.len();
+        let mut by_label: std::collections::BTreeMap<u64, FixedBitSet> =
+            std::collections::BTreeMap::new();
+        for (v, l) in self.labels.iter().enumerate() {
+            if let Some(label) = l {
+                by_label.entry(*label).or_insert_with(|| FixedBitSet::new(n)).insert(v);
+            }
+        }
+        by_label.into_values().max_by_key(FixedBitSet::len)
+    }
+}
+
+/// Runs the shingles algorithm on `g`.
+#[must_use]
+pub fn run_shingles(g: &Graph, config: ShinglesConfig, seed: u64) -> ShinglesRun {
+    let mut net =
+        NetworkBuilder::new().seed(seed).build_with(g, |_| Shingles::new(config));
+    let report = net.run(RunLimits::default());
+    debug_assert_eq!(report.termination, Termination::Quiescent);
+    ShinglesRun { labels: net.outputs(), metrics: report.metrics }
+}
+
+/// Sanity helper mirroring the paper's counting: expected message width of
+/// the protocol in "`log n` units".
+#[must_use]
+pub fn width_in_log_units(metrics: &Metrics, n: usize) -> f64 {
+    metrics.max_message_bits as f64 / bits_for_count(n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators::shingles_counterexample;
+    use graphs::{density, GraphBuilder};
+
+    #[test]
+    fn clique_survives_with_global_min_inside() {
+        // On a clique, every node has the same closed neighborhood, so all
+        // nodes share one label and the set is the whole clique.
+        let g = Graph::complete(12);
+        let run = run_shingles(&g, ShinglesConfig { min_size: 2, min_density: 0.9 }, 3);
+        let set = run.largest_set().expect("clique must survive");
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn empty_graph_all_singletons_filtered() {
+        let g = Graph::empty(10);
+        let run = run_shingles(&g, ShinglesConfig { min_size: 2, min_density: 0.5 }, 5);
+        assert!(run.labels.iter().all(Option::is_none));
+        // With min_size 1 singletons survive (density 1 by convention).
+        let run2 = run_shingles(&g, ShinglesConfig { min_size: 1, min_density: 0.5 }, 5);
+        assert!(run2.labels.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn constant_rounds_and_log_messages() {
+        let g = Graph::complete(60);
+        let run = run_shingles(&g, ShinglesConfig::default(), 7);
+        assert!(run.metrics.rounds <= 6, "shingles is constant-round");
+        assert!(run.metrics.max_message_bits <= 8 + 64 + 32);
+    }
+
+    #[test]
+    fn surviving_sets_meet_thresholds() {
+        let mut b = GraphBuilder::new(30);
+        b.add_clique(&(0..10).collect::<Vec<_>>());
+        b.extend_edges([(10, 11), (12, 13)]);
+        let g = b.build();
+        let config = ShinglesConfig { min_size: 3, min_density: 0.8 };
+        let run = run_shingles(&g, config, 11);
+        let n = g.node_count();
+        let mut by_label: std::collections::BTreeMap<u64, FixedBitSet> = Default::default();
+        for (v, l) in run.labels.iter().enumerate() {
+            if let Some(label) = l {
+                by_label.entry(*label).or_insert_with(|| FixedBitSet::new(n)).insert(v);
+            }
+        }
+        for (label, set) in by_label {
+            assert!(set.len() >= config.min_size, "label {label} too small");
+            assert!(
+                density::density(&g, &set) >= config.min_density - 1e-9,
+                "label {label} too sparse"
+            );
+        }
+    }
+
+    #[test]
+    fn counterexample_defeats_shingles_for_most_seeds() {
+        // Claim 1: on the Figure 1 graph, the shingles algorithm cannot
+        // output an ε-near clique of (1−ε)δn nodes for small ε. We check
+        // the *conclusion*: over many seeds, it never outputs a
+        // sufficiently large and dense set.
+        let n = 200;
+        let delta = 0.5;
+        let s = shingles_counterexample(n, delta);
+        let eps = 0.1; // below min{(1−δ)/(1+δ), 1/9} ≈ 0.111
+        let need = ((1.0 - eps) * delta * n as f64).ceil() as usize;
+        for seed in 0..20 {
+            let run = run_shingles(
+                &s.graph,
+                ShinglesConfig { min_size: 2, min_density: 1.0 - eps },
+                seed,
+            );
+            if let Some(set) = run.largest_set() {
+                assert!(
+                    set.len() < need,
+                    "seed {seed}: shingles output {} ≥ {need} nodes, contradicting Claim 1",
+                    set.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = Graph::complete(20);
+        let a = run_shingles(&g, ShinglesConfig::default(), 9);
+        let b = run_shingles(&g, ShinglesConfig::default(), 9);
+        assert_eq!(a.labels, b.labels);
+    }
+}

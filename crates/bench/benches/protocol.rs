@@ -1,0 +1,92 @@
+//! Criterion wall-clock benches for the DistNearClique protocol itself:
+//! cost per run as n, E|S| and λ scale (the Lemma 5.1 / Corollary 2.2
+//! resource axes, measured in host time rather than rounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::generators;
+use nearclique::{run_near_clique, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn planted(n: usize, seed: u64) -> graphs::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::planted_near_clique(n, n / 2, 0.0156, 0.02, &mut rng).graph
+}
+
+/// E2's axis: n grows, everything else fixed — run cost should grow only
+/// with graph size (simulation overhead), not with round count.
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/scale_n");
+    group.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        let g = planted(n, 42);
+        let params = NearCliqueParams::for_expected_sample(0.25, 7.0, n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| run_near_clique(&g, &params, 7));
+        });
+    }
+    group.finish();
+}
+
+/// E5's axis: expected sample size grows — cost is dominated by 2^|S|.
+fn bench_scaling_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/scale_sample");
+    group.sample_size(10);
+    let n = 400;
+    let g = planted(n, 43);
+    for &pn in &[4.0f64, 7.0, 10.0] {
+        let params = NearCliqueParams::for_expected_sample(0.25, pn, n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(pn as u32), &pn, |b, _| {
+            b.iter(|| run_near_clique(&g, &params, 11));
+        });
+    }
+    group.finish();
+}
+
+/// §4.1 boosting: cost is linear in λ.
+fn bench_boosting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/boosting_lambda");
+    group.sample_size(10);
+    let n = 300;
+    let g = planted(n, 44);
+    for &lambda in &[1u32, 2, 4] {
+        let params = NearCliqueParams::for_expected_sample(0.25, 6.0, n)
+            .unwrap()
+            .with_lambda(lambda);
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, _| {
+            b.iter(|| run_near_clique(&g, &params, 13));
+        });
+    }
+    group.finish();
+}
+
+/// Parallel stepping: same semantics, different thread counts.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/threads");
+    group.sample_size(10);
+    let n = 600;
+    let g = planted(n, 45);
+    let params = NearCliqueParams::for_expected_sample(0.25, 8.0, n).unwrap();
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                nearclique::run_near_clique_with(
+                    &g,
+                    &params,
+                    17,
+                    nearclique::RunOptions { max_rounds: 10_000_000, threads },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling_n,
+    bench_scaling_sample,
+    bench_boosting,
+    bench_parallel
+);
+criterion_main!(benches);

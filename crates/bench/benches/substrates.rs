@@ -1,0 +1,99 @@
+//! Criterion benches for the substrate layers: graph kernels and the
+//! CONGEST simulator's round loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::{density, generators, FixedBitSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Density kernels: the hot path of every verification.
+fn bench_density_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/density");
+    for &n in &[500usize, 2000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnp(n, 0.1, &mut rng);
+        let set = FixedBitSet::from_iter_with_capacity(n, (0..n).step_by(2));
+        group.bench_with_input(BenchmarkId::new("density", n), &n, |b, _| {
+            b.iter(|| density::density(&g, &set));
+        });
+        group.bench_with_input(BenchmarkId::new("k_eps", n), &n, |b, _| {
+            b.iter(|| density::k_eps(&g, &set, 0.2));
+        });
+        group.bench_with_input(BenchmarkId::new("t_eps", n), &n, |b, _| {
+            b.iter(|| density::t_eps(&g, &set, 0.2));
+        });
+    }
+    group.finish();
+}
+
+/// Generator throughput (the workload side of every experiment).
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/generators");
+    group.sample_size(20);
+    for &n in &[500usize, 2000] {
+        group.bench_with_input(BenchmarkId::new("gnp", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                generators::gnp(n, 0.05, &mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("planted", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                generators::planted_near_clique(n, n / 2, 0.015, 0.02, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Raw simulator round-loop cost: a flooding protocol over G(n, p).
+fn bench_simulator_rounds(c: &mut Criterion) {
+    use congest::{Context, Message, NetworkBuilder, Port, Protocol, RunLimits};
+
+    #[derive(Clone, Debug)]
+    struct Tick;
+    impl Message for Tick {
+        fn bit_size(&self) -> usize {
+            8
+        }
+    }
+    struct Pulse {
+        remaining: u32,
+    }
+    impl Protocol for Pulse {
+        type Msg = Tick;
+        type Output = ();
+        fn init(&mut self, ctx: &mut Context<'_, Tick>) {
+            ctx.broadcast(Tick);
+        }
+        fn step(&mut self, ctx: &mut Context<'_, Tick>, _inbox: &[(Port, Tick)]) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.broadcast(Tick);
+            }
+        }
+        fn is_idle(&self) -> bool {
+            self.remaining == 0
+        }
+        fn output(&self) {}
+    }
+
+    let mut group = c.benchmark_group("substrate/simulator");
+    group.sample_size(10);
+    for &n in &[500usize, 1500] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::gnp(n, 0.02, &mut rng);
+        group.bench_with_input(BenchmarkId::new("flood_20_rounds", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net =
+                    NetworkBuilder::new().seed(5).build_with(&g, |_| Pulse { remaining: 20 });
+                net.run(RunLimits::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density_kernels, bench_generators, bench_simulator_rounds);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! E1 — Theorem 2.1 / 5.7: recovery of a planted ε³-near clique.
+//!
+//! Plant an ε³-near clique `D` of `δn` nodes in background noise, run
+//! `DistNearClique`, and score the output against the theorem's two
+//! assertions plus the sharper practical metrics (recall and output
+//! density). The theorem predicts a constant success probability once
+//! `pn` is a (large) constant; the *shape* to verify is that success is
+//! flat in `n` and improves with `pn`.
+
+use graphs::{density, generators};
+use nearclique::{check_theorem_5_7, run_near_clique, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::{mean, Proportion};
+use crate::table::{f3, Table};
+
+/// One (ε, δ, n) configuration's outcome.
+struct Outcome {
+    theorem_success: Proportion,
+    practical_success: Proportion,
+    mean_recall: f64,
+    mean_density: f64,
+    mean_sample: f64,
+}
+
+fn run_config(
+    epsilon: f64,
+    delta: f64,
+    n: usize,
+    pn: f64,
+    trials: usize,
+    base_seed: u64,
+) -> Outcome {
+    let mut theorem_ok = 0usize;
+    let mut practical_ok = 0usize;
+    let mut recalls = Vec::new();
+    let mut densities = Vec::new();
+    let mut samples = Vec::new();
+    let params = NearCliqueParams::for_expected_sample(epsilon, pn, n).expect("valid params");
+    for t in 0..trials {
+        let seed = base_seed + t as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planted = generators::planted_near_clique(
+            n,
+            (delta * n as f64) as usize,
+            epsilon.powi(3),
+            0.02,
+            &mut rng,
+        );
+        let run = run_near_clique(&planted.graph, &params, seed ^ 0xE1);
+        samples.push(run.sample_size(0) as f64);
+        let Some(found) = run.largest_set() else {
+            continue;
+        };
+        let (size_ok, density_ok) =
+            check_theorem_5_7(&planted.graph, &found, &planted.dense_set, epsilon);
+        if size_ok && density_ok {
+            theorem_ok += 1;
+        }
+        let recall = planted.recall(&found);
+        let d = density::density(&planted.graph, &found);
+        recalls.push(recall);
+        densities.push(d);
+        // Practical: most of D recovered, density close to planted.
+        if recall >= 0.75 && d >= 1.0 - 2.0 * epsilon {
+            practical_ok += 1;
+        }
+    }
+    Outcome {
+        theorem_success: Proportion { successes: theorem_ok, trials },
+        practical_success: Proportion { successes: practical_ok, trials },
+        mean_recall: mean(&recalls),
+        mean_density: mean(&densities),
+        mean_sample: mean(&samples),
+    }
+}
+
+/// Runs E1.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 25 } else { 80 };
+    let mut t = Table::new(
+        "E1: Theorem 5.7 — planted eps^3-near clique recovery",
+        "w.p. Omega(1): |D'| >= (1-13eps/2)|D| - eps^-2 and D' is ~(eps/delta)-near clique; \
+         success flat in n, improving with pn",
+        &[
+            "eps", "delta", "n", "E|S|", "thm-ok", "practical-ok", "recall", "density",
+        ],
+    );
+    let mut configs: Vec<(f64, f64, usize, f64)> = vec![
+        (0.25, 0.5, 400, 8.0),
+        (0.25, 0.5, 800, 8.0),
+        (0.25, 0.3, 800, 8.0),
+        (0.12, 0.4, 1200, 8.0),
+    ];
+    if !quick {
+        configs.push((0.25, 0.5, 1600, 8.0));
+        configs.push((0.12, 0.4, 2400, 8.0));
+        configs.push((0.25, 0.5, 800, 10.0));
+    }
+    for (i, &(eps, delta, n, pn)) in configs.iter().enumerate() {
+        let o = run_config(eps, delta, n, pn, trials, 0xE100 + 1000 * i as u64);
+        t.row(vec![
+            f3(eps),
+            f3(delta),
+            n.to_string(),
+            format!("{:.1}", o.mean_sample),
+            o.theorem_success.to_string(),
+            o.practical_success.to_string(),
+            f3(o.mean_recall),
+            f3(o.mean_density),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_config_smoke() {
+        let o = run_config(0.25, 0.5, 150, 7.0, 4, 1);
+        assert!(o.mean_sample > 0.0);
+        assert!(o.theorem_success.trials == 4);
+        assert!(o.mean_recall >= 0.0 && o.mean_recall <= 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! E10 — message width: `O(log n)` for `DistNearClique` and shingles vs
+//! `Θ(Δ log n)` for neighbors'-neighbors.
+//!
+//! The CONGEST claim is enforced by the simulator's bit meter. Sweeping
+//! `n` (and hence Δ) shows `DistNearClique`'s width flat while the LOCAL
+//! strawman's grows linearly with the degree.
+
+use baselines::neighbors::run_neighbors_neighbors;
+use baselines::shingles::{run_shingles, ShinglesConfig};
+use graphs::generators;
+use nearclique::{run_near_clique, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{f1, Table};
+
+/// Runs E10.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let ns: &[usize] = if quick { &[80, 160, 320] } else { &[80, 160, 320, 640] };
+
+    let mut t = Table::new(
+        "E10: message width — CONGEST O(log n) vs LOCAL Theta(Delta log n)",
+        "DistNearClique and shingles use O(log n)-bit messages at every n; \
+         neighbors'-neighbors messages grow with the degree",
+        &[
+            "n",
+            "max-deg",
+            "distnc-bits",
+            "shingles-bits",
+            "nn-bits",
+            "nn-bits/Delta",
+            "distnc-rounds",
+            "nn-rounds",
+        ],
+    );
+    for (i, &n) in ns.iter().enumerate() {
+        let seed = 0xEA00 + 389 * i as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planted = generators::planted_clique(n, (0.4 * n as f64) as usize, 0.08, &mut rng);
+        let g = &planted.graph;
+        let max_deg = g.max_degree();
+
+        let params = NearCliqueParams::for_expected_sample(0.25, 7.0, n).expect("valid");
+        let dist = run_near_clique(g, &params, seed ^ 0xA);
+        let sh = run_shingles(g, ShinglesConfig::default(), seed ^ 0xB);
+        let nn = run_neighbors_neighbors(g, seed ^ 0xC);
+
+        t.row(vec![
+            n.to_string(),
+            max_deg.to_string(),
+            dist.metrics.max_message_bits.to_string(),
+            sh.metrics.max_message_bits.to_string(),
+            nn.metrics.max_message_bits.to_string(),
+            f1(nn.metrics.max_message_bits as f64 / max_deg as f64),
+            dist.metrics.rounds.to_string(),
+            nn.metrics.rounds.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distnc_width_is_flat_while_nn_grows() {
+        let widths: Vec<(usize, usize)> = [60usize, 180]
+            .iter()
+            .map(|&n| {
+                let mut rng = StdRng::seed_from_u64(n as u64);
+                let planted =
+                    generators::planted_clique(n, (0.4 * n as f64) as usize, 0.08, &mut rng);
+                let params =
+                    NearCliqueParams::for_expected_sample(0.25, 6.0, n).unwrap();
+                let dist = run_near_clique(&planted.graph, &params, 3);
+                let nn = run_neighbors_neighbors(&planted.graph, 3);
+                (dist.metrics.max_message_bits, nn.metrics.max_message_bits)
+            })
+            .collect();
+        assert_eq!(widths[0].0, widths[1].0, "DistNearClique width must not grow with n");
+        assert!(widths[1].1 > 2 * widths[0].1, "NN width must grow with the degree");
+    }
+}

@@ -1,0 +1,120 @@
+//! E11 — output quality vs the centralized comparators.
+//!
+//! The paper situates itself against centralized dense-subgraph work
+//! (\[1\], \[7\], \[8\]); no head-to-head numbers exist in the paper, so this
+//! table establishes the context: on planted and community instances,
+//! how do size and density of `DistNearClique`'s output compare with
+//! greedy peeling, the quasi-clique GRASP, the shingles strawman, and
+//! (at these sizes, exact) maximum clique?
+
+use baselines::{
+    DistNearCliqueFinder, ExactFinder, KCoreFinder, NearCliqueFinder, PeelFinder,
+    QuasiFinder, ShinglesFinder, ShinglesConfig,
+};
+use graphs::{density, generators, quasi::QuasiCliqueConfig, FixedBitSet, Graph};
+use nearclique::NearCliqueParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::mean;
+use crate::table::{f3, Table};
+
+struct Instance {
+    name: &'static str,
+    graph: Graph,
+    /// All planted dense sets; recall is scored against the best match.
+    ground_truth: Vec<FixedBitSet>,
+}
+
+fn instances(seed: u64) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let planted = generators::planted_near_clique(300, 100, 0.0156, 0.04, &mut rng);
+    let caveman = generators::caveman(8, 25, 0.15, &mut rng);
+    let communities = generators::overlapping_communities(300, 3, 60, 15, 0.9, 0.02, &mut rng);
+    vec![
+        Instance {
+            name: "planted(300,100)",
+            ground_truth: vec![planted.dense_set.clone()],
+            graph: planted.graph,
+        },
+        Instance {
+            name: "caveman(8x25)",
+            ground_truth: caveman.communities.clone(),
+            graph: caveman.graph,
+        },
+        Instance {
+            name: "communities(3x60)",
+            ground_truth: communities.communities.clone(),
+            graph: communities.graph,
+        },
+    ]
+}
+
+/// Runs E11.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 5 } else { 15 };
+
+    let dist = DistNearCliqueFinder {
+        params: NearCliqueParams::for_expected_sample(0.25, 8.0, 300)
+            .expect("valid")
+            .with_lambda(2)
+            .with_min_candidate_size(5),
+    };
+    let shingles = ShinglesFinder {
+        config: ShinglesConfig { min_size: 5, min_density: 0.7 },
+    };
+    let peel = PeelFinder { min_size: 50 };
+    let quasi = QuasiFinder {
+        config: QuasiCliqueConfig { gamma: 0.85, restarts: 6, rcl_width: 3 },
+    };
+    let exact = ExactFinder;
+    let kcore = KCoreFinder;
+    let finders: Vec<&dyn NearCliqueFinder> =
+        vec![&dist, &shingles, &peel, &quasi, &kcore, &exact];
+
+    let mut tables = Vec::new();
+    for inst_idx in 0..3usize {
+        let sample = instances(0xEB00 + inst_idx as u64);
+        let inst = &sample[inst_idx];
+        let mut t = Table::new(
+            format!("E11.{}: quality on {}", inst_idx + 1, inst.name),
+            "distributed output should be competitive in density at comparable size; \
+             exact max clique is the densest-possible yardstick",
+            &["finder", "size(mean)", "density(mean)", "recall(mean)"],
+        );
+        for finder in &finders {
+            let mut sizes = Vec::new();
+            let mut densities = Vec::new();
+            let mut recalls = Vec::new();
+            for trial in 0..trials {
+                // Fresh instance per trial (same family), fresh seed.
+                let fresh = &instances(0xEB00 + inst_idx as u64 + 31 * (trial as u64 + 1))
+                    [inst_idx];
+                let set = finder.find(&fresh.graph, 0x11E * trial as u64 + 7);
+                sizes.push(set.len() as f64);
+                densities.push(density::density(&fresh.graph, &set));
+                let best_recall = fresh
+                    .ground_truth
+                    .iter()
+                    .map(|gt| {
+                        if gt.is_empty() {
+                            0.0
+                        } else {
+                            set.intersection_count(gt) as f64 / gt.len() as f64
+                        }
+                    })
+                    .fold(0.0, f64::max);
+                recalls.push(best_recall);
+            }
+            t.row(vec![
+                finder.name().to_string(),
+                crate::table::f1(mean(&sizes)),
+                f3(mean(&densities)),
+                if recalls.is_empty() { "n/a".into() } else { f3(mean(&recalls)) },
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,91 @@
+//! E13 — the proof chain of §5.2, step by step.
+//!
+//! Theorem 5.7 is proved through a chain of intermediate events; each is
+//! directly measurable on planted instances:
+//!
+//! 1. Lemma 5.4 — the core `C = K_{ε²}(D) ∩ D` is large (deterministic
+//!    given the instance).
+//! 2. Lemma 5.5 — `X* = S⁽¹⁾ ∩ C` lies in one component of `G[S]`.
+//! 3. Claim 3 — `X*` is representative (its `K`-sets sandwich `C`'s).
+//! 4. Lemma 5.6 — `|T_ε(X*)| ≥ (1 − 13ε/2)|D| − ε⁻²`.
+//!
+//! The paper proves each holds with (at least) constant probability; the
+//! table reports empirical rates per `pn`, which should all rise toward 1
+//! as `pn` grows.
+
+use graphs::{density, generators};
+use nearclique::analysis;
+use nearclique::SamplePlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::Proportion;
+use crate::table::{f1, Table};
+
+/// Runs E13.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 60 } else { 250 };
+    let n = 400;
+    let d_size = 200;
+    let epsilon: f64 = 0.25;
+
+    let mut t = Table::new(
+        "E13: the section 5.2 proof chain, measured",
+        "each event of the proof (core large, X* connected, X* representative, \
+         T_eps(X*) large) holds with probability -> 1 as pn grows",
+        &[
+            "pn",
+            "L5.4 core-ok",
+            "L5.5 one-comp",
+            "C3 representative",
+            "L5.6 T-large",
+        ],
+    );
+
+    for (i, &pn) in [4.0f64, 8.0, 12.0].iter().enumerate() {
+        let p = pn / n as f64;
+        let mut core_ok = 0usize;
+        let mut one_comp = 0usize;
+        let mut representative = 0usize;
+        let mut t_large = 0usize;
+        for trial in 0..trials {
+            let seed = 0xED00 + 449 * i as u64 + trial as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let planted =
+                generators::planted_near_clique(n, d_size, epsilon.powi(3), 0.02, &mut rng);
+            let g = &planted.graph;
+            let d = &planted.dense_set;
+
+            let c = density::core_c(g, d, epsilon);
+            if c.len() as f64 >= analysis::core_size_bound(d_size, epsilon) {
+                core_ok += 1;
+            }
+
+            let plan = SamplePlan::draw(n, 1, p, seed ^ 0xED);
+            let s = plan.sample(0);
+            let x = analysis::x_star(&plan, 0, &c);
+            if analysis::x_star_in_one_component(g, &s, &x) {
+                one_comp += 1;
+            }
+            if !x.is_empty() {
+                let (c1, c2) = analysis::representativeness(g, d, &c, &x, epsilon);
+                if c1 && c2 {
+                    representative += 1;
+                }
+                let (_t_size, holds) = analysis::lemma_5_6_conclusion(g, d, &x, epsilon);
+                if holds {
+                    t_large += 1;
+                }
+            }
+        }
+        t.row(vec![
+            f1(pn),
+            Proportion { successes: core_ok, trials }.to_string(),
+            Proportion { successes: one_comp, trials }.to_string(),
+            Proportion { successes: representative, trials }.to_string(),
+            Proportion { successes: t_large, trials }.to_string(),
+        ]);
+    }
+    vec![t]
+}

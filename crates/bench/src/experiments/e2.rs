@@ -1,0 +1,81 @@
+//! E2 — Corollary 2.2: constant rounds and constant success probability
+//! at linear near-clique size, independent of `n`.
+//!
+//! Sweep `n` with everything else fixed (`ε`, `δ`, `E|S| = pn`): rounds
+//! and message width must stay flat while the graph grows; the success
+//! probability must not degrade.
+
+use graphs::generators;
+use nearclique::{run_near_clique, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::{mean, Proportion};
+use crate::table::{f1, Table};
+
+/// Runs E2.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 15 } else { 50 };
+    let epsilon = 0.25;
+    let delta = 0.5;
+    let pn = 8.0;
+    let ns: &[usize] = if quick { &[300, 600, 1200] } else { &[300, 600, 1200, 2400, 4800] };
+
+    let mut t = Table::new(
+        "E2: Corollary 2.2 — O(1) rounds at linear near-clique size",
+        "rounds and max message bits flat in n; success probability Omega(1) flat in n",
+        &["n", "rounds(mean)", "rounds(max)", "max-msg-bits", "success"],
+    );
+    for (i, &n) in ns.iter().enumerate() {
+        let params = NearCliqueParams::for_expected_sample(epsilon, pn, n).expect("valid");
+        let mut rounds = Vec::new();
+        let mut max_bits = 0usize;
+        let mut hits = 0usize;
+        for trial in 0..trials {
+            let seed = 0xE200 + 997 * i as u64 + trial as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let planted = generators::planted_near_clique(
+                n,
+                (delta * n as f64) as usize,
+                epsilon.powi(3),
+                0.02,
+                &mut rng,
+            );
+            let run = run_near_clique(&planted.graph, &params, seed ^ 0xE2);
+            rounds.push(run.metrics.rounds as f64);
+            max_bits = max_bits.max(run.metrics.max_message_bits);
+            if let Some(found) = run.largest_set() {
+                if planted.recall(&found) >= 0.75 {
+                    hits += 1;
+                }
+            }
+        }
+        t.row(vec![
+            n.to_string(),
+            f1(mean(&rounds)),
+            f1(crate::stats::max(&rounds)),
+            max_bits.to_string(),
+            Proportion { successes: hits, trials }.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_mode_has_three_rows() {
+        // Smoke on a tiny synthetic scale: re-use internal pieces rather
+        // than the full experiment (which is minutes of work).
+        let params =
+            nearclique::NearCliqueParams::for_expected_sample(0.25, 6.0, 120).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng as _;
+        let _ = &mut rng;
+        let planted =
+            graphs::generators::planted_near_clique(120, 60, 0.0156, 0.02, &mut rng);
+        let run = nearclique::run_near_clique(&planted.graph, &params, 9);
+        assert!(run.metrics.rounds > 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! E4 — Claim 1 / Figure 1: the shingles algorithm fails where
+//! `DistNearClique` succeeds.
+//!
+//! On the `C₁,C₂,I₁,I₂` construction the planted clique `C = C₁ ∪ C₂` has
+//! `δn` nodes, yet Claim 1 proves the shingles algorithm cannot output an
+//! ε-near clique of `(1 − ε)δn` nodes for any
+//! `ε < min{(1−δ)/(1+δ), 1/9}`. We measure both algorithms' success rate
+//! at exactly that objective.
+
+use baselines::shingles::{run_shingles, ShinglesConfig};
+use graphs::generators::{shingles_counterexample, ShinglesGraph};
+use graphs::{density, FixedBitSet};
+use nearclique::{run_near_clique, NearCliqueParams};
+
+use crate::stats::Proportion;
+use crate::table::{f3, Table};
+
+fn qualifies(g: &graphs::Graph, set: &FixedBitSet, eps: f64, need: usize) -> bool {
+    set.len() >= need && density::is_near_clique(g, set, eps)
+}
+
+/// Runs E4.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 25 } else { 100 };
+    let n = if quick { 300 } else { 600 };
+    let deltas = [0.3, 0.5, 0.7];
+
+    let mut t = Table::new(
+        "E4: Claim 1 (Figure 1) — shingles fails, DistNearClique succeeds",
+        "shingles cannot output an eps-near clique of (1-eps)*delta*n nodes for \
+         eps < min{(1-delta)/(1+delta), 1/9}; DistNearClique finds the planted clique",
+        &["delta", "eps", "target-size", "shingles-ok", "distnc-ok"],
+    );
+    for (i, &delta) in deltas.iter().enumerate() {
+        let eps = 0.9 * ShinglesGraph::claim_epsilon_threshold(delta);
+        let s = shingles_counterexample(n, delta);
+        let need = ((1.0 - eps) * delta * n as f64).ceil() as usize;
+        // The component cap bounds the 2^{|S|} tail (the deterministic
+        // time-bound wrapper in action): samples beyond 10 members are
+        // skipped, costing ~10% success probability but making run time
+        // predictable. Skipped runs count as DistNearClique failures.
+        let params = NearCliqueParams::for_expected_sample(0.25, 7.0, n)
+            .expect("valid")
+            .with_min_candidate_size(4)
+            .with_max_component_size(10);
+
+        let mut shingles_hits = 0usize;
+        let mut dist_hits = 0usize;
+        for trial in 0..trials {
+            let seed = 0xE400 + 733 * i as u64 + trial as u64;
+            let sr = run_shingles(
+                &s.graph,
+                ShinglesConfig { min_size: 2, min_density: 1.0 - eps },
+                seed,
+            );
+            if let Some(set) = sr.largest_set() {
+                if qualifies(&s.graph, &set, eps, need) {
+                    shingles_hits += 1;
+                }
+            }
+            let dr = run_near_clique(&s.graph, &params, seed ^ 0xE4);
+            if let Some(set) = dr.largest_set() {
+                if qualifies(&s.graph, &set, eps, need) {
+                    dist_hits += 1;
+                }
+            }
+        }
+        t.row(vec![
+            f3(delta),
+            f3(eps),
+            need.to_string(),
+            Proportion { successes: shingles_hits, trials }.to_string(),
+            Proportion { successes: dist_hits, trials }.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualification_thresholds() {
+        let s = shingles_counterexample(100, 0.5);
+        let c = s.clique();
+        assert!(qualifies(&s.graph, &c, 0.1, 45));
+        assert!(!qualifies(&s.graph, &c, 0.1, 51));
+        let mut diluted = c.clone();
+        diluted.union_with(&s.i1);
+        assert!(!qualifies(&s.graph, &diluted, 0.1, 45), "diluted set is not 0.1-near");
+    }
+}

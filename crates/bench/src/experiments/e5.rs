@@ -1,0 +1,63 @@
+//! E5 — Lemma 5.1: round complexity `O(2^{|S|})`.
+//!
+//! Fix the graph family, sweep `E|S| = pn`, and regress the executed
+//! round count against `2^{k_max}` (the largest component of `G[S]`,
+//! which drives the subset enumeration). The ratio must stay bounded by
+//! a constant as the exponent grows.
+
+use graphs::generators;
+use nearclique::{run_near_clique, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::mean;
+use crate::table::{f1, f3, Table};
+
+/// Runs E5.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 10 } else { 30 };
+    let n = 500;
+    let pns: &[f64] = if quick { &[4.0, 6.0, 8.0, 10.0] } else { &[4.0, 6.0, 8.0, 10.0, 12.0] };
+
+    let mut t = Table::new(
+        "E5: Lemma 5.1 — rounds are O(2^|S|)",
+        "round complexity at most c * 2^{|S|}; the ratio rounds / 2^{k_max} stays bounded",
+        &["E|S|", "|S|(mean)", "k_max(mean)", "rounds(mean)", "rounds/2^k_max"],
+    );
+    for (i, &pn) in pns.iter().enumerate() {
+        let params = NearCliqueParams::for_expected_sample(0.25, pn, n).expect("valid");
+        let mut sizes = Vec::new();
+        let mut kmaxes = Vec::new();
+        let mut rounds = Vec::new();
+        let mut ratios = Vec::new();
+        for trial in 0..trials {
+            let seed = 0xE500 + 677 * i as u64 + trial as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let planted = generators::planted_near_clique(n, 250, 0.0156, 0.02, &mut rng);
+            let run = run_near_clique(&planted.graph, &params, seed ^ 0xE5);
+            let s = run.plan.sample(0);
+            let k_max = planted
+                .graph
+                .components_within(&s)
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0);
+            sizes.push(s.len() as f64);
+            kmaxes.push(k_max as f64);
+            rounds.push(run.metrics.rounds as f64);
+            if k_max > 0 {
+                ratios.push(run.metrics.rounds as f64 / (1u64 << k_max) as f64);
+            }
+        }
+        t.row(vec![
+            f1(pn),
+            f1(mean(&sizes)),
+            f1(mean(&kmaxes)),
+            f1(mean(&rounds)),
+            f3(mean(&ratios)),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,69 @@
+//! E6 — Lemma 5.2: `Pr[|S| ≤ 2pn] ≥ 1 − e^{−pn/3}`.
+//!
+//! Pure sampling-stage experiment (no network): draw many plans and
+//! compare the empirical tail `Pr[|S| > 2pn]` against the Chernoff bound
+//! `e^{−pn/3}`.
+
+use nearclique::SamplePlan;
+
+use crate::stats::Proportion;
+use crate::table::{f1, Table};
+
+/// Runs E6.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 2000 } else { 20_000 };
+    let n = 2000;
+    let pns: &[f64] = &[3.0, 6.0, 9.0, 12.0];
+
+    let mut t = Table::new(
+        "E6: Lemma 5.2 — Pr[|S| > 2pn] <= e^{-pn/3}",
+        "the sample-size tail is dominated by the Chernoff bound",
+        &["pn", "mean|S|", "Pr[|S|>2pn] (emp)", "bound e^{-pn/3}"],
+    );
+    for (i, &pn) in pns.iter().enumerate() {
+        let p = pn / n as f64;
+        let mut exceed = 0usize;
+        let mut total_size = 0usize;
+        for trial in 0..trials {
+            let plan = SamplePlan::draw(n, 1, p, 0xE600 + 503 * i as u64 + trial as u64);
+            let size = plan.sample(0).len();
+            total_size += size;
+            if size as f64 > 2.0 * pn {
+                exceed += 1;
+            }
+        }
+        let bound = (-pn / 3.0).exp();
+        t.row(vec![
+            f1(pn),
+            f1(total_size as f64 / trials as f64),
+            format!("{:.4}", Proportion { successes: exceed, trials }.rate()),
+            format!("{bound:.4}"),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tail_is_below_bound_at_moderate_pn() {
+        // Inline miniature of the experiment as a regression test.
+        let n = 1000;
+        let pn = 9.0;
+        let p = pn / n as f64;
+        let trials = 400;
+        let mut exceed = 0;
+        for t in 0..trials {
+            let plan = nearclique::SamplePlan::draw(n, 1, p, 7000 + t);
+            if plan.sample(0).len() as f64 > 2.0 * pn {
+                exceed += 1;
+            }
+        }
+        let bound = (-pn / 3.0f64).exp();
+        assert!(
+            (exceed as f64 / trials as f64) <= bound * 2.0 + 0.02,
+            "empirical tail {exceed}/{trials} vs bound {bound}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! E7 — Lemma 5.3: every output set satisfies the unconditional density
+//! bound.
+//!
+//! Lemma 5.3 holds for any graph, promise or not: a labeled `T_ε(X)` of
+//! size `t` is an `(n/t)·ε`-near clique. We hammer the protocol with
+//! adversarial-ish inputs (sparse random graphs, planted instances, the
+//! Figure 1 construction, caveman graphs) and verify every labeled set.
+
+use graphs::generators;
+use nearclique::{check_labels, run_near_clique, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{f3, Table};
+
+/// Runs E7.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 15 } else { 60 };
+    let n = 300;
+    let params = NearCliqueParams::for_expected_sample(0.3, 8.0, n).expect("valid");
+
+    let mut t = Table::new(
+        "E7: Lemma 5.3 — unconditional density invariant of outputs",
+        "every labeled T_eps(X) of size t is an (n/t)*eps-near clique, on any input",
+        &["family", "runs", "labeled-sets", "violations", "min-slack"],
+    );
+
+    type GraphMaker = Box<dyn Fn(u64) -> graphs::Graph>;
+    let families: Vec<(&str, GraphMaker)> = vec![
+        (
+            "gnp(0.1)",
+            Box::new(move |seed| {
+                generators::gnp(n, 0.1, &mut StdRng::seed_from_u64(seed))
+            }),
+        ),
+        (
+            "gnp(0.3)",
+            Box::new(move |seed| {
+                generators::gnp(n, 0.3, &mut StdRng::seed_from_u64(seed))
+            }),
+        ),
+        (
+            "planted",
+            Box::new(move |seed| {
+                generators::planted_near_clique(n, 120, 0.02, 0.05, &mut StdRng::seed_from_u64(seed))
+                    .graph
+            }),
+        ),
+        (
+            "figure-1",
+            Box::new(move |_seed| generators::shingles_counterexample(n, 0.5).graph),
+        ),
+        (
+            "caveman",
+            Box::new(move |seed| {
+                generators::caveman(10, 30, 0.1, &mut StdRng::seed_from_u64(seed)).graph
+            }),
+        ),
+    ];
+
+    for (name, make) in families {
+        let mut labeled_sets = 0usize;
+        let mut violations = 0usize;
+        let mut min_slack = f64::INFINITY;
+        for trial in 0..trials {
+            let seed = 0xE700 + trial as u64;
+            let g = make(seed);
+            let run = run_near_clique(&g, &params, seed ^ 0xE7);
+            match check_labels(&g, &run.labels, params.epsilon) {
+                Ok(checks) => {
+                    labeled_sets += checks.len();
+                    for c in checks {
+                        let slack = c.density - (1.0 - c.lemma_bound);
+                        min_slack = min_slack.min(slack);
+                    }
+                }
+                Err(_) => violations += 1,
+            }
+        }
+        t.row(vec![
+            name.to_string(),
+            trials.to_string(),
+            labeled_sets.to_string(),
+            violations.to_string(),
+            if min_slack.is_finite() { f3(min_slack) } else { "n/a".to_string() },
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,74 @@
+//! E8 — §4.1 boosting: failure probability decays as `(1 − r)^λ`.
+//!
+//! Choose an instance where a single version succeeds with moderate
+//! probability `r` (small sample on a borderline-size planted set), then
+//! sweep λ. The boosted wrapper runs λ independent sampling+exploration
+//! versions and one joint decision; its failure rate must track
+//! `(1 − r)^λ`.
+
+use graphs::generators;
+use nearclique::{run_near_clique, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::Proportion;
+use crate::table::{f3, Table};
+
+fn success(planted: &generators::Planted, run: &nearclique::NearCliqueRun) -> bool {
+    run.largest_set().is_some_and(|set| planted.recall(&set) >= 0.7)
+}
+
+/// Runs E8.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 30 } else { 100 };
+    let n = 300;
+    let k = 75; // delta = 0.25 with a small sample: borderline instance
+    let lambdas: &[u32] = &[1, 2, 3, 4, 6];
+
+    let mut t = Table::new(
+        "E8: boosting wrapper — failure decays as (1-r)^lambda",
+        "lambda independent sampling+exploration versions and one joint decision; \
+         failure probability (1-r)^lambda, time linear in lambda",
+        &["lambda", "success", "failure", "predicted-failure", "rounds(mean)"],
+    );
+
+    // Measure the single-version success rate r first.
+    let base_params = NearCliqueParams::for_expected_sample(0.25, 5.0, n).expect("valid");
+    let mut r_hits = 0usize;
+    for trial in 0..trials {
+        let seed = 0xE800 + trial as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planted = generators::planted_near_clique(n, k, 0.0156, 0.02, &mut rng);
+        let run = run_near_clique(&planted.graph, &base_params, seed ^ 0xE8);
+        if success(&planted, &run) {
+            r_hits += 1;
+        }
+    }
+    let r = r_hits as f64 / trials as f64;
+
+    for &lambda in lambdas {
+        let params = base_params.clone().with_lambda(lambda);
+        let mut hits = 0usize;
+        let mut rounds = Vec::new();
+        for trial in 0..trials {
+            let seed = 0xE800 + trial as u64; // same instances as the r-measurement
+            let mut rng = StdRng::seed_from_u64(seed);
+            let planted = generators::planted_near_clique(n, k, 0.0156, 0.02, &mut rng);
+            let run = run_near_clique(&planted.graph, &params, seed ^ 0x8E00 ^ u64::from(lambda));
+            rounds.push(run.metrics.rounds as f64);
+            if success(&planted, &run) {
+                hits += 1;
+            }
+        }
+        let failure = 1.0 - hits as f64 / trials as f64;
+        t.row(vec![
+            lambda.to_string(),
+            Proportion { successes: hits, trials }.to_string(),
+            f3(failure),
+            f3((1.0 - r).powi(lambda as i32)),
+            crate::table::f1(crate::stats::mean(&rounds)),
+        ]);
+    }
+    vec![t]
+}

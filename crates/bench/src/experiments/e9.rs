@@ -1,0 +1,105 @@
+//! E9 — §6 impossibility: no sub-diameter algorithm outputs *only* the
+//! globally largest near-clique.
+//!
+//! On the barbell construction (clique `A`, clique `B`, long path), the
+//! paper argues `B`'s nodes cannot learn within `|P|` rounds whether `A`'s
+//! edges exist, so they must sometimes label themselves even though `A`
+//! is larger. We verify the two measurable consequences for
+//! `DistNearClique`:
+//!
+//! * it labels **both** `A` and `B` (it outputs a disjoint collection, as
+//!   §6 says any fast algorithm must), and
+//! * `B`-side outputs are **bit-identical** whether `A` is a clique or an
+//!   independent set (same seed), because the run completes in far fewer
+//!   rounds than the `A`–`B` distance — information cannot have crossed.
+
+use graphs::generators::barbell_with_path;
+use graphs::GraphBuilder;
+use nearclique::{run_near_clique, NearCliqueParams};
+
+use crate::stats::Proportion;
+use crate::table::Table;
+
+/// Runs E9.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let trials = if quick { 20 } else { 60 };
+    let (a_size, b_size, path_len) = if quick { (60, 30, 30) } else { (120, 60, 60) };
+
+    let mut t = Table::new(
+        "E9: Section 6 — sub-diameter impossibility, checked behaviorally",
+        "B cannot distinguish A-clique from A-empty in < |P| rounds; a fast algorithm \
+         must label B too, and B's outputs must be invariant to A's edges",
+        &["trials", "both-labeled", "B-invariant", "rounds(max)", "separation"],
+    );
+
+    let bb = barbell_with_path(a_size, b_size, path_len);
+    // The same node set with A's internal edges removed.
+    let mut without_a = GraphBuilder::new(bb.graph.node_count());
+    for (u, v) in bb.graph.edges() {
+        if !(bb.a.contains(u) && bb.a.contains(v)) {
+            without_a.add_edge(u, v);
+        }
+    }
+    let g_empty_a = without_a.build();
+
+    let n = bb.graph.node_count();
+    let params = NearCliqueParams::for_expected_sample(0.25, 8.0, n)
+        .expect("valid")
+        .with_min_candidate_size(3);
+
+    let mut both = 0usize;
+    let mut invariant = 0usize;
+    let mut max_rounds = 0u64;
+    for trial in 0..trials {
+        let seed = 0xE900 + trial as u64;
+        let run_full = run_near_clique(&bb.graph, &params, seed);
+        let run_cut = run_near_clique(&g_empty_a, &params, seed);
+        max_rounds = max_rounds.max(run_full.metrics.rounds).max(run_cut.metrics.rounds);
+
+        let a_labeled = bb.a.iter().any(|v| run_full.labels[v].is_some());
+        let b_labeled = bb.b.iter().any(|v| run_full.labels[v].is_some());
+        if a_labeled && b_labeled {
+            both += 1;
+        }
+        // B-side invariance across the two graphs.
+        if bb.b.iter().all(|v| run_full.labels[v] == run_cut.labels[v]) {
+            invariant += 1;
+        }
+    }
+    t.row(vec![
+        trials.to_string(),
+        Proportion { successes: both, trials }.to_string(),
+        Proportion { successes: invariant, trials }.to_string(),
+        max_rounds.to_string(),
+        format!("{} hops", bb.separation),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b_side_invariance_holds_on_small_instance() {
+        let bb = barbell_with_path(20, 10, 12);
+        let mut without_a = GraphBuilder::new(bb.graph.node_count());
+        for (u, v) in bb.graph.edges() {
+            if !(bb.a.contains(u) && bb.a.contains(v)) {
+                without_a.add_edge(u, v);
+            }
+        }
+        let cut = without_a.build();
+        let params = NearCliqueParams::for_expected_sample(0.25, 6.0, bb.graph.node_count())
+            .unwrap()
+            .with_min_candidate_size(3);
+        for seed in 0..5u64 {
+            let rf = run_near_clique(&bb.graph, &params, seed);
+            let rc = run_near_clique(&cut, &params, seed);
+            for v in bb.b.iter() {
+                assert_eq!(rf.labels[v], rc.labels[v], "seed {seed}, node {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Small statistics kit for the experiment tables.
+
+/// Mean of a sample (0 for empty).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Minimum (0 for empty).
+#[must_use]
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+}
+
+/// Maximum (0 for empty).
+#[must_use]
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(f64::MIN)
+}
+
+/// A success/trial proportion with its 95% Wilson score interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Proportion {
+    /// Successes.
+    pub successes: usize,
+    /// Trials.
+    pub trials: usize,
+}
+
+impl Proportion {
+    /// Point estimate (0 when `trials == 0`).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// 95% Wilson score interval `(lo, hi)`.
+    #[must_use]
+    pub fn wilson95(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let z = 1.959_964f64;
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+impl std::fmt::Display for Proportion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (lo, hi) = self.wilson95();
+        write!(f, "{:.2} [{:.2},{:.2}]", self.rate(), lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 7.0];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 7.0);
+    }
+
+    #[test]
+    fn wilson_interval_sane() {
+        let p = Proportion { successes: 50, trials: 100 };
+        let (lo, hi) = p.wilson95();
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(lo > 0.39 && hi < 0.61);
+        let sure = Proportion { successes: 100, trials: 100 };
+        let (lo2, hi2) = sure.wilson95();
+        assert!(lo2 > 0.95);
+        assert_eq!(hi2, 1.0);
+    }
+
+    #[test]
+    fn empty_proportion() {
+        let p = Proportion { successes: 0, trials: 0 };
+        assert_eq!(p.rate(), 0.0);
+        assert_eq!(p.wilson95(), (0.0, 1.0));
+    }
+}

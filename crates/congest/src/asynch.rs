@@ -1,0 +1,494 @@
+//! Asynchronous execution via synchronizer α.
+//!
+//! The paper assumes the synchronous model and notes (§2) that, absent
+//! crashes, "any synchronous algorithm can be executed in an asynchronous
+//! environment using a synchronizer" (Awerbuch \[3\]). This module makes
+//! that claim executable: an event-driven asynchronous network with
+//! arbitrary (seeded) link delays, plus the classic **synchronizer α**
+//! wrapper:
+//!
+//! * every payload is tagged with its pulse and acknowledged on receipt;
+//! * a node is *safe* for pulse `r` once all its pulse-`r` payloads are
+//!   acknowledged, and then tells its neighbors;
+//! * a node executes pulse `r` once every neighbor is safe for `r` — at
+//!   which point all pulse-`r` payloads addressed to it have arrived.
+//!
+//! [`run_synchronized`] drives a synchronous [`Protocol`] for a fixed
+//! pulse budget (the paper's deterministic time-bound wrapper, §4.1, is
+//! exactly such a budget) and returns outputs plus an [`AsyncReport`]
+//! with virtual-time and message-overhead accounting. The headline
+//! property — asynchronous outputs are **identical** to the synchronous
+//! simulator's — is pinned by tests here and used by the test suite on
+//! the shingles protocol.
+//!
+//! Scope note: protocols that rely on the simulator's quiescence barrier
+//! (`Protocol::on_quiescent`), like the staged `DistNearClique`, are out
+//! of scope for this wrapper — in a real asynchronous deployment each of
+//! their phases would get its own pulse budget, which is precisely the
+//! §4.1 wrapper this module's `pulse_budget` models for single-phase
+//! protocols.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap};
+
+use graphs::Graph;
+use rand::rngs::StdRng;
+
+use crate::message::Message;
+use crate::network::IdAssignment;
+use crate::protocol::{Context, Endpoint, Outbox, Port, Protocol};
+use crate::rng::{node_rng, splitmix64};
+
+/// Control/payload envelope of synchronizer α.
+#[derive(Clone, Debug)]
+enum SyncMsg<M> {
+    /// An application message to be consumed at `pulse`.
+    Payload { pulse: u64, msg: M },
+    /// Receipt acknowledgment for one pulse-`pulse` payload.
+    Ack { pulse: u64 },
+    /// "All my pulse-`pulse` payloads are acknowledged."
+    Safe { pulse: u64 },
+}
+
+const PULSE_BITS: usize = 32;
+
+impl<M: Message> SyncMsg<M> {
+    fn bit_size(&self) -> usize {
+        match self {
+            SyncMsg::Payload { msg, .. } => crate::TAG_BITS + PULSE_BITS + msg.bit_size(),
+            SyncMsg::Ack { .. } | SyncMsg::Safe { .. } => crate::TAG_BITS + PULSE_BITS,
+        }
+    }
+}
+
+/// Configuration of the asynchronous executor.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncConfig {
+    /// Master seed: drives node RNG streams, ID assignment and link
+    /// delays.
+    pub seed: u64,
+    /// Each message's delay is drawn uniformly from `1..=max_delay`
+    /// virtual time units (deterministically from the seed).
+    pub max_delay: u64,
+    /// Number of pulses to execute (the deterministic time-bound wrapper).
+    pub pulse_budget: u64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        Self { seed: 0, max_delay: 16, pulse_budget: 64 }
+    }
+}
+
+/// Resource accounting of one asynchronous run.
+#[derive(Clone, Debug, Default)]
+pub struct AsyncReport {
+    /// Pulses each node completed (= the configured budget).
+    pub pulses: u64,
+    /// Largest event timestamp (virtual time at completion).
+    pub virtual_time: u64,
+    /// Application payloads delivered.
+    pub payload_messages: u64,
+    /// Ack + Safe control messages delivered (the synchronizer overhead).
+    pub control_messages: u64,
+    /// Total delivered bits, envelopes included.
+    pub total_bits: u64,
+    /// Widest delivered message in bits.
+    pub max_message_bits: usize,
+}
+
+struct SyncNode<P: Protocol> {
+    endpoint: Endpoint,
+    inner: P,
+    outbox: Outbox<P::Msg>,
+    rng: StdRng,
+    /// The pulse this node is currently *waiting to execute* (1-based).
+    pulse: u64,
+    /// Unacknowledged payloads of the current pulse's send phase.
+    pending_acks: usize,
+    /// Whether `Safe` for the current pulse's sends has been emitted.
+    safe_sent: bool,
+    /// Count of neighbors known safe, per pulse.
+    safe_counts: BTreeMap<u64, usize>,
+    /// Buffered payloads per pulse, as (port, msg).
+    inbox_by_pulse: BTreeMap<u64, Vec<(Port, P::Msg)>>,
+    /// Acks that raced ahead (for sends of a pulse this node has not
+    /// entered yet — impossible under FIFO delays, kept for safety).
+    done: bool,
+}
+
+/// The event-driven executor.
+struct Engine<P: Protocol> {
+    nodes: Vec<SyncNode<P>>,
+    /// `links[u][port] = (v, back_port)`.
+    links: Vec<Vec<(usize, usize)>>,
+    queue: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
+    /// Message payloads parked by event sequence id.
+    parked: BTreeMap<u64, SyncMsg<P::Msg>>,
+    seq: u64,
+    delay_state: u64,
+    max_delay: u64,
+    budget: u64,
+    report: AsyncReport,
+}
+
+impl<P: Protocol> Engine<P> {
+    fn delay(&mut self) -> u64 {
+        self.delay_state = splitmix64(self.delay_state);
+        1 + self.delay_state % self.max_delay
+    }
+
+    fn send(&mut self, now: u64, from: usize, port: Port, msg: SyncMsg<P::Msg>) {
+        let (to, back_port) = self.links[from][port];
+        let at = now + self.delay();
+        let seq = self.seq;
+        self.seq += 1;
+        self.parked.insert(seq, msg);
+        self.queue.push(Reverse((at, seq, to, back_port)));
+    }
+
+    /// Transition `node` into its next pulse: drain one application
+    /// message per port (CONGEST pipelining) and send the payloads, then
+    /// emit `Safe` immediately if nothing was sent.
+    fn begin_pulse(&mut self, now: u64, v: usize) {
+        let pulse = self.nodes[v].pulse;
+        let ports: Vec<Port> = self.nodes[v].outbox.nonempty_ports().to_vec();
+        let mut sent = 0usize;
+        for port in ports {
+            if let Some(msg) = self.nodes[v].outbox.pop(port) {
+                self.send(now, v, port, SyncMsg::Payload { pulse, msg });
+                sent += 1;
+            }
+        }
+        self.nodes[v].pending_acks = sent;
+        self.nodes[v].safe_sent = false;
+        self.try_announce_safe(now, v);
+        self.try_execute_pulse(now, v);
+    }
+
+    fn try_announce_safe(&mut self, now: u64, v: usize) {
+        if self.nodes[v].safe_sent || self.nodes[v].pending_acks > 0 {
+            return;
+        }
+        self.nodes[v].safe_sent = true;
+        let pulse = self.nodes[v].pulse;
+        for port in 0..self.nodes[v].endpoint.degree() {
+            self.send(now, v, port, SyncMsg::Safe { pulse });
+        }
+        self.try_execute_pulse(now, v);
+    }
+
+    /// Execute pulse `r` once every neighbor reported safe for `r` and we
+    /// are safe ourselves (degree-0 nodes are trivially ready).
+    fn try_execute_pulse(&mut self, now: u64, v: usize) {
+        let node = &mut self.nodes[v];
+        if node.done || !node.safe_sent {
+            return;
+        }
+        let pulse = node.pulse;
+        let needed = node.endpoint.degree();
+        let have = node.safe_counts.get(&pulse).copied().unwrap_or(0);
+        if have < needed {
+            return;
+        }
+        node.safe_counts.remove(&pulse);
+        let mut inbox = node.inbox_by_pulse.remove(&pulse).unwrap_or_default();
+        inbox.sort_by_key(|&(port, _)| port);
+        {
+            let mut ctx = Context {
+                endpoint: &node.endpoint,
+                round: pulse,
+                outbox: &mut node.outbox,
+                rng: &mut node.rng,
+            };
+            node.inner.step(&mut ctx, &inbox);
+        }
+        if pulse >= self.budget {
+            self.nodes[v].done = true;
+            return;
+        }
+        self.nodes[v].pulse = pulse + 1;
+        self.begin_pulse(now, v);
+    }
+
+    fn handle(&mut self, now: u64, seq: u64, to: usize, port: Port) {
+        let msg = self.parked.remove(&seq).expect("parked message exists");
+        let bits = msg.bit_size();
+        self.report.total_bits += bits as u64;
+        self.report.max_message_bits = self.report.max_message_bits.max(bits);
+        self.report.virtual_time = self.report.virtual_time.max(now);
+        match msg {
+            SyncMsg::Payload { pulse, msg } => {
+                self.report.payload_messages += 1;
+                // A payload tagged r was drained by the sender on entering
+                // pulse r — exactly what the synchronous simulator
+                // delivers in round r — so it is consumed at pulse r.
+                self.nodes[to]
+                    .inbox_by_pulse
+                    .entry(pulse)
+                    .or_default()
+                    .push((port, msg));
+                self.send(now, to, port, SyncMsg::Ack { pulse });
+            }
+            SyncMsg::Ack { pulse } => {
+                self.report.control_messages += 1;
+                debug_assert_eq!(pulse, self.nodes[to].pulse, "ack for a stale pulse");
+                self.nodes[to].pending_acks -= 1;
+                self.try_announce_safe(now, to);
+            }
+            SyncMsg::Safe { pulse } => {
+                self.report.control_messages += 1;
+                // Safe{r} from a neighbor certifies all its pulse-r
+                // payloads arrived; it gates the receiver's own pulse r.
+                *self.nodes[to].safe_counts.entry(pulse).or_default() += 1;
+                self.try_execute_pulse(now, to);
+            }
+        }
+    }
+}
+
+/// Runs `factory`-built protocols over an asynchronous network under
+/// synchronizer α for `config.pulse_budget` pulses, returning per-node
+/// outputs and the resource report.
+///
+/// Outputs are identical to running the same protocol on the synchronous
+/// [`crate::Network`] for the same number of rounds with the same seed —
+/// the Awerbuch reduction, executed.
+///
+/// # Panics
+///
+/// Panics if `config.max_delay == 0` or `config.pulse_budget == 0`.
+pub fn run_synchronized<P, F>(
+    graph: &Graph,
+    config: AsyncConfig,
+    mut factory: F,
+) -> (Vec<P::Output>, AsyncReport)
+where
+    P: Protocol,
+    F: FnMut(&Endpoint) -> P,
+{
+    assert!(config.max_delay >= 1, "max_delay must be at least 1");
+    assert!(config.pulse_budget >= 1, "pulse_budget must be at least 1");
+
+    // Same hashed ID assignment as the synchronous builder, so protocols
+    // observe identical endpoints.
+    let n = graph.node_count();
+    let ids: Vec<u64> = match IdAssignment::Hashed {
+        IdAssignment::Sequential => (0..n as u64).collect(),
+        IdAssignment::Hashed => (0..n)
+            .map(|i| splitmix64(splitmix64(config.seed ^ 0x1D_5EED).wrapping_add(i as u64)))
+            .collect(),
+    };
+
+    let mut links: Vec<Vec<(usize, usize)>> = Vec::with_capacity(n);
+    for u in 0..n {
+        links.push(
+            graph
+                .neighbors(u)
+                .iter()
+                .map(|&v| {
+                    let back =
+                        graph.neighbors(v).binary_search(&u).expect("symmetric adjacency");
+                    (v, back)
+                })
+                .collect(),
+        );
+    }
+
+    let nodes: Vec<SyncNode<P>> = (0..n)
+        .map(|u| {
+            let endpoint = Endpoint {
+                index: u,
+                id: ids[u],
+                neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
+            };
+            let inner = factory(&endpoint);
+            let outbox = Outbox::new(endpoint.degree());
+            SyncNode {
+                endpoint,
+                inner,
+                outbox,
+                rng: node_rng(config.seed, u),
+                pulse: 1,
+                pending_acks: 0,
+                safe_sent: false,
+                safe_counts: BTreeMap::new(),
+                inbox_by_pulse: BTreeMap::new(),
+                done: false,
+            }
+        })
+        .collect();
+
+    let mut engine = Engine {
+        nodes,
+        links,
+        queue: BinaryHeap::new(),
+        parked: BTreeMap::new(),
+        seq: 0,
+        delay_state: splitmix64(config.seed ^ 0xA57_DE1A),
+        max_delay: config.max_delay,
+        budget: config.pulse_budget,
+        report: AsyncReport { pulses: config.pulse_budget, ..AsyncReport::default() },
+    };
+
+    // Init every inner protocol, then enter pulse 1.
+    for v in 0..n {
+        let node = &mut engine.nodes[v];
+        let mut ctx = Context {
+            endpoint: &node.endpoint,
+            round: 0,
+            outbox: &mut node.outbox,
+            rng: &mut node.rng,
+        };
+        node.inner.init(&mut ctx);
+    }
+    for v in 0..n {
+        engine.begin_pulse(0, v);
+    }
+
+    while let Some(Reverse((now, seq, to, port))) = engine.queue.pop() {
+        engine.handle(now, seq, to, port);
+    }
+
+    debug_assert!(
+        engine.nodes.iter().all(|s| s.done || s.endpoint.degree() == 0),
+        "all connected nodes must finish their pulse budget"
+    );
+    let outputs = engine.nodes.iter().map(|s| s.inner.output()).collect();
+    (outputs, engine.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::network::{NetworkBuilder, RunLimits};
+    use graphs::GraphBuilder;
+
+    /// Flooding protocol identical to the synchronous test suite's.
+    #[derive(Debug)]
+    struct Flood {
+        is_source: bool,
+        heard_at: Option<u64>,
+        forwarded: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Rumor;
+    impl Message for Rumor {
+        fn bit_size(&self) -> usize {
+            1
+        }
+    }
+
+    impl Protocol for Flood {
+        type Msg = Rumor;
+        type Output = Option<u64>;
+        fn init(&mut self, ctx: &mut Context<'_, Rumor>) {
+            if self.is_source {
+                self.heard_at = Some(0);
+                self.forwarded = true;
+                ctx.broadcast(Rumor);
+            }
+        }
+        fn step(&mut self, ctx: &mut Context<'_, Rumor>, inbox: &[(Port, Rumor)]) {
+            if !inbox.is_empty() && self.heard_at.is_none() {
+                self.heard_at = Some(ctx.round());
+                if !self.forwarded {
+                    self.forwarded = true;
+                    ctx.broadcast(Rumor);
+                }
+            }
+        }
+        fn is_idle(&self) -> bool {
+            true
+        }
+        fn output(&self) -> Option<u64> {
+            self.heard_at
+        }
+    }
+
+    fn ring_with_chords(n: usize) -> graphs::Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i, (i + 1) % n);
+        }
+        b.add_edge(0, n / 2);
+        b.build()
+    }
+
+    #[test]
+    fn async_flood_equals_sync_flood() {
+        let g = ring_with_chords(24);
+        let make = |e: &Endpoint| Flood {
+            is_source: e.index == 3,
+            heard_at: None,
+            forwarded: false,
+        };
+
+        let mut sync_net = NetworkBuilder::new().seed(11).build_with(&g, make);
+        sync_net.run(RunLimits::rounds(40));
+        let sync_out = sync_net.outputs();
+
+        for max_delay in [1u64, 7, 31] {
+            let (async_out, report) = run_synchronized(
+                &g,
+                AsyncConfig { seed: 11, max_delay, pulse_budget: 40 },
+                make,
+            );
+            assert_eq!(async_out, sync_out, "max_delay = {max_delay}");
+            assert!(report.virtual_time > 0);
+        }
+    }
+
+    #[test]
+    fn synchronizer_overhead_accounted() {
+        let g = graphs::Graph::complete(6);
+        let make = |e: &Endpoint| Flood {
+            is_source: e.index == 0,
+            heard_at: None,
+            forwarded: false,
+        };
+        let (_, report) =
+            run_synchronized(&g, AsyncConfig { seed: 2, max_delay: 4, pulse_budget: 10 }, make);
+        // α sends one Ack per payload and Safe to every neighbor every
+        // pulse: control dominates payloads.
+        assert!(report.control_messages > report.payload_messages);
+        assert!(report.total_bits > 0);
+        assert_eq!(report.pulses, 10);
+    }
+
+    #[test]
+    fn degree_zero_nodes_do_not_deadlock() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1); // node 2 isolated
+        let g = b.build();
+        let make = |e: &Endpoint| Flood {
+            is_source: e.index == 0,
+            heard_at: None,
+            forwarded: false,
+        };
+        let (out, _) =
+            run_synchronized(&g, AsyncConfig { seed: 3, max_delay: 3, pulse_budget: 5 }, make);
+        assert_eq!(out[1], Some(1));
+        assert_eq!(out[2], None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = ring_with_chords(16);
+        let make = |e: &Endpoint| Flood {
+            is_source: e.index == 0,
+            heard_at: None,
+            forwarded: false,
+        };
+        let run = |seed| {
+            run_synchronized(&g, AsyncConfig { seed, max_delay: 9, pulse_budget: 30 }, make)
+        };
+        let (a, ra) = run(7);
+        let (b, rb) = run(7);
+        assert_eq!(a, b);
+        assert_eq!(ra.virtual_time, rb.virtual_time);
+        assert_eq!(ra.total_bits, rb.total_bits);
+    }
+}

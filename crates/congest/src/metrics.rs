@@ -1,0 +1,88 @@
+//! Run metrics: rounds, messages, and — most importantly — bits.
+//!
+//! The CONGEST model's defining resource is message *width*. Experiments
+//! E5 (round complexity) and E10 (message size) read these counters; the
+//! invariant tests assert that `DistNearClique` never exceeds its
+//! `O(log n)` budget while the neighbors'-neighbors baseline blows
+//! through it.
+
+/// Counters accumulated over one network run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total bits delivered.
+    pub total_bits: u64,
+    /// Width of the widest single message delivered.
+    pub max_message_bits: usize,
+    /// Messages delivered per round (index 0 = round 1).
+    pub messages_per_round: Vec<u64>,
+    /// Number of quiescence barriers taken (phase transitions granted by
+    /// [`crate::Protocol::on_quiescent`]).
+    pub barriers: u64,
+}
+
+impl Metrics {
+    /// Records one delivered message of the given width.
+    pub(crate) fn record_message(&mut self, bits: usize) {
+        self.messages += 1;
+        self.total_bits += bits as u64;
+        self.max_message_bits = self.max_message_bits.max(bits);
+        if let Some(last) = self.messages_per_round.last_mut() {
+            *last += 1;
+        }
+    }
+
+    /// Opens the accounting window for a new round.
+    pub(crate) fn begin_round(&mut self) {
+        self.rounds += 1;
+        self.messages_per_round.push(0);
+    }
+
+    /// Mean messages per round (0 if no rounds ran).
+    #[must_use]
+    pub fn mean_messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+
+    /// Peak messages in any single round.
+    #[must_use]
+    pub fn peak_messages_per_round(&self) -> u64 {
+        self.messages_per_round.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut m = Metrics::default();
+        m.begin_round();
+        m.record_message(10);
+        m.record_message(20);
+        m.begin_round();
+        m.record_message(5);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.total_bits, 35);
+        assert_eq!(m.max_message_bits, 20);
+        assert_eq!(m.messages_per_round, vec![2, 1]);
+        assert_eq!(m.peak_messages_per_round(), 2);
+        assert!((m.mean_messages_per_round() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = Metrics::default();
+        assert_eq!(m.mean_messages_per_round(), 0.0);
+        assert_eq!(m.peak_messages_per_round(), 0);
+    }
+}

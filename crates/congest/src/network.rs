@@ -1,0 +1,707 @@
+//! The synchronous network: topology, round loop, delivery rules.
+//!
+//! [`Network`] instantiates one [`Protocol`] state machine per node of a
+//! [`graphs::Graph`] and executes synchronous rounds:
+//!
+//! 1. **Deliver** — for every directed edge, dequeue messages from the
+//!    sender's per-port FIFO: exactly one in [`Mode::Congest`] (the
+//!    model's bandwidth rule; longer trains pipeline over rounds), or the
+//!    whole queue in [`Mode::Local`]. Every delivered message is metered.
+//! 2. **Step** — every node's [`Protocol::step`] runs on the messages
+//!    delivered to it this round. Stepping is embarrassingly parallel
+//!    (each node touches only its own state) and can be spread over
+//!    threads with [`NetworkBuilder::parallel`]; results are bit-identical
+//!    to sequential execution because each node owns its RNG stream.
+//! 3. **Quiesce** — when no message is queued and every node reports
+//!    [`Protocol::is_idle`], the network offers a barrier via
+//!    [`Protocol::on_quiescent`]; if no node resumes, the run completes.
+//!
+//! An explicit [`RunLimits::max_rounds`] abort is always available — the
+//! paper's §4.1 deterministic time-bound wrapper.
+
+use graphs::Graph;
+use rand::rngs::StdRng;
+
+use crate::message::Message;
+use crate::metrics::Metrics;
+use crate::protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
+use crate::rng::{node_rng, splitmix64};
+
+/// Bandwidth regime for message delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// At most one message per directed edge per round (the CONGEST
+    /// model \[20\]); queued messages pipeline across rounds.
+    Congest,
+    /// Unbounded bandwidth (the LOCAL model): whole queues are delivered
+    /// each round. Bits are still metered — that is how E10 exhibits the
+    /// neighbors'-neighbors blow-up.
+    Local,
+}
+
+/// How node identifiers are assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdAssignment {
+    /// `id = index`: convenient for debugging and deterministic examples.
+    Sequential,
+    /// A pseudorandom permutation-free labeling derived from the master
+    /// seed (distinct with overwhelming probability, verified at build
+    /// time). This is the default: algorithms must not benefit from IDs
+    /// correlating with topology.
+    Hashed,
+}
+
+/// Stop conditions for [`Network::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Abort after this many rounds (the deterministic time-bound wrapper
+    /// of §4.1). `u64::MAX` means effectively unlimited.
+    pub max_rounds: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        Self { max_rounds: 1_000_000 }
+    }
+}
+
+impl RunLimits {
+    /// Limits the run to `max_rounds` rounds.
+    #[must_use]
+    pub fn rounds(max_rounds: u64) -> Self {
+        Self { max_rounds }
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// All nodes idle, no messages anywhere, no node resumed at the final
+    /// barrier.
+    Quiescent,
+    /// The [`RunLimits::max_rounds`] bound fired first.
+    RoundLimit,
+}
+
+/// Summary of a completed run. Full counters remain available from
+/// [`Network::metrics`].
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Why the run ended.
+    pub termination: Termination,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Copy of the metrics at termination.
+    pub metrics: Metrics,
+}
+
+struct NodeSlot<P: Protocol> {
+    endpoint: Endpoint,
+    protocol: P,
+    outbox: Outbox<P::Msg>,
+    rng: StdRng,
+    inbox: Vec<(Port, P::Msg)>,
+}
+
+impl<P: Protocol> NodeSlot<P> {
+    /// Runs `f` with a freshly assembled [`Context`] for this node.
+    fn with_ctx<R>(&mut self, round: Round, f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R) -> R {
+        let mut ctx = Context {
+            endpoint: &self.endpoint,
+            round,
+            outbox: &mut self.outbox,
+            rng: &mut self.rng,
+        };
+        f(&mut self.protocol, &mut ctx)
+    }
+}
+
+/// Configures and constructs a [`Network`].
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    mode: Mode,
+    seed: u64,
+    ids: IdAssignment,
+    threads: usize,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self { mode: Mode::Congest, seed: 0, ids: IdAssignment::Hashed, threads: 1 }
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts a builder with defaults: CONGEST mode, seed 0, hashed IDs,
+    /// sequential stepping.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the bandwidth regime.
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the master seed; node RNG streams and hashed IDs derive from
+    /// it.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the ID assignment scheme.
+    #[must_use]
+    pub fn ids(mut self, ids: IdAssignment) -> Self {
+        self.ids = ids;
+        self
+    }
+
+    /// Steps nodes on `threads` OS threads per round (1 = sequential).
+    /// Semantics are identical regardless of thread count.
+    #[must_use]
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builds the network over `graph`, creating each node's protocol via
+    /// `factory` (called with the node's [`Endpoint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if hashed ID assignment produces a collision (probability
+    /// ≈ n²/2⁶⁴; retry with another seed).
+    pub fn build_with<P, F>(self, graph: &Graph, mut factory: F) -> Network<P>
+    where
+        P: Protocol,
+        F: FnMut(&Endpoint) -> P,
+    {
+        let n = graph.node_count();
+        let ids: Vec<u64> = match self.ids {
+            IdAssignment::Sequential => (0..n as u64).collect(),
+            IdAssignment::Hashed => {
+                let ids: Vec<u64> = (0..n)
+                    .map(|i| splitmix64(splitmix64(self.seed ^ 0x1D_5EED).wrapping_add(i as u64)))
+                    .collect();
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), n, "hashed ID collision; use a different seed");
+                ids
+            }
+        };
+
+        // links[u][port] = (v, port of u on v's side)
+        let mut links: Vec<Vec<(usize, usize)>> = Vec::with_capacity(n);
+        for u in 0..n {
+            links.push(
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .map(|&v| {
+                        let back = graph
+                            .neighbors(v)
+                            .binary_search(&u)
+                            .expect("undirected graph must be symmetric");
+                        (v, back)
+                    })
+                    .collect(),
+            );
+        }
+
+        let nodes: Vec<NodeSlot<P>> = (0..n)
+            .map(|u| {
+                let endpoint = Endpoint {
+                    index: u,
+                    id: ids[u],
+                    neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
+                };
+                let protocol = factory(&endpoint);
+                let outbox = Outbox::new(endpoint.degree());
+                let rng = node_rng(self.seed, u);
+                NodeSlot { endpoint, protocol, outbox, rng, inbox: Vec::new() }
+            })
+            .collect();
+
+        Network {
+            mode: self.mode,
+            threads: self.threads,
+            nodes,
+            links,
+            metrics: Metrics::default(),
+            round: 0,
+            initialized: false,
+        }
+    }
+}
+
+/// A synchronous network executing one [`Protocol`] instance per node.
+pub struct Network<P: Protocol> {
+    mode: Mode,
+    threads: usize,
+    nodes: Vec<NodeSlot<P>>,
+    links: Vec<Vec<(usize, usize)>>,
+    metrics: Metrics,
+    round: Round,
+    initialized: bool,
+}
+
+impl<P: Protocol> Network<P> {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to node `index`'s protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn protocol(&self, index: usize) -> &P {
+        &self.nodes[index].protocol
+    }
+
+    /// The endpoint facts of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn endpoint(&self, index: usize) -> &Endpoint {
+        &self.nodes[index].endpoint
+    }
+
+    /// Accumulated metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Collects every node's output, indexed by node.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<P::Output> {
+        self.nodes.iter().map(|s| s.protocol.output()).collect()
+    }
+
+    /// Runs until quiescence or the round limit. May be called again after
+    /// a `RoundLimit` stop to continue the same execution with a larger
+    /// budget.
+    pub fn run(&mut self, limits: RunLimits) -> RunReport {
+        if !self.initialized {
+            self.initialized = true;
+            for slot in &mut self.nodes {
+                slot.with_ctx(0, |p, ctx| p.init(ctx));
+            }
+        }
+
+        let mut executed: u64 = 0;
+        let termination = loop {
+            if self.is_quiescent() {
+                // Offer the barrier; count it only if someone resumes.
+                let mut resumed = false;
+                for slot in &mut self.nodes {
+                    resumed |= slot.with_ctx(self.round, |p, ctx| p.on_quiescent(ctx));
+                }
+                if !resumed && self.all_outboxes_empty() {
+                    break Termination::Quiescent;
+                }
+                self.metrics.barriers += 1;
+                continue;
+            }
+            if executed >= limits.max_rounds {
+                break Termination::RoundLimit;
+            }
+            self.execute_round();
+            executed += 1;
+        };
+
+        RunReport { termination, rounds: self.metrics.rounds, metrics: self.metrics.clone() }
+    }
+
+    fn all_outboxes_empty(&self) -> bool {
+        self.nodes.iter().all(|s| s.outbox.is_empty())
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.all_outboxes_empty() && self.nodes.iter().all(|s| s.protocol.is_idle())
+    }
+
+    fn execute_round(&mut self) {
+        self.round += 1;
+        self.metrics.begin_round();
+
+        // Delivery phase: collect (receiver, receiver-port, message)
+        // triples, then distribute. Receiver port = the port on the
+        // receiving side of the edge, so inboxes are (port, msg) pairs in
+        // the receiver's own frame. Only non-empty sender ports are
+        // visited, so a round costs O(active ports), not O(m).
+        let mut deliveries: Vec<(usize, Port, P::Msg)> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        for u in 0..self.nodes.len() {
+            // Ports to drain this round (snapshot: pops mutate the list).
+            let ports: Vec<Port> = self.nodes[u].outbox.nonempty_ports().to_vec();
+            for port in ports {
+                let (v, back_port) = self.links[u][port];
+                match self.mode {
+                    Mode::Congest => {
+                        if let Some(msg) = self.nodes[u].outbox.pop(port) {
+                            self.metrics.record_message(msg.bit_size());
+                            deliveries.push((v, back_port, msg));
+                        }
+                    }
+                    Mode::Local => {
+                        while let Some(msg) = self.nodes[u].outbox.pop(port) {
+                            self.metrics.record_message(msg.bit_size());
+                            deliveries.push((v, back_port, msg));
+                        }
+                    }
+                }
+            }
+        }
+        for (v, port, msg) in deliveries {
+            if self.nodes[v].inbox.is_empty() {
+                touched.push(v);
+            }
+            self.nodes[v].inbox.push((port, msg));
+        }
+        // Deterministic inbox order regardless of delivery loop layout.
+        for v in touched {
+            self.nodes[v].inbox.sort_by_key(|&(port, _)| port);
+        }
+
+        // Step phase.
+        let round = self.round;
+        if self.threads <= 1 || self.nodes.len() < 2 * self.threads {
+            for slot in &mut self.nodes {
+                let inbox = std::mem::take(&mut slot.inbox);
+                slot.with_ctx(round, |p, ctx| p.step(ctx, &inbox));
+            }
+        } else {
+            let threads = self.threads;
+            let chunk = self.nodes.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for slice in self.nodes.chunks_mut(chunk) {
+                    scope.spawn(move |_| {
+                        for slot in slice {
+                            let inbox = std::mem::take(&mut slot.inbox);
+                            slot.with_ctx(round, |p, ctx| p.step(ctx, &inbox));
+                        }
+                    });
+                }
+            })
+            .expect("node step panicked");
+        }
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for Network<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("mode", &self.mode)
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{bits_for_count, Message};
+    use graphs::GraphBuilder;
+
+    /// Flooding: the source announces; every node records the round it
+    /// first heard the rumor (= BFS distance) and forwards once.
+    #[derive(Debug)]
+    struct Flood {
+        is_source: bool,
+        heard_at: Option<u64>,
+        forwarded: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Rumor;
+
+    impl Message for Rumor {
+        fn bit_size(&self) -> usize {
+            1
+        }
+    }
+
+    impl Protocol for Flood {
+        type Msg = Rumor;
+        type Output = Option<u64>;
+
+        fn init(&mut self, ctx: &mut Context<'_, Rumor>) {
+            if self.is_source {
+                self.heard_at = Some(0);
+                self.forwarded = true;
+                ctx.broadcast(Rumor);
+            }
+        }
+
+        fn step(&mut self, ctx: &mut Context<'_, Rumor>, inbox: &[(Port, Rumor)]) {
+            if !inbox.is_empty() && self.heard_at.is_none() {
+                self.heard_at = Some(ctx.round());
+                if !self.forwarded {
+                    self.forwarded = true;
+                    ctx.broadcast(Rumor);
+                }
+            }
+        }
+
+        fn is_idle(&self) -> bool {
+            true // no pending local work beyond queued messages
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.heard_at
+        }
+    }
+
+    fn path_graph(n: usize) -> graphs::Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn flood_computes_bfs_distances() {
+        let g = path_graph(6);
+        let mut net = NetworkBuilder::new()
+            .seed(1)
+            .build_with(&g, |e| Flood { is_source: e.index == 0, heard_at: None, forwarded: false });
+        let report = net.run(RunLimits::default());
+        assert_eq!(report.termination, Termination::Quiescent);
+        let outputs = net.outputs();
+        for (v, d) in outputs.iter().enumerate() {
+            assert_eq!(*d, Some(v as u64), "node {v}");
+        }
+        // 5 edges, rumor crosses each once in each direction except
+        // backwards re-broadcasts: source broadcasts 1, each interior
+        // forwards to both sides.
+        assert!(report.metrics.messages >= 5);
+        assert_eq!(report.metrics.max_message_bits, 1);
+    }
+
+    /// A protocol that enqueues `k` messages at once to one neighbor;
+    /// CONGEST must deliver them over `k` rounds, LOCAL in one.
+    #[derive(Debug)]
+    struct Burst {
+        k: usize,
+        sender: bool,
+        received_rounds: Vec<u64>,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Numbered(usize);
+
+    impl Message for Numbered {
+        fn bit_size(&self) -> usize {
+            bits_for_count(1 << 20)
+        }
+    }
+
+    impl Protocol for Burst {
+        type Msg = Numbered;
+        type Output = Vec<u64>;
+
+        fn init(&mut self, ctx: &mut Context<'_, Numbered>) {
+            if self.sender {
+                for i in 0..self.k {
+                    ctx.send(0, Numbered(i));
+                }
+            }
+        }
+
+        fn step(&mut self, ctx: &mut Context<'_, Numbered>, inbox: &[(Port, Numbered)]) {
+            for _ in inbox {
+                self.received_rounds.push(ctx.round());
+            }
+        }
+
+        fn is_idle(&self) -> bool {
+            true
+        }
+
+        fn output(&self) -> Vec<u64> {
+            self.received_rounds.clone()
+        }
+    }
+
+    #[test]
+    fn congest_pipelines_one_per_round() {
+        let g = path_graph(2);
+        let mut net = NetworkBuilder::new().mode(Mode::Congest).build_with(&g, |e| Burst {
+            k: 5,
+            sender: e.index == 0,
+            received_rounds: Vec::new(),
+        });
+        net.run(RunLimits::default());
+        let rounds = &net.outputs()[1];
+        assert_eq!(rounds, &vec![1, 2, 3, 4, 5], "one message per round");
+    }
+
+    #[test]
+    fn local_delivers_whole_queue_at_once() {
+        let g = path_graph(2);
+        let mut net = NetworkBuilder::new().mode(Mode::Local).build_with(&g, |e| Burst {
+            k: 5,
+            sender: e.index == 0,
+            received_rounds: Vec::new(),
+        });
+        net.run(RunLimits::default());
+        let rounds = &net.outputs()[1];
+        assert_eq!(rounds, &vec![1, 1, 1, 1, 1], "all in round 1");
+    }
+
+    #[test]
+    fn round_limit_aborts() {
+        let g = path_graph(10);
+        let mut net = NetworkBuilder::new()
+            .build_with(&g, |e| Flood { is_source: e.index == 0, heard_at: None, forwarded: false });
+        let report = net.run(RunLimits::rounds(3));
+        assert_eq!(report.termination, Termination::RoundLimit);
+        assert_eq!(report.metrics.rounds, 3);
+        // Distance-9 node has not heard yet.
+        assert_eq!(net.outputs()[9], None);
+        // Resume with more budget; completes.
+        let report2 = net.run(RunLimits::default());
+        assert_eq!(report2.termination, Termination::Quiescent);
+        assert_eq!(net.outputs()[9], Some(9));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut b = GraphBuilder::new(40);
+        for i in 0..39 {
+            b.add_edge(i, i + 1);
+        }
+        b.add_edge(0, 39).add_edge(5, 30).add_edge(10, 20);
+        let g = b.build();
+        let build = |threads: usize| {
+            let mut net = NetworkBuilder::new().seed(9).parallel(threads).build_with(&g, |e| Flood {
+                is_source: e.index == 7,
+                heard_at: None,
+                forwarded: false,
+            });
+            net.run(RunLimits::default());
+            net.outputs()
+        };
+        assert_eq!(build(1), build(4));
+    }
+
+    #[test]
+    fn hashed_ids_are_distinct_and_stable() {
+        let g = path_graph(50);
+        let net = NetworkBuilder::new().seed(3).build_with(&g, |e| Flood {
+            is_source: e.index == 0,
+            heard_at: None,
+            forwarded: false,
+        });
+        let mut ids: Vec<u64> = (0..50).map(|v| net.endpoint(v).id).collect();
+        let net2 = NetworkBuilder::new().seed(3).build_with(&g, |e| Flood {
+            is_source: e.index == 0,
+            heard_at: None,
+            forwarded: false,
+        });
+        let ids2: Vec<u64> = (0..50).map(|v| net2.endpoint(v).id).collect();
+        assert_eq!(ids, ids2, "same seed, same ids");
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50, "ids distinct");
+    }
+
+    #[test]
+    fn sequential_ids_are_indices() {
+        let g = path_graph(4);
+        let net = NetworkBuilder::new().ids(IdAssignment::Sequential).build_with(&g, |e| Flood {
+            is_source: e.index == 0,
+            heard_at: None,
+            forwarded: false,
+        });
+        for v in 0..4 {
+            assert_eq!(net.endpoint(v).id, v as u64);
+        }
+        // Neighbor IDs visible per the KT1 knowledge model.
+        assert_eq!(net.endpoint(1).neighbor_ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn metrics_count_bits() {
+        let g = path_graph(2);
+        let mut net = NetworkBuilder::new().build_with(&g, |e| Burst {
+            k: 3,
+            sender: e.index == 0,
+            received_rounds: Vec::new(),
+        });
+        let report = net.run(RunLimits::default());
+        assert_eq!(report.metrics.messages, 3);
+        assert_eq!(report.metrics.total_bits, 3 * 21);
+        assert_eq!(report.metrics.max_message_bits, 21);
+    }
+
+    /// Quiescence barrier: a two-phase protocol that sends one wave, waits
+    /// for global quiescence, then sends a second wave.
+    #[derive(Debug)]
+    struct TwoPhase {
+        phase: u8,
+        heard: Vec<u64>,
+    }
+
+    impl Protocol for TwoPhase {
+        type Msg = Numbered;
+        type Output = Vec<u64>;
+
+        fn init(&mut self, ctx: &mut Context<'_, Numbered>) {
+            ctx.broadcast(Numbered(0));
+        }
+
+        fn step(&mut self, ctx: &mut Context<'_, Numbered>, inbox: &[(Port, Numbered)]) {
+            for (_, m) in inbox {
+                self.heard.push(m.0 as u64 * 1000 + ctx.round());
+            }
+        }
+
+        fn is_idle(&self) -> bool {
+            true
+        }
+
+        fn on_quiescent(&mut self, ctx: &mut Context<'_, Numbered>) -> bool {
+            if self.phase == 0 {
+                self.phase = 1;
+                ctx.broadcast(Numbered(1));
+                true
+            } else {
+                false
+            }
+        }
+
+        fn output(&self) -> Vec<u64> {
+            self.heard.clone()
+        }
+    }
+
+    #[test]
+    fn quiescence_barrier_advances_phases() {
+        let g = path_graph(3);
+        let mut net =
+            NetworkBuilder::new().build_with(&g, |_| TwoPhase { phase: 0, heard: Vec::new() });
+        let report = net.run(RunLimits::default());
+        assert_eq!(report.termination, Termination::Quiescent);
+        assert_eq!(report.metrics.barriers, 1);
+        // Node 1 heard phase-0 messages from both sides in round 1 and
+        // phase-1 messages in round 2.
+        let heard = &net.outputs()[1];
+        assert_eq!(heard, &vec![1, 1, 1002, 1002]);
+    }
+}

@@ -1,0 +1,282 @@
+//! The per-node protocol interface.
+//!
+//! A distributed algorithm is a [`Protocol`]: a state machine instantiated
+//! once per node. The simulator calls [`Protocol::init`] before round 1 and
+//! [`Protocol::step`] every round with the messages delivered that round;
+//! the node reacts by enqueueing messages through its [`Context`].
+//!
+//! # Knowledge model
+//!
+//! Following the standard CONGEST formalization (Peleg \[20\]) a node knows:
+//! its own unique identifier, its degree (it addresses neighbors by *port*
+//! `0..degree`), the identifiers of its neighbors (the `KT1` variant — the
+//! paper's algorithm assumes this implicitly, e.g. when a node checks which
+//! of its neighbors belong to `K_{2ε²}(X)` in step 4f), and global
+//! parameters passed at construction (ε, p — these are inputs of the
+//! algorithm). A node does *not* see `n`, the topology, or any other
+//! node's state.
+//!
+//! # Pipelining and the one-message-per-edge rule
+//!
+//! [`Context::send`] *enqueues*; the network drains **at most one message
+//! per directed edge per round** in CONGEST mode. A protocol may enqueue a
+//! long train of messages in one step — exactly the "pipelining" the
+//! paper's Lemma 5.1 accounting uses — and they will be delivered over
+//! consecutive rounds.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+
+use crate::message::Message;
+
+/// A port: the local index of one incident edge (`0..degree`).
+pub type Port = usize;
+
+/// A round number (1-based once execution starts; `init` happens at 0).
+pub type Round = u64;
+
+/// Immutable per-node facts available to the protocol.
+#[derive(Clone, Debug)]
+pub struct Endpoint {
+    /// Dense node index in the underlying graph. Exposed for the harness
+    /// and for output collection; protocols must treat it as opaque.
+    pub index: usize,
+    /// The node's unique identifier (the `O(log n)`-bit ID of the model).
+    pub id: u64,
+    /// Identifier of the neighbor across each port.
+    pub neighbor_ids: Vec<u64>,
+}
+
+impl Endpoint {
+    /// Degree of the node.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+
+    /// The port leading to the neighbor with identifier `id`, if any.
+    #[must_use]
+    pub fn port_of(&self, id: u64) -> Option<Port> {
+        self.neighbor_ids.iter().position(|&x| x == id)
+    }
+}
+
+/// Outgoing per-port FIFO queues; drained by the network one message per
+/// round in CONGEST mode.
+///
+/// Tracks its non-empty ports (sorted) so the network's delivery loop
+/// costs `O(active ports)` per round instead of `O(degree)`.
+#[derive(Clone, Debug)]
+pub struct Outbox<M> {
+    queues: Vec<VecDeque<M>>,
+    nonempty: Vec<Port>,
+}
+
+impl<M> Outbox<M> {
+    pub(crate) fn new(degree: usize) -> Self {
+        Self { queues: (0..degree).map(|_| VecDeque::new()).collect(), nonempty: Vec::new() }
+    }
+
+    pub(crate) fn push(&mut self, port: Port, msg: M) {
+        if self.queues[port].is_empty() {
+            let idx = self.nonempty.partition_point(|&p| p < port);
+            self.nonempty.insert(idx, port);
+        }
+        self.queues[port].push_back(msg);
+    }
+
+    pub(crate) fn pop(&mut self, port: Port) -> Option<M> {
+        let msg = self.queues[port].pop_front();
+        if msg.is_some() && self.queues[port].is_empty() {
+            if let Ok(idx) = self.nonempty.binary_search(&port) {
+                self.nonempty.remove(idx);
+            }
+        }
+        msg
+    }
+
+    /// Sorted list of ports with queued messages.
+    pub(crate) fn nonempty_ports(&self) -> &[Port] {
+        &self.nonempty
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.nonempty.is_empty()
+    }
+
+    /// Total queued messages (diagnostics).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// The per-round execution context handed to a protocol.
+///
+/// Borrow-wise this bundles the node's endpoint facts, its outbox and its
+/// private RNG stream for the duration of one `init`/`step` call.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    pub(crate) endpoint: &'a Endpoint,
+    pub(crate) round: Round,
+    pub(crate) outbox: &'a mut Outbox<M>,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl<M: Message> Context<'_, M> {
+    /// This node's identifier.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.endpoint.id
+    }
+
+    /// This node's degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.endpoint.degree()
+    }
+
+    /// The current round (0 during `init`).
+    #[must_use]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Identifier of the neighbor across `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree`.
+    #[must_use]
+    pub fn neighbor_id(&self, port: Port) -> u64 {
+        self.endpoint.neighbor_ids[port]
+    }
+
+    /// The port leading to neighbor `id`, if `id` is a neighbor.
+    #[must_use]
+    pub fn port_of(&self, id: u64) -> Option<Port> {
+        self.endpoint.port_of(id)
+    }
+
+    /// Enqueues `msg` for the neighbor across `port`. Delivery obeys the
+    /// CONGEST one-message-per-edge-per-round rule; queued messages are
+    /// pipelined over subsequent rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree`.
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(port < self.degree(), "send to port {port} but degree is {}", self.degree());
+        self.outbox.push(port, msg);
+    }
+
+    /// Enqueues a copy of `msg` for every neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        for port in 0..self.degree() {
+            self.outbox.push(port, msg.clone());
+        }
+    }
+
+    /// This node's private RNG stream (deterministic per master seed and
+    /// node; identical under sequential and parallel execution).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A distributed algorithm, instantiated once per node.
+pub trait Protocol: Send {
+    /// The message alphabet.
+    type Msg: Message;
+    /// The value each node exposes when the run ends.
+    type Output;
+
+    /// Called once before the first round. Typical use: local coin flips
+    /// (the paper's sampling stage) and first-round sends.
+    fn init(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called every round with the messages delivered this round, as
+    /// `(port, message)` pairs ordered by port.
+    fn step(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]);
+
+    /// `true` when the node has no pending local work. The network
+    /// declares a run *quiescent* when every node is idle and no message
+    /// is queued or in flight.
+    fn is_idle(&self) -> bool;
+
+    /// Barrier hook: called on every node when the network reaches
+    /// quiescence. Return `true` to resume execution (the node advanced to
+    /// another phase), `false` to finish.
+    ///
+    /// This is the simulator's stand-in for the paper's §4.1 deterministic
+    /// time-bound wrapper: in a real network each phase would run for a
+    /// precomputed number of rounds; detecting "no more messages" lets the
+    /// simulation take phase transitions without simulating the padding
+    /// rounds. Metrics still count every *executed* round. Protocols whose
+    /// phases self-synchronize can keep the default (`false`).
+    fn on_quiescent(&mut self, ctx: &mut Context<'_, Self::Msg>) -> bool {
+        let _ = ctx;
+        false
+    }
+
+    /// The node's final output.
+    fn output(&self) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Ping;
+    use crate::rng::node_rng;
+
+    fn endpoint() -> Endpoint {
+        Endpoint { index: 0, id: 42, neighbor_ids: vec![7, 9, 11] }
+    }
+
+    #[test]
+    fn endpoint_lookup() {
+        let e = endpoint();
+        assert_eq!(e.degree(), 3);
+        assert_eq!(e.port_of(9), Some(1));
+        assert_eq!(e.port_of(8), None);
+    }
+
+    #[test]
+    fn outbox_fifo_per_port() {
+        let mut o: Outbox<Ping> = Outbox::new(2);
+        assert!(o.is_empty());
+        o.push(0, Ping);
+        o.push(0, Ping);
+        o.push(1, Ping);
+        assert_eq!(o.queued(), 3);
+        assert!(o.pop(0).is_some());
+        assert!(o.pop(1).is_some());
+        assert!(o.pop(1).is_none());
+        assert_eq!(o.queued(), 1);
+    }
+
+    #[test]
+    fn context_send_and_broadcast() {
+        let e = endpoint();
+        let mut outbox = Outbox::new(e.degree());
+        let mut rng = node_rng(1, 0);
+        let mut ctx = Context { endpoint: &e, round: 3, outbox: &mut outbox, rng: &mut rng };
+        assert_eq!(ctx.id(), 42);
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.neighbor_id(2), 11);
+        ctx.send(1, Ping);
+        ctx.broadcast(Ping);
+        assert_eq!(outbox.queued(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "send to port")]
+    fn send_out_of_range_panics() {
+        let e = endpoint();
+        let mut outbox = Outbox::new(e.degree());
+        let mut rng = node_rng(1, 0);
+        let mut ctx = Context { endpoint: &e, round: 0, outbox: &mut outbox, rng: &mut rng };
+        ctx.send(3, Ping);
+    }
+}

@@ -1,0 +1,221 @@
+//! Executable forms of the paper's §5.2 analysis machinery.
+//!
+//! The proof of Theorem 5.7 goes through several intermediate objects that
+//! are all computable on planted instances:
+//!
+//! * the **core** `C = K_{ε²}(D) ∩ D` with `|C| ≥ (1 − ε)|D| − 1/ε²`
+//!   (Lemma 5.4) — [`core_size_bound`];
+//! * the **witness sample** `X* = S⁽¹⁾ ∩ C`, which lies within a single
+//!   connected component of `G[S]` w.h.p. (Lemma 5.5) —
+//!   [`x_star`], [`x_star_in_one_component`];
+//! * **representativeness** of `X*` (the two conditions before Claim 2) —
+//!   [`representativeness`];
+//! * the conclusion `|T_ε(X*)| ≥ (1 − 13ε/2)|D| − ε⁻²` (Lemma 5.6) —
+//!   [`lemma_5_6_conclusion`].
+//!
+//! Experiment E13 samples these quantities over many trials and reports
+//! how often each step of the proof chain holds — a reproduction of the
+//! paper's *argument*, not only its statement.
+
+use graphs::{density, FixedBitSet, Graph};
+
+use crate::sample::SamplePlan;
+
+/// Lemma 5.4's bound: `(1 − ε)|D| − 1/ε²` (may be negative for small
+/// `|D|`, in which case the lemma is vacuous).
+#[must_use]
+pub fn core_size_bound(d_size: usize, epsilon: f64) -> f64 {
+    (1.0 - epsilon) * d_size as f64 - 1.0 / (epsilon * epsilon)
+}
+
+/// The witness sample `X* = S⁽¹⁾ ∩ C` of §5.2.
+///
+/// # Panics
+///
+/// Panics if capacities disagree.
+#[must_use]
+pub fn x_star(plan: &SamplePlan, version: u32, c_set: &FixedBitSet) -> FixedBitSet {
+    let mut x = plan.s1(version).clone();
+    x.intersect_with(c_set);
+    x
+}
+
+/// Whether `X*` lies within one connected component of `G[S]`
+/// (Lemma 5.5's event). Empty and singleton `X*` count as `true`.
+///
+/// # Panics
+///
+/// Panics if capacities disagree.
+#[must_use]
+pub fn x_star_in_one_component(g: &Graph, s: &FixedBitSet, x: &FixedBitSet) -> bool {
+    if x.len() <= 1 {
+        return true;
+    }
+    g.components_within(s)
+        .iter()
+        .any(|comp| x.iter().all(|v| comp.binary_search(&v).is_ok()))
+}
+
+/// The two representativeness conditions of §5.2 (preceding Claim 2):
+///
+/// 1. `|K_{ε²}(D) \ K_{2ε²}(X*)| < ε·|C|`
+/// 2. `|K_{2ε²}(X*) \ K_{3ε²}(C)| < ε²·|C|`
+///
+/// Returns `(cond1, cond2)`.
+///
+/// # Panics
+///
+/// Panics if capacities disagree or ε thresholds leave `[0, 1]`.
+#[must_use]
+pub fn representativeness(
+    g: &Graph,
+    d_set: &FixedBitSet,
+    c_set: &FixedBitSet,
+    x: &FixedBitSet,
+    epsilon: f64,
+) -> (bool, bool) {
+    let e2 = epsilon * epsilon;
+    let k_d = density::k_eps(g, d_set, e2.min(1.0));
+    let k_x = density::k_eps(g, x, (2.0 * e2).min(1.0));
+    let k_c = density::k_eps(g, c_set, (3.0 * e2).min(1.0));
+    let c_size = c_set.len() as f64;
+    let cond1 = (k_d.difference_count(&k_x) as f64) < epsilon * c_size;
+    let cond2 = (k_x.difference_count(&k_c) as f64) < e2 * c_size;
+    (cond1, cond2)
+}
+
+/// Claim 2's conclusion for a concrete representative `X*`:
+/// `|C \\ T_ε(X*)| ≤ (11/2)·ε·|C|`.
+///
+/// Returns `(missing, holds)` where `missing = |C \\ T_ε(X*)|`.
+///
+/// # Panics
+///
+/// Panics if capacities disagree.
+#[must_use]
+pub fn claim_2_conclusion(
+    g: &Graph,
+    c_set: &FixedBitSet,
+    x: &FixedBitSet,
+    epsilon: f64,
+) -> (usize, bool) {
+    let t = density::t_eps(g, x, epsilon);
+    let missing = c_set.difference_count(&t);
+    (missing, missing as f64 <= 5.5 * epsilon * c_set.len() as f64)
+}
+
+/// Lemma 5.6's conclusion for a concrete `X*`:
+/// `|T_ε(X*)| ≥ (1 − 13ε/2)·|D| − ε⁻²`.
+///
+/// Returns `(t_size, holds)` where `holds` is vacuously true when the
+/// right-hand side is non-positive.
+///
+/// # Panics
+///
+/// Panics if capacities disagree.
+#[must_use]
+pub fn lemma_5_6_conclusion(
+    g: &Graph,
+    d_set: &FixedBitSet,
+    x: &FixedBitSet,
+    epsilon: f64,
+) -> (usize, bool) {
+    let t = density::t_eps(g, x, epsilon);
+    let bound = (1.0 - 13.0 * epsilon / 2.0) * d_set.len() as f64 - 1.0 / (epsilon * epsilon);
+    (t.len(), t.len() as f64 >= bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lemma_5_4_holds_on_planted_instances() {
+        // The lemma is unconditional for ε³-near cliques; verify over
+        // several instances.
+        let epsilon: f64 = 0.25;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = generators::planted_near_clique(200, 100, epsilon.powi(3), 0.02, &mut rng);
+            let c = density::core_c(&p.graph, &p.dense_set, epsilon);
+            let bound = core_size_bound(100, epsilon);
+            assert!(
+                c.len() as f64 >= bound,
+                "seed {seed}: |C| = {} < bound {bound}",
+                c.len()
+            );
+        }
+    }
+
+    #[test]
+    fn x_star_is_intersection() {
+        let plan = SamplePlan::draw(100, 1, 0.2, 3);
+        let c = FixedBitSet::from_iter_with_capacity(100, 0..50);
+        let x = x_star(&plan, 0, &c);
+        for v in x.iter() {
+            assert!(v < 50);
+            assert!(plan.s1(0).contains(v));
+        }
+    }
+
+    #[test]
+    fn one_component_check() {
+        // Path 0-1-2-3; S = {0, 1, 3}; X = {0, 3} spans two components.
+        let mut b = graphs::GraphBuilder::new(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        let g = b.build();
+        let s = FixedBitSet::from_iter_with_capacity(4, [0, 1, 3]);
+        let spanning = FixedBitSet::from_iter_with_capacity(4, [0, 3]);
+        assert!(!x_star_in_one_component(&g, &s, &spanning));
+        let tight = FixedBitSet::from_iter_with_capacity(4, [0, 1]);
+        assert!(x_star_in_one_component(&g, &s, &tight));
+        assert!(x_star_in_one_component(&g, &s, &FixedBitSet::new(4)));
+    }
+
+    #[test]
+    fn claim_2_on_planted_instances() {
+        // When X* is representative, C is almost entirely inside T_ε(X*).
+        let epsilon: f64 = 0.25;
+        let mut holds = 0;
+        let mut applicable = 0;
+        for seed in 0..12 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = generators::planted_near_clique(200, 100, epsilon.powi(3), 0.02, &mut rng);
+            let c = density::core_c(&p.graph, &p.dense_set, epsilon);
+            let plan = SamplePlan::draw(200, 1, 0.04, seed ^ 0xC2);
+            let x = x_star(&plan, 0, &c);
+            if x.is_empty() {
+                continue;
+            }
+            let (c1, c2) = representativeness(&p.graph, &p.dense_set, &c, &x, epsilon);
+            if c1 && c2 {
+                applicable += 1;
+                let (_missing, ok) = claim_2_conclusion(&p.graph, &c, &x, epsilon);
+                if ok {
+                    holds += 1;
+                }
+            }
+        }
+        assert!(applicable >= 4, "too few representative samples ({applicable})");
+        assert_eq!(holds, applicable, "Claim 2 must hold whenever X* is representative");
+    }
+
+    #[test]
+    fn representativeness_on_a_clean_clique() {
+        // On an isolated clique, K-sets coincide and both conditions hold
+        // for any reasonable X*.
+        let g = graphs::Graph::complete(60);
+        let d = FixedBitSet::full(60);
+        let eps = 0.25;
+        let c = density::core_c(&g, &d, eps);
+        let x = FixedBitSet::from_iter_with_capacity(60, [1, 7, 13, 22]);
+        let (c1, c2) = representativeness(&g, &d, &c, &x, eps);
+        assert!(c1 && c2);
+        let (t, holds) = lemma_5_6_conclusion(&g, &d, &x, eps);
+        assert_eq!(t, 60);
+        assert!(holds);
+    }
+}

@@ -1,0 +1,153 @@
+//! The §5.3 computational-complexity remark, as an ablation.
+//!
+//! The paper notes that step 4f (checking `u ∈ K_ε(K_{2ε²}(X))` by
+//! inspecting *all* neighbors) dominates local computation, and that one
+//! can instead "select a sample of the neighbors and estimate, rather
+//! than determine, membership in `T_ε(X)`", reducing local work to
+//! `poly(|S|)` per round — while explicitly omitting the analysis of this
+//! modification.
+//!
+//! We implement the exact step in the protocol (the analyzed algorithm)
+//! and provide the estimator here, centrally, so the ablation experiment
+//! (bench `ablation_step4f`) can quantify what the paper left
+//! unanalyzed: how often the estimate disagrees with the exact
+//! membership, as a function of the sample budget.
+
+use graphs::{density, FixedBitSet, Graph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::params::k_threshold;
+
+/// Estimated `T_ε(X)`: the inner set `K_{2ε²}(X)` is computed exactly
+/// (it costs only `|X|` work per node), but the outer membership test
+/// `|Γ(u) ∩ K| ≥ (1 − ε)|K \ {u}|` is estimated from `sample_budget`
+/// uniformly sampled neighbors of each `u`.
+///
+/// Returns the estimated set. With `sample_budget ≥ deg(u)` for all `u`
+/// this coincides with [`density::t_eps`].
+///
+/// # Panics
+///
+/// Panics if `x.capacity() != g.node_count()`, ε thresholds leave
+/// `[0, 1]`, or `sample_budget == 0`.
+#[must_use]
+pub fn t_eps_estimated<R: Rng + ?Sized>(
+    g: &Graph,
+    x: &FixedBitSet,
+    epsilon: f64,
+    sample_budget: usize,
+    rng: &mut R,
+) -> FixedBitSet {
+    assert!(sample_budget > 0, "sample_budget must be positive");
+    let inner_eps = (2.0 * epsilon * epsilon).min(1.0);
+    let k_set = density::k_eps(g, x, inner_eps);
+    let k_size = k_set.len();
+    let n = g.node_count();
+    let mut t = FixedBitSet::new(n);
+    for u in k_set.iter() {
+        let neighbors = g.neighbors(u);
+        let in_k = if neighbors.len() <= sample_budget {
+            // Exact when the budget covers the whole neighborhood.
+            let cnt = g.degree_into(u, &k_set);
+            cnt >= k_threshold(k_size - 1, epsilon)
+        } else {
+            // Estimate the fraction |Γ(u) ∩ K| / |Γ(u)| from a sample,
+            // then scale to a count.
+            let mut idx: Vec<usize> = (0..neighbors.len()).collect();
+            idx.shuffle(rng);
+            let hits = idx[..sample_budget]
+                .iter()
+                .filter(|&&i| k_set.contains(neighbors[i]))
+                .count();
+            let est_cnt =
+                hits as f64 / sample_budget as f64 * neighbors.len() as f64;
+            est_cnt >= k_threshold(k_size - 1, epsilon) as f64 - 0.5
+        };
+        if in_k {
+            t.insert(u);
+        }
+    }
+    t
+}
+
+/// Agreement between the estimated and exact `T_ε(X)` on one instance:
+/// `(|symmetric difference|, |exact|)`.
+#[must_use]
+pub fn estimate_disagreement<R: Rng + ?Sized>(
+    g: &Graph,
+    x: &FixedBitSet,
+    epsilon: f64,
+    sample_budget: usize,
+    rng: &mut R,
+) -> (usize, usize) {
+    let exact = density::t_eps(g, x, epsilon);
+    let approx = t_eps_estimated(g, x, epsilon, sample_budget, rng);
+    let sym = exact.difference_count(&approx) + approx.difference_count(&exact);
+    (sym, exact.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_budget_matches_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = generators::planted_near_clique(150, 60, 0.02, 0.05, &mut rng);
+        let x = FixedBitSet::from_iter_with_capacity(
+            150,
+            p.dense_set.iter().take(4),
+        );
+        let exact = density::t_eps(&p.graph, &x, 0.25);
+        let approx = t_eps_estimated(&p.graph, &x, 0.25, 10_000, &mut rng);
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn small_budget_stays_close_on_planted_instance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = generators::planted_near_clique(200, 100, 0.0156, 0.02, &mut rng);
+        let x = FixedBitSet::from_iter_with_capacity(200, p.dense_set.iter().take(5));
+        let (sym, exact) = estimate_disagreement(&p.graph, &x, 0.25, 30, &mut rng);
+        assert!(exact > 50, "instance sanity: exact T is large");
+        assert!(
+            (sym as f64) < 0.2 * exact as f64,
+            "disagreement {sym} too large vs |T| = {exact}"
+        );
+    }
+
+    #[test]
+    fn disagreement_shrinks_with_budget() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = generators::planted_near_clique(300, 150, 0.0156, 0.05, &mut rng);
+        let x = FixedBitSet::from_iter_with_capacity(300, p.dense_set.iter().take(5));
+        let mut last = usize::MAX;
+        let mut non_increasing_pairs = 0;
+        for &budget in &[5usize, 20, 80, 100_000] {
+            let mut total = 0;
+            for seed in 0..5 {
+                let mut r = StdRng::seed_from_u64(seed);
+                let (sym, _) = estimate_disagreement(&p.graph, &x, 0.25, budget, &mut r);
+                total += sym;
+            }
+            if total <= last {
+                non_increasing_pairs += 1;
+            }
+            last = total;
+        }
+        assert!(non_increasing_pairs >= 3, "disagreement should trend down with budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_budget must be positive")]
+    fn zero_budget_panics() {
+        let g = graphs::Graph::complete(4);
+        let x = FixedBitSet::from_iter_with_capacity(4, [0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = t_eps_estimated(&g, &x, 0.2, 0, &mut rng);
+    }
+}

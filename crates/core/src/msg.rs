@@ -1,0 +1,229 @@
+//! The protocol's message alphabet.
+//!
+//! Every variant carries a constant number of identifiers, subset indices
+//! and counters — `O(log n)` bits, the CONGEST budget. The simulator
+//! meters [`congest::Message::bit_size`] on every delivery, so the claim
+//! is enforced empirically (experiment E10) rather than assumed.
+//!
+//! Field conventions: `version` tags the boosting repetition (§4.1);
+//! `root` identifies a component of `G[S]` by its minimum member ID;
+//! `x` is a subset index — the bitmask of a subset `X ⊆ Sᵢ` over the
+//! component roster sorted by ID.
+
+use congest::{bits_for_count, Message, ID_BITS, TAG_BITS};
+
+/// Bits charged for a subset index (components are capped at
+/// `NearCliqueParams::COMPONENT_SIZE_CEILING = 24` members).
+const X_BITS: usize = 24;
+/// Bits charged for a count (bounded by `n`; we charge a fixed 32,
+/// a constant multiple of `log n` for all feasible `n`).
+const COUNT_BITS: usize = 32;
+/// Bits charged for the version tag.
+const VERSION_BITS: usize = 8;
+
+/// Messages of `DistNearClique`. See the module docs for field
+/// conventions and the stage walk-through in [`crate::protocol`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// "I am in S (version v)" — sampling-stage announcement.
+    InS {
+        /// Boosting version.
+        version: u8,
+    },
+    /// Roster gossip within `G[S]`: one member ID per message
+    /// (Exploration step 2, implemented as a flooding gather).
+    Roster {
+        /// Boosting version.
+        version: u8,
+        /// A member ID of the sender's component.
+        id: u64,
+    },
+    /// "You are my tree parent" — sent once the flooding tree stabilizes,
+    /// so parents learn their children.
+    Adopt {
+        /// Boosting version.
+        version: u8,
+    },
+    /// Component roster pushed to *all* neighbors (Exploration step 3).
+    CompShare {
+        /// Boosting version.
+        version: u8,
+        /// Component root (minimum member ID).
+        root: u64,
+        /// One member ID.
+        id: u64,
+        /// Component size, so receivers know when the roster is complete.
+        total: u32,
+    },
+    /// A non-member participant attaches to the spanning tree through its
+    /// chosen parent (so step 4c sums count every participant exactly
+    /// once — the paper's "we effectively add to each spanning tree all
+    /// adjacent nodes", §4).
+    Attach {
+        /// Boosting version.
+        version: u8,
+        /// Component root.
+        root: u64,
+    },
+    /// Partial sum of `|K_{2ε²}(X)|` flowing up the tree (steps 4b–4c),
+    /// one subset per message, pipelined in increasing `x` order.
+    KCount {
+        /// Boosting version.
+        version: u8,
+        /// Component root.
+        root: u64,
+        /// Subset index.
+        x: u32,
+        /// Partial membership count for the sender's subtree.
+        count: u32,
+    },
+    /// `|K_{2ε²}(X)|` flowing back down from the root (step 4d).
+    KSize {
+        /// Boosting version.
+        version: u8,
+        /// Component root.
+        root: u64,
+        /// Subset index.
+        x: u32,
+        /// The global count for this subset.
+        size: u32,
+    },
+    /// "I am in `K_{2ε²}(X)`, whose size is `size`" — broadcast by members
+    /// to all their neighbors (step 4e) so neighbors can evaluate
+    /// `K_ε(K_{2ε²}(X))` membership (step 4f).
+    KMember {
+        /// Boosting version.
+        version: u8,
+        /// Component root.
+        root: u64,
+        /// Subset index.
+        x: u32,
+        /// `|K_{2ε²}(X)|`.
+        size: u32,
+    },
+    /// Partial sum of `|T_ε(X)|` flowing up the tree (Decision step 1).
+    TCount {
+        /// Boosting version.
+        version: u8,
+        /// Component root.
+        root: u64,
+        /// Subset index.
+        x: u32,
+        /// Partial membership count for the sender's subtree.
+        count: u32,
+    },
+    /// The component's chosen candidate `X(Sᵢ)` and its `|T_ε(X(Sᵢ))|`,
+    /// flowing down to all participants (Decision step 2).
+    Candidate {
+        /// Boosting version.
+        version: u8,
+        /// Component root.
+        root: u64,
+        /// The argmax subset index.
+        x: u32,
+        /// `|T_ε(X(Sᵢ))|`.
+        size: u32,
+    },
+    /// Acknowledge/abort vote flowing up the tree (Decision step 3);
+    /// intermediate nodes aggregate with OR on `abort`.
+    Vote {
+        /// Boosting version.
+        version: u8,
+        /// Component root.
+        root: u64,
+        /// `true` = abort (some node in the subtree prefers another
+        /// component).
+        abort: bool,
+    },
+    /// The surviving component announces itself (Decision step 4);
+    /// participants with a `T_ε(X(Sᵢ))` bit adopt `root` as their label.
+    Winner {
+        /// Boosting version.
+        version: u8,
+        /// Component root (= the output label).
+        root: u64,
+    },
+}
+
+impl Message for Msg {
+    fn bit_size(&self) -> usize {
+        let payload = match self {
+            Msg::InS { .. } => VERSION_BITS,
+            Msg::Roster { .. } => VERSION_BITS + ID_BITS,
+            Msg::Adopt { .. } => VERSION_BITS,
+            Msg::CompShare { .. } => VERSION_BITS + ID_BITS + ID_BITS + COUNT_BITS,
+            Msg::Attach { .. } => VERSION_BITS + ID_BITS,
+            Msg::KCount { .. } | Msg::KSize { .. } | Msg::KMember { .. } | Msg::TCount { .. } => {
+                VERSION_BITS + ID_BITS + X_BITS + COUNT_BITS
+            }
+            Msg::Candidate { .. } => VERSION_BITS + ID_BITS + X_BITS + COUNT_BITS,
+            Msg::Vote { .. } => VERSION_BITS + ID_BITS + 1,
+            Msg::Winner { .. } => VERSION_BITS + ID_BITS,
+        };
+        TAG_BITS + payload
+    }
+}
+
+/// An upper bound on the widest message the protocol can emit, used by the
+/// E10 harness as the "budget line" in its tables.
+#[must_use]
+pub fn max_message_bits() -> usize {
+    TAG_BITS + VERSION_BITS + ID_BITS + ID_BITS + COUNT_BITS
+}
+
+/// Helper for assertions: `bits_for_count(n)`-scaled budget, i.e. how many
+/// "`log n` units" a width represents.
+#[must_use]
+pub fn log_units(bits: usize, n: usize) -> f64 {
+    bits as f64 / bits_for_count(n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::InS { version: 0 },
+            Msg::Roster { version: 0, id: 7 },
+            Msg::Adopt { version: 1 },
+            Msg::CompShare { version: 0, root: 1, id: 2, total: 3 },
+            Msg::Attach { version: 0, root: 1 },
+            Msg::KCount { version: 0, root: 1, x: 5, count: 2 },
+            Msg::KSize { version: 0, root: 1, x: 5, size: 9 },
+            Msg::KMember { version: 0, root: 1, x: 5, size: 9 },
+            Msg::TCount { version: 0, root: 1, x: 5, count: 2 },
+            Msg::Candidate { version: 0, root: 1, x: 5, size: 9 },
+            Msg::Vote { version: 0, root: 1, abort: false },
+            Msg::Winner { version: 0, root: 1 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_fits_the_budget() {
+        let budget = max_message_bits();
+        for m in samples() {
+            assert!(m.bit_size() <= budget, "{m:?} exceeds {budget} bits");
+            assert!(m.bit_size() >= TAG_BITS, "{m:?} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn budget_is_o_log_n() {
+        // The budget is a constant number of "log n units" for n = 2^32.
+        let units = log_units(max_message_bits(), u32::MAX as usize);
+        assert!(units <= 7.0, "budget is {units} log-units");
+    }
+
+    #[test]
+    fn sizes_are_stable() {
+        // Pin the widths so accidental encoding changes show up in review.
+        assert_eq!(Msg::InS { version: 0 }.bit_size(), 16);
+        assert_eq!(Msg::Winner { version: 0, root: 0 }.bit_size(), 80);
+        assert_eq!(
+            Msg::KCount { version: 0, root: 0, x: 0, count: 0 }.bit_size(),
+            8 + 8 + 64 + 24 + 32
+        );
+        assert_eq!(max_message_bits(), 8 + 8 + 64 + 64 + 32);
+    }
+}

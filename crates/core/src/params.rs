@@ -1,0 +1,251 @@
+//! Algorithm parameters and the paper's derived quantities.
+//!
+//! `DistNearClique` takes two inputs besides the graph: the density slack
+//! `ε` and the sampling probability `p` (Algorithm box, §4). Theorem 5.7's
+//! guarantee additionally fixes how `p` should scale —
+//! `p = O(log(1/εδ)/(ε⁴δ))/n` — which [`NearCliqueParams::for_theorem`]
+//! implements.
+
+use std::fmt;
+
+/// Validated parameter set for one `DistNearClique` execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NearCliqueParams {
+    /// The density slack ε. The analysis assumes `ε < 1/3` (§5.2); we
+    /// enforce `0 < ε < 1/3`.
+    pub epsilon: f64,
+    /// Per-node sampling probability `p ∈ (0, 1)`.
+    pub p: f64,
+    /// Number of independent sampling+exploration versions (the §4.1
+    /// boosting wrapper). `1` is the plain algorithm.
+    pub lambda: u32,
+    /// Safety valve: components of `G[S]` larger than this are skipped
+    /// (their subsets are never enumerated; no candidate is produced).
+    /// The algorithm's 2^{|S|} state is only feasible for small samples —
+    /// the paper's `p` keeps `E|S|` constant — and this cap bounds memory
+    /// when the coin flips come out unlucky. Skips are reported in
+    /// [`crate::NodeOutput::oversized_component`].
+    pub max_component_size: u32,
+    /// Optional lower bound on an acceptable candidate size (the paper's
+    /// "small node sets … can be disqualified if a lower bound on the size
+    /// of the dense subgraph is known", §4). Candidates below it are not
+    /// labeled.
+    pub min_candidate_size: Option<u32>,
+}
+
+/// Error returned when parameters are out of range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidParams(String);
+
+impl fmt::Display for InvalidParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParams {}
+
+impl NearCliqueParams {
+    /// Hard ceiling on [`max_component_size`](Self::max_component_size)
+    /// (the per-node state is `Θ(2^k)`).
+    pub const COMPONENT_SIZE_CEILING: u32 = 24;
+
+    /// Creates a parameter set with `lambda = 1` and the default component
+    /// cap (16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] unless `0 < epsilon < 1/3` and
+    /// `0 < p < 1`.
+    pub fn new(epsilon: f64, p: f64) -> Result<Self, InvalidParams> {
+        let params = Self {
+            epsilon,
+            p,
+            lambda: 1,
+            max_component_size: 16,
+            min_candidate_size: None,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// The Theorem 2.1 instantiation: given `ε`, `δ` and `n`, sets
+    /// `p = c·log(1/(εδ)) / (ε⁴ δ n)`.
+    ///
+    /// Only the *form* is the theorem's; the constant `c` is calibrated
+    /// (experiment E1) to `0.008` so that the expected sample `E|S| = pn`
+    /// lands in single digits for moderate ε. The theorem's own hidden
+    /// constant would demand samples whose `2^|S|` subset enumeration no
+    /// implementation (or network) could execute — the paper itself
+    /// targets `|S| ≤ O(log log n)` for computability (§5.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] if `ε ∉ (0, 1/3)`, `δ ∉ (0, 1]`, or the
+    /// derived `p` leaves `(0, 1)`.
+    pub fn for_theorem(epsilon: f64, delta: f64, n: usize) -> Result<Self, InvalidParams> {
+        if !(0.0..=1.0).contains(&delta) || delta == 0.0 {
+            return Err(InvalidParams(format!("delta must be in (0, 1], got {delta}")));
+        }
+        let c = 0.008;
+        let pn = c * (1.0 / (epsilon * delta)).ln() / (epsilon.powi(4) * delta);
+        let p = (pn / n as f64).min(0.999);
+        Self::new(epsilon, p)
+    }
+
+    /// Practical instantiation: choose `p` so that `E|S| = pn` equals
+    /// `expected_sample` (the knob experiments sweep — round and message
+    /// complexity scale with `2^{E|S|}`, Lemma 5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] if the derived `p` leaves `(0, 1)` or
+    /// `ε ∉ (0, 1/3)`.
+    pub fn for_expected_sample(
+        epsilon: f64,
+        expected_sample: f64,
+        n: usize,
+    ) -> Result<Self, InvalidParams> {
+        Self::new(epsilon, expected_sample / n as f64)
+    }
+
+    /// Builder-style: sets the boosting factor λ (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda == 0`.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: u32) -> Self {
+        assert!(lambda >= 1, "lambda must be at least 1");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style: sets the component-size safety cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ cap ≤ COMPONENT_SIZE_CEILING`.
+    #[must_use]
+    pub fn with_max_component_size(mut self, cap: u32) -> Self {
+        assert!(
+            (1..=Self::COMPONENT_SIZE_CEILING).contains(&cap),
+            "cap must be in 1..={}, got {cap}",
+            Self::COMPONENT_SIZE_CEILING
+        );
+        self.max_component_size = cap;
+        self
+    }
+
+    /// Builder-style: sets the minimum acceptable candidate size.
+    #[must_use]
+    pub fn with_min_candidate_size(mut self, min: u32) -> Self {
+        self.min_candidate_size = Some(min);
+        self
+    }
+
+    /// The inner threshold `2ε²` used by `K_{2ε²}(X)` (Equation 2).
+    #[must_use]
+    pub fn inner_epsilon(&self) -> f64 {
+        2.0 * self.epsilon * self.epsilon
+    }
+
+    fn validate(&self) -> Result<(), InvalidParams> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0 / 3.0) {
+            return Err(InvalidParams(format!(
+                "epsilon must be in (0, 1/3) (§5.2 assumption), got {}",
+                self.epsilon
+            )));
+        }
+        if !(self.p > 0.0 && self.p < 1.0) {
+            return Err(InvalidParams(format!("p must be in (0, 1), got {}", self.p)));
+        }
+        Ok(())
+    }
+}
+
+/// The integer membership threshold shared by the distributed protocol and
+/// the centralized reference: `v ∈ K_ε(X)` iff
+/// `|Γ(v) ∩ X| ≥ ceil((1 − ε)·|X \ {v}|)`.
+///
+/// Must stay bit-for-bit consistent with `graphs::density::k_eps`; the
+/// cross-crate property tests enforce that.
+#[must_use]
+pub fn k_threshold(size_excluding_self: usize, epsilon: f64) -> usize {
+    ((1.0 - epsilon) * size_excluding_self as f64 - 1e-9).ceil().max(0.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_epsilon_range() {
+        assert!(NearCliqueParams::new(0.2, 0.01).is_ok());
+        assert!(NearCliqueParams::new(0.0, 0.01).is_err());
+        assert!(NearCliqueParams::new(0.34, 0.01).is_err());
+        assert!(NearCliqueParams::new(-0.1, 0.01).is_err());
+    }
+
+    #[test]
+    fn new_validates_p_range() {
+        assert!(NearCliqueParams::new(0.2, 0.0).is_err());
+        assert!(NearCliqueParams::new(0.2, 1.0).is_err());
+        assert!(NearCliqueParams::new(0.2, 0.5).is_ok());
+    }
+
+    #[test]
+    fn theorem_p_scales_inversely_with_n() {
+        let a = NearCliqueParams::for_theorem(0.25, 0.5, 1000).unwrap();
+        let b = NearCliqueParams::for_theorem(0.25, 0.5, 2000).unwrap();
+        assert!((a.p / b.p - 2.0).abs() < 1e-9, "p should halve when n doubles");
+    }
+
+    #[test]
+    fn theorem_expected_sample_is_constant_in_n() {
+        let a = NearCliqueParams::for_theorem(0.25, 0.5, 1000).unwrap();
+        let b = NearCliqueParams::for_theorem(0.25, 0.5, 4000).unwrap();
+        assert!((a.p * 1000.0 - b.p * 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_rejects_bad_delta() {
+        assert!(NearCliqueParams::for_theorem(0.2, 0.0, 100).is_err());
+        assert!(NearCliqueParams::for_theorem(0.2, 1.5, 100).is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let p = NearCliqueParams::new(0.2, 0.1)
+            .unwrap()
+            .with_lambda(3)
+            .with_max_component_size(12)
+            .with_min_candidate_size(5);
+        assert_eq!(p.lambda, 3);
+        assert_eq!(p.max_component_size, 12);
+        assert_eq!(p.min_candidate_size, Some(5));
+        assert!((p.inner_epsilon() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be in")]
+    fn oversized_cap_panics() {
+        let _ = NearCliqueParams::new(0.2, 0.1).unwrap().with_max_component_size(30);
+    }
+
+    #[test]
+    fn k_threshold_matches_density_convention() {
+        // ceil((1-eps)*s) with exact-integer care.
+        assert_eq!(k_threshold(0, 0.2), 0);
+        assert_eq!(k_threshold(10, 0.0), 10);
+        assert_eq!(k_threshold(10, 0.2), 8);
+        assert_eq!(k_threshold(10, 0.25), 8); // 7.5 -> 8
+        assert_eq!(k_threshold(3, 0.32), 3);  // 2.04 -> 3
+    }
+
+    #[test]
+    fn invalid_params_displays() {
+        let err = NearCliqueParams::new(0.9, 0.5).unwrap_err();
+        assert!(err.to_string().contains("epsilon"));
+    }
+}

@@ -1,0 +1,227 @@
+//! High-level entry points: build the network, run, collect results.
+//!
+//! [`run_near_clique`] is the one-call API most users (and all examples)
+//! want: draw the sampling stage, execute the protocol over a
+//! [`congest::Network`], and return labels, per-node outputs, metrics and
+//! everything needed for verification or cross-checking against the
+//! centralized reference.
+
+use congest::{Metrics, NetworkBuilder, RunLimits, Termination};
+use graphs::{FixedBitSet, Graph};
+
+use crate::params::NearCliqueParams;
+use crate::protocol::{DistNearClique, NodeOutput};
+use crate::reference::{reference_run, ReferenceResult};
+use crate::sample::SamplePlan;
+
+/// Execution knobs orthogonal to the algorithm parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Deterministic round bound (§4.1 wrapper); the run aborts with
+    /// whatever labels exist if exceeded.
+    pub max_rounds: u64,
+    /// Threads for stepping nodes (semantics identical at any count).
+    pub threads: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { max_rounds: 10_000_000, threads: 1 }
+    }
+}
+
+/// Everything a `DistNearClique` execution produced.
+#[derive(Clone, Debug)]
+pub struct NearCliqueRun {
+    /// Per-node outputs, indexed by node.
+    pub outputs: Vec<NodeOutput>,
+    /// Per-node labels (`outputs[i].label`, extracted for convenience).
+    pub labels: Vec<Option<u64>>,
+    /// Simulator metrics: rounds, messages, bits.
+    pub metrics: Metrics,
+    /// Whether the run quiesced or hit the round bound.
+    pub termination: Termination,
+    /// The sampling-stage coin flips used.
+    pub plan: SamplePlan,
+    /// The ID assignment used (for reference cross-validation).
+    pub ids: Vec<u64>,
+    /// The parameters the run used.
+    pub params: NearCliqueParams,
+    /// Phase transitions as `(version, phase name, entry round)` —
+    /// node 0's trace; phases are global barriers so it describes the
+    /// whole run.
+    pub phase_trace: Vec<(u8, &'static str, u64)>,
+}
+
+impl NearCliqueRun {
+    /// Groups labeled nodes into their output near-cliques, sorted by
+    /// decreasing size (ties by label).
+    #[must_use]
+    pub fn labeled_sets(&self) -> Vec<(u64, FixedBitSet)> {
+        let n = self.labels.len();
+        let mut by_label: std::collections::BTreeMap<u64, FixedBitSet> =
+            std::collections::BTreeMap::new();
+        for (v, label) in self.labels.iter().enumerate() {
+            if let Some(root) = label {
+                by_label.entry(*root).or_insert_with(|| FixedBitSet::new(n)).insert(v);
+            }
+        }
+        let mut sets: Vec<(u64, FixedBitSet)> = by_label.into_iter().collect();
+        sets.sort_by_key(|(label, set)| (std::cmp::Reverse(set.len()), *label));
+        sets
+    }
+
+    /// The largest output near-clique, if any node was labeled.
+    #[must_use]
+    pub fn largest_set(&self) -> Option<FixedBitSet> {
+        self.labeled_sets().into_iter().next().map(|(_, set)| set)
+    }
+
+    /// Size of the sample `S` of `version` (diagnostics; Lemma 5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is out of range.
+    #[must_use]
+    pub fn sample_size(&self, version: u32) -> usize {
+        self.plan.sample(version).len()
+    }
+
+    /// Full candidate-level introspection: recomputes the run centrally
+    /// (same sample, same IDs) via [`reference_run`], exposing every
+    /// candidate component, its `X(Sᵢ)`, `T_ε(X(Sᵢ))` and whether it
+    /// survived the decision stage. The returned labels are guaranteed to
+    /// equal [`Self::labels`] (enforced by the crate's equivalence tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not the graph this run executed on.
+    #[must_use]
+    pub fn candidate_report(&self, g: &graphs::Graph) -> ReferenceResult {
+        reference_run(g, &self.ids, &self.params, &self.plan)
+    }
+}
+
+/// Runs `DistNearClique` on `g` with default options.
+///
+/// `seed` determines the sampling stage, the ID assignment and nothing
+/// else (the protocol is otherwise deterministic). See
+/// [`run_near_clique_with`] for execution knobs.
+#[must_use]
+pub fn run_near_clique(g: &Graph, params: &NearCliqueParams, seed: u64) -> NearCliqueRun {
+    run_near_clique_with(g, params, seed, RunOptions::default())
+}
+
+/// Runs `DistNearClique` with explicit [`RunOptions`].
+#[must_use]
+pub fn run_near_clique_with(
+    g: &Graph,
+    params: &NearCliqueParams,
+    seed: u64,
+    options: RunOptions,
+) -> NearCliqueRun {
+    let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
+    let mut net = NetworkBuilder::new()
+        .seed(seed)
+        .parallel(options.threads)
+        .build_with(g, |endpoint| {
+            let flags =
+                (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
+            DistNearClique::new(params.clone(), flags)
+        });
+    let report = net.run(RunLimits::rounds(options.max_rounds));
+    let outputs = net.outputs();
+    let labels = outputs.iter().map(|o| o.label).collect();
+    let ids = (0..g.node_count()).map(|v| net.endpoint(v).id).collect();
+    let phase_trace =
+        if g.node_count() > 0 { net.protocol(0).phase_trace().to_vec() } else { Vec::new() };
+    NearCliqueRun {
+        outputs,
+        labels,
+        metrics: report.metrics,
+        termination: report.termination,
+        plan,
+        ids,
+        params: params.clone(),
+        phase_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::GraphBuilder;
+
+    #[test]
+    fn runner_end_to_end_on_clique() {
+        let g = Graph::complete(25);
+        let params = NearCliqueParams::new(0.25, 0.15).unwrap();
+        let run = run_near_clique(&g, &params, 3);
+        assert_eq!(run.termination, Termination::Quiescent);
+        let sets = run.labeled_sets();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].1.len(), 25);
+        assert_eq!(run.largest_set().unwrap().len(), 25);
+    }
+
+    #[test]
+    fn labeled_sets_sorted_by_size() {
+        let mut b = GraphBuilder::new(26);
+        b.add_clique(&(0..16).collect::<Vec<_>>());
+        b.add_clique(&(16..26).collect::<Vec<_>>());
+        let g = b.build();
+        let params = NearCliqueParams::new(0.25, 0.3).unwrap();
+        let run = run_near_clique(&g, &params, 5);
+        let sets = run.labeled_sets();
+        for pair in sets.windows(2) {
+            assert!(pair[0].1.len() >= pair[1].1.len());
+        }
+    }
+
+    #[test]
+    fn round_bound_aborts_gracefully() {
+        let g = Graph::complete(20);
+        let params = NearCliqueParams::new(0.25, 0.2).unwrap();
+        let options = RunOptions { max_rounds: 2, threads: 1 };
+        let run = run_near_clique_with(&g, &params, 9, options);
+        assert_eq!(run.termination, Termination::RoundLimit);
+        // Aborted mid-protocol: no labels, never inconsistent ones.
+        assert!(run.labels.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn phase_trace_covers_all_phases_in_order() {
+        let g = Graph::complete(20);
+        let params = NearCliqueParams::new(0.25, 0.2).unwrap().with_lambda(2);
+        let run = run_near_clique(&g, &params, 37);
+        let names: Vec<&str> = run.phase_trace.iter().map(|&(_, name, _)| name).collect();
+        // Two versions of the exploration block, one decision pass.
+        let announces = names.iter().filter(|&&n| n == "announce").count();
+        assert_eq!(announces, 2);
+        assert_eq!(names.iter().filter(|&&n| n == "vote").count(), 1);
+        assert_eq!(names.last(), Some(&"winner"));
+        // Entry rounds are non-decreasing.
+        let rounds: Vec<u64> = run.phase_trace.iter().map(|&(_, _, r)| r).collect();
+        assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn candidate_report_matches_labels() {
+        let g = Graph::complete(20);
+        let params = NearCliqueParams::new(0.25, 0.2).unwrap();
+        let run = run_near_clique(&g, &params, 31);
+        let report = run.candidate_report(&g);
+        assert_eq!(report.labels, run.labels);
+        for cand in &report.candidates {
+            assert!(cand.t_size as usize <= 20);
+        }
+    }
+
+    #[test]
+    fn sample_size_reports_plan() {
+        let g = Graph::complete(50);
+        let params = NearCliqueParams::new(0.25, 0.1).unwrap();
+        let run = run_near_clique(&g, &params, 21);
+        assert_eq!(run.sample_size(0), run.plan.sample(0).len());
+    }
+}

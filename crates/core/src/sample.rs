@@ -1,0 +1,183 @@
+//! The sampling stage (and its §5.2 two-coin refinement).
+//!
+//! The sampling stage of `DistNearClique` is purely local: every node
+//! joins `S` independently with probability `p`. The analysis of §5.2
+//! refines the coin into two independent coins — `coin₁` with probability
+//! `p₁ = p/2` and `coin₂` with probability `p₂ = (p − p₁)/(1 − p₁)` — such
+//! that a node enters `S` iff at least one shows heads; `S⁽¹⁾` (the
+//! `coin₁` heads) is the sub-sample the existence proof intersects with
+//! the core `C`.
+//!
+//! [`SamplePlan`] materializes those flips for every node and version
+//! up-front from the master seed (the same per-node RNG streams the
+//! simulator would hand out), so the distributed protocol and the
+//! centralized reference provably run on the *same* sample, and analysis
+//! experiments (E6, and the representativeness checks behind Lemma 5.6)
+//! can inspect `S⁽¹⁾`/`S⁽²⁾` directly.
+
+use congest::rng::node_rng;
+use graphs::FixedBitSet;
+use rand::Rng;
+
+/// Per-node, per-version coin flips of the sampling stage.
+#[derive(Clone, Debug)]
+pub struct SamplePlan {
+    n: usize,
+    /// `coin1[v]` — the `S⁽¹⁾` flips, one bitset per version.
+    coin1: Vec<FixedBitSet>,
+    /// `coin2[v]` — the `S⁽²⁾` flips, one bitset per version.
+    coin2: Vec<FixedBitSet>,
+}
+
+impl SamplePlan {
+    /// Draws the plan for `n` nodes, `lambda` versions, sampling
+    /// probability `p`, from `seed`.
+    ///
+    /// Node `i` uses the RNG stream `node_rng(seed, i)` and draws its
+    /// version-0 coins first, then version-1, and so on — the order the
+    /// distributed sampling stage would draw them in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)` or `lambda == 0`.
+    #[must_use]
+    pub fn draw(n: usize, lambda: u32, p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+        assert!(lambda >= 1, "lambda must be at least 1");
+        let p1 = p / 2.0;
+        let p2 = (p - p1) / (1.0 - p1);
+        let mut coin1: Vec<FixedBitSet> = (0..lambda).map(|_| FixedBitSet::new(n)).collect();
+        let mut coin2: Vec<FixedBitSet> = (0..lambda).map(|_| FixedBitSet::new(n)).collect();
+        for i in 0..n {
+            let mut rng = node_rng(seed, i);
+            for v in 0..lambda as usize {
+                if rng.gen_bool(p1) {
+                    coin1[v].insert(i);
+                }
+                if rng.gen_bool(p2) {
+                    coin2[v].insert(i);
+                }
+            }
+        }
+        Self { n, coin1, coin2 }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of versions.
+    #[must_use]
+    pub fn versions(&self) -> u32 {
+        self.coin1.len() as u32
+    }
+
+    /// Whether node `i` is in `S` for `version` (either coin heads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` or `i` is out of range.
+    #[must_use]
+    pub fn in_sample(&self, version: u32, i: usize) -> bool {
+        self.coin1[version as usize].contains(i) || self.coin2[version as usize].contains(i)
+    }
+
+    /// The sample `S` of `version` as a node set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is out of range.
+    #[must_use]
+    pub fn sample(&self, version: u32) -> FixedBitSet {
+        let mut s = self.coin1[version as usize].clone();
+        s.union_with(&self.coin2[version as usize]);
+        s
+    }
+
+    /// The §5.2 sub-sample `S⁽¹⁾` (`coin₁` heads) of `version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is out of range.
+    #[must_use]
+    pub fn s1(&self, version: u32) -> &FixedBitSet {
+        &self.coin1[version as usize]
+    }
+
+    /// The §5.2 sub-sample `S⁽²⁾` (`coin₂` heads) of `version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is out of range.
+    #[must_use]
+    pub fn s2(&self, version: u32) -> &FixedBitSet {
+        &self.coin2[version as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_is_union_of_coins() {
+        let plan = SamplePlan::draw(500, 2, 0.05, 7);
+        for v in 0..2 {
+            let s = plan.sample(v);
+            for i in 0..500 {
+                assert_eq!(
+                    s.contains(i),
+                    plan.s1(v).contains(i) || plan.s2(v).contains(i),
+                    "node {i} version {v}"
+                );
+                assert_eq!(s.contains(i), plan.in_sample(v, i));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SamplePlan::draw(200, 3, 0.1, 42);
+        let b = SamplePlan::draw(200, 3, 0.1, 42);
+        for v in 0..3 {
+            assert_eq!(a.sample(v), b.sample(v));
+        }
+        let c = SamplePlan::draw(200, 3, 0.1, 43);
+        assert_ne!(a.sample(0), c.sample(0), "different seed, different sample");
+    }
+
+    #[test]
+    fn versions_are_independent() {
+        let plan = SamplePlan::draw(2000, 2, 0.05, 1);
+        assert_ne!(plan.sample(0), plan.sample(1));
+    }
+
+    #[test]
+    fn sample_size_near_expectation() {
+        let n = 20_000;
+        let p = 0.02;
+        let plan = SamplePlan::draw(n, 1, p, 9);
+        let size = plan.sample(0).len() as f64;
+        let expected = p * n as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!((size - expected).abs() < 5.0 * sd, "|S| = {size}, expected {expected}");
+    }
+
+    #[test]
+    fn coin1_probability_is_half_of_p() {
+        let n = 50_000;
+        let plan = SamplePlan::draw(n, 1, 0.04, 11);
+        let c1 = plan.s1(0).len() as f64;
+        let expected = 0.02 * n as f64;
+        let sd = (expected * 0.98).sqrt();
+        assert!((c1 - expected).abs() < 5.0 * sd, "|S1| = {c1}, expected {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1)")]
+    fn bad_p_panics() {
+        let _ = SamplePlan::draw(10, 1, 0.0, 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Output checkers for the paper's unconditional guarantees.
+//!
+//! Lemma 5.3 holds for *every* output of the algorithm on *every* graph
+//! (not only when the promise of Theorem 2.1 holds): any emitted candidate
+//! `T_ε(X)` of size `t` is an `(n/t)·ε`-near clique. These checkers turn
+//! that into executable assertions used by integration tests, the E7
+//! experiment, and anyone consuming the library who wants runtime
+//! validation of outputs.
+
+use graphs::{density, FixedBitSet, Graph};
+
+/// The verdict for one labeled output set.
+#[derive(Clone, Debug)]
+pub struct SetCheck {
+    /// The label (component root).
+    pub label: u64,
+    /// The set.
+    pub set: FixedBitSet,
+    /// Measured pair density (Definition 1).
+    pub density: f64,
+    /// The Lemma 5.3 bound `(n/t)·ε` (may exceed 1, in which case the
+    /// lemma is vacuous for this size).
+    pub lemma_bound: f64,
+    /// `density ≥ 1 − lemma_bound` (always true when the implementation
+    /// is correct; vacuously true when `lemma_bound ≥ 1`).
+    pub satisfies_lemma: bool,
+}
+
+/// Violations found by [`check_labels`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LabelViolation {
+    /// A labeled set's density fell below the Lemma 5.3 bound — an
+    /// implementation bug by Lemma 5.3.
+    DensityBelowLemmaBound {
+        /// The offending label.
+        label: u64,
+    },
+}
+
+impl std::fmt::Display for LabelViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabelViolation::DensityBelowLemmaBound { label } => {
+                write!(f, "labeled set {label} violates the Lemma 5.3 density bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelViolation {}
+
+/// Checks every labeled set of a run against Lemma 5.3.
+///
+/// Returns the per-set reports; `Err` carries the first violation (which
+/// indicates a protocol implementation bug, never bad input).
+///
+/// # Errors
+///
+/// [`LabelViolation::DensityBelowLemmaBound`] if any set fails the bound.
+pub fn check_labels(
+    g: &Graph,
+    labels: &[Option<u64>],
+    epsilon: f64,
+) -> Result<Vec<SetCheck>, LabelViolation> {
+    let n = g.node_count();
+    assert_eq!(labels.len(), n, "one label slot per node required");
+    let mut by_label: std::collections::BTreeMap<u64, FixedBitSet> =
+        std::collections::BTreeMap::new();
+    for (v, label) in labels.iter().enumerate() {
+        if let Some(root) = label {
+            by_label.entry(*root).or_insert_with(|| FixedBitSet::new(n)).insert(v);
+        }
+    }
+    let mut checks = Vec::with_capacity(by_label.len());
+    for (label, set) in by_label {
+        let t = set.len();
+        let lemma_bound = density::lemma_5_3_bound(n, t, epsilon);
+        let d = density::density(g, &set);
+        let satisfies = d >= 1.0 - lemma_bound - 1e-9;
+        if !satisfies {
+            return Err(LabelViolation::DensityBelowLemmaBound { label });
+        }
+        checks.push(SetCheck { label, set, density: d, lemma_bound, satisfies_lemma: true });
+    }
+    Ok(checks)
+}
+
+/// Theorem 5.7's two assertions for a single output set against a known
+/// planted near-clique `d_set`: returns
+/// `(size_ok, density_ok)` where
+///
+/// * `size_ok`: `|D′| ≥ (1 − 13ε/2)·|D| − ε⁻²` (assertion 2), and
+/// * `density_ok`: `D′` is a `(ε/δ)/(1 − 13ε/2)`-near clique
+///   (assertion 1), with `δ = |D|/n`.
+#[must_use]
+pub fn check_theorem_5_7(
+    g: &Graph,
+    output: &FixedBitSet,
+    d_set: &FixedBitSet,
+    epsilon: f64,
+) -> (bool, bool) {
+    let n = g.node_count() as f64;
+    let d = d_set.len() as f64;
+    let delta = d / n;
+    let shrink = 1.0 - 13.0 * epsilon / 2.0;
+    if shrink <= 0.0 {
+        // ε ≥ 2/13: both assertions are vacuous (the size bound is
+        // non-positive and the density slack exceeds 1).
+        return (true, true);
+    }
+    let size_ok = output.len() as f64 >= shrink * d - 1.0 / (epsilon * epsilon);
+    let eps_out = (epsilon / delta) / shrink;
+    let density_ok = density::is_near_clique(g, output, eps_out.clamp(0.0, 1.0));
+    (size_ok, density_ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{Graph, GraphBuilder};
+
+    #[test]
+    fn clique_labels_pass() {
+        let g = Graph::complete(10);
+        let labels: Vec<Option<u64>> = vec![Some(1); 10];
+        let checks = check_labels(&g, &labels, 0.2).unwrap();
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].density, 1.0);
+        assert!(checks[0].satisfies_lemma);
+    }
+
+    #[test]
+    fn independent_set_label_fails_when_bound_tight() {
+        // Label the whole empty graph as one set: density 0; with
+        // t = n the bound is ε < 1, so density 0 violates it.
+        let g = Graph::empty(10);
+        let labels: Vec<Option<u64>> = vec![Some(7); 10];
+        let err = check_labels(&g, &labels, 0.3).unwrap_err();
+        assert_eq!(err, LabelViolation::DensityBelowLemmaBound { label: 7 });
+    }
+
+    #[test]
+    fn tiny_sets_pass_vacuously() {
+        // t = 2 in a 100-node graph: bound (100/2)·0.1 = 5 ≥ 1, vacuous.
+        let mut b = GraphBuilder::new(100);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let mut labels: Vec<Option<u64>> = vec![None; 100];
+        labels[5] = Some(1);
+        labels[90] = Some(1); // not even an edge between them
+        let checks = check_labels(&g, &labels, 0.1).unwrap();
+        assert!(checks[0].lemma_bound >= 1.0);
+    }
+
+    #[test]
+    fn unlabeled_run_passes_trivially() {
+        let g = Graph::empty(5);
+        let checks = check_labels(&g, &[None; 5], 0.2).unwrap();
+        assert!(checks.is_empty());
+    }
+
+    #[test]
+    fn theorem_check_on_perfect_recovery() {
+        let g = Graph::complete(40);
+        let d = graphs::FixedBitSet::full(40);
+        let (size_ok, density_ok) = check_theorem_5_7(&g, &d, &d, 0.05);
+        assert!(size_ok && density_ok);
+    }
+
+    #[test]
+    fn theorem_check_vacuous_for_large_epsilon() {
+        // ε ≥ 2/13 makes both assertions vacuous.
+        let g = Graph::empty(10);
+        let d = graphs::FixedBitSet::full(10);
+        let empty = graphs::FixedBitSet::new(10);
+        assert_eq!(check_theorem_5_7(&g, &empty, &d, 0.2), (true, true));
+    }
+
+    #[test]
+    fn theorem_check_fails_on_tiny_output() {
+        // ε = 0.1: size bound is 0.35·2000 − 100 = 600 ≫ 5, and a 5-node
+        // set in the empty graph has density 0.
+        let g = Graph::empty(2000);
+        let d = graphs::FixedBitSet::full(2000);
+        let tiny = graphs::FixedBitSet::from_iter_with_capacity(2000, 0..5);
+        let (size_ok, density_ok) = check_theorem_5_7(&g, &tiny, &d, 0.1);
+        assert!(!size_ok);
+        assert!(!density_ok);
+    }
+}

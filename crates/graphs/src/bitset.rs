@@ -1,0 +1,450 @@
+//! A packed, fixed-capacity bit set.
+//!
+//! [`FixedBitSet`] is the workhorse of every density computation in this
+//! workspace: adjacency rows, node subsets, and the `K_ε`/`T_ε` kernels of
+//! the paper all reduce to word-parallel intersection counts over bit sets.
+//!
+//! The implementation is deliberately self-contained (no external bitset
+//! crate) so the hot kernels — [`FixedBitSet::intersection_count`] in
+//! particular — stay transparent and auditable.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphs::bitset::FixedBitSet;
+//!
+//! let mut a = FixedBitSet::new(128);
+//! a.insert(3);
+//! a.insert(64);
+//! let mut b = FixedBitSet::new(128);
+//! b.insert(64);
+//! b.insert(100);
+//! assert_eq!(a.intersection_count(&b), 1);
+//! assert!(a.contains(3));
+//! ```
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of `usize` values drawn from `0..capacity`, stored one bit per
+/// value.
+///
+/// All binary operations (`union_with`, `intersect_with`,
+/// `intersection_count`, …) require both operands to have the same
+/// capacity and panic otherwise; this catches cross-graph mixups early.
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl FixedBitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let n_words = capacity.div_ceil(WORD_BITS);
+        Self { words: vec![0; n_words], capacity }
+    }
+
+    /// Creates a set containing every value in `0..capacity`.
+    #[must_use]
+    pub fn full(capacity: usize) -> Self {
+        let mut set = Self::new(capacity);
+        for (i, word) in set.words.iter_mut().enumerate() {
+            let lo = i * WORD_BITS;
+            if lo + WORD_BITS <= capacity {
+                *word = u64::MAX;
+            } else if lo < capacity {
+                *word = (1u64 << (capacity - lo)) - 1;
+            }
+        }
+        set
+    }
+
+    /// Builds a set from an iterator of members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is `>= capacity`.
+    #[must_use]
+    pub fn from_iter_with_capacity<I: IntoIterator<Item = usize>>(
+        capacity: usize,
+        members: I,
+    ) -> Self {
+        let mut set = Self::new(capacity);
+        for m in members {
+            set.insert(m);
+        }
+        set
+    }
+
+    /// The exclusive upper bound on storable values.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `value`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        let mask = 1u64 << b;
+        let was_absent = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        was_absent
+    }
+
+    /// Removes `value`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    pub fn remove(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        let mask = 1u64 << b;
+        let was_present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was_present
+    }
+
+    /// Returns `true` if `value` is a member. Out-of-range values are simply
+    /// not members (no panic), which lets callers probe safely.
+    #[must_use]
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all members, keeping the capacity.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    fn assert_same_capacity(&self, other: &Self) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bitset capacity mismatch: {} vs {}",
+            self.capacity, other.capacity
+        );
+    }
+
+    /// `|self ∩ other|` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    #[must_use]
+    pub fn intersection_count(&self, other: &Self) -> usize {
+        self.assert_same_capacity(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    #[must_use]
+    pub fn union_count(&self, other: &Self) -> usize {
+        self.assert_same_capacity(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    #[must_use]
+    pub fn difference_count(&self, other: &Self) -> usize {
+        self.assert_same_capacity(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &Self) {
+        self.assert_same_capacity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &Self) {
+        self.assert_same_capacity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &Self) {
+        self.assert_same_capacity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `true` if the sets share no member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.assert_same_capacity(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// `true` if every member of `self` is a member of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    #[must_use]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.assert_same_capacity(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// The smallest member, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Collects members into a `Vec`, in increasing order.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for FixedBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<usize> for FixedBitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+/// Iterator over the members of a [`FixedBitSet`], produced by
+/// [`FixedBitSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a FixedBitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FixedBitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let s = FixedBitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.capacity(), 100);
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = FixedBitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert reports already-present");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = FixedBitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        FixedBitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_has_everything_and_only_that() {
+        for cap in [0, 1, 63, 64, 65, 127, 128, 200] {
+            let s = FixedBitSet::full(cap);
+            assert_eq!(s.len(), cap, "capacity {cap}");
+            assert_eq!(s.to_vec(), (0..cap).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn set_algebra_counts() {
+        let a = FixedBitSet::from_iter_with_capacity(200, [1, 2, 3, 100, 150]);
+        let b = FixedBitSet::from_iter_with_capacity(200, [2, 3, 4, 150, 199]);
+        assert_eq!(a.intersection_count(&b), 3);
+        assert_eq!(a.union_count(&b), 7);
+        assert_eq!(a.difference_count(&b), 2);
+        assert_eq!(b.difference_count(&a), 2);
+    }
+
+    #[test]
+    fn in_place_ops_match_counts() {
+        let a = FixedBitSet::from_iter_with_capacity(70, [0, 5, 64, 69]);
+        let b = FixedBitSet::from_iter_with_capacity(70, [5, 6, 69]);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), a.union_count(&b));
+        assert_eq!(u.to_vec(), vec![0, 5, 6, 64, 69]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.len(), a.intersection_count(&b));
+        assert_eq!(i.to_vec(), vec![5, 69]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.len(), a.difference_count(&b));
+        assert_eq!(d.to_vec(), vec![0, 64]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = FixedBitSet::from_iter_with_capacity(100, [1, 2]);
+        let b = FixedBitSet::from_iter_with_capacity(100, [1, 2, 3]);
+        let c = FixedBitSet::from_iter_with_capacity(100, [50]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn iter_order_and_min() {
+        let s = FixedBitSet::from_iter_with_capacity(300, [299, 0, 64, 63, 128]);
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 128, 299]);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(FixedBitSet::new(5).min(), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = FixedBitSet::from_iter_with_capacity(64, [0, 1, 2]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mixed_capacity_panics() {
+        let a = FixedBitSet::new(10);
+        let b = FixedBitSet::new(20);
+        let _ = a.intersection_count(&b);
+    }
+
+    #[test]
+    fn extend_collects() {
+        let mut s = FixedBitSet::new(10);
+        s.extend([1usize, 3, 5]);
+        assert_eq!(s.to_vec(), vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,332 @@
+//! The paper's density and approximate-neighborhood kernels.
+//!
+//! This module is the *centralized reference semantics* for everything the
+//! distributed protocol computes:
+//!
+//! * [`directed_internal_edges`] / [`density`] / [`is_near_clique`] —
+//!   Definition 1 of the paper (each undirected edge counted as two
+//!   anti-symmetric directed edges; a set `D` is ε-near clique when its
+//!   directed internal edge count is at least `(1 − ε)·|D|·(|D| − 1)`).
+//! * [`k_eps`] — Equation (1): `K_ε(X) = { v : |Γ(v) ∩ X| ≥ (1 − ε)|X| }`.
+//! * [`t_eps`] — Equation (2): `T_ε(X) = K_ε(K_{2ε²}(X)) ∩ K_{2ε²}(X)`.
+//! * [`core_c`] — the set `C = K_{ε²}(D) ∩ D` of §5.2.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphs::{Graph, bitset::FixedBitSet, density};
+//!
+//! let g = Graph::complete(10);
+//! let all = FixedBitSet::full(10);
+//! assert_eq!(density::density(&g, &all), 1.0);
+//! assert!(density::is_near_clique(&g, &all, 0.0));
+//! // In a clique, K_ε(X) is everyone, hence so is T_ε(X).
+//! assert_eq!(density::t_eps(&g, &all, 0.25).len(), 10);
+//! ```
+
+use crate::bitset::FixedBitSet;
+use crate::graph::Graph;
+
+/// Number of *directed* edges internal to `set`, i.e.
+/// `|{(u,v) ∈ set×set : {u,v} ∈ E}|` (Definition 1 counts each undirected
+/// edge twice).
+///
+/// # Panics
+///
+/// Panics if `set.capacity() != g.node_count()`.
+#[must_use]
+pub fn directed_internal_edges(g: &Graph, set: &FixedBitSet) -> usize {
+    assert_eq!(set.capacity(), g.node_count(), "set capacity must equal node count");
+    set.iter().map(|v| g.degree_into(v, set)).sum()
+}
+
+/// Density of `set` per Definition 1: directed internal edges divided by
+/// `|set|·(|set| − 1)`.
+///
+/// Degenerate sets (size 0 or 1) have density 1 by convention: they satisfy
+/// the ε-near-clique inequality vacuously for every ε.
+///
+/// # Panics
+///
+/// Panics if `set.capacity() != g.node_count()`.
+#[must_use]
+pub fn density(g: &Graph, set: &FixedBitSet) -> f64 {
+    let s = set.len();
+    if s <= 1 {
+        return 1.0;
+    }
+    directed_internal_edges(g, set) as f64 / (s as f64 * (s as f64 - 1.0))
+}
+
+/// Whether `set` is an ε-near clique (Definition 1):
+/// `directed_internal_edges ≥ (1 − ε)·|set|·(|set| − 1)`.
+///
+/// The comparison is done in exact integer arithmetic where possible to
+/// avoid accepting sets on floating-point noise.
+///
+/// # Panics
+///
+/// Panics if `set.capacity() != g.node_count()` or `epsilon` is not in
+/// `[0, 1]`.
+#[must_use]
+pub fn is_near_clique(g: &Graph, set: &FixedBitSet, epsilon: f64) -> bool {
+    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1], got {epsilon}");
+    let s = set.len();
+    if s <= 1 {
+        return true;
+    }
+    let pairs = (s * (s - 1)) as f64;
+    directed_internal_edges(g, set) as f64 >= (1.0 - epsilon) * pairs - 1e-9
+}
+
+/// The smallest ε for which `set` is an ε-near clique, i.e. `1 − density`.
+///
+/// # Panics
+///
+/// Panics if `set.capacity() != g.node_count()`.
+#[must_use]
+pub fn near_clique_epsilon(g: &Graph, set: &FixedBitSet) -> f64 {
+    (1.0 - density(g, set)).max(0.0)
+}
+
+/// The ε-approximate common-neighborhood set of Equation (1):
+/// `K_ε(X) = { v ∈ V : |Γ(v) ∩ X| ≥ (1 − ε)|X \ {v}| }`.
+///
+/// The paper writes the threshold as `(1 − ε)|X|`, but its strict
+/// definition `K(V′) = { v : Γ(v) ⊇ V′ \ {v} }` (§4, "the basic idea")
+/// — and the key observation `D ⊆ K(D)` for cliques that the whole
+/// construction rests on — measures `v` against `X` *without itself*
+/// (`Γ(v)` never contains `v`). We therefore use `|X \ {v}|` on the
+/// right-hand side, which coincides with the paper's formula for all
+/// `v ∉ X` and makes `K_0(X)` agree with the strict `K(X)` for `v ∈ X`.
+/// `K_ε(∅) = V` (vacuous threshold), matching the formula.
+///
+/// # Panics
+///
+/// Panics if `x.capacity() != g.node_count()` or `epsilon ∉ [0, 1]`.
+#[must_use]
+pub fn k_eps(g: &Graph, x: &FixedBitSet, epsilon: f64) -> FixedBitSet {
+    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1], got {epsilon}");
+    assert_eq!(x.capacity(), g.node_count(), "set capacity must equal node count");
+    let n = g.node_count();
+    let size = x.len();
+    // Integer thresholds: |Γ(v) ∩ X| ≥ ceil((1 − ε)·|X \ {v}|) avoids float
+    // comparisons on the hot path. (1 − ε)|X| may itself be integral; a tiny
+    // slack keeps exact-threshold cases (e.g. ε = 0) correct.
+    let threshold = |base: usize| ((1.0 - epsilon) * base as f64 - 1e-9).ceil().max(0.0) as usize;
+    let threshold_out = threshold(size);
+    let threshold_in = threshold(size.saturating_sub(1));
+    let mut out = FixedBitSet::new(n);
+    for v in 0..n {
+        let t = if x.contains(v) { threshold_in } else { threshold_out };
+        if g.degree_into(v, x) >= t {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+/// The strict common-neighborhood set `K(X) = K_0(X)`: nodes adjacent to
+/// *all* nodes of `X` (other than themselves).
+///
+/// # Panics
+///
+/// Panics if `x.capacity() != g.node_count()`.
+#[must_use]
+pub fn k_strict(g: &Graph, x: &FixedBitSet) -> FixedBitSet {
+    k_eps(g, x, 0.0)
+}
+
+/// The candidate-set operator of Equation (2):
+/// `T_ε(X) = K_ε(K_{2ε²}(X)) ∩ K_{2ε²}(X)`.
+///
+/// # Panics
+///
+/// Panics if `x.capacity() != g.node_count()` or `epsilon ∉ [0, 1]`.
+#[must_use]
+pub fn t_eps(g: &Graph, x: &FixedBitSet, epsilon: f64) -> FixedBitSet {
+    let inner_eps = 2.0 * epsilon * epsilon;
+    let k_inner = k_eps(g, x, inner_eps.min(1.0));
+    let mut out = k_eps(g, &k_inner, epsilon);
+    out.intersect_with(&k_inner);
+    out
+}
+
+/// The strict variant `T(X) = K(K(X)) ∩ K(X)` used in the paper's "basic
+/// idea" discussion (§4): if `D` is a clique then `D ⊆ T(D)` and `T(D)` is
+/// itself a clique.
+///
+/// # Panics
+///
+/// Panics if `x.capacity() != g.node_count()`.
+#[must_use]
+pub fn t_strict(g: &Graph, x: &FixedBitSet) -> FixedBitSet {
+    let k = k_strict(g, x);
+    let mut out = k_strict(g, &k);
+    out.intersect_with(&k);
+    out
+}
+
+/// The core `C = K_{ε²}(D) ∩ D` of §5.2: members of the near-clique `D`
+/// that are adjacent to all but an ε² fraction of `D`.
+///
+/// Lemma 5.4 guarantees `|C| ≥ (1 − ε)|D| − 1/ε²` when `D` is an ε³-near
+/// clique.
+///
+/// # Panics
+///
+/// Panics if `d.capacity() != g.node_count()` or `epsilon ∉ [0, 1]`.
+#[must_use]
+pub fn core_c(g: &Graph, d: &FixedBitSet, epsilon: f64) -> FixedBitSet {
+    let mut c = k_eps(g, d, (epsilon * epsilon).min(1.0));
+    c.intersect_with(d);
+    c
+}
+
+/// The Lemma 5.3 guarantee for a candidate: a non-empty `T_ε(X)` of size
+/// `t` is an `(n/t)·ε`-near clique. Returns that bound (may exceed 1, in
+/// which case the lemma is vacuous).
+#[must_use]
+pub fn lemma_5_3_bound(n: usize, t: usize, epsilon: f64) -> f64 {
+    if t == 0 {
+        return 1.0;
+    }
+    (n as f64 / t as f64) * epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn clique_plus_pendant(k: usize) -> Graph {
+        // Nodes 0..k form a clique; node k hangs off node 0.
+        let mut b = GraphBuilder::new(k + 1);
+        b.add_clique(&(0..k).collect::<Vec<_>>());
+        b.add_edge(0, k);
+        b.build()
+    }
+
+    #[test]
+    fn density_of_clique_is_one() {
+        let g = Graph::complete(6);
+        let all = FixedBitSet::full(6);
+        assert_eq!(directed_internal_edges(&g, &all), 6 * 5);
+        assert_eq!(density(&g, &all), 1.0);
+        assert!(is_near_clique(&g, &all, 0.0));
+    }
+
+    #[test]
+    fn density_of_independent_set_is_zero() {
+        let g = Graph::empty(5);
+        let all = FixedBitSet::full(5);
+        assert_eq!(density(&g, &all), 0.0);
+        assert!(!is_near_clique(&g, &all, 0.5));
+        assert!(is_near_clique(&g, &all, 1.0));
+    }
+
+    #[test]
+    fn degenerate_sets_have_density_one() {
+        let g = Graph::empty(3);
+        let empty = FixedBitSet::new(3);
+        let single = FixedBitSet::from_iter_with_capacity(3, [1]);
+        assert_eq!(density(&g, &empty), 1.0);
+        assert_eq!(density(&g, &single), 1.0);
+        assert!(is_near_clique(&g, &single, 0.0));
+    }
+
+    #[test]
+    fn near_clique_epsilon_matches_missing_fraction() {
+        // 4-clique minus one edge: 10 directed internal edges of 12.
+        let mut b = GraphBuilder::new(4);
+        b.add_clique(&[0, 1, 2, 3]);
+        let g = b.build();
+        let mut b2 = GraphBuilder::new(4);
+        for (u, v) in g.edges() {
+            if (u, v) != (2, 3) {
+                b2.add_edge(u, v);
+            }
+        }
+        let g2 = b2.build();
+        let all = FixedBitSet::full(4);
+        let eps = near_clique_epsilon(&g2, &all);
+        assert!((eps - 2.0 / 12.0).abs() < 1e-12);
+        assert!(is_near_clique(&g2, &all, 2.0 / 12.0));
+        assert!(!is_near_clique(&g2, &all, 0.1));
+    }
+
+    #[test]
+    fn k_strict_requires_all_edges() {
+        let g = clique_plus_pendant(4);
+        // X = {1, 2}: nodes adjacent to both are 0, 3 (and each of 1, 2 is
+        // adjacent to the other, so Γ(v) ⊇ X \ {v} holds for them too).
+        let x = FixedBitSet::from_iter_with_capacity(5, [1, 2]);
+        let k = k_strict(&g, &x);
+        assert_eq!(k.to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn k_eps_of_empty_set_is_everything() {
+        let g = Graph::empty(4);
+        let k = k_eps(&g, &FixedBitSet::new(4), 0.3);
+        assert_eq!(k.len(), 4);
+    }
+
+    #[test]
+    fn k_eps_threshold_rounding_is_exact_at_eps_zero() {
+        let g = clique_plus_pendant(3);
+        let x = FixedBitSet::from_iter_with_capacity(4, [0, 1, 2]);
+        // With eps = 0 every member of K must see all of X (minus self).
+        let k = k_eps(&g, &x, 0.0);
+        assert_eq!(k.to_vec(), vec![0, 1, 2]);
+        // The pendant (node 3) sees only node 0: 1 of 3 < (1 − 0.5)·3? With
+        // eps = 0.7 the threshold is ceil(0.9) = 1, so it qualifies.
+        let k2 = k_eps(&g, &x, 0.7);
+        assert!(k2.contains(3));
+    }
+
+    #[test]
+    fn t_strict_of_clique_contains_clique_and_is_clique() {
+        // Paper §4 "basic idea": D clique ⊆ T(D), and T(D) is a clique.
+        let g = clique_plus_pendant(5);
+        let d = FixedBitSet::from_iter_with_capacity(6, 0..5);
+        let t = t_strict(&g, &d);
+        assert!(d.is_subset(&t));
+        assert!(is_near_clique(&g, &t, 0.0), "T(D) must be a clique");
+    }
+
+    #[test]
+    fn t_eps_on_clique_is_whole_clique() {
+        let g = Graph::complete(8);
+        let x = FixedBitSet::from_iter_with_capacity(8, [0, 3, 5]);
+        let t = t_eps(&g, &x, 0.2);
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn core_c_lemma_5_4_bound_holds_on_planted_instance() {
+        // Build an exact clique (which is an ε³-near clique for any ε).
+        let g = Graph::complete(40);
+        let d = FixedBitSet::full(40);
+        let eps = 0.3;
+        let c = core_c(&g, &d, eps);
+        let bound = (1.0 - eps) * 40.0 - 1.0 / (eps * eps);
+        assert!(c.len() as f64 >= bound, "|C| = {} < bound {}", c.len(), bound);
+        // For a perfect clique C = D.
+        assert_eq!(c.len(), 40);
+    }
+
+    #[test]
+    fn lemma_5_3_bound_values() {
+        assert_eq!(lemma_5_3_bound(100, 0, 0.1), 1.0);
+        assert!((lemma_5_3_bound(100, 50, 0.1) - 0.2).abs() < 1e-12);
+        assert!(lemma_5_3_bound(100, 5, 0.1) > 1.0, "vacuous when t tiny");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn bad_epsilon_panics() {
+        let g = Graph::empty(2);
+        let _ = k_eps(&g, &FixedBitSet::new(2), 1.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Exact maximum-clique search (Bron–Kerbosch with pivoting).
+//!
+//! Finding a maximum clique is NP-hard (the paper cites Håstad's
+//! inapproximability \[13\]); this module exists to provide *ground truth on
+//! small instances* for experiment E11 and for validating the heuristics,
+//! not as a scalable algorithm. The implementation is the classic
+//! Bron–Kerbosch recursion with the Tomita pivoting rule and runs
+//! comfortably up to a few hundred nodes on the instance families used
+//! here.
+
+use crate::bitset::FixedBitSet;
+use crate::graph::Graph;
+
+/// Returns a maximum clique of `g` as a node set.
+///
+/// Exponential worst-case time; intended for `n ≲ 300` ground-truth runs.
+/// The empty graph yields the empty set; otherwise the result is non-empty
+/// (a single node is a clique).
+///
+/// # Examples
+///
+/// ```
+/// use graphs::{GraphBuilder, exact};
+///
+/// let mut b = GraphBuilder::new(5);
+/// b.add_clique(&[0, 1, 2]).add_edge(3, 4);
+/// let clique = exact::maximum_clique(&b.build());
+/// assert_eq!(clique.to_vec(), vec![0, 1, 2]);
+/// ```
+#[must_use]
+pub fn maximum_clique(g: &Graph) -> FixedBitSet {
+    let n = g.node_count();
+    let rows: Vec<FixedBitSet> = match collect_rows(g) {
+        Some(r) => r,
+        None => return FixedBitSet::new(n),
+    };
+    let mut best = FixedBitSet::new(n);
+    let mut current = FixedBitSet::new(n);
+    let p = FixedBitSet::full(n);
+    let x = FixedBitSet::new(n);
+    bron_kerbosch(&rows, &mut current, p, x, &mut best);
+    best
+}
+
+/// Size of a maximum clique (convenience wrapper over
+/// [`maximum_clique`]).
+#[must_use]
+pub fn clique_number(g: &Graph) -> usize {
+    maximum_clique(g).len()
+}
+
+fn collect_rows(g: &Graph) -> Option<Vec<FixedBitSet>> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    Some(
+        (0..n)
+            .map(|v| match g.row(v) {
+                Some(r) => r.clone(),
+                None => FixedBitSet::from_iter_with_capacity(n, g.neighbors(v).iter().copied()),
+            })
+            .collect(),
+    )
+}
+
+fn bron_kerbosch(
+    rows: &[FixedBitSet],
+    current: &mut FixedBitSet,
+    p: FixedBitSet,
+    x: FixedBitSet,
+    best: &mut FixedBitSet,
+) {
+    if p.is_empty() && x.is_empty() {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    // Bounding: even taking all of P cannot beat the incumbent.
+    if current.len() + p.len() <= best.len() {
+        return;
+    }
+    // Tomita pivot: vertex of P ∪ X with most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .max_by_key(|&u| rows[u].intersection_count(&p))
+        .expect("P ∪ X non-empty here");
+
+    let mut candidates = p.clone();
+    candidates.difference_with(&rows[pivot]);
+    let mut p = p;
+    let mut x = x;
+    for v in candidates.iter() {
+        let mut p_next = p.clone();
+        p_next.intersect_with(&rows[v]);
+        let mut x_next = x.clone();
+        x_next.intersect_with(&rows[v]);
+        current.insert(v);
+        bron_kerbosch(rows, current, p_next, x_next, best);
+        current.remove(v);
+        // Classical BK bookkeeping: v moves from P to X for the remaining
+        // candidates of this level.
+        p.remove(v);
+        x.insert(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::planted_clique;
+    use crate::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_graph_empty_clique() {
+        assert_eq!(maximum_clique(&Graph::empty(0)).len(), 0);
+        assert_eq!(clique_number(&Graph::empty(5)), 1);
+    }
+
+    #[test]
+    fn single_edges_give_pairs() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(2, 3);
+        assert_eq!(clique_number(&b.build()), 2);
+    }
+
+    #[test]
+    fn finds_planted_max_clique() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let p = planted_clique(60, 12, 0.1, &mut rng);
+        let found = maximum_clique(&p.graph);
+        assert!(found.len() >= 12, "found {} < planted 12", found.len());
+        // The found set must actually be a clique.
+        for u in found.iter() {
+            for v in found.iter() {
+                if u < v {
+                    assert!(p.graph.has_edge(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_its_own_clique() {
+        let g = Graph::complete(15);
+        assert_eq!(clique_number(&g), 15);
+    }
+
+    #[test]
+    fn cycle_of_length_five_has_clique_number_two() {
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(clique_number(&b.build()), 2);
+    }
+
+    #[test]
+    fn works_without_bitset_rows() {
+        let mut b = GraphBuilder::new(10);
+        b.bitset_rows(false);
+        b.add_clique(&[1, 4, 7, 9]);
+        assert_eq!(clique_number(&b.build()), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! A compact Dinic max-flow, used by the exact densest-subgraph solver.
+//!
+//! Integer capacities, adjacency-list arcs with explicit reverse edges.
+//! Sized for the flow networks [`crate::goldberg`] builds (`n + 2` nodes,
+//! `Θ(m + n)` arcs); not a general-purpose flow library.
+
+/// A directed flow network with integer capacities.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    /// Arc heads; `arcs[i] ^ 1` is the reverse arc of `arcs[i]`.
+    to: Vec<usize>,
+    cap: Vec<u64>,
+    /// Per-node outgoing arc indices.
+    head: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// Creates a network on `n` nodes with no arcs.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Adds an arc `u → v` of capacity `cap` (with a zero-capacity
+    /// reverse arc), returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_arc(&mut self, u: usize, v: usize, cap: u64) -> usize {
+        assert!(u < self.head.len() && v < self.head.len(), "arc endpoint out of range");
+        let idx = self.to.len();
+        self.to.push(v);
+        self.cap.push(cap);
+        self.head[u].push(idx);
+        self.to.push(u);
+        self.cap.push(0);
+        self.head[v].push(idx + 1);
+        idx
+    }
+
+    /// Computes the maximum `s → t` flow (Dinic), consuming capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert!(s != t, "source equals sink");
+        assert!(s < self.node_count() && t < self.node_count(), "terminal out of range");
+        let n = self.node_count();
+        let mut flow = 0u64;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; n];
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &a in &self.head[u] {
+                    let v = self.to[a];
+                    if self.cap[a] > 0 && level[v] == usize::MAX {
+                        level[v] = level[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if level[t] == usize::MAX {
+                return flow;
+            }
+            // DFS blocking flow with per-node arc cursors.
+            let mut cursor = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(s, t, u64::MAX, &level, &mut cursor);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        u: usize,
+        t: usize,
+        limit: u64,
+        level: &[usize],
+        cursor: &mut [usize],
+    ) -> u64 {
+        if u == t {
+            return limit;
+        }
+        while cursor[u] < self.head[u].len() {
+            let a = self.head[u][cursor[u]];
+            let v = self.to[a];
+            if self.cap[a] > 0 && level[v] == level[u] + 1 {
+                let pushed = self.dfs(v, t, limit.min(self.cap[a]), level, cursor);
+                if pushed > 0 {
+                    self.cap[a] -= pushed;
+                    self.cap[a ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            cursor[u] += 1;
+        }
+        0
+    }
+
+    /// Nodes reachable from `s` in the residual graph (call after
+    /// [`max_flow`](Self::max_flow) to read off the minimum cut's source
+    /// side).
+    #[must_use]
+    pub fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        seen[s] = true;
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for &a in &self.head[u] {
+                let v = self.to[a];
+                if self.cap[a] > 0 && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_arc() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 5);
+        assert_eq!(net.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 3);
+        net.add_arc(1, 3, 3);
+        net.add_arc(0, 2, 4);
+        net.add_arc(2, 3, 2);
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        // 0 -> 1 -> 2 with caps 10, 1.
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 10);
+        net.add_arc(1, 2, 1);
+        assert_eq!(net.max_flow(0, 2), 1);
+    }
+
+    #[test]
+    fn classic_augmenting_cross_edge() {
+        // The textbook case where the cross edge must be "undone".
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1);
+        net.add_arc(0, 2, 1);
+        net.add_arc(1, 2, 1);
+        net.add_arc(1, 3, 1);
+        net.add_arc(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn disconnected_sink_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 7);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn min_cut_side_via_residual() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 100);
+        net.add_arc(1, 2, 1); // the cut
+        net.add_arc(2, 3, 100);
+        let f = net.max_flow(0, 3);
+        assert_eq!(f, 1);
+        let side = net.residual_reachable(0);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source equals sink")]
+    fn same_terminal_panics() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.max_flow(1, 1);
+    }
+}

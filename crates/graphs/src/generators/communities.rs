@@ -1,0 +1,310 @@
+//! Synthetic community workloads.
+//!
+//! The paper motivates near-clique discovery with Web analysis: "tightly
+//! knit communities" that skew link-based ranking \[15\], and dense
+//! subgraphs marking significant events in the evolution of blog links
+//! \[14\]. Real crawls ship no ground truth, so these generators produce the
+//! same *shapes* with planted answers:
+//!
+//! * [`overlapping_communities`] — several dense communities that may share
+//!   members, over sparse background noise.
+//! * [`blog_burst`] — a sequence of graph snapshots in which a dense
+//!   "event" community appears, peaks, and dissolves.
+//! * [`caveman`] — the classic relaxed-caveman clustering benchmark.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bitset::FixedBitSet;
+use crate::graph::{Graph, GraphBuilder};
+
+/// A graph with several planted (possibly overlapping) dense communities.
+#[derive(Clone, Debug)]
+pub struct CommunityGraph {
+    /// The generated graph.
+    pub graph: Graph,
+    /// Planted communities, each a node set.
+    pub communities: Vec<FixedBitSet>,
+}
+
+impl CommunityGraph {
+    /// The largest planted community (ties broken arbitrarily), or `None`
+    /// if none were planted.
+    #[must_use]
+    pub fn largest(&self) -> Option<&FixedBitSet> {
+        self.communities.iter().max_by_key(|c| c.len())
+    }
+
+    /// Best overlap score of `set` against any planted community:
+    /// `max_i |set ∩ Cᵢ| / |set ∪ Cᵢ|` (Jaccard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` has a different capacity than the graph.
+    #[must_use]
+    pub fn best_jaccard(&self, set: &FixedBitSet) -> f64 {
+        self.communities
+            .iter()
+            .map(|c| {
+                let inter = set.intersection_count(c);
+                let union = set.union_count(c);
+                if union == 0 { 0.0 } else { inter as f64 / union as f64 }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Plants `count` communities of the given `size` over `G(n, background_p)`
+/// noise. Within each community every pair is connected with probability
+/// `internal_p`; consecutive communities share `overlap` members.
+///
+/// # Panics
+///
+/// Panics if parameters are inconsistent (probabilities outside `[0, 1]`,
+/// `overlap ≥ size`, or the communities do not fit in `n` nodes).
+#[must_use]
+pub fn overlapping_communities<R: Rng + ?Sized>(
+    n: usize,
+    count: usize,
+    size: usize,
+    overlap: usize,
+    internal_p: f64,
+    background_p: f64,
+    rng: &mut R,
+) -> CommunityGraph {
+    assert!((0.0..=1.0).contains(&internal_p), "internal_p must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&background_p), "background_p must be in [0, 1]");
+    assert!(overlap < size || count <= 1, "overlap = {overlap} must be < size = {size}");
+    let fresh_per_community = size - overlap;
+    let needed = if count == 0 { 0 } else { size + (count - 1) * fresh_per_community };
+    assert!(needed <= n, "{count} communities of size {size} need {needed} > n = {n} nodes");
+
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+
+    let mut b = GraphBuilder::new(n);
+    let mut communities = Vec::with_capacity(count);
+    let mut cursor = 0usize;
+    let mut prev_tail: Vec<usize> = Vec::new();
+    for c in 0..count {
+        let mut members: Vec<usize> = prev_tail.clone();
+        let take = if c == 0 { size } else { fresh_per_community };
+        members.extend_from_slice(&ids[cursor..cursor + take]);
+        cursor += take;
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if rng.gen_bool(internal_p) {
+                    b.add_edge(members[i], members[j]);
+                }
+            }
+        }
+        prev_tail = members[members.len() - overlap.min(members.len())..].to_vec();
+        communities.push(FixedBitSet::from_iter_with_capacity(n, members.iter().copied()));
+    }
+
+    if background_p > 0.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(background_p) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+    }
+
+    CommunityGraph { graph: b.build(), communities }
+}
+
+/// A temporal sequence of graph snapshots with a planted "event" window.
+#[derive(Clone, Debug)]
+pub struct BlogBurst {
+    /// One graph per time step, all on the same node set.
+    pub snapshots: Vec<Graph>,
+    /// The event community.
+    pub event_set: FixedBitSet,
+    /// Time steps `start..end` during which the event community is dense.
+    pub event_window: (usize, usize),
+}
+
+/// Generates `steps` snapshots of a blog-link graph: background `G(n, p)`
+/// noise re-sampled per step, plus a dense community on `event_size`
+/// nodes whose internal edge probability ramps from 0 to `peak_p` and back
+/// within `event_window` (Kumar et al.'s "bursty evolution" shape \[14\]).
+///
+/// # Panics
+///
+/// Panics on inconsistent parameters (window outside `0..steps`,
+/// probabilities outside `[0, 1]`, `event_size > n`).
+#[must_use]
+pub fn blog_burst<R: Rng + ?Sized>(
+    n: usize,
+    steps: usize,
+    event_size: usize,
+    event_window: (usize, usize),
+    peak_p: f64,
+    background_p: f64,
+    rng: &mut R,
+) -> BlogBurst {
+    assert!(event_size <= n, "event_size must be at most n");
+    assert!((0.0..=1.0).contains(&peak_p) && (0.0..=1.0).contains(&background_p));
+    let (start, end) = event_window;
+    assert!(start < end && end <= steps, "invalid event window {event_window:?} for {steps} steps");
+
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+    let members: Vec<usize> = ids[..event_size].to_vec();
+    let event_set = FixedBitSet::from_iter_with_capacity(n, members.iter().copied());
+
+    let mut snapshots = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(background_p) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        // Triangular ramp: 0 at the window edges, peak_p in the middle.
+        if t >= start && t < end {
+            let span = (end - start) as f64;
+            let pos = (t - start) as f64 + 0.5;
+            let ramp = 1.0 - (2.0 * pos / span - 1.0).abs();
+            let p_t = (peak_p * ramp).clamp(0.0, 1.0);
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    if rng.gen_bool(p_t) {
+                        b.add_edge(members[i], members[j]);
+                    }
+                }
+            }
+        }
+        snapshots.push(b.build());
+    }
+    BlogBurst { snapshots, event_set, event_window }
+}
+
+/// The relaxed-caveman benchmark: `k` cliques of `size` nodes each; every
+/// edge is then "rewired" with probability `rewire_p` to a uniformly random
+/// endpoint outside the cave.
+///
+/// # Panics
+///
+/// Panics if `rewire_p ∉ [0, 1]` or `k·size == 0`.
+#[must_use]
+pub fn caveman<R: Rng + ?Sized>(
+    k: usize,
+    size: usize,
+    rewire_p: f64,
+    rng: &mut R,
+) -> CommunityGraph {
+    assert!((0.0..=1.0).contains(&rewire_p), "rewire_p must be in [0, 1]");
+    assert!(k * size > 0, "caveman graph must have at least one node");
+    let n = k * size;
+    let mut b = GraphBuilder::new(n);
+    let mut communities = Vec::with_capacity(k);
+    for cave in 0..k {
+        let lo = cave * size;
+        let members: Vec<usize> = (lo..lo + size).collect();
+        for i in 0..size {
+            for j in (i + 1)..size {
+                let (u, v) = (members[i], members[j]);
+                if rewire_p > 0.0 && rng.gen_bool(rewire_p) {
+                    // Rewire v-endpoint outside this cave (if possible).
+                    if n > size {
+                        let mut w = rng.gen_range(0..n);
+                        while w / size == cave || w == u {
+                            w = rng.gen_range(0..n);
+                        }
+                        b.add_edge(u, w);
+                        continue;
+                    }
+                }
+                b.add_edge(u, v);
+            }
+        }
+        communities.push(FixedBitSet::from_iter_with_capacity(n, members));
+    }
+    CommunityGraph { graph: b.build(), communities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn overlapping_communities_have_planted_density() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cg = overlapping_communities(300, 3, 40, 10, 0.95, 0.01, &mut rng);
+        assert_eq!(cg.communities.len(), 3);
+        for c in &cg.communities {
+            assert_eq!(c.len(), 40);
+            let d = density::density(&cg.graph, c);
+            assert!(d > 0.85, "community density {d} too low");
+        }
+    }
+
+    #[test]
+    fn consecutive_communities_overlap() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let cg = overlapping_communities(200, 3, 30, 8, 1.0, 0.0, &mut rng);
+        for w in cg.communities.windows(2) {
+            assert_eq!(w[0].intersection_count(&w[1]), 8);
+        }
+    }
+
+    #[test]
+    fn largest_and_jaccard() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cg = overlapping_communities(100, 2, 20, 0, 1.0, 0.0, &mut rng);
+        let largest = cg.largest().unwrap();
+        assert_eq!(largest.len(), 20);
+        assert_eq!(cg.best_jaccard(largest), 1.0);
+        assert_eq!(cg.best_jaccard(&FixedBitSet::new(100)), 0.0);
+    }
+
+    #[test]
+    fn blog_burst_event_is_dense_only_inside_window() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let bb = blog_burst(120, 6, 30, (2, 5), 0.95, 0.02, &mut rng);
+        assert_eq!(bb.snapshots.len(), 6);
+        let density_at = |t: usize| density::density(&bb.snapshots[t], &bb.event_set);
+        // Middle of the window is much denser than outside it.
+        assert!(density_at(3) > 0.5, "in-window density {}", density_at(3));
+        assert!(density_at(0) < 0.2, "pre-window density {}", density_at(0));
+        assert!(density_at(5) < 0.2, "post-window density {}", density_at(5));
+    }
+
+    #[test]
+    fn caveman_unrewired_is_disjoint_cliques() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let cg = caveman(4, 6, 0.0, &mut rng);
+        assert_eq!(cg.graph.node_count(), 24);
+        for c in &cg.communities {
+            assert!(density::is_near_clique(&cg.graph, c, 0.0));
+        }
+        assert_eq!(cg.graph.edge_count(), 4 * 15);
+    }
+
+    #[test]
+    fn caveman_rewired_loses_some_internal_edges() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let cg = caveman(4, 8, 0.3, &mut rng);
+        let internal: usize = cg
+            .communities
+            .iter()
+            .map(|c| density::directed_internal_edges(&cg.graph, c) / 2)
+            .sum();
+        assert!(internal < 4 * 28, "rewiring must remove internal edges");
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn too_many_communities_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = overlapping_communities(50, 4, 20, 0, 1.0, 0.0, &mut rng);
+    }
+}

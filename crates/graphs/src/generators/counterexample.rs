@@ -1,0 +1,244 @@
+//! The paper's two adversarial constructions.
+//!
+//! * [`shingles_counterexample`] — the Figure 1 / Claim 1 graph on which
+//!   the shingles algorithm provably cannot output a large near-clique.
+//! * [`barbell_with_path`] — the §6 graph (clique `A`, clique `B`, long
+//!   path between them) showing no sub-diameter algorithm can output *only*
+//!   the globally largest near-clique.
+
+use crate::bitset::FixedBitSet;
+use crate::graph::{Graph, GraphBuilder};
+
+/// The Figure 1 construction with its labeled parts.
+///
+/// Nodes are laid out as `I₁ | C₁ | C₂ | I₂` in index order. `C₁`, `C₂`
+/// are cliques of size `δn/2` forming together the planted clique
+/// `C = C₁ ∪ C₂` of size `δn`; `I₁`, `I₂` are independent sets of size
+/// `(1−δ)n/2`; complete bipartite connections join `(I₁, C₁)`, `(C₁, C₂)`
+/// and `(C₂, I₂)`.
+#[derive(Clone, Debug)]
+pub struct ShinglesGraph {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Independent set `I₁` (attached to `C₁`).
+    pub i1: FixedBitSet,
+    /// Clique half `C₁`.
+    pub c1: FixedBitSet,
+    /// Clique half `C₂`.
+    pub c2: FixedBitSet,
+    /// Independent set `I₂` (attached to `C₂`).
+    pub i2: FixedBitSet,
+}
+
+impl ShinglesGraph {
+    /// The planted clique `C = C₁ ∪ C₂` (ground truth of Claim 1).
+    #[must_use]
+    pub fn clique(&self) -> FixedBitSet {
+        let mut c = self.c1.clone();
+        c.union_with(&self.c2);
+        c
+    }
+
+    /// Claim 1's threshold: the shingles algorithm cannot output an ε-near
+    /// clique of size `(1−ε)δn` for any `ε < min{(1−δ)/(1+δ), 1/9}`.
+    #[must_use]
+    pub fn claim_epsilon_threshold(delta: f64) -> f64 {
+        ((1.0 - delta) / (1.0 + delta)).min(1.0 / 9.0)
+    }
+}
+
+/// Builds the Figure 1 graph for a given `n` and clique fraction `δ`.
+///
+/// Sizes are rounded so the four parts partition `n` nodes: `|C₁| = |C₂| =
+/// ⌊δn/2⌋` and `I₁`, `I₂` split the remainder as evenly as possible (the
+/// paper assumes divisibility "for simplicity"; rounding preserves the
+/// asymptotics of Claim 1).
+///
+/// # Panics
+///
+/// Panics if `delta ∉ (0, 1)` or the rounded clique halves are empty.
+#[must_use]
+pub fn shingles_counterexample(n: usize, delta: f64) -> ShinglesGraph {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1), got {delta}");
+    let half_c = ((delta * n as f64) / 2.0).floor() as usize;
+    assert!(half_c >= 1, "n = {n} too small for delta = {delta}");
+    let rest = n - 2 * half_c;
+    let i1_size = rest / 2;
+
+    let i1: Vec<usize> = (0..i1_size).collect();
+    let c1: Vec<usize> = (i1_size..i1_size + half_c).collect();
+    let c2: Vec<usize> = (i1_size + half_c..i1_size + 2 * half_c).collect();
+    let i2: Vec<usize> = (i1_size + 2 * half_c..n).collect();
+
+    let mut b = GraphBuilder::new(n);
+    b.add_clique(&c1);
+    b.add_clique(&c2);
+    b.add_biclique(&i1, &c1);
+    b.add_biclique(&c1, &c2);
+    b.add_biclique(&c2, &i2);
+
+    let to_set = |v: &[usize]| FixedBitSet::from_iter_with_capacity(n, v.iter().copied());
+    ShinglesGraph {
+        graph: b.build(),
+        i1: to_set(&i1),
+        c1: to_set(&c1),
+        c2: to_set(&c2),
+        i2: to_set(&i2),
+    }
+}
+
+/// The §6 impossibility construction with its labeled parts.
+#[derive(Clone, Debug)]
+pub struct Barbell {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// The large clique `A`.
+    pub a: FixedBitSet,
+    /// The small clique `B`.
+    pub b: FixedBitSet,
+    /// The path nodes `P` (excluding the clique endpoints they attach to).
+    pub path: FixedBitSet,
+    /// Number of hops between the closest nodes of `A` and `B`.
+    pub separation: usize,
+}
+
+/// Builds the §6 graph: an `a_size`-clique `A`, a `b_size`-clique `B`, and
+/// a simple path of `path_len` intermediate nodes joining one node of `A`
+/// to one node of `B`.
+///
+/// The paper's instantiation is `a_size = n/2`, `b_size = n/4`,
+/// `path_len = n/4`. Since no node of `B` can distinguish in fewer than
+/// `|P|` rounds whether `A`'s edges exist, any sub-diameter algorithm must
+/// sometimes let `B` output a label even though `A` is larger.
+///
+/// # Panics
+///
+/// Panics if either clique is empty.
+#[must_use]
+pub fn barbell_with_path(a_size: usize, b_size: usize, path_len: usize) -> Barbell {
+    assert!(a_size >= 1 && b_size >= 1, "cliques must be non-empty");
+    let n = a_size + b_size + path_len;
+    let a_nodes: Vec<usize> = (0..a_size).collect();
+    let p_nodes: Vec<usize> = (a_size..a_size + path_len).collect();
+    let b_nodes: Vec<usize> = (a_size + path_len..n).collect();
+
+    let mut builder = GraphBuilder::new(n);
+    builder.add_clique(&a_nodes);
+    builder.add_clique(&b_nodes);
+    // Chain: A's node 0 — p_1 — p_2 — … — p_k — B's first node.
+    let mut prev = a_nodes[0];
+    for &p in &p_nodes {
+        builder.add_edge(prev, p);
+        prev = p;
+    }
+    builder.add_edge(prev, b_nodes[0]);
+
+    let to_set = |v: &[usize]| FixedBitSet::from_iter_with_capacity(n, v.iter().copied());
+    Barbell {
+        graph: builder.build(),
+        a: to_set(&a_nodes),
+        b: to_set(&b_nodes),
+        path: to_set(&p_nodes),
+        separation: path_len + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density;
+
+    #[test]
+    fn shingles_graph_partition_sizes() {
+        let s = shingles_counterexample(100, 0.5);
+        assert_eq!(s.c1.len(), 25);
+        assert_eq!(s.c2.len(), 25);
+        assert_eq!(s.i1.len() + s.i2.len(), 50);
+        assert_eq!(
+            s.i1.len() + s.c1.len() + s.c2.len() + s.i2.len(),
+            s.graph.node_count()
+        );
+    }
+
+    #[test]
+    fn shingles_graph_planted_clique_is_clique() {
+        let s = shingles_counterexample(80, 0.5);
+        let c = s.clique();
+        assert_eq!(c.len(), 40);
+        assert!(density::is_near_clique(&s.graph, &c, 0.0));
+    }
+
+    #[test]
+    fn shingles_graph_independent_sets_are_independent() {
+        let s = shingles_counterexample(60, 0.4);
+        for set in [&s.i1, &s.i2] {
+            assert_eq!(density::directed_internal_edges(&s.graph, set), 0);
+        }
+    }
+
+    #[test]
+    fn shingles_graph_bicliques_present_and_absent() {
+        let s = shingles_counterexample(40, 0.5);
+        let i1 = s.i1.to_vec();
+        let c1 = s.c1.to_vec();
+        let c2 = s.c2.to_vec();
+        let i2 = s.i2.to_vec();
+        // Present: (I1, C1), (C1, C2), (C2, I2).
+        assert!(s.graph.has_edge(i1[0], c1[0]));
+        assert!(s.graph.has_edge(c1[0], c2[0]));
+        assert!(s.graph.has_edge(c2[0], i2[0]));
+        // Absent: (I1, C2), (I1, I2), (C1, I2).
+        assert!(!s.graph.has_edge(i1[0], c2[0]));
+        assert!(!s.graph.has_edge(i1[0], i2[0]));
+        assert!(!s.graph.has_edge(c1[0], i2[0]));
+    }
+
+    #[test]
+    fn case1_candidate_set_density_matches_claim() {
+        // Claim 1 case 1: the candidate set C1 ∪ C2 ∪ I1 has density
+        // exactly 2δ/(1+δ) asymptotically.
+        let n = 2000;
+        let delta = 0.5;
+        let s = shingles_counterexample(n, delta);
+        let mut cand = s.clique();
+        cand.union_with(&s.i1);
+        let d = density::density(&s.graph, &cand);
+        let predicted = 2.0 * delta / (1.0 + delta);
+        assert!((d - predicted).abs() < 0.01, "density {d} vs predicted {predicted}");
+    }
+
+    #[test]
+    fn claim_threshold_formula() {
+        assert!((ShinglesGraph::claim_epsilon_threshold(0.5) - 1.0 / 9.0).abs() < 1e-12);
+        let t = ShinglesGraph::claim_epsilon_threshold(0.95);
+        assert!((t - 0.05 / 1.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let bb = barbell_with_path(10, 5, 4);
+        assert_eq!(bb.graph.node_count(), 19);
+        assert!(density::is_near_clique(&bb.graph, &bb.a, 0.0));
+        assert!(density::is_near_clique(&bb.graph, &bb.b, 0.0));
+        assert_eq!(bb.separation, 5);
+        // Distance between A's attachment and B's attachment is path + 1.
+        let dist = bb.graph.bfs_distances(0);
+        let b_first = bb.b.min().unwrap();
+        assert_eq!(dist[b_first], 5);
+        assert_eq!(bb.graph.diameter(), Some(5 + 1 + 1)); // far A node → far B node
+    }
+
+    #[test]
+    fn barbell_path_is_a_path() {
+        let bb = barbell_with_path(6, 4, 3);
+        for p in bb.path.iter() {
+            assert!(bb.graph.degree(p) == 2, "path node {p} must have degree 2");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn bad_delta_panics() {
+        let _ = shingles_counterexample(10, 1.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph generators with planted ground truth.
+//!
+//! Every workload in the experiment harness comes from this module. The
+//! generators fall into four families:
+//!
+//! * [`random`] — Erdős–Rényi `G(n, p)` background noise.
+//! * [`planted`] — graphs with a planted clique or planted ε-near clique,
+//!   the instances Theorem 2.1 / Corollaries 2.2–2.3 speak about.
+//! * [`counterexample`] — the paper's two adversarial constructions: the
+//!   Figure 1 graph that defeats the shingles algorithm (Claim 1) and the
+//!   §6 barbell-with-path graph behind the sub-diameter impossibility.
+//! * [`communities`] — synthetic stand-ins for the paper's motivating Web
+//!   workloads (tightly-knit communities, bursty blog events), since no
+//!   real crawl ships with ground truth.
+//!
+//! All generators are deterministic given an RNG, and return the planted
+//! structure alongside the graph so experiments can score recovery.
+
+pub mod communities;
+pub mod counterexample;
+pub mod planted;
+pub mod random;
+
+pub use communities::{blog_burst, caveman, overlapping_communities, BlogBurst, CommunityGraph};
+pub use counterexample::{barbell_with_path, shingles_counterexample, Barbell, ShinglesGraph};
+pub use planted::{planted_clique, planted_near_clique, Planted};
+pub use random::gnp;

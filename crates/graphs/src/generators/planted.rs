@@ -1,0 +1,211 @@
+//! Planted-clique and planted-near-clique instances.
+//!
+//! These are the instances the paper's guarantees quantify over: a hidden
+//! set `D` of `δn` nodes whose internal density is at least `1 − ε³`
+//! (Theorem 2.1), embedded in sparse background noise.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bitset::FixedBitSet;
+use crate::graph::{Graph, GraphBuilder};
+
+/// A generated graph together with its planted dense set.
+#[derive(Clone, Debug)]
+pub struct Planted {
+    /// The generated graph.
+    pub graph: Graph,
+    /// The planted dense set `D` (ground truth).
+    pub dense_set: FixedBitSet,
+    /// The ε for which `D` was planted as an ε-near clique
+    /// (0.0 for an exact clique).
+    pub planted_epsilon: f64,
+}
+
+impl Planted {
+    /// Size of the planted set.
+    #[must_use]
+    pub fn planted_size(&self) -> usize {
+        self.dense_set.len()
+    }
+
+    /// Fraction of `set` that lies inside the planted set — the recovery
+    /// score experiments report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` has a different capacity than the graph.
+    #[must_use]
+    pub fn overlap(&self, set: &FixedBitSet) -> f64 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        set.intersection_count(&self.dense_set) as f64 / set.len() as f64
+    }
+
+    /// Fraction of the planted set recovered by `set` (recall).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` has a different capacity than the graph.
+    #[must_use]
+    pub fn recall(&self, set: &FixedBitSet) -> f64 {
+        if self.dense_set.is_empty() {
+            return 1.0;
+        }
+        set.intersection_count(&self.dense_set) as f64 / self.dense_set.len() as f64
+    }
+}
+
+/// Plants an exact clique of size `k` on a uniformly random subset of
+/// nodes, over `G(n, background_p)` noise.
+///
+/// This is the Corollary 2.3 instance family (with
+/// `k = n / log^α log n`).
+///
+/// # Panics
+///
+/// Panics if `k > n` or `background_p ∉ [0, 1]`.
+#[must_use]
+pub fn planted_clique<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    background_p: f64,
+    rng: &mut R,
+) -> Planted {
+    planted_near_clique(n, k, 0.0, background_p, rng)
+}
+
+/// Plants an ε-near clique of size `k` on a uniformly random subset of
+/// nodes, over `G(n, background_p)` noise.
+///
+/// The planted set starts as a clique and then exactly
+/// `⌊ε·k(k−1)/2⌋` internal undirected edges are deleted uniformly at
+/// random, so the directed internal density is `≥ 1 − ε` *by construction*
+/// (not merely in expectation). For the Theorem 2.1 workload pass
+/// `epsilon³` here.
+///
+/// # Panics
+///
+/// Panics if `k > n`, `epsilon ∉ [0, 1]`, or `background_p ∉ [0, 1]`.
+#[must_use]
+pub fn planted_near_clique<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    epsilon: f64,
+    background_p: f64,
+    rng: &mut R,
+) -> Planted {
+    assert!(k <= n, "planted size k = {k} exceeds n = {n}");
+    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1], got {epsilon}");
+    assert!((0.0..=1.0).contains(&background_p), "background_p must be in [0, 1]");
+
+    // Choose the planted nodes.
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+    let mut members = ids[..k].to_vec();
+    members.sort_unstable();
+    let dense_set = FixedBitSet::from_iter_with_capacity(n, members.iter().copied());
+
+    // Internal edges: full clique minus a random ε fraction.
+    let mut internal: Vec<(usize, usize)> = Vec::with_capacity(k * (k.saturating_sub(1)) / 2);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            internal.push((members[i], members[j]));
+        }
+    }
+    internal.shuffle(rng);
+    let deletions = (epsilon * internal.len() as f64).floor() as usize;
+    internal.truncate(internal.len() - deletions);
+
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges(internal.iter().copied());
+
+    // Background noise over pairs not internal to the planted set.
+    if background_p > 0.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if dense_set.contains(u) && dense_set.contains(v) {
+                    continue;
+                }
+                if rng.gen_bool(background_p) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+    }
+
+    Planted { graph: b.build(), dense_set, planted_epsilon: epsilon }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_clique_is_a_clique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = planted_clique(100, 30, 0.05, &mut rng);
+        assert_eq!(p.planted_size(), 30);
+        assert!(density::is_near_clique(&p.graph, &p.dense_set, 0.0));
+        assert_eq!(p.planted_epsilon, 0.0);
+    }
+
+    #[test]
+    fn planted_near_clique_density_is_guaranteed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let eps = 0.2;
+        let p = planted_near_clique(200, 80, eps, 0.02, &mut rng);
+        assert!(
+            density::is_near_clique(&p.graph, &p.dense_set, eps),
+            "planted set must be {eps}-near clique by construction; density = {}",
+            density::density(&p.graph, &p.dense_set)
+        );
+        // And it should not be much denser than requested: deletions are
+        // exactly floor(eps * pairs).
+        let measured = density::near_clique_epsilon(&p.graph, &p.dense_set);
+        assert!(measured > eps - 2.0 / (80.0 * 79.0) - 1e-9, "measured ε = {measured}");
+    }
+
+    #[test]
+    fn background_probability_zero_isolates_rest() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = planted_near_clique(60, 20, 0.1, 0.0, &mut rng);
+        for v in 0..60 {
+            if !p.dense_set.contains(v) {
+                assert_eq!(p.graph.degree(v), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_and_recall_scores() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = planted_clique(50, 10, 0.0, &mut rng);
+        assert_eq!(p.overlap(&p.dense_set), 1.0);
+        assert_eq!(p.recall(&p.dense_set), 1.0);
+        let empty = FixedBitSet::new(50);
+        assert_eq!(p.overlap(&empty), 0.0);
+        assert_eq!(p.recall(&empty), 0.0);
+        let full = FixedBitSet::full(50);
+        assert_eq!(p.recall(&full), 1.0);
+        assert!((p.overlap(&full) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = planted_near_clique(80, 25, 0.15, 0.05, &mut StdRng::seed_from_u64(11));
+        let b = planted_near_clique(80, 25, 0.15, 0.05, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a.dense_set, b.dense_set);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n")]
+    fn oversized_plant_panics() {
+        let _ = planted_clique(10, 11, 0.0, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Erdős–Rényi random graphs.
+
+use rand::Rng;
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Samples `G(n, p)`: every unordered pair becomes an edge independently
+/// with probability `p`.
+///
+/// Used as background noise around planted structures and as the null model
+/// in invariant tests (Lemma 5.3 must hold on *any* graph).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let g = graphs::generators::gnp(100, 0.1, &mut rng);
+/// assert_eq!(g.node_count(), 100);
+/// ```
+#[must_use]
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let mut b = GraphBuilder::new(n);
+    if p >= 1.0 {
+        return Graph::complete(n);
+    }
+    if p > 0.0 {
+        // Geometric skipping: O(m) expected time instead of O(n^2).
+        let log_q = (1.0 - p).ln();
+        let total_pairs = n * n.saturating_sub(1) / 2;
+        let mut idx: i64 = -1;
+        loop {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = (u.ln() / log_q).floor() as i64 + 1;
+            idx += skip.max(1);
+            if idx as usize >= total_pairs {
+                break;
+            }
+            let (a, bn) = pair_from_index(idx as usize, n);
+            b.add_edge(a, bn);
+        }
+    }
+    b.build()
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the corresponding unordered pair
+/// `(u, v)` with `u < v`, enumerating pairs row by row:
+/// `(0,1), (0,2), …, (0,n−1), (1,2), …`.
+fn pair_from_index(mut idx: usize, n: usize) -> (usize, usize) {
+    let mut u = 0usize;
+    loop {
+        let row = n - 1 - u;
+        if idx < row {
+            return (u, u + 1 + idx);
+        }
+        idx -= row;
+        u += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_from_index_enumerates_all_pairs() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = pair_from_index(idx, n);
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)), "pair ({u},{v}) repeated");
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn gnp_zero_and_one_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(20, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(20, 1.0, &mut rng).edge_count(), 190);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 300;
+        let p = 0.2;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        // 4 standard deviations of slack.
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!((got - expected).abs() < 4.0 * sd, "got {got}, expected {expected} ± {sd}");
+    }
+
+    #[test]
+    fn gnp_deterministic_given_seed() {
+        let g1 = gnp(50, 0.3, &mut StdRng::seed_from_u64(9));
+        let g2 = gnp(50, 0.3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert!(g1.edges().eq(g2.edges()));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1]")]
+    fn gnp_rejects_bad_probability() {
+        let _ = gnp(5, 1.5, &mut StdRng::seed_from_u64(0));
+    }
+}

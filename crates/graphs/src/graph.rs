@@ -1,0 +1,559 @@
+//! Immutable simple undirected graphs in compressed sparse row form.
+//!
+//! [`Graph`] is the input type of every algorithm in this workspace: the
+//! distributed simulator builds its topology from it, the centralized
+//! analyses read adjacency from it, and the generators produce it via
+//! [`GraphBuilder`].
+//!
+//! Nodes are dense indices `0..n`. Edges are undirected and simple
+//! (no self-loops, no parallel edges); the builder deduplicates. For the
+//! counting conventions of the paper (Definition 1) each undirected edge is
+//! viewed as two directed edges — that convention lives in
+//! [`crate::density`], not here.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphs::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 0);
+//! let g = b.build();
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 3);
+//! assert!(g.has_edge(0, 2));
+//! assert_eq!(g.degree(3), 0);
+//! ```
+
+use crate::bitset::FixedBitSet;
+
+/// An immutable simple undirected graph.
+///
+/// Adjacency is stored twice: as sorted CSR neighbor lists (cache-friendly
+/// iteration, `O(log deg)` membership) and, when enabled, as per-node bit
+/// rows (`O(1)` membership and word-parallel intersection — the hot path of
+/// all density computations). Bit rows cost `n²/8` bytes; the builder
+/// enables them automatically below [`GraphBuilder::AUTO_BITSET_LIMIT`]
+/// nodes and callers can override via [`GraphBuilder::bitset_rows`].
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists, length `2m`.
+    neighbors: Vec<usize>,
+    /// Optional adjacency bit rows, length `n` when present.
+    rows: Option<Vec<FixedBitSet>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Builds the empty graph on `n` nodes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Builds the complete graph on `n` nodes.
+    #[must_use]
+    pub fn complete(n: usize) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over all node indices.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        0..self.node_count()
+    }
+
+    /// The sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge. Self-queries return `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        assert!(u < self.node_count() && v < self.node_count(), "node out of range");
+        if u == v {
+            return false;
+        }
+        match &self.rows {
+            Some(rows) => rows[u].contains(v),
+            None => {
+                // Probe from the lower-degree endpoint.
+                let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+                self.neighbors(a).binary_search(&b).is_ok()
+            }
+        }
+    }
+
+    /// The adjacency bit row of `v`, if bit rows were built.
+    #[must_use]
+    pub fn row(&self, v: usize) -> Option<&FixedBitSet> {
+        self.rows.as_ref().map(|rows| &rows[v])
+    }
+
+    /// `true` if adjacency bit rows are available.
+    #[must_use]
+    pub fn has_rows(&self) -> bool {
+        self.rows.is_some()
+    }
+
+    /// Number of neighbors of `v` inside `set`.
+    ///
+    /// Uses the bit row when available, otherwise scans the shorter side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `set.capacity() != n`.
+    #[must_use]
+    pub fn degree_into(&self, v: usize, set: &FixedBitSet) -> usize {
+        assert_eq!(set.capacity(), self.node_count(), "set capacity must equal node count");
+        match &self.rows {
+            Some(rows) => rows[v].intersection_count(set),
+            None => self.neighbors(v).iter().filter(|&&u| set.contains(u)).count(),
+        }
+    }
+
+    /// Edges of the graph as `(u, v)` pairs with `u < v`, in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// The subgraph induced by `set`, together with the mapping from new
+    /// indices to original node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set.capacity() != n`.
+    #[must_use]
+    pub fn induced_subgraph(&self, set: &FixedBitSet) -> (Graph, Vec<usize>) {
+        assert_eq!(set.capacity(), self.node_count(), "set capacity must equal node count");
+        let members = set.to_vec();
+        let mut index_of = vec![usize::MAX; self.node_count()];
+        for (i, &v) in members.iter().enumerate() {
+            index_of[v] = i;
+        }
+        let mut b = GraphBuilder::new(members.len());
+        for &v in &members {
+            for &u in self.neighbors(v) {
+                if u > v && set.contains(u) {
+                    b.add_edge(index_of[v], index_of[u]);
+                }
+            }
+        }
+        (b.build(), members)
+    }
+
+    /// Connected components of the subgraph induced by `set`, each returned
+    /// as a sorted vector of *original* node ids.
+    ///
+    /// This is exactly the structure the exploration stage of
+    /// `DistNearClique` discovers distributively for `G[S]`; the centralized
+    /// version here is used by the reference implementation and by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set.capacity() != n`.
+    #[must_use]
+    pub fn components_within(&self, set: &FixedBitSet) -> Vec<Vec<usize>> {
+        assert_eq!(set.capacity(), self.node_count(), "set capacity must equal node count");
+        let mut seen = FixedBitSet::new(self.node_count());
+        let mut components = Vec::new();
+        for start in set.iter() {
+            if seen.contains(start) {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen.insert(start);
+            let mut frontier = vec![start];
+            while let Some(v) = frontier.pop() {
+                for &u in self.neighbors(v) {
+                    if set.contains(u) && !seen.contains(u) {
+                        seen.insert(u);
+                        comp.push(u);
+                        frontier.push(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Breadth-first distances from `source` (`usize::MAX` = unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn bfs_distances(&self, source: usize) -> Vec<usize> {
+        assert!(source < self.node_count(), "node out of range");
+        let mut dist = vec![usize::MAX; self.node_count()];
+        dist[source] = 0;
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Graph diameter (largest finite BFS distance); `None` when
+    /// disconnected or empty.
+    #[must_use]
+    pub fn diameter(&self) -> Option<usize> {
+        if self.node_count() == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for v in self.nodes() {
+            let d = self.bfs_distances(v);
+            let mut local_max = 0;
+            for &x in &d {
+                if x == usize::MAX {
+                    return None;
+                }
+                local_max = local_max.max(x);
+            }
+            best = best.max(local_max);
+        }
+        Some(best)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Accepts duplicate edges and both orientations; self-loops are rejected
+/// with a panic (the paper's graphs are simple).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    rows: RowPolicy,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RowPolicy {
+    Auto,
+    Always,
+    Never,
+}
+
+impl GraphBuilder {
+    /// Below this node count, adjacency bit rows are built automatically
+    /// (they cost `n²/8` bytes: 32 MiB at the limit).
+    pub const AUTO_BITSET_LIMIT: usize = 16_384;
+
+    /// Starts a builder for a graph on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new(), rows: RowPolicy::Auto }
+    }
+
+    /// Forces adjacency bit rows on (`true`) or off (`false`), overriding
+    /// the automatic size heuristic.
+    pub fn bitset_rows(&mut self, enabled: bool) -> &mut Self {
+        self.rows = if enabled { RowPolicy::Always } else { RowPolicy::Never };
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`. Duplicates are deduplicated at
+    /// [`build`](Self::build) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loop) or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        assert!(u != v, "self-loops are not allowed (u = v = {u})");
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for n = {}", self.n);
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Adds every edge from an iterator of pairs.
+    ///
+    /// # Panics
+    ///
+    /// As for [`add_edge`](Self::add_edge).
+    pub fn extend_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) -> &mut Self {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Adds all `|a| * |b|` edges of a complete bipartite connection between
+    /// two disjoint node slices (used by the Figure 1 construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices share a node or contain out-of-range nodes.
+    pub fn add_biclique(&mut self, a: &[usize], b: &[usize]) -> &mut Self {
+        for &u in a {
+            for &v in b {
+                self.add_edge(u, v);
+            }
+        }
+        self
+    }
+
+    /// Adds all `|c| choose 2` edges among a node slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice contains duplicates (detected as self-loop) or
+    /// out-of-range nodes.
+    pub fn add_clique(&mut self, c: &[usize]) -> &mut Self {
+        for (i, &u) in c.iter().enumerate() {
+            for &v in &c[i + 1..] {
+                self.add_edge(u, v);
+            }
+        }
+        self
+    }
+
+    /// Finalizes into an immutable [`Graph`].
+    #[must_use]
+    pub fn build(&self) -> Graph {
+        let n = self.n;
+        let mut edges = self.edges.clone();
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0usize; 2 * edges.len()];
+        for &(u, v) in &edges {
+            neighbors[cursor[u]] = v;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Each per-node slice is sorted because edges were processed in
+        // lexicographic order only for the first endpoint; sort explicitly.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+
+        let build_rows = match self.rows {
+            RowPolicy::Always => true,
+            RowPolicy::Never => false,
+            RowPolicy::Auto => n <= Self::AUTO_BITSET_LIMIT,
+        };
+        let rows = build_rows.then(|| {
+            let mut rows: Vec<FixedBitSet> = (0..n).map(|_| FixedBitSet::new(n)).collect();
+            for &(u, v) in &edges {
+                rows[u].insert(v);
+                rows[v].insert(u);
+            }
+            rows
+        });
+
+        Graph { offsets, neighbors, rows, edge_count: edges.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolated() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn has_edge_symmetric_and_no_self_edge() {
+        let g = triangle_plus_isolated();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_dedup() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        GraphBuilder::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(3, 5).add_edge(3, 1).add_edge(3, 4).add_edge(3, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(3), &[0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn has_edge_with_and_without_rows_agree() {
+        let mut with_rows = GraphBuilder::new(50);
+        let mut without = GraphBuilder::new(50);
+        with_rows.bitset_rows(true);
+        without.bitset_rows(false);
+        let edges = [(0, 1), (1, 2), (10, 40), (25, 26), (0, 49)];
+        with_rows.extend_edges(edges.iter().copied());
+        without.extend_edges(edges.iter().copied());
+        let gw = with_rows.build();
+        let go = without.build();
+        assert!(gw.has_rows() && !go.has_rows());
+        for u in 0..50 {
+            for v in 0..50 {
+                assert_eq!(gw.has_edge(u, v), go.has_edge(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = Graph::complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn degree_into_matches_scan() {
+        let g = Graph::complete(8);
+        let set = FixedBitSet::from_iter_with_capacity(8, [0, 1, 2, 7]);
+        assert_eq!(g.degree_into(0, &set), 3); // 1, 2, 7 (not itself)
+        assert_eq!(g.degree_into(3, &set), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(1, 3).add_edge(3, 5).add_edge(1, 5).add_edge(0, 1);
+        let g = b.build();
+        let set = FixedBitSet::from_iter_with_capacity(6, [1, 3, 5]);
+        let (sub, mapping) = g.induced_subgraph(&set);
+        assert_eq!(mapping, vec![1, 3, 5]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn components_within_finds_induced_components() {
+        // 0-1 edge, 2 isolated (in set), 3-4 edge but 4 not in set.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).add_edge(3, 4);
+        let g = b.build();
+        let set = FixedBitSet::from_iter_with_capacity(5, [0, 1, 2, 3]);
+        let comps = g.components_within(&set);
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn bfs_and_diameter_on_path() {
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let g = b.build();
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle_plus_isolated();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn biclique_and_clique_helpers() {
+        let mut b = GraphBuilder::new(6);
+        b.add_clique(&[0, 1, 2]).add_biclique(&[0, 1, 2], &[3, 4]);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3 + 6);
+        assert!(g.has_edge(2, 4));
+        assert!(!g.has_edge(3, 4));
+        assert_eq!(g.degree(5), 0);
+    }
+}

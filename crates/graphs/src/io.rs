@@ -1,0 +1,158 @@
+//! Plain-text edge-list input/output.
+//!
+//! The experiments use generated graphs, but a downstream user will want
+//! to run the algorithm on their own data. The format is the common
+//! whitespace-separated edge list: one `u v` pair per line, `#`-prefixed
+//! comment lines ignored, node ids `0..n` (with `n` inferred from the
+//! largest endpoint unless given explicitly).
+//!
+//! # Examples
+//!
+//! ```
+//! let text = "# a triangle plus an isolated node\n0 1\n1 2\n2 0\n";
+//! let g = graphs::io::parse_edge_list(text, Some(4))?;
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 3);
+//! let round_trip = graphs::io::to_edge_list(&g);
+//! let g2 = graphs::io::parse_edge_list(&round_trip, Some(4))?;
+//! assert_eq!(g2.edge_count(), 3);
+//! # Ok::<(), graphs::io::ParseGraphError>(())
+//! ```
+
+use std::fmt;
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Error parsing an edge list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseGraphError {
+    line: usize,
+    reason: String,
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge list line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+/// Parses a whitespace-separated edge list.
+///
+/// `n` fixes the node count; `None` infers `max endpoint + 1`. Duplicate
+/// edges are deduplicated; self-loops are rejected.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines, out-of-range endpoints
+/// (when `n` is given), or self-loops.
+pub fn parse_edge_list(text: &str, n: Option<usize>) -> Result<Graph, ParseGraphError> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_node = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |reason: String| ParseGraphError { line: lineno + 1, reason };
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| err("missing first endpoint".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad first endpoint: {e}")))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| err("missing second endpoint".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad second endpoint: {e}")))?;
+        if parts.next().is_some() {
+            return Err(err("trailing tokens after edge".into()));
+        }
+        if u == v {
+            return Err(err(format!("self-loop at node {u}")));
+        }
+        if let Some(n) = n {
+            if u >= n || v >= n {
+                return Err(err(format!("endpoint out of range for n = {n}")));
+            }
+        }
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = n.unwrap_or(if edges.is_empty() { 0 } else { max_node + 1 });
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges(edges);
+    Ok(b.build())
+}
+
+/// Serializes a graph as an edge list (one `u v` line per edge, with a
+/// header comment recording the node count).
+#[must_use]
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = format!("# nodes: {}\n# edges: {}\n", g.node_count(), g.edge_count());
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let g = parse_edge_list("# c\n\n0 1\n 1 2 \n", None).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn infers_node_count() {
+        let g = parse_edge_list("0 5\n", None).unwrap();
+        assert_eq!(g.node_count(), 6);
+    }
+
+    #[test]
+    fn explicit_node_count_validates() {
+        assert!(parse_edge_list("0 5\n", Some(6)).is_ok());
+        let err = parse_edge_list("0 5\n", Some(5)).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_edge_list("0\n", None).is_err());
+        assert!(parse_edge_list("a b\n", None).is_err());
+        assert!(parse_edge_list("0 1 2\n", None).is_err());
+        let loop_err = parse_edge_list("0 1\n3 3\n", None).unwrap_err();
+        assert!(loop_err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse_edge_list("", None).unwrap();
+        assert_eq!(g.node_count(), 0);
+        let g2 = parse_edge_list("# only comments\n", Some(7)).unwrap();
+        assert_eq!(g2.node_count(), 7);
+        assert_eq!(g2.edge_count(), 0);
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = crate::Graph::complete(5);
+        let text = to_edge_list(&original);
+        assert!(text.starts_with("# nodes: 5"));
+        let parsed = parse_edge_list(&text, Some(5)).unwrap();
+        assert_eq!(parsed.edge_count(), 10);
+        assert!(original.edges().eq(parsed.edges()));
+    }
+
+    #[test]
+    fn dedupes() {
+        let g = parse_edge_list("0 1\n1 0\n0 1\n", None).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! Near-cliques are triangle-rich by definition (a `(1 − ε)`-dense set of
+//! `t` nodes carries `Ω((1 − 3ε)·t³/6)` triangles), which makes local
+//! triangle statistics a useful diagnostic for the workloads in this
+//! repository: planted instances light up, `G(n,p)` noise does not.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphs::{Graph, triangles};
+//!
+//! let g = Graph::complete(5);
+//! assert_eq!(triangles::triangle_count(&g), 10); // C(5,3)
+//! assert_eq!(triangles::global_clustering(&g), 1.0);
+//! ```
+
+use crate::graph::Graph;
+
+/// Number of triangles incident to each node.
+///
+/// Uses the rank-ordered merge method: `O(Σ deg²)` worst case, fast in
+/// practice on the sparse instances used here.
+#[must_use]
+pub fn per_node_triangles(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut count = vec![0usize; n];
+    for u in 0..n {
+        let nu = g.neighbors(u);
+        for (i, &v) in nu.iter().enumerate() {
+            if v < u {
+                continue;
+            }
+            for &w in &nu[i + 1..] {
+                // u < v < w candidate triangle (nu is sorted).
+                if w > v && g.has_edge(v, w) {
+                    count[u] += 1;
+                    count[v] += 1;
+                    count[w] += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Total number of triangles in the graph.
+#[must_use]
+pub fn triangle_count(g: &Graph) -> usize {
+    per_node_triangles(g).iter().sum::<usize>() / 3
+}
+
+/// Local clustering coefficient of every node
+/// (`triangles(v) / C(deg(v), 2)`, 0 for degree < 2).
+#[must_use]
+pub fn local_clustering(g: &Graph) -> Vec<f64> {
+    per_node_triangles(g)
+        .into_iter()
+        .enumerate()
+        .map(|(v, t)| {
+            let d = g.degree(v);
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * t as f64 / (d as f64 * (d as f64 - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3·triangles / open-or-closed wedges`. Returns 0 when the graph has no
+/// wedge.
+#[must_use]
+pub fn global_clustering(g: &Graph) -> f64 {
+    let triangles = triangle_count(g);
+    let wedges: usize = g
+        .nodes()
+        .map(|v| {
+            let d = g.degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangle_free_graphs() {
+        assert_eq!(triangle_count(&Graph::empty(5)), 0);
+        let mut b = GraphBuilder::new(4); // 4-cycle
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn single_triangle() {
+        let mut b = GraphBuilder::new(4);
+        b.add_clique(&[0, 1, 2]).add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(per_node_triangles(&g), vec![1, 1, 1, 0]);
+        let local = local_clustering(&g);
+        assert_eq!(local[0], 1.0);
+        assert!((local[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local[3], 0.0);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = Graph::complete(6);
+        assert_eq!(triangle_count(&g), 20); // C(6,3)
+        assert_eq!(per_node_triangles(&g), vec![10; 6]); // C(5,2)
+        assert!(local_clustering(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert_eq!(global_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn gnp_clustering_near_p() {
+        // In G(n, p) the expected clustering coefficient is p.
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = 0.15;
+        let g = generators::gnp(400, p, &mut rng);
+        let c = global_clustering(&g);
+        assert!((c - p).abs() < 0.03, "clustering {c} should approximate p = {p}");
+    }
+
+    #[test]
+    fn planted_instance_lights_up() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let planted = generators::planted_clique(200, 50, 0.05, &mut rng);
+        let null = generators::gnp(200, 0.05, &mut rng);
+        assert!(
+            triangle_count(&planted.graph) > 10 * triangle_count(&null).max(1),
+            "planted clique must dominate the triangle count"
+        );
+        // Nodes of the planted set have much higher local clustering.
+        let local = local_clustering(&planted.graph);
+        let inside: f64 = planted.dense_set.iter().map(|v| local[v]).sum::<f64>()
+            / planted.dense_set.len() as f64;
+        // Background neighbors dilute the closed neighborhoods, so the
+        // inside coefficient sits below 1 but far above the p = 0.05 noise.
+        assert!(inside > 0.6, "inside clustering {inside}");
+    }
+}

@@ -1,0 +1,381 @@
+//! A ρ-clique property tester in the dense-graph query model.
+//!
+//! The paper's methodology (§1, §6) adapts the Goldreich–Goldwasser–Ron
+//! property-testing framework \[10\] to the distributed setting. This crate
+//! implements the query-model side of that story so experiment E12 can
+//! compare the two resource regimes directly:
+//!
+//! * property testers make few *queries* ("is `{u,v}` an edge?") but may
+//!   probe topologically distant pairs — implemented by [`CountingOracle`];
+//! * the distributed algorithm does much work in parallel but only over
+//!   local links — implemented by the `nearclique` crate.
+//!
+//! [`RhoCliqueTester`] follows the canonical GGR shape (Goldreich &
+//! Trevisan's canonical form: query a random induced subgraph, then
+//! decide by exhaustive computation on the sampled bits), instantiated
+//! with the same `T_ε(X) = K_ε(K_{2ε²}(X)) ∩ K_{2ε²}(X)` operator the
+//! paper builds `DistNearClique` from. [`approximate_find`] is the
+//! `O(n)`-query "approximate find" variant \[10\] mentioned in the related
+//! work: once the tester accepts, a full scan materializes the near-clique.
+//!
+//! # Example
+//!
+//! ```
+//! use proptester::{CountingOracle, RhoCliqueTester, TesterParams};
+//! use rand::SeedableRng;
+//!
+//! let g = graphs::Graph::complete(400);
+//! let oracle = CountingOracle::new(&g);
+//! let tester = RhoCliqueTester::new(TesterParams {
+//!     rho: 0.8,
+//!     epsilon: 0.2,
+//!     sample_size: 8,
+//!     eval_size: 60,
+//! });
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! assert!(tester.test(&oracle, &mut rng));
+//! assert!(oracle.queries() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::cell::Cell;
+
+use graphs::{FixedBitSet, Graph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Integer membership threshold `ceil((1 − ε)·base)`, kept identical to
+/// the `nearclique` crate's convention.
+fn k_threshold(base: usize, epsilon: f64) -> usize {
+    ((1.0 - epsilon) * base as f64 - 1e-9).ceil().max(0.0) as usize
+}
+
+/// An adjacency oracle in the dense-graph model, with query counting.
+///
+/// Every [`has_edge`](CountingOracle::has_edge) costs one query. The
+/// counter is interior-mutable so testers can take `&CountingOracle`.
+#[derive(Debug)]
+pub struct CountingOracle<'a> {
+    graph: &'a Graph,
+    queries: Cell<u64>,
+}
+
+impl<'a> CountingOracle<'a> {
+    /// Wraps a graph as an oracle.
+    #[must_use]
+    pub fn new(graph: &'a Graph) -> Self {
+        Self { graph, queries: Cell::new(0) }
+    }
+
+    /// Number of nodes of the underlying graph (known to the tester, as
+    /// in the standard model).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Adjacency query; increments the counter.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.queries.set(self.queries.get() + 1);
+        self.graph.has_edge(u, v)
+    }
+
+    /// Queries spent so far.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries.get()
+    }
+
+    /// Resets the counter (between experiment repetitions).
+    pub fn reset(&self) {
+        self.queries.set(0);
+    }
+}
+
+/// Parameters of the ρ-clique tester.
+#[derive(Clone, Copy, Debug)]
+pub struct TesterParams {
+    /// The clique-fraction parameter: the property is "has a ρn-clique".
+    pub rho: f64,
+    /// The proximity parameter ε.
+    pub epsilon: f64,
+    /// Size of the enumeration sample `S` (all `2^|S|` subsets are tried;
+    /// the paper keeps this `poly(1/ε)` — cap ≈ 16).
+    pub sample_size: usize,
+    /// Size of the evaluation sample `W` (membership estimates; GGR take
+    /// `Θ̃(1/ε²)`).
+    pub eval_size: usize,
+}
+
+impl TesterParams {
+    fn validate(&self) {
+        assert!(self.rho > 0.0 && self.rho <= 1.0, "rho must be in (0, 1]");
+        assert!(self.epsilon > 0.0 && self.epsilon < 0.5, "epsilon must be in (0, 0.5)");
+        assert!(self.sample_size >= 1 && self.sample_size <= 16, "sample_size in 1..=16");
+        assert!(self.eval_size >= 1, "eval_size must be positive");
+    }
+}
+
+/// The GGR-style ρ-clique tester built on the paper's `T` operator.
+#[derive(Clone, Copy, Debug)]
+pub struct RhoCliqueTester {
+    params: TesterParams,
+}
+
+impl RhoCliqueTester {
+    /// Creates a tester.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters (see [`TesterParams`] fields).
+    #[must_use]
+    pub fn new(params: TesterParams) -> Self {
+        params.validate();
+        Self { params }
+    }
+
+    /// One-sided-style test: `true` = "evidence of a large near-clique".
+    ///
+    /// Queries all pairs within `S ∪ W` (the canonical-form probe,
+    /// `O((|S| + |W|)²)` queries), then for every non-empty `X ⊆ S`
+    /// estimates `|T_ε(X)|` from the `W`-sample and accepts if some
+    /// estimate reaches `(1 − 2ε)·ρ·n`.
+    pub fn test<R: Rng + ?Sized>(&self, oracle: &CountingOracle<'_>, rng: &mut R) -> bool {
+        self.best_subset(oracle, rng).is_some()
+    }
+
+    /// The accepting subset `X` and its estimated `|T_ε(X)|`, if any.
+    pub fn best_subset<R: Rng + ?Sized>(
+        &self,
+        oracle: &CountingOracle<'_>,
+        rng: &mut R,
+    ) -> Option<(Vec<usize>, f64)> {
+        let p = self.params;
+        let n = oracle.n();
+        if n == 0 {
+            return None;
+        }
+        let mut nodes: Vec<usize> = (0..n).collect();
+        nodes.shuffle(rng);
+        let s_size = p.sample_size.min(n);
+        let sample: Vec<usize> = nodes[..s_size].to_vec();
+        let eval: Vec<usize> = nodes
+            .iter()
+            .copied()
+            .skip(s_size)
+            .take(p.eval_size.min(n.saturating_sub(s_size)))
+            .collect();
+        if eval.is_empty() {
+            return None;
+        }
+
+        // Probe the full induced bipartite-and-internal pattern on S ∪ W.
+        let w = eval.len();
+        let s = sample.len();
+        // adjacency of eval × sample and eval × eval.
+        let mut es = vec![false; w * s];
+        for (i, &u) in eval.iter().enumerate() {
+            for (j, &x) in sample.iter().enumerate() {
+                es[i * s + j] = oracle.has_edge(u, x);
+            }
+        }
+        let mut ee = vec![false; w * w];
+        for i in 0..w {
+            for j in (i + 1)..w {
+                let a = oracle.has_edge(eval[i], eval[j]);
+                ee[i * w + j] = a;
+                ee[j * w + i] = a;
+            }
+        }
+
+        let inner_eps = 2.0 * p.epsilon * p.epsilon;
+        let target = (1.0 - 2.0 * p.epsilon) * p.rho * n as f64;
+        let mut best: Option<(u32, f64)> = None;
+        for x_mask in 1u32..(1u32 << s) {
+            let x_size = x_mask.count_ones() as usize;
+            // W ∩ K_{2ε²}(X), estimated exactly on the sample.
+            let mut k_w: Vec<usize> = Vec::new();
+            for i in 0..w {
+                let mut cnt = 0usize;
+                for j in 0..s {
+                    if x_mask & (1 << j) != 0 && es[i * s + j] {
+                        cnt += 1;
+                    }
+                }
+                if cnt >= k_threshold(x_size, inner_eps) {
+                    k_w.push(i);
+                }
+            }
+            let est_k = n as f64 * k_w.len() as f64 / w as f64;
+            // W ∩ T_ε(X): members of K_w adjacent to (1 − ε) of K_w.
+            let t_count = k_w
+                .iter()
+                .filter(|&&i| {
+                    let cnt = k_w.iter().filter(|&&j| j != i && ee[i * w + j]).count();
+                    // Scale the threshold to the sample estimate of |K|.
+                    let base = k_w.len().saturating_sub(1);
+                    let _ = est_k;
+                    cnt >= k_threshold(base, p.epsilon)
+                })
+                .count();
+            let est_t = n as f64 * t_count as f64 / w as f64;
+            if est_t >= target && best.is_none_or(|(_, b)| est_t > b) {
+                best = Some((x_mask, est_t));
+            }
+        }
+        best.map(|(mask, est)| {
+            let x: Vec<usize> = sample
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| mask & (1 << j) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            (x, est)
+        })
+    }
+}
+
+/// The "approximate find" companion \[10\]: given an accepting subset `X`,
+/// materialize `T_ε(X)` with a full scan — `O(n·|X| + n·|K|)` queries,
+/// linear in `n` for constant ε.
+pub fn approximate_find(
+    oracle: &CountingOracle<'_>,
+    x: &[usize],
+    epsilon: f64,
+) -> FixedBitSet {
+    let n = oracle.n();
+    let inner_eps = 2.0 * epsilon * epsilon;
+    let x_set: FixedBitSet = FixedBitSet::from_iter_with_capacity(n, x.iter().copied());
+    // K_{2ε²}(X) by direct queries.
+    let mut k_set = FixedBitSet::new(n);
+    for v in 0..n {
+        let mut cnt = 0usize;
+        for &m in x {
+            if m != v && oracle.has_edge(v, m) {
+                cnt += 1;
+            }
+        }
+        let base = x_set.len() - usize::from(x_set.contains(v));
+        if cnt >= k_threshold(base, inner_eps) {
+            k_set.insert(v);
+        }
+    }
+    // T_ε(X) by direct queries against K.
+    let members: Vec<usize> = k_set.to_vec();
+    let mut t_set = FixedBitSet::new(n);
+    for &v in &members {
+        let mut cnt = 0usize;
+        for &u in &members {
+            if u != v && oracle.has_edge(v, u) {
+                cnt += 1;
+            }
+        }
+        if cnt >= k_threshold(members.len() - 1, epsilon) {
+            t_set.insert(v);
+        }
+    }
+    t_set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators::{gnp, planted_near_clique};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tester(rho: f64, eps: f64) -> RhoCliqueTester {
+        RhoCliqueTester::new(TesterParams { rho, epsilon: eps, sample_size: 8, eval_size: 80 })
+    }
+
+    #[test]
+    fn accepts_complete_graph() {
+        let g = graphs::Graph::complete(300);
+        let oracle = CountingOracle::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(tester(0.9, 0.2).test(&oracle, &mut rng));
+    }
+
+    #[test]
+    fn rejects_sparse_random_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp(300, 0.05, &mut rng);
+        let oracle = CountingOracle::new(&g);
+        let mut accepts = 0;
+        for seed in 0..10 {
+            let mut r = StdRng::seed_from_u64(seed);
+            if tester(0.5, 0.2).test(&oracle, &mut r) {
+                accepts += 1;
+            }
+        }
+        assert!(accepts <= 2, "sparse graph accepted {accepts}/10 times");
+    }
+
+    #[test]
+    fn accepts_planted_near_clique_most_of_the_time() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // ε³-near clique of half the nodes (ε = 0.25 → ε³ ≈ 0.016).
+        let p = planted_near_clique(400, 200, 0.016, 0.02, &mut rng);
+        let oracle = CountingOracle::new(&p.graph);
+        let mut accepts = 0;
+        for seed in 0..10 {
+            let mut r = StdRng::seed_from_u64(seed * 7 + 1);
+            if tester(0.5, 0.25).test(&oracle, &mut r) {
+                accepts += 1;
+            }
+        }
+        assert!(accepts >= 6, "planted instance accepted only {accepts}/10 times");
+    }
+
+    #[test]
+    fn query_count_is_sublinear_in_n2() {
+        let g = graphs::Graph::complete(500);
+        let oracle = CountingOracle::new(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = tester(0.8, 0.2).test(&oracle, &mut rng);
+        let q = oracle.queries();
+        // (s + w)² with s = 8, w = 80: well under n²/4.
+        assert!(q < (500 * 500 / 4) as u64, "too many queries: {q}");
+        assert!(q > 0);
+        oracle.reset();
+        assert_eq!(oracle.queries(), 0);
+    }
+
+    #[test]
+    fn find_returns_dense_set_on_planted_instance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = planted_near_clique(300, 150, 0.016, 0.02, &mut rng);
+        let oracle = CountingOracle::new(&p.graph);
+        let mut r = StdRng::seed_from_u64(11);
+        if let Some((x, _)) = tester(0.5, 0.25).best_subset(&oracle, &mut r) {
+            let t = approximate_find(&oracle, &x, 0.25);
+            assert!(t.len() >= 100, "found only {}", t.len());
+            let d = graphs::density::density(&p.graph, &t);
+            assert!(d > 0.8, "density {d}");
+        } else {
+            panic!("tester rejected a planted instance with this seed");
+        }
+    }
+
+    #[test]
+    fn empty_oracle_rejects() {
+        let g = graphs::Graph::empty(0);
+        let oracle = CountingOracle::new(&g);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(!tester(0.5, 0.2).test(&oracle, &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn bad_rho_panics() {
+        let _ = RhoCliqueTester::new(TesterParams {
+            rho: 0.0,
+            epsilon: 0.2,
+            sample_size: 4,
+            eval_size: 10,
+        });
+    }
+}

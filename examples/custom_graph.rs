@@ -1,0 +1,73 @@
+//! Bring-your-own-graph: run `DistNearClique` on an edge list.
+//!
+//! ```text
+//! cargo run --release --example custom_graph -- path/to/edges.txt [epsilon]
+//! ```
+//!
+//! The file format is one `u v` pair per line (`#` comments allowed),
+//! node ids `0..n`. Without an argument, a small built-in demo graph is
+//! used. Alongside the discovery run, the example prints the structural
+//! diagnostics (`k`-cores, triangles) a practitioner would check first.
+
+use near_clique_suite::prelude::*;
+
+const DEMO: &str = "# two dense groups bridged by one edge
+0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n0 4\n1 4\n2 4\n3 4
+5 6\n5 7\n5 8\n6 7\n6 8\n7 8\n5 9\n6 9\n7 9\n8 9
+4 5
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.first() {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => {
+            println!("(no file given — using the built-in demo graph)");
+            DEMO.to_string()
+        }
+    };
+    let epsilon: f64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(0.25);
+
+    let g = graphs::io::parse_edge_list(&text, None)?;
+    let n = g.node_count();
+    println!("graph: {} nodes, {} edges, max degree {}", n, g.edge_count(), g.max_degree());
+
+    // Structural diagnostics.
+    let degeneracy = graphs::kcore::degeneracy(&g);
+    let triangles = graphs::triangles::triangle_count(&g);
+    let clustering = graphs::triangles::global_clustering(&g);
+    println!(
+        "diagnostics: degeneracy {degeneracy}, {triangles} triangles, \
+         clustering {clustering:.3}"
+    );
+
+    // Discovery: boosted for reliability on unknown data.
+    // E|S| scales down on small inputs: the 2^{|S|} enumeration would
+    // otherwise dominate (Lemma 5.1).
+    let expected_sample = (n as f64 / 3.0).clamp(2.0, 8.0);
+    let params = NearCliqueParams::for_expected_sample(epsilon, expected_sample, n)?
+        .with_lambda(3)
+        .with_min_candidate_size(3)
+        .with_max_component_size(12);
+    let run = run_near_clique(&g, &params, 0xC0FFEE);
+    println!(
+        "run: {} rounds, {} messages, widest message {} bits",
+        run.metrics.rounds, run.metrics.messages, run.metrics.max_message_bits
+    );
+
+    let sets = run.labeled_sets();
+    if sets.is_empty() {
+        println!("no near-clique above the size floor was found (try more boosting)");
+    }
+    for (label, set) in sets {
+        println!(
+            "near-clique {label}: {} nodes {:?}, density {:.3}",
+            set.len(),
+            set.to_vec(),
+            density::density(&g, &set),
+        );
+    }
+    check_labels(&g, &run.labels, params.epsilon)?;
+    println!("outputs verified against the Lemma 5.3 guarantee");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! The Figure 1 pitfall: why the "obvious" shingles algorithm fails.
+//!
+//! Claim 1 of the paper constructs a family (cliques C₁, C₂ flanked by
+//! independent sets I₁, I₂) on which the shingles heuristic provably
+//! cannot output a large near-clique — whichever node draws the minimum
+//! shingle, its candidate set is either diluted (density 2δ/(1+δ)) or
+//! tiny (≈ δn/2). This example walks the two cases live and shows
+//! `DistNearClique` finding the planted δn-clique on the same graph.
+//!
+//! ```text
+//! cargo run --release --example shingles_pitfall
+//! ```
+
+use graphs::generators::ShinglesGraph;
+use near_clique_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 400;
+    let delta = 0.5;
+    let s = generators::shingles_counterexample(n, delta);
+    let clique = s.clique();
+    println!(
+        "figure-1 graph: n = {n}, planted clique C = C1 ∪ C2 of {} nodes (density 1.0)",
+        clique.len()
+    );
+    let eps = 0.9 * ShinglesGraph::claim_epsilon_threshold(delta);
+    let target = ((1.0 - eps) * delta * n as f64).ceil() as usize;
+    println!(
+        "claim 1: for ε = {eps:.3}, shingles cannot output an ε-near clique of ≥ {target} nodes"
+    );
+    println!();
+
+    // Shingles, many seeds: its best output never qualifies.
+    let config = ShinglesConfig { min_size: 2, min_density: 1.0 - eps };
+    let mut best = (0usize, 0.0f64);
+    for seed in 0..25 {
+        if let Some(set) = run_shingles(&s.graph, config, seed).largest_set() {
+            let d = density::density(&s.graph, &set);
+            if set.len() > best.0 {
+                best = (set.len(), d);
+            }
+            // Where did the minimum land? Diagnose the case analysis.
+            if seed < 3 {
+                // Paper's case analysis: if the minimum fell inside the
+                // clique, the candidate C₁∪C₂∪I₁ is large but diluted
+                // (density 2δ/(1+δ)); if it fell in an independent set,
+                // the candidate is C₁∪{vmin} — dense but half-sized.
+                let case = if d < 1.0 - eps {
+                    "case 1: vmin in C — candidate diluted by an independent set"
+                } else {
+                    "case 2: vmin in I — candidate confined to half the clique"
+                };
+                println!(
+                    "shingles seed {seed}: best set {} nodes at density {d:.3} ({case})",
+                    set.len()
+                );
+            }
+        }
+    }
+    println!(
+        "shingles best over 25 seeds: {} nodes at density {:.3} — target was {target}",
+        best.0, best.1
+    );
+    println!();
+
+    // DistNearClique on the same graph.
+    let params = NearCliqueParams::for_expected_sample(0.25, 9.0, n)?
+        .with_min_candidate_size(10);
+    let run = run_near_clique(&s.graph, &params, 77);
+    match run.largest_set() {
+        Some(found) => {
+            let d = density::density(&s.graph, &found);
+            let overlap = found.intersection_count(&clique);
+            println!(
+                "DistNearClique: {} nodes at density {d:.3} ({overlap} of them in C) — \
+                 qualifies: {}",
+                found.len(),
+                found.len() >= target && d >= 1.0 - eps
+            );
+        }
+        None => println!("DistNearClique: nothing this seed (constant success probability)"),
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Umbrella crate for the reproduction of Brakerski & Patt-Shamir,
+//! *Distributed Discovery of Large Near-Cliques* (PODC 2009).
+//!
+//! This crate re-exports the workspace members and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). For the library itself start at [`nearclique`]; for the
+//! network model at [`congest`]; for workloads at [`graphs::generators`].
+//!
+//! # The one-minute tour
+//!
+//! ```
+//! use near_clique_suite::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A Web-community-like instance: a planted near-clique in noise.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let planted = graphs::generators::planted_near_clique(300, 150, 0.01, 0.02, &mut rng);
+//!
+//! // The paper's algorithm, ε = 0.25, E|S| = 8.
+//! let params = NearCliqueParams::for_expected_sample(0.25, 8.0, 300)?;
+//! let run = run_near_clique(&planted.graph, &params, 42);
+//!
+//! // Outputs carry the paper's unconditional guarantee (Lemma 5.3).
+//! assert!(check_labels(&planted.graph, &run.labels, params.epsilon).is_ok());
+//! # Ok::<(), nearclique::InvalidParams>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use congest;
+pub use graphs;
+pub use nearclique;
+pub use proptester;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use baselines::{
+        run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig,
+    };
+    pub use congest::{Metrics, Mode, NetworkBuilder, RunLimits, Termination};
+    pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
+    pub use nearclique::{
+        check_labels, check_theorem_5_7, reference_run, run_near_clique,
+        run_near_clique_with, NearCliqueParams, NearCliqueRun, RunOptions, SamplePlan,
+    };
+}

@@ -1,0 +1,53 @@
+//! The §2 asynchrony reduction, tested on a real protocol of the paper:
+//! the shingles algorithm runs unchanged over the asynchronous executor
+//! under synchronizer α and produces the exact synchronous outputs.
+
+use baselines::shingles::{Shingles, ShinglesConfig};
+use congest::{run_synchronized, AsyncConfig, NetworkBuilder, RunLimits};
+use graphs::generators;
+use rand::SeedableRng;
+
+#[test]
+fn shingles_is_asynchrony_invariant() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let planted = generators::planted_clique(60, 20, 0.08, &mut rng);
+    let config = ShinglesConfig { min_size: 3, min_density: 0.8 };
+
+    for seed in 0..5u64 {
+        let mut sync_net =
+            NetworkBuilder::new().seed(seed).build_with(&planted.graph, |_| Shingles::new(config));
+        sync_net.run(RunLimits::rounds(8));
+        let sync_out = sync_net.outputs();
+
+        for max_delay in [1u64, 13, 64] {
+            let (async_out, report) = run_synchronized(
+                &planted.graph,
+                AsyncConfig { seed, max_delay, pulse_budget: 8 },
+                |_| Shingles::new(config),
+            );
+            assert_eq!(
+                async_out, sync_out,
+                "seed {seed}, max_delay {max_delay}: asynchrony changed the output"
+            );
+            // The synchronizer pays: control messages dominate.
+            assert!(report.control_messages >= report.payload_messages);
+        }
+    }
+}
+
+#[test]
+fn async_virtual_time_scales_with_delay() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let g = generators::gnp(40, 0.2, &mut rng);
+    let config = ShinglesConfig::default();
+    let run = |max_delay| {
+        run_synchronized(&g, AsyncConfig { seed: 1, max_delay, pulse_budget: 8 }, |_| {
+            Shingles::new(config)
+        })
+        .1
+        .virtual_time
+    };
+    let fast = run(1);
+    let slow = run(32);
+    assert!(slow > 2 * fast, "virtual time must grow with link delay: {fast} vs {slow}");
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the comparative claims: the §3 strawmen behave
+//! as the paper says, and the finder trait compares like with like.
+
+use baselines::{
+    run_neighbors_neighbors, run_shingles, DistNearCliqueFinder, ExactFinder,
+    NearCliqueFinder, PeelFinder, QuasiFinder, ShinglesConfig, ShinglesFinder,
+};
+use graphs::generators::{self, ShinglesGraph};
+use graphs::{density, quasi::QuasiCliqueConfig, Graph};
+use nearclique::NearCliqueParams;
+use rand::SeedableRng;
+
+#[test]
+fn claim_1_shingles_never_wins_on_figure_1() {
+    let n = 240;
+    for &delta in &[0.3f64, 0.5, 0.7] {
+        let s = generators::shingles_counterexample(n, delta);
+        let eps = 0.9 * ShinglesGraph::claim_epsilon_threshold(delta);
+        let need = ((1.0 - eps) * delta * n as f64).ceil() as usize;
+        for seed in 0..30 {
+            let run = run_shingles(
+                &s.graph,
+                ShinglesConfig { min_size: 2, min_density: 1.0 - eps },
+                seed,
+            );
+            if let Some(set) = run.largest_set() {
+                let qualifies =
+                    set.len() >= need && density::is_near_clique(&s.graph, &set, eps);
+                assert!(
+                    !qualifies,
+                    "delta {delta}, seed {seed}: shingles produced {} nodes, \
+                     contradicting Claim 1",
+                    set.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn neighbors_neighbors_is_exact_but_wide() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let planted = generators::planted_clique(80, 20, 0.05, &mut rng);
+    let run = run_neighbors_neighbors(&planted.graph, 3);
+    let set = run.largest_set().expect("clique found");
+    // Correct: it finds a maximum clique.
+    assert!(set.len() >= 20);
+    assert!(density::is_near_clique(&planted.graph, &set, 0.0));
+    // But wide: its messages dwarf the CONGEST budget.
+    assert!(
+        run.metrics.max_message_bits > nearclique::msg::max_message_bits(),
+        "NN width {} should exceed the CONGEST budget",
+        run.metrics.max_message_bits
+    );
+}
+
+#[test]
+fn finder_trait_is_consistent_across_algorithms() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let planted = generators::planted_clique(100, 25, 0.05, &mut rng);
+    let g = &planted.graph;
+
+    let dist = DistNearCliqueFinder {
+        params: NearCliqueParams::for_expected_sample(0.25, 8.0, 100)
+            .unwrap()
+            .with_lambda(2),
+    };
+    let shingles = ShinglesFinder { config: ShinglesConfig::default() };
+    let peel = PeelFinder { min_size: 15 };
+    let quasi = QuasiFinder { config: QuasiCliqueConfig::default() };
+    let exact = ExactFinder;
+    let finders: Vec<&dyn NearCliqueFinder> = vec![&dist, &shingles, &peel, &quasi, &exact];
+
+    let scores = baselines::score_all(g, &finders, 5);
+    assert_eq!(scores.len(), 5);
+    // Exact is the densest-at-its-size yardstick.
+    let exact_score = scores.iter().find(|s| s.name == "exact-max-clique").unwrap();
+    assert_eq!(exact_score.density, 1.0);
+    assert!(exact_score.size >= 25);
+    // Every set is a valid node set of g.
+    for s in &scores {
+        assert!(s.size <= g.node_count());
+        assert!((0.0..=1.0).contains(&s.density));
+    }
+}
+
+#[test]
+fn shingles_succeeds_where_it_should() {
+    // Fairness check: the strawman is not a punching bag — on a clean
+    // disjoint-clique instance it does fine, exactly as the paper implies
+    // (its failure is specific to adversarial overlap structure).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let cg = generators::caveman(5, 20, 0.0, &mut rng);
+    let mut wins = 0;
+    for seed in 0..10 {
+        let run = run_shingles(
+            &cg.graph,
+            ShinglesConfig { min_size: 10, min_density: 0.95 },
+            seed,
+        );
+        if let Some(set) = run.largest_set() {
+            if set.len() == 20 {
+                wins += 1;
+            }
+        }
+    }
+    assert!(wins >= 8, "shingles found a full cave only {wins}/10 times");
+}
+
+#[test]
+fn property_tester_agrees_with_distributed_verdicts() {
+    use proptester::{CountingOracle, RhoCliqueTester, TesterParams};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let planted = generators::planted_near_clique(300, 150, 0.0156, 0.02, &mut rng);
+    let null = generators::gnp(300, 0.1, &mut rng);
+
+    let tester = RhoCliqueTester::new(TesterParams {
+        rho: 0.5,
+        epsilon: 0.25,
+        sample_size: 8,
+        eval_size: 60,
+    });
+    let count = |g: &Graph| {
+        (0..10)
+            .filter(|&s| {
+                let oracle = CountingOracle::new(g);
+                let mut r = rand::rngs::StdRng::seed_from_u64(s);
+                tester.test(&oracle, &mut r)
+            })
+            .count()
+    };
+    let on_planted = count(&planted.graph);
+    let on_null = count(&null);
+    assert!(
+        on_planted > on_null,
+        "tester must separate planted ({on_planted}/10) from null ({on_null}/10)"
+    );
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: planted recovery, wrappers, invariants.
+
+use near_clique_suite::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn planted_near_clique_recovered_end_to_end() {
+    let epsilon: f64 = 0.25;
+    let mut r = rng(1);
+    let planted = generators::planted_near_clique(300, 150, epsilon.powi(3), 0.02, &mut r);
+    let params = NearCliqueParams::for_expected_sample(epsilon, 8.0, 300).unwrap();
+
+    // Constant success probability: over several seeds, most must succeed.
+    let mut successes = 0;
+    for seed in 0..8 {
+        let run = run_near_clique(&planted.graph, &params, seed);
+        assert_eq!(run.termination, Termination::Quiescent);
+        if let Some(found) = run.largest_set() {
+            if planted.recall(&found) > 0.8
+                && density::density(&planted.graph, &found) > 1.0 - 2.0 * epsilon
+            {
+                successes += 1;
+            }
+        }
+    }
+    assert!(successes >= 5, "only {successes}/8 seeds recovered the planted set");
+}
+
+#[test]
+fn distributed_equals_reference_on_community_graph() {
+    let mut r = rng(2);
+    let cg = generators::overlapping_communities(150, 2, 40, 8, 0.9, 0.02, &mut r);
+    let params = NearCliqueParams::for_expected_sample(0.25, 7.0, 150).unwrap().with_lambda(2);
+    for seed in 0..4 {
+        let run = run_near_clique(&cg.graph, &params, seed);
+        let reference = reference_run(&cg.graph, &run.ids, &params, &run.plan);
+        assert_eq!(run.labels, reference.labels, "seed {seed}");
+    }
+}
+
+#[test]
+fn lemma_5_3_holds_on_every_family() {
+    let params = NearCliqueParams::for_expected_sample(0.3, 8.0, 200).unwrap();
+    let graphs: Vec<Graph> = vec![
+        generators::gnp(200, 0.15, &mut rng(3)),
+        generators::planted_clique(200, 60, 0.05, &mut rng(4)).graph,
+        generators::shingles_counterexample(200, 0.4).graph,
+        generators::caveman(8, 25, 0.2, &mut rng(5)).graph,
+        Graph::complete(200),
+        Graph::empty(200),
+    ];
+    for (i, g) in graphs.iter().enumerate() {
+        for seed in 0..3 {
+            let run = run_near_clique(g, &params, seed * 11 + 1);
+            check_labels(g, &run.labels, params.epsilon)
+                .unwrap_or_else(|e| panic!("family {i}, seed {seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn time_bound_wrapper_aborts_consistently() {
+    let mut r = rng(6);
+    let planted = generators::planted_clique(150, 60, 0.03, &mut r);
+    let params = NearCliqueParams::for_expected_sample(0.25, 7.0, 150).unwrap();
+    // Abort at every possible budget: labels must be None or a full,
+    // consistent labeling — never a partial inconsistent one. With the
+    // staged protocol, labels only appear in the final phase.
+    for budget in [1u64, 3, 7, 15, 31, 63] {
+        let run = run_near_clique_with(
+            &planted.graph,
+            &params,
+            9,
+            RunOptions { max_rounds: budget, threads: 1 },
+        );
+        match run.termination {
+            Termination::RoundLimit => {
+                assert!(
+                    run.labels.iter().all(Option::is_none),
+                    "budget {budget}: labels must not appear before the winner phase"
+                );
+            }
+            Termination::Quiescent => {
+                // Small budgets can still suffice; then outputs must be
+                // fully valid.
+                check_labels(&planted.graph, &run.labels, params.epsilon)
+                    .unwrap_or_else(|e| panic!("budget {budget}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn boosting_strictly_helps_on_borderline_instance() {
+    let trials = 20;
+    let n = 200;
+    let base = NearCliqueParams::for_expected_sample(0.25, 4.0, n).unwrap();
+    let boosted = base.clone().with_lambda(4);
+    let mut single = 0;
+    let mut multi = 0;
+    for t in 0..trials {
+        let mut r = rng(700 + t);
+        let planted = generators::planted_near_clique(n, 50, 0.0156, 0.02, &mut r);
+        let ok = |run: &NearCliqueRun| {
+            run.largest_set().map(|s| planted.recall(&s) > 0.7).unwrap_or(false)
+        };
+        if ok(&run_near_clique(&planted.graph, &base, t)) {
+            single += 1;
+        }
+        if ok(&run_near_clique(&planted.graph, &boosted, t)) {
+            multi += 1;
+        }
+    }
+    assert!(
+        multi >= single,
+        "boosting must not hurt: single {single}, boosted {multi} of {trials}"
+    );
+    assert!(multi >= trials / 2, "boosted success too low: {multi}/{trials}");
+}
+
+#[test]
+fn parallel_and_sequential_runs_agree_cross_crate() {
+    let mut r = rng(8);
+    let planted = generators::planted_near_clique(200, 80, 0.0156, 0.03, &mut r);
+    let params = NearCliqueParams::for_expected_sample(0.25, 8.0, 200).unwrap();
+    let seq = run_near_clique_with(
+        &planted.graph,
+        &params,
+        13,
+        RunOptions { max_rounds: 10_000_000, threads: 1 },
+    );
+    let par = run_near_clique_with(
+        &planted.graph,
+        &params,
+        13,
+        RunOptions { max_rounds: 10_000_000, threads: 4 },
+    );
+    assert_eq!(seq.labels, par.labels);
+    assert_eq!(seq.metrics.rounds, par.metrics.rounds);
+    assert_eq!(seq.metrics.total_bits, par.metrics.total_bits);
+}
+
+#[test]
+fn congest_budget_never_exceeded_anywhere() {
+    let budget = nearclique::msg::max_message_bits();
+    let families: Vec<Graph> = vec![
+        generators::gnp(150, 0.2, &mut rng(9)),
+        generators::shingles_counterexample(150, 0.5).graph,
+        Graph::complete(60),
+    ];
+    let params = NearCliqueParams::for_expected_sample(0.25, 8.0, 150).unwrap().with_lambda(2);
+    for g in &families {
+        for seed in 0..3 {
+            let run = run_near_clique(g, &params, seed);
+            assert!(
+                run.metrics.max_message_bits <= budget,
+                "{} bits > budget {budget}",
+                run.metrics.max_message_bits
+            );
+        }
+    }
+}
