@@ -171,11 +171,7 @@ pub struct FinderScore {
 }
 
 /// Runs a collection of finders on one graph and reports their scores.
-pub fn score_all(
-    g: &Graph,
-    finders: &[&dyn NearCliqueFinder],
-    seed: u64,
-) -> Vec<FinderScore> {
+pub fn score_all(g: &Graph, finders: &[&dyn NearCliqueFinder], seed: u64) -> Vec<FinderScore> {
     finders
         .iter()
         .map(|f| {
@@ -205,8 +201,7 @@ mod tests {
         let peel = PeelFinder { min_size: 10 };
         let quasi = QuasiFinder { config: quasi::QuasiCliqueConfig::default() };
         let exact = ExactFinder;
-        let finders: Vec<&dyn NearCliqueFinder> =
-            vec![&dist, &shingles, &peel, &quasi, &exact];
+        let finders: Vec<&dyn NearCliqueFinder> = vec![&dist, &shingles, &peel, &quasi, &exact];
         let scores = score_all(&p.graph, &finders, 3);
         assert_eq!(scores.len(), 5);
         let exact_score = scores.iter().find(|s| s.name == "exact-max-clique").unwrap();
@@ -229,9 +224,7 @@ mod tests {
     fn empty_graph_is_survivable_by_everyone() {
         let g = Graph::empty(4);
         let dist = DistNearCliqueFinder { params: NearCliqueParams::new(0.2, 0.3).unwrap() };
-        let shingles = ShinglesFinder {
-            config: ShinglesConfig { min_size: 2, min_density: 0.5 },
-        };
+        let shingles = ShinglesFinder { config: ShinglesConfig { min_size: 2, min_density: 0.5 } };
         let exact = ExactFinder;
         let finders: Vec<&dyn NearCliqueFinder> = vec![&dist, &shingles, &exact];
         for s in score_all(&g, &finders, 1) {

@@ -19,8 +19,10 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use congest::{Context, Message, Metrics, Mode, NetworkBuilder, Port, Protocol, RunLimits,
-              Termination, ID_BITS, TAG_BITS};
+use congest::{
+    Context, Message, Metrics, Mode, NetworkBuilder, Port, Protocol, RunLimits, Termination,
+    ID_BITS, TAG_BITS,
+};
 use graphs::{exact, FixedBitSet, Graph, GraphBuilder};
 
 /// Messages of the neighbors'-neighbors algorithm. `NeighborList` and
@@ -146,8 +148,7 @@ impl Protocol for NeighborsNeighbors {
                     match msg {
                         NnMsg::NeighborList(ids) => {
                             let u = ctx.neighbor_id(*port);
-                            self.neighbor_adjacency
-                                .insert(u, ids.iter().copied().collect());
+                            self.neighbor_adjacency.insert(u, ids.iter().copied().collect());
                         }
                         other => panic!("unexpected in NN round 1: {other:?}"),
                     }
@@ -161,11 +162,7 @@ impl Protocol for NeighborsNeighbors {
                     match msg {
                         NnMsg::Proposal(ids) => {
                             if ids.binary_search(&ctx.id()).is_ok() {
-                                self.my_proposals.push((
-                                    ids.len(),
-                                    ctx.neighbor_id(*port),
-                                    *port,
-                                ));
+                                self.my_proposals.push((ids.len(), ctx.neighbor_id(*port), *port));
                             }
                         }
                         other => panic!("unexpected in NN round 2: {other:?}"),
@@ -217,10 +214,7 @@ impl Protocol for NeighborsNeighbors {
                 for (_port, msg) in inbox {
                     match msg {
                         NnMsg::Confirm { leader } => {
-                            if self
-                                .my_proposals
-                                .iter()
-                                .any(|&(_, l, _)| l == *leader)
+                            if self.my_proposals.iter().any(|&(_, l, _)| l == *leader)
                                 && self.output.is_none()
                             {
                                 self.output = Some(*leader);

@@ -17,8 +17,10 @@
 //! the paper's description allows overlapping variants, ours is the
 //! disjoint one.
 
-use congest::{bits_for_count, Context, Message, Metrics, NetworkBuilder, Port, Protocol,
-              RunLimits, Termination};
+use congest::{
+    bits_for_count, Context, Message, Metrics, NetworkBuilder, Port, Protocol, RunLimits,
+    Termination,
+};
 use graphs::{FixedBitSet, Graph};
 use rand::Rng;
 
@@ -134,11 +136,8 @@ impl Protocol for Shingles {
                         other => panic!("unexpected in shingles round 1: {other:?}"),
                     }
                 }
-                let &(min, port) = self
-                    .rands
-                    .iter()
-                    .min_by_key(|&&(r, _)| r)
-                    .expect("own shingle always present");
+                let &(min, port) =
+                    self.rands.iter().min_by_key(|&&(r, _)| r).expect("own shingle always present");
                 self.label = min;
                 self.label_port = (port != usize::MAX).then_some(port);
                 ctx.broadcast(ShingleMsg::Label(self.label));
@@ -150,11 +149,8 @@ impl Protocol for Shingles {
                         other => panic!("unexpected in shingles round 2: {other:?}"),
                     }
                 }
-                self.own_in_degree = self
-                    .neighbor_labels
-                    .iter()
-                    .filter(|&&(_, l)| l == self.label)
-                    .count() as u32;
+                self.own_in_degree =
+                    self.neighbor_labels.iter().filter(|&&(_, l)| l == self.label).count() as u32;
                 if let Some(port) = self.label_port {
                     ctx.send(
                         port,
@@ -248,8 +244,7 @@ impl ShinglesRun {
 /// Runs the shingles algorithm on `g`.
 #[must_use]
 pub fn run_shingles(g: &Graph, config: ShinglesConfig, seed: u64) -> ShinglesRun {
-    let mut net =
-        NetworkBuilder::new().seed(seed).build_with(g, |_| Shingles::new(config));
+    let mut net = NetworkBuilder::new().seed(seed).build_with(g, |_| Shingles::new(config));
     let report = net.run(RunLimits::default());
     debug_assert_eq!(report.termination, Termination::Quiescent);
     ShinglesRun { labels: net.outputs(), metrics: report.metrics }

@@ -26,16 +26,12 @@ fn bench_step4f(c: &mut Criterion) {
         b.iter(|| density::t_eps(&p.graph, &x, 0.25));
     });
     for &budget in &[10usize, 40] {
-        group.bench_with_input(
-            BenchmarkId::new("estimated", budget),
-            &budget,
-            |b, &budget| {
-                b.iter(|| {
-                    let mut r = StdRng::seed_from_u64(2);
-                    estimate::t_eps_estimated(&p.graph, &x, 0.25, budget, &mut r)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("estimated", budget), &budget, |b, &budget| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(2);
+                estimate::t_eps_estimated(&p.graph, &x, 0.25, budget, &mut r)
+            });
+        });
     }
     group.finish();
 }

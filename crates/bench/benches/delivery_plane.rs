@@ -1,0 +1,176 @@
+//! Delivery-plane benches: the simulator's hot path across topology
+//! shapes, bandwidth modes, engines, and thread counts.
+//!
+//! Three axes:
+//!
+//! * **Topology** — dense (complete graph), sparse (G(n,p) at average
+//!   degree 8), star (one hub port carrying n−1 deliveries per round).
+//! * **Mode** — CONGEST (one message per directed edge per round) vs
+//!   LOCAL (whole queues per round).
+//! * **Engine** — `legacy` (the seed repository's `Vec<VecDeque>` plane,
+//!   kept as `congest::LegacyNetwork`), `flat1` (the flat plane,
+//!   sequential) and `flat4` (the flat plane on 4 shards).
+//!
+//! The `near_clique_n*` group runs the full `DistNearClique` protocol at
+//! n ≥ 5000 — the ISSUE 1 acceptance workload, whose before/after trail
+//! lives in `BENCH_protocol.json`. Regenerate it with:
+//!
+//! ```text
+//! BENCH_JSON=BENCH_protocol.json cargo bench --bench delivery_plane
+//! ```
+
+use congest::{
+    Context, IdAssignment, LegacyNetwork, Message, Mode, NetworkBuilder, Port, Protocol, RunLimits,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::{generators, Graph, GraphBuilder};
+use nearclique::{DistNearClique, NearCliqueParams, RunOptions, SamplePlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A counter message: representative `O(log n)` width.
+#[derive(Clone, Debug)]
+struct Word {
+    /// Simulated payload; only its width is observable.
+    _payload: u64,
+}
+
+impl Message for Word {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+/// Sustained traffic: every node broadcasts every round until `rounds`.
+struct Gossip {
+    rounds: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = Word;
+    type Output = ();
+
+    fn init(&mut self, ctx: &mut Context<'_, Word>) {
+        ctx.broadcast(Word { _payload: 0 });
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Word>, inbox: &[(Port, Word)]) {
+        let _ = inbox;
+        if ctx.round() < self.rounds {
+            ctx.broadcast(Word { _payload: ctx.round() });
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn output(&self) {}
+}
+
+fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i);
+    }
+    b.build()
+}
+
+const GOSSIP_ROUNDS: u64 = 50;
+
+fn run_gossip_flat(g: &Graph, mode: Mode, threads: usize) -> u64 {
+    let mut net = NetworkBuilder::new()
+        .mode(mode)
+        .seed(3)
+        .parallel(threads)
+        .build_with(g, |_| Gossip { rounds: GOSSIP_ROUNDS });
+    net.reserve_rounds(GOSSIP_ROUNDS as usize + 8);
+    let report = net.run(RunLimits::rounds(GOSSIP_ROUNDS + 5));
+    report.metrics.messages
+}
+
+fn run_gossip_legacy(g: &Graph, mode: Mode) -> u64 {
+    let mut net = LegacyNetwork::build_with(g, mode, 3, IdAssignment::Hashed, |_| Gossip {
+        rounds: GOSSIP_ROUNDS,
+    });
+    let report = net.run(RunLimits::rounds(GOSSIP_ROUNDS + 5));
+    report.metrics.messages
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let dense = Graph::complete(160);
+    let sparse = generators::gnp(4000, 0.002, &mut StdRng::seed_from_u64(11));
+    let star_g = star(2001);
+    let shapes: [(&str, &Graph); 3] = [("dense", &dense), ("sparse", &sparse), ("star", &star_g)];
+
+    for mode in [Mode::Congest, Mode::Local] {
+        let tag = if mode == Mode::Congest { "congest" } else { "local" };
+        let mut group = c.benchmark_group(&format!("delivery_plane/gossip_{tag}"));
+        group.sample_size(10);
+        for (shape, g) in shapes {
+            group.bench_with_input(BenchmarkId::new(shape, "legacy"), g, |b, g| {
+                b.iter(|| run_gossip_legacy(g, mode));
+            });
+            group.bench_with_input(BenchmarkId::new(shape, "flat1"), g, |b, g| {
+                b.iter(|| run_gossip_flat(g, mode, 1));
+            });
+            group.bench_with_input(BenchmarkId::new(shape, "flat4"), g, |b, g| {
+                b.iter(|| run_gossip_flat(g, mode, 4));
+            });
+        }
+        group.finish();
+    }
+}
+
+/// The protocol-bench workload shape (a `δn`-node planted ε³-near clique
+/// in noise). `dense` is capped so the n = 10000 instance stays benchable
+/// — an n/2 planted set there would alone be 12.5M edges.
+fn planted(n: usize, dense: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::planted_near_clique(n, dense, 0.0156, 0.002, &mut rng).graph
+}
+
+fn run_protocol_flat(g: &Graph, params: &NearCliqueParams, threads: usize) -> u64 {
+    let run = nearclique::run_near_clique_with(
+        g,
+        params,
+        7,
+        RunOptions { max_rounds: 10_000_000, threads },
+    );
+    run.metrics.messages
+}
+
+fn run_protocol_legacy(g: &Graph, params: &NearCliqueParams) -> u64 {
+    let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, 7);
+    let mut net =
+        LegacyNetwork::build_with(g, Mode::Congest, 7, IdAssignment::Hashed, |endpoint| {
+            let flags = (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
+            DistNearClique::new(params.clone(), flags)
+        });
+    let report = net.run(RunLimits::rounds(10_000_000));
+    report.metrics.messages
+}
+
+/// The acceptance workload: full `DistNearClique` at n ≥ 5000, seed
+/// engine vs flat plane.
+fn bench_near_clique(c: &mut Criterion) {
+    for (n, dense) in [(5000usize, 2500usize), (10_000, 1000)] {
+        let g = planted(n, dense, 42);
+        let params = NearCliqueParams::for_expected_sample(0.25, 7.0, n).unwrap();
+        let mut group = c.benchmark_group(&format!("delivery_plane/near_clique_n{n}"));
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter("legacy"), &g, |b, g| {
+            b.iter(|| run_protocol_legacy(g, &params));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("flat1"), &g, |b, g| {
+            b.iter(|| run_protocol_flat(g, &params, 1));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("flat4"), &g, |b, g| {
+            b.iter(|| run_protocol_flat(g, &params, 4));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_gossip, bench_near_clique);
+criterion_main!(benches);

@@ -50,9 +50,8 @@ fn bench_boosting(c: &mut Criterion) {
     let n = 300;
     let g = planted(n, 44);
     for &lambda in &[1u32, 2, 4] {
-        let params = NearCliqueParams::for_expected_sample(0.25, 6.0, n)
-            .unwrap()
-            .with_lambda(lambda);
+        let params =
+            NearCliqueParams::for_expected_sample(0.25, 6.0, n).unwrap().with_lambda(lambda);
         group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, _| {
             b.iter(|| run_near_clique(&g, &params, 13));
         });
@@ -82,11 +81,5 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_scaling_n,
-    bench_scaling_sample,
-    bench_boosting,
-    bench_parallel
-);
+criterion_group!(benches, bench_scaling_n, bench_scaling_sample, bench_boosting, bench_parallel);
 criterion_main!(benches);

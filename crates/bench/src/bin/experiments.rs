@@ -14,11 +14,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let quick = !full;
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let selected: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.to_lowercase()).collect();
 
     let registry = bench::all();
     let to_run: Vec<&bench::Experiment> = if selected.is_empty() {

@@ -84,9 +84,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E1: Theorem 5.7 — planted eps^3-near clique recovery",
         "w.p. Omega(1): |D'| >= (1-13eps/2)|D| - eps^-2 and D' is ~(eps/delta)-near clique; \
          success flat in n, improving with pn",
-        &[
-            "eps", "delta", "n", "E|S|", "thm-ok", "practical-ok", "recall", "density",
-        ],
+        &["eps", "delta", "n", "E|S|", "thm-ok", "practical-ok", "recall", "density"],
     );
     let mut configs: Vec<(f64, f64, usize, f64)> = vec![
         (0.25, 0.5, 400, 8.0),

@@ -72,8 +72,7 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(n as u64);
                 let planted =
                     generators::planted_clique(n, (0.4 * n as f64) as usize, 0.08, &mut rng);
-                let params =
-                    NearCliqueParams::for_expected_sample(0.25, 6.0, n).unwrap();
+                let params = NearCliqueParams::for_expected_sample(0.25, 6.0, n).unwrap();
                 let dist = run_near_clique(&planted.graph, &params, 3);
                 let nn = run_neighbors_neighbors(&planted.graph, 3);
                 (dist.metrics.max_message_bits, nn.metrics.max_message_bits)

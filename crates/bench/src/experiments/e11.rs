@@ -8,8 +8,8 @@
 //! (at these sizes, exact) maximum clique?
 
 use baselines::{
-    DistNearCliqueFinder, ExactFinder, KCoreFinder, NearCliqueFinder, PeelFinder,
-    QuasiFinder, ShinglesFinder, ShinglesConfig,
+    DistNearCliqueFinder, ExactFinder, KCoreFinder, NearCliqueFinder, PeelFinder, QuasiFinder,
+    ShinglesConfig, ShinglesFinder,
 };
 use graphs::{density, generators, quasi::QuasiCliqueConfig, FixedBitSet, Graph};
 use nearclique::NearCliqueParams;
@@ -61,17 +61,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             .with_lambda(2)
             .with_min_candidate_size(5),
     };
-    let shingles = ShinglesFinder {
-        config: ShinglesConfig { min_size: 5, min_density: 0.7 },
-    };
+    let shingles = ShinglesFinder { config: ShinglesConfig { min_size: 5, min_density: 0.7 } };
     let peel = PeelFinder { min_size: 50 };
-    let quasi = QuasiFinder {
-        config: QuasiCliqueConfig { gamma: 0.85, restarts: 6, rcl_width: 3 },
-    };
+    let quasi =
+        QuasiFinder { config: QuasiCliqueConfig { gamma: 0.85, restarts: 6, rcl_width: 3 } };
     let exact = ExactFinder;
     let kcore = KCoreFinder;
-    let finders: Vec<&dyn NearCliqueFinder> =
-        vec![&dist, &shingles, &peel, &quasi, &kcore, &exact];
+    let finders: Vec<&dyn NearCliqueFinder> = vec![&dist, &shingles, &peel, &quasi, &kcore, &exact];
 
     let mut tables = Vec::new();
     for inst_idx in 0..3usize {
@@ -89,8 +85,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             let mut recalls = Vec::new();
             for trial in 0..trials {
                 // Fresh instance per trial (same family), fresh seed.
-                let fresh = &instances(0xEB00 + inst_idx as u64 + 31 * (trial as u64 + 1))
-                    [inst_idx];
+                let fresh =
+                    &instances(0xEB00 + inst_idx as u64 + 31 * (trial as u64 + 1))[inst_idx];
                 let set = finder.find(&fresh.graph, 0x11E * trial as u64 + 7);
                 sizes.push(set.len() as f64);
                 densities.push(density::density(&fresh.graph, &set));

@@ -32,12 +32,7 @@ pub fn run(quick: bool) -> Vec<Table> {
          O(log n)-bit local messages, lots of parallel work",
         &["metric", "GGR-style tester", "DistNearClique"],
     );
-    let tester = RhoCliqueTester::new(TesterParams {
-        rho,
-        epsilon,
-        sample_size: 8,
-        eval_size: 60,
-    });
+    let tester = RhoCliqueTester::new(TesterParams { rho, epsilon, sample_size: 8, eval_size: 60 });
     let params = NearCliqueParams::for_expected_sample(epsilon, 8.0, n).expect("valid");
 
     let mut queries = Vec::new();
@@ -47,8 +42,13 @@ pub fn run(quick: bool) -> Vec<Table> {
     for trial in 0..trials {
         let seed = 0xEC00 + trial as u64;
         let mut rng = StdRng::seed_from_u64(seed);
-        let planted =
-            generators::planted_near_clique(n, (rho * n as f64) as usize, epsilon.powi(3), 0.02, &mut rng);
+        let planted = generators::planted_near_clique(
+            n,
+            (rho * n as f64) as usize,
+            epsilon.powi(3),
+            0.02,
+            &mut rng,
+        );
         let oracle = CountingOracle::new(&planted.graph);
         let mut trng = StdRng::seed_from_u64(seed ^ 0xC);
         let _ = tester.test(&oracle, &mut trng);
@@ -60,16 +60,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         width = width.max(run.metrics.max_message_bits);
     }
     t1.row(vec!["probes / rounds".into(), f1(mean(&queries)), f1(mean(&rounds))]);
-    t1.row(vec![
-        "messages".into(),
-        "n/a (centralized)".into(),
-        f1(mean(&messages)),
-    ]);
-    t1.row(vec![
-        "max unit width (bits)".into(),
-        "1 (edge query)".into(),
-        width.to_string(),
-    ]);
+    t1.row(vec!["messages".into(), "n/a (centralized)".into(), f1(mean(&messages))]);
+    t1.row(vec!["max unit width (bits)".into(), "1 (edge query)".into(), width.to_string()]);
 
     // --- Table 2: tolerance ---
     let mut t2 = Table::new(

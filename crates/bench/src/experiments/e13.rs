@@ -34,13 +34,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E13: the section 5.2 proof chain, measured",
         "each event of the proof (core large, X* connected, X* representative, \
          T_eps(X*) large) holds with probability -> 1 as pn grows",
-        &[
-            "pn",
-            "L5.4 core-ok",
-            "L5.5 one-comp",
-            "C3 representative",
-            "L5.6 T-large",
-        ],
+        &["pn", "L5.4 core-ok", "L5.5 one-comp", "C3 representative", "L5.6 T-large"],
     );
 
     for (i, &pn) in [4.0f64, 8.0, 12.0].iter().enumerate() {

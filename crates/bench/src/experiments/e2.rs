@@ -68,13 +68,11 @@ mod tests {
     fn quick_mode_has_three_rows() {
         // Smoke on a tiny synthetic scale: re-use internal pieces rather
         // than the full experiment (which is minutes of work).
-        let params =
-            nearclique::NearCliqueParams::for_expected_sample(0.25, 6.0, 120).unwrap();
+        let params = nearclique::NearCliqueParams::for_expected_sample(0.25, 6.0, 120).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         use rand::SeedableRng as _;
         let _ = &mut rng;
-        let planted =
-            graphs::generators::planted_near_clique(120, 60, 0.0156, 0.02, &mut rng);
+        let planted = graphs::generators::planted_near_clique(120, 60, 0.0156, 0.02, &mut rng);
         let run = nearclique::run_near_clique(&planted.graph, &params, 9);
         assert!(run.metrics.rounds > 0);
     }

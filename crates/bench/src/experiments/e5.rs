@@ -37,13 +37,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             let planted = generators::planted_near_clique(n, 250, 0.0156, 0.02, &mut rng);
             let run = run_near_clique(&planted.graph, &params, seed ^ 0xE5);
             let s = run.plan.sample(0);
-            let k_max = planted
-                .graph
-                .components_within(&s)
-                .iter()
-                .map(Vec::len)
-                .max()
-                .unwrap_or(0);
+            let k_max = planted.graph.components_within(&s).iter().map(Vec::len).max().unwrap_or(0);
             sizes.push(s.len() as f64);
             kmaxes.push(k_max as f64);
             rounds.push(run.metrics.rounds as f64);

@@ -30,27 +30,26 @@ pub fn run(quick: bool) -> Vec<Table> {
     let families: Vec<(&str, GraphMaker)> = vec![
         (
             "gnp(0.1)",
-            Box::new(move |seed| {
-                generators::gnp(n, 0.1, &mut StdRng::seed_from_u64(seed))
-            }),
+            Box::new(move |seed| generators::gnp(n, 0.1, &mut StdRng::seed_from_u64(seed))),
         ),
         (
             "gnp(0.3)",
-            Box::new(move |seed| {
-                generators::gnp(n, 0.3, &mut StdRng::seed_from_u64(seed))
-            }),
+            Box::new(move |seed| generators::gnp(n, 0.3, &mut StdRng::seed_from_u64(seed))),
         ),
         (
             "planted",
             Box::new(move |seed| {
-                generators::planted_near_clique(n, 120, 0.02, 0.05, &mut StdRng::seed_from_u64(seed))
-                    .graph
+                generators::planted_near_clique(
+                    n,
+                    120,
+                    0.02,
+                    0.05,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .graph
             }),
         ),
-        (
-            "figure-1",
-            Box::new(move |_seed| generators::shingles_counterexample(n, 0.5).graph),
-        ),
+        ("figure-1", Box::new(move |_seed| generators::shingles_counterexample(n, 0.5).graph)),
         (
             "caveman",
             Box::new(move |seed| {

@@ -16,11 +16,7 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     #[must_use]
-    pub fn new(
-        title: impl Into<String>,
-        expectation: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, expectation: impl Into<String>, headers: &[&str]) -> Self {
         Self {
             title: title.into(),
             expectation: expectation.into(),

@@ -29,14 +29,14 @@
 //! protocols.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use graphs::Graph;
 use rand::rngs::StdRng;
 
 use crate::message::Message;
 use crate::network::IdAssignment;
-use crate::protocol::{Context, Endpoint, Outbox, Port, Protocol};
+use crate::protocol::{Context, Endpoint, Outbox, OutboxHandle, Port, Protocol};
 use crate::rng::{node_rng, splitmix64};
 
 /// Control/payload envelope of synchronizer α.
@@ -198,7 +198,7 @@ impl<P: Protocol> Engine<P> {
             let mut ctx = Context {
                 endpoint: &node.endpoint,
                 round: pulse,
-                outbox: &mut node.outbox,
+                outbox: OutboxHandle::Owned(&mut node.outbox),
                 rng: &mut node.rng,
             };
             node.inner.step(&mut ctx, &inbox);
@@ -223,11 +223,7 @@ impl<P: Protocol> Engine<P> {
                 // A payload tagged r was drained by the sender on entering
                 // pulse r — exactly what the synchronous simulator
                 // delivers in round r — so it is consumed at pulse r.
-                self.nodes[to]
-                    .inbox_by_pulse
-                    .entry(pulse)
-                    .or_default()
-                    .push((port, msg));
+                self.nodes[to].inbox_by_pulse.entry(pulse).or_default().push((port, msg));
                 self.send(now, to, port, SyncMsg::Ack { pulse });
             }
             SyncMsg::Ack { pulse } => {
@@ -287,8 +283,7 @@ where
                 .neighbors(u)
                 .iter()
                 .map(|&v| {
-                    let back =
-                        graph.neighbors(v).binary_search(&u).expect("symmetric adjacency");
+                    let back = graph.neighbors(v).binary_search(&u).expect("symmetric adjacency");
                     (v, back)
                 })
                 .collect(),
@@ -337,7 +332,7 @@ where
         let mut ctx = Context {
             endpoint: &node.endpoint,
             round: 0,
-            outbox: &mut node.outbox,
+            outbox: OutboxHandle::Owned(&mut node.outbox),
             rng: &mut node.rng,
         };
         node.inner.init(&mut ctx);
@@ -420,22 +415,16 @@ mod tests {
     #[test]
     fn async_flood_equals_sync_flood() {
         let g = ring_with_chords(24);
-        let make = |e: &Endpoint| Flood {
-            is_source: e.index == 3,
-            heard_at: None,
-            forwarded: false,
-        };
+        let make =
+            |e: &Endpoint| Flood { is_source: e.index == 3, heard_at: None, forwarded: false };
 
         let mut sync_net = NetworkBuilder::new().seed(11).build_with(&g, make);
         sync_net.run(RunLimits::rounds(40));
         let sync_out = sync_net.outputs();
 
         for max_delay in [1u64, 7, 31] {
-            let (async_out, report) = run_synchronized(
-                &g,
-                AsyncConfig { seed: 11, max_delay, pulse_budget: 40 },
-                make,
-            );
+            let (async_out, report) =
+                run_synchronized(&g, AsyncConfig { seed: 11, max_delay, pulse_budget: 40 }, make);
             assert_eq!(async_out, sync_out, "max_delay = {max_delay}");
             assert!(report.virtual_time > 0);
         }
@@ -444,11 +433,8 @@ mod tests {
     #[test]
     fn synchronizer_overhead_accounted() {
         let g = graphs::Graph::complete(6);
-        let make = |e: &Endpoint| Flood {
-            is_source: e.index == 0,
-            heard_at: None,
-            forwarded: false,
-        };
+        let make =
+            |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
         let (_, report) =
             run_synchronized(&g, AsyncConfig { seed: 2, max_delay: 4, pulse_budget: 10 }, make);
         // α sends one Ack per payload and Safe to every neighbor every
@@ -463,11 +449,8 @@ mod tests {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1); // node 2 isolated
         let g = b.build();
-        let make = |e: &Endpoint| Flood {
-            is_source: e.index == 0,
-            heard_at: None,
-            forwarded: false,
-        };
+        let make =
+            |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
         let (out, _) =
             run_synchronized(&g, AsyncConfig { seed: 3, max_delay: 3, pulse_budget: 5 }, make);
         assert_eq!(out[1], Some(1));
@@ -477,14 +460,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = ring_with_chords(16);
-        let make = |e: &Endpoint| Flood {
-            is_source: e.index == 0,
-            heard_at: None,
-            forwarded: false,
-        };
-        let run = |seed| {
-            run_synchronized(&g, AsyncConfig { seed, max_delay: 9, pulse_budget: 30 }, make)
-        };
+        let make =
+            |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
+        let run =
+            |seed| run_synchronized(&g, AsyncConfig { seed, max_delay: 9, pulse_budget: 30 }, make);
         let (a, ra) = run(7);
         let (b, rb) = run(7);
         assert_eq!(a, b);

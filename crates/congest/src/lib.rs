@@ -57,13 +57,16 @@
 #![warn(clippy::all)]
 
 pub mod asynch;
+pub mod legacy;
 pub mod message;
 pub mod metrics;
 pub mod network;
+mod plane;
 pub mod protocol;
 pub mod rng;
 
 pub use asynch::{run_synchronized, AsyncConfig, AsyncReport};
+pub use legacy::LegacyNetwork;
 pub use message::{bits_for_count, Message, ID_BITS, TAG_BITS};
 pub use metrics::Metrics;
 pub use network::{IdAssignment, Mode, Network, NetworkBuilder, RunLimits, RunReport, Termination};

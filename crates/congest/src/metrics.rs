@@ -35,10 +35,29 @@ impl Metrics {
         }
     }
 
+    /// Folds one round's delivery counters in (the flat plane meters
+    /// per-shard and merges after the parallel phases join). All inputs
+    /// are commutative aggregates, so the fold order cannot affect the
+    /// result — part of the engine's determinism contract.
+    pub(crate) fn absorb_delivery(&mut self, messages: u64, bits: u64, max_bits: usize) {
+        self.messages += messages;
+        self.total_bits += bits;
+        self.max_message_bits = self.max_message_bits.max(max_bits);
+        if let Some(last) = self.messages_per_round.last_mut() {
+            *last += messages;
+        }
+    }
+
     /// Opens the accounting window for a new round.
     pub(crate) fn begin_round(&mut self) {
         self.rounds += 1;
         self.messages_per_round.push(0);
+    }
+
+    /// Pre-reserves the per-round history, so metered loops of known
+    /// length perform no allocation in steady state.
+    pub fn reserve_rounds(&mut self, rounds: usize) {
+        self.messages_per_round.reserve(rounds);
     }
 
     /// Mean messages per round (0 if no rounds ran).

@@ -1,30 +1,67 @@
-//! The synchronous network: topology, round loop, delivery rules.
+//! The synchronous network: topology, round loop, delivery rules — built
+//! on a flat, zero-allocation message plane.
 //!
 //! [`Network`] instantiates one [`Protocol`] state machine per node of a
 //! [`graphs::Graph`] and executes synchronous rounds:
 //!
-//! 1. **Deliver** — for every directed edge, dequeue messages from the
-//!    sender's per-port FIFO: exactly one in [`Mode::Congest`] (the
-//!    model's bandwidth rule; longer trains pipeline over rounds), or the
-//!    whole queue in [`Mode::Local`]. Every delivered message is metered.
+//! 1. **Deliver** — for every directed edge with queued messages, dequeue
+//!    from the sender's per-port FIFO: exactly one in [`Mode::Congest`]
+//!    (the model's bandwidth rule; longer trains pipeline over rounds), or
+//!    the whole queue in [`Mode::Local`]. Every delivered message is
+//!    metered.
 //! 2. **Step** — every node's [`Protocol::step`] runs on the messages
-//!    delivered to it this round. Stepping is embarrassingly parallel
-//!    (each node touches only its own state) and can be spread over
-//!    threads with [`NetworkBuilder::parallel`]; results are bit-identical
-//!    to sequential execution because each node owns its RNG stream.
+//!    delivered to it this round.
 //! 3. **Quiesce** — when no message is queued and every node reports
 //!    [`Protocol::is_idle`], the network offers a barrier via
 //!    [`Protocol::on_quiescent`]; if no node resumes, the run completes.
 //!
 //! An explicit [`RunLimits::max_rounds`] abort is always available — the
 //! paper's §4.1 deterministic time-bound wrapper.
+//!
+//! # The flat message plane
+//!
+//! The hot path is engineered so that a steady-state round performs **no
+//! heap allocation** (pinned by `tests/alloc_probe.rs`):
+//!
+//! * The link table is CSR-flattened (`crate::plane::Topology`): one
+//!   `u32` lookup maps a sender port to the matching receiver port, a
+//!   second recovers the receiver node on scatter.
+//! * Outgoing queues live in per-shard slabs of fixed-size chunks strung
+//!   on a free list; per-port state is 16 bytes, and pushes/pops recycle
+//!   chunks instead of allocating. Non-empty ports are tracked in a
+//!   bitset whose scan order is port order — no sorted insert on push.
+//! * Delivery and inbox buffers are double-buffered and reused across
+//!   rounds; per-round growth only happens until the workload's
+//!   high-water mark is reached.
+//!
+//! # Parallelism and determinism
+//!
+//! [`NetworkBuilder::parallel`] splits nodes into equal shards, one OS
+//! thread each. A round is one thread scope: each thread drains its own
+//! senders' queues (phase A), routes messages into per-destination-shard
+//! transfer buffers, then — after one barrier — collects the buffers
+//! addressed to it, scatters them into its receivers' inboxes, and steps
+//! its nodes. Messages carry a `(destination port, intra-train index)`
+//! key that is unique within a round, so the receiver-side sort yields one
+//! canonical inbox order (port-sorted, per-port FIFO) regardless of
+//! thread count; metrics are merged with commutative aggregates and each
+//! node owns its RNG stream. Together these make runs **bit-identical**
+//! across any `parallel(k)` — the contract `crates/core`'s
+//! `engine_equivalence` suite enforces.
+//!
+//! To benchmark the plane, see `crates/bench/benches/delivery_plane.rs`
+//! (set `BENCH_JSON=BENCH_protocol.json` to append machine-readable
+//! records).
+
+use std::sync::{Barrier, Mutex};
 
 use graphs::Graph;
 use rand::rngs::StdRng;
 
 use crate::message::Message;
 use crate::metrics::Metrics;
-use crate::protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
+use crate::plane::{Entry, Shard, Topology};
+use crate::protocol::{Context, Endpoint, OutboxHandle, Protocol, Round};
 use crate::rng::{node_rng, splitmix64};
 
 /// Bandwidth regime for message delivery.
@@ -98,22 +135,7 @@ pub struct RunReport {
 struct NodeSlot<P: Protocol> {
     endpoint: Endpoint,
     protocol: P,
-    outbox: Outbox<P::Msg>,
     rng: StdRng,
-    inbox: Vec<(Port, P::Msg)>,
-}
-
-impl<P: Protocol> NodeSlot<P> {
-    /// Runs `f` with a freshly assembled [`Context`] for this node.
-    fn with_ctx<R>(&mut self, round: Round, f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R) -> R {
-        let mut ctx = Context {
-            endpoint: &self.endpoint,
-            round,
-            outbox: &mut self.outbox,
-            rng: &mut self.rng,
-        };
-        f(&mut self.protocol, &mut ctx)
-    }
 }
 
 /// Configures and constructs a [`Network`].
@@ -161,8 +183,8 @@ impl NetworkBuilder {
         self
     }
 
-    /// Steps nodes on `threads` OS threads per round (1 = sequential).
-    /// Semantics are identical regardless of thread count.
+    /// Shards the network over `threads` OS threads (1 = sequential).
+    /// Results are bit-identical regardless of thread count.
     #[must_use]
     pub fn parallel(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
@@ -175,44 +197,29 @@ impl NetworkBuilder {
     /// # Panics
     ///
     /// Panics if hashed ID assignment produces a collision (probability
-    /// ≈ n²/2⁶⁴; retry with another seed).
+    /// ≈ n²/2⁶⁴; retry with another seed) or if the graph exceeds the
+    /// plane's `u32` port space.
     pub fn build_with<P, F>(self, graph: &Graph, mut factory: F) -> Network<P>
     where
         P: Protocol,
         F: FnMut(&Endpoint) -> P,
     {
         let n = graph.node_count();
-        let ids: Vec<u64> = match self.ids {
-            IdAssignment::Sequential => (0..n as u64).collect(),
-            IdAssignment::Hashed => {
-                let ids: Vec<u64> = (0..n)
-                    .map(|i| splitmix64(splitmix64(self.seed ^ 0x1D_5EED).wrapping_add(i as u64)))
-                    .collect();
-                let mut sorted = ids.clone();
-                sorted.sort_unstable();
-                sorted.dedup();
-                assert_eq!(sorted.len(), n, "hashed ID collision; use a different seed");
-                ids
-            }
-        };
+        let ids = assign_ids(self.ids, self.seed, n);
 
-        // links[u][port] = (v, port of u on v's side)
-        let mut links: Vec<Vec<(usize, usize)>> = Vec::with_capacity(n);
-        for u in 0..n {
-            links.push(
-                graph
-                    .neighbors(u)
-                    .iter()
-                    .map(|&v| {
-                        let back = graph
-                            .neighbors(v)
-                            .binary_search(&u)
-                            .expect("undirected graph must be symmetric");
-                        (v, back)
-                    })
-                    .collect(),
-            );
-        }
+        let s_count = self.threads;
+        let chunk = n.div_ceil(s_count);
+        let topo = Topology::build(graph, chunk, s_count);
+
+        let shards: Vec<Shard<P::Msg>> = (0..s_count)
+            .map(|t| {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                Shard::new(lo, hi, topo.offsets[lo], topo.offsets[hi], s_count)
+            })
+            .collect();
+        let transfer: Vec<Mutex<Vec<Entry<P::Msg>>>> =
+            (0..s_count * s_count).map(|_| Mutex::new(Vec::new())).collect();
 
         let nodes: Vec<NodeSlot<P>> = (0..n)
             .map(|u| {
@@ -222,17 +229,18 @@ impl NetworkBuilder {
                     neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
                 };
                 let protocol = factory(&endpoint);
-                let outbox = Outbox::new(endpoint.degree());
                 let rng = node_rng(self.seed, u);
-                NodeSlot { endpoint, protocol, outbox, rng, inbox: Vec::new() }
+                NodeSlot { endpoint, protocol, rng }
             })
             .collect();
 
         Network {
             mode: self.mode,
-            threads: self.threads,
             nodes,
-            links,
+            shards,
+            transfer,
+            topo,
+            chunk,
             metrics: Metrics::default(),
             round: 0,
             initialized: false,
@@ -240,12 +248,35 @@ impl NetworkBuilder {
     }
 }
 
+pub(crate) fn assign_ids(ids: IdAssignment, seed: u64, n: usize) -> Vec<u64> {
+    match ids {
+        IdAssignment::Sequential => (0..n as u64).collect(),
+        IdAssignment::Hashed => {
+            let ids: Vec<u64> = (0..n)
+                .map(|i| splitmix64(splitmix64(seed ^ 0x1D_5EED).wrapping_add(i as u64)))
+                .collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n, "hashed ID collision; use a different seed");
+            ids
+        }
+    }
+}
+
 /// A synchronous network executing one [`Protocol`] instance per node.
 pub struct Network<P: Protocol> {
     mode: Mode,
-    threads: usize,
     nodes: Vec<NodeSlot<P>>,
-    links: Vec<Vec<(usize, usize)>>,
+    /// Per-thread queue shards (the flat plane); `shards.len()` is the
+    /// configured thread count.
+    shards: Vec<Shard<P::Msg>>,
+    /// Transfer buffers between sender shard `s` and receiver shard `t`,
+    /// at index `s * shards + t`. Locked twice per shard per round.
+    transfer: Vec<Mutex<Vec<Entry<P::Msg>>>>,
+    topo: Topology,
+    /// Nodes per shard.
+    chunk: usize,
     metrics: Metrics,
     round: Round,
     initialized: bool,
@@ -290,14 +321,27 @@ impl<P: Protocol> Network<P> {
         self.nodes.iter().map(|s| s.protocol.output()).collect()
     }
 
+    /// Pre-reserves the per-round metrics history for `rounds` rounds, so
+    /// a bounded run's steady state performs zero heap allocations (the
+    /// history vector is the only structure that grows with round count).
+    pub fn reserve_rounds(&mut self, rounds: usize) {
+        self.metrics.reserve_rounds(rounds);
+    }
+
+    /// Total messages queued anywhere in the plane. O(threads).
+    #[must_use]
+    pub fn queued_messages(&self) -> u64 {
+        self.shards.iter().map(Shard::queued).sum()
+    }
+
     /// Runs until quiescence or the round limit. May be called again after
     /// a `RoundLimit` stop to continue the same execution with a larger
     /// budget.
     pub fn run(&mut self, limits: RunLimits) -> RunReport {
         if !self.initialized {
             self.initialized = true;
-            for slot in &mut self.nodes {
-                slot.with_ctx(0, |p, ctx| p.init(ctx));
+            for v in 0..self.nodes.len() {
+                self.with_node_ctx(v, 0, |p, ctx| p.init(ctx));
             }
         }
 
@@ -306,8 +350,9 @@ impl<P: Protocol> Network<P> {
             if self.is_quiescent() {
                 // Offer the barrier; count it only if someone resumes.
                 let mut resumed = false;
-                for slot in &mut self.nodes {
-                    resumed |= slot.with_ctx(self.round, |p, ctx| p.on_quiescent(ctx));
+                let round = self.round;
+                for v in 0..self.nodes.len() {
+                    resumed |= self.with_node_ctx(v, round, |p, ctx| p.on_quiescent(ctx));
                 }
                 if !resumed && self.all_outboxes_empty() {
                     break Termination::Quiescent;
@@ -325,8 +370,34 @@ impl<P: Protocol> Network<P> {
         RunReport { termination, rounds: self.metrics.rounds, metrics: self.metrics.clone() }
     }
 
+    fn shard_of(&self, v: usize) -> usize {
+        debug_assert!(self.chunk > 0);
+        v / self.chunk
+    }
+
+    /// Runs `f` on node `v`'s protocol with a context wired into the flat
+    /// plane (used for the sequential init / quiescence hooks).
+    fn with_node_ctx<R>(
+        &mut self,
+        v: usize,
+        round: Round,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R,
+    ) -> R {
+        let t = self.shard_of(v);
+        let shard = &mut self.shards[t];
+        let base = self.topo.offsets[v] - shard.port_lo;
+        let slot = &mut self.nodes[v];
+        let mut ctx = Context {
+            endpoint: &slot.endpoint,
+            round,
+            outbox: OutboxHandle::Flat { shard, base },
+            rng: &mut slot.rng,
+        };
+        f(&mut slot.protocol, &mut ctx)
+    }
+
     fn all_outboxes_empty(&self) -> bool {
-        self.nodes.iter().all(|s| s.outbox.is_empty())
+        self.queued_messages() == 0
     }
 
     fn is_quiescent(&self) -> bool {
@@ -337,68 +408,122 @@ impl<P: Protocol> Network<P> {
         self.round += 1;
         self.metrics.begin_round();
 
-        // Delivery phase: collect (receiver, receiver-port, message)
-        // triples, then distribute. Receiver port = the port on the
-        // receiving side of the edge, so inboxes are (port, msg) pairs in
-        // the receiver's own frame. Only non-empty sender ports are
-        // visited, so a round costs O(active ports), not O(m).
-        let mut deliveries: Vec<(usize, Port, P::Msg)> = Vec::new();
-        let mut touched: Vec<usize> = Vec::new();
-        for u in 0..self.nodes.len() {
-            // Ports to drain this round (snapshot: pops mutate the list).
-            let ports: Vec<Port> = self.nodes[u].outbox.nonempty_ports().to_vec();
-            for port in ports {
-                let (v, back_port) = self.links[u][port];
-                match self.mode {
-                    Mode::Congest => {
-                        if let Some(msg) = self.nodes[u].outbox.pop(port) {
-                            self.metrics.record_message(msg.bit_size());
-                            deliveries.push((v, back_port, msg));
-                        }
-                    }
-                    Mode::Local => {
-                        while let Some(msg) = self.nodes[u].outbox.pop(port) {
-                            self.metrics.record_message(msg.bit_size());
-                            deliveries.push((v, back_port, msg));
-                        }
-                    }
-                }
-            }
-        }
-        for (v, port, msg) in deliveries {
-            if self.nodes[v].inbox.is_empty() {
-                touched.push(v);
-            }
-            self.nodes[v].inbox.push((port, msg));
-        }
-        // Deterministic inbox order regardless of delivery loop layout.
-        for v in touched {
-            self.nodes[v].inbox.sort_by_key(|&(port, _)| port);
-        }
-
-        // Step phase.
+        let s_count = self.shards.len();
+        let congest = self.mode == Mode::Congest;
         let round = self.round;
-        if self.threads <= 1 || self.nodes.len() < 2 * self.threads {
-            for slot in &mut self.nodes {
-                let inbox = std::mem::take(&mut slot.inbox);
-                slot.with_ctx(round, |p, ctx| p.step(ctx, &inbox));
+        let topo = &self.topo;
+        let transfer = &self.transfer;
+
+        if s_count == 1 {
+            // Single shard: deliver straight from the queues into the
+            // bucket store (no transfer round trip), then step.
+            let shard = &mut self.shards[0];
+            shard.deliver_direct(topo, congest);
+            step_shard(shard, &mut self.nodes, topo, round);
+        } else if self.nodes.len() < 2 * s_count {
+            // Sequential fallback at tiny n: same phases, in order.
+            for t in 0..s_count {
+                phase_deliver(&mut self.shards[t], topo, transfer, congest, s_count, t);
+            }
+            let mut nodes_rest = &mut self.nodes[..];
+            for (t, shard) in self.shards.iter_mut().enumerate() {
+                let take = shard.node_hi - shard.node_lo;
+                let (nodes_chunk, nr) = nodes_rest.split_at_mut(take);
+                nodes_rest = nr;
+                phase_bucket_step(shard, nodes_chunk, topo, transfer, round, s_count, t);
             }
         } else {
-            let threads = self.threads;
-            let chunk = self.nodes.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
-                for slice in self.nodes.chunks_mut(chunk) {
-                    scope.spawn(move |_| {
-                        for slot in slice {
-                            let inbox = std::mem::take(&mut slot.inbox);
-                            slot.with_ctx(round, |p, ctx| p.step(ctx, &inbox));
-                        }
+            let barrier = Barrier::new(s_count);
+            let barrier = &barrier;
+            std::thread::scope(|scope| {
+                let mut nodes_rest = &mut self.nodes[..];
+                for (t, shard) in self.shards.iter_mut().enumerate() {
+                    let take = shard.node_hi - shard.node_lo;
+                    let (nodes_chunk, nr) = nodes_rest.split_at_mut(take);
+                    nodes_rest = nr;
+                    scope.spawn(move || {
+                        phase_deliver(shard, topo, transfer, congest, s_count, t);
+                        barrier.wait();
+                        phase_bucket_step(shard, nodes_chunk, topo, transfer, round, s_count, t);
                     });
                 }
-            })
-            .expect("node step panicked");
+            });
+        }
+
+        // Deterministic merge: commutative aggregates folded in shard
+        // order (the order itself is immaterial to the totals).
+        for shard in &mut self.shards {
+            let delta = shard.delta.take();
+            self.metrics.absorb_delivery(delta.messages, delta.bits, delta.max_bits);
         }
     }
+}
+
+/// Phase A for shard `t`: drain active sender ports, route messages into
+/// transfer buffers, publish them by swapping with the (empty) transfer
+/// cells of row `t`.
+fn phase_deliver<M: Message>(
+    shard: &mut Shard<M>,
+    topo: &Topology,
+    transfer: &[Mutex<Vec<Entry<M>>>],
+    congest: bool,
+    s_count: usize,
+    t: usize,
+) {
+    shard.drain_active(topo, congest);
+    for t2 in 0..s_count {
+        let mut cell = transfer[t * s_count + t2].lock().expect("transfer lock");
+        std::mem::swap(&mut *cell, &mut shard.out[t2]);
+    }
+}
+
+/// Phase B for shard `t`: swap in the transfer cells of column `t` (in
+/// sender-shard order), bucket them by receiving node, then step every
+/// node of the shard directly on its bucket slice.
+fn phase_bucket_step<P: Protocol>(
+    shard: &mut Shard<P::Msg>,
+    nodes: &mut [NodeSlot<P>],
+    topo: &Topology,
+    transfer: &[Mutex<Vec<Entry<P::Msg>>>],
+    round: Round,
+    s_count: usize,
+    t: usize,
+) {
+    for s in 0..s_count {
+        let mut cell = transfer[s * s_count + t].lock().expect("transfer lock");
+        std::mem::swap(&mut *cell, &mut shard.incoming[s]);
+    }
+    shard.bucket_incoming(topo);
+
+    step_shard(shard, nodes, topo, round);
+}
+
+/// Steps every node of `shard` on its bucket slice.
+fn step_shard<P: Protocol>(
+    shard: &mut Shard<P::Msg>,
+    nodes: &mut [NodeSlot<P>],
+    topo: &Topology,
+    round: Round,
+) {
+    // The bucket store is taken out of the shard for the step loop so the
+    // inbox slices can be borrowed while the context mutates the shard's
+    // queues; both are restored afterwards (no allocation either way).
+    let bucket = std::mem::take(&mut shard.bucket);
+    let starts = std::mem::take(&mut shard.starts);
+    for (i, slot) in nodes.iter_mut().enumerate() {
+        let v = shard.node_lo + i;
+        let base = topo.offsets[v] - shard.port_lo;
+        let inbox = &bucket[starts[i] as usize..starts[i + 1] as usize];
+        let mut ctx = Context {
+            endpoint: &slot.endpoint,
+            round,
+            outbox: OutboxHandle::Flat { shard: &mut *shard, base },
+            rng: &mut slot.rng,
+        };
+        slot.protocol.step(&mut ctx, inbox);
+    }
+    shard.bucket = bucket;
+    shard.starts = starts;
 }
 
 impl<P: Protocol> std::fmt::Debug for Network<P> {
@@ -407,14 +532,15 @@ impl<P: Protocol> std::fmt::Debug for Network<P> {
             .field("nodes", &self.nodes.len())
             .field("mode", &self.mode)
             .field("round", &self.round)
+            .field("shards", &self.shards.len())
             .finish_non_exhaustive()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::message::{bits_for_count, Message};
+    use crate::protocol::Port;
     use graphs::GraphBuilder;
 
     /// Flooding: the source announces; every node records the round it
@@ -477,9 +603,11 @@ mod tests {
     #[test]
     fn flood_computes_bfs_distances() {
         let g = path_graph(6);
-        let mut net = NetworkBuilder::new()
-            .seed(1)
-            .build_with(&g, |e| Flood { is_source: e.index == 0, heard_at: None, forwarded: false });
+        let mut net = NetworkBuilder::new().seed(1).build_with(&g, |e| Flood {
+            is_source: e.index == 0,
+            heard_at: None,
+            forwarded: false,
+        });
         let report = net.run(RunLimits::default());
         assert_eq!(report.termination, Termination::Quiescent);
         let outputs = net.outputs();
@@ -567,8 +695,11 @@ mod tests {
     #[test]
     fn round_limit_aborts() {
         let g = path_graph(10);
-        let mut net = NetworkBuilder::new()
-            .build_with(&g, |e| Flood { is_source: e.index == 0, heard_at: None, forwarded: false });
+        let mut net = NetworkBuilder::new().build_with(&g, |e| Flood {
+            is_source: e.index == 0,
+            heard_at: None,
+            forwarded: false,
+        });
         let report = net.run(RunLimits::rounds(3));
         assert_eq!(report.termination, Termination::RoundLimit);
         assert_eq!(report.metrics.rounds, 3);
@@ -589,10 +720,8 @@ mod tests {
         b.add_edge(0, 39).add_edge(5, 30).add_edge(10, 20);
         let g = b.build();
         let build = |threads: usize| {
-            let mut net = NetworkBuilder::new().seed(9).parallel(threads).build_with(&g, |e| Flood {
-                is_source: e.index == 7,
-                heard_at: None,
-                forwarded: false,
+            let mut net = NetworkBuilder::new().seed(9).parallel(threads).build_with(&g, |e| {
+                Flood { is_source: e.index == 7, heard_at: None, forwarded: false }
             });
             net.run(RunLimits::default());
             net.outputs()

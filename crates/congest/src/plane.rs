@@ -1,0 +1,678 @@
+//! The flat message plane: CSR topology, slab-backed port queues, and the
+//! sharded delivery machinery behind [`crate::Network`].
+//!
+//! # Layout
+//!
+//! Every directed edge `(u, v)` is a *slot*: a dense `u32` id assigned in
+//! CSR order (`slot = offsets[u] + port`), mirroring [`graphs::Graph`]'s
+//! own layout. Delivery routing collapses into a single flat array,
+//! [`Topology::route`]: indexed by the sender's slot, one 12-byte record
+//! carries the destination slot, destination node, and destination shard
+//! — phase A performs no pointer chasing and no random lookups at all
+//! (sender slots are visited in order).
+//!
+//! # Queues
+//!
+//! Outgoing per-port FIFOs live in a per-shard slab: fixed-size chunks of
+//! messages strung on intrusive `u32` links, recycled through a free
+//! list. Per-port state is one 16-byte [`PortQ`]; pushes and pops never
+//! allocate once the chunk pool is warm. Non-empty ports are tracked in a
+//! bitset whose scan order *is* port order, so delivery costs `O(active
+//! ports)` with no sorted-insert on push (the old engine's `Outbox` paid
+//! `O(degree)` per first push on a port).
+//!
+//! # Delivery without a global sort
+//!
+//! Messages arrive grouped by **sender** and must be consumed grouped by
+//! **receiver** — a transpose of the round's whole message volume, which
+//! for large rounds is memory-bound. Instead of sorting the full entries
+//! (a naive global sort moves every payload `O(log k)` times), each
+//! receiver shard runs a counting pass over its incoming buffers, prefix-
+//! sums per-node bucket offsets, places every message exactly once into a
+//! flat per-round buffer, and then sorts each node's *small* bucket by
+//! `(port, train index)` — an in-cache sort whose keys are unique, so
+//! `sort_unstable` is deterministic. Protocols step directly on the
+//! bucket slices; there are no per-node inbox vectors to fill or clear.
+//!
+//! This is what makes `parallel(1)` and `parallel(k)` runs bit-identical:
+//! bucket contents depend only on (receiver, port, train index), never on
+//! which shard produced a message or in which order buffers drained.
+
+use graphs::Graph;
+
+use crate::message::Message;
+use crate::protocol::Port;
+
+/// Messages per chunk. Eight keeps a chunk of small messages within one or
+/// two cache lines while bounding per-queue slack to seven slots.
+pub(crate) const CHUNK: usize = 8;
+
+/// Null link / "no chunk" marker.
+const NIL: u32 = u32::MAX;
+
+/// A delivery record produced by phase A: routing key plus payload. The
+/// key packs `(destination slot << 32) | intra-train index` — unique per
+/// round. The second field is the destination node (precomputed so the
+/// receiver never does a random owner lookup).
+pub(crate) type Entry<M> = (u64, u32, M);
+
+/// Routing record for one directed port, indexed by *sender* slot.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Route {
+    /// The same physical edge seen from the receiving side.
+    pub dest_slot: u32,
+    /// The node owning `dest_slot`.
+    pub dest_node: u32,
+    /// The shard owning `dest_node`.
+    pub dest_shard: u16,
+}
+
+/// Flattened CSR topology of the network, shared read-only by all shards.
+#[derive(Debug)]
+pub(crate) struct Topology {
+    /// Port-range offsets per node, length `n + 1`; `offsets[n]` is the
+    /// total number of directed ports (2m).
+    pub offsets: Box<[u32]>,
+    /// Routing record per directed port, indexed by sender slot.
+    pub route: Box<[Route]>,
+}
+
+impl Topology {
+    /// Builds the flat tables for `graph` sharded into `shards` node
+    /// ranges of `chunk` nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has ≥ `u32::MAX` directed edges or `shards`
+    /// exceeds `u16::MAX`.
+    pub fn build(graph: &Graph, chunk: usize, shards: usize) -> Self {
+        let n = graph.node_count();
+        assert!(shards <= u16::MAX as usize, "shard count {shards} exceeds u16 range");
+        let total: usize = (0..n).map(|u| graph.degree(u)).sum();
+        assert!(
+            (total as u64) < u64::from(u32::MAX),
+            "graph has {total} directed edges; flat plane is limited to u32 slots"
+        );
+
+        let mut offsets = vec![0u32; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + graph.degree(u) as u32;
+        }
+        let mut route = vec![Route::default(); total];
+        for u in 0..n {
+            for (port, &v) in graph.neighbors(u).iter().enumerate() {
+                let slot = offsets[u] as usize + port;
+                let back = graph
+                    .neighbors(v)
+                    .binary_search(&u)
+                    .expect("undirected graph must be symmetric");
+                route[slot] = Route {
+                    dest_slot: offsets[v] + back as u32,
+                    dest_node: v as u32,
+                    dest_shard: v.checked_div(chunk).unwrap_or(0) as u16,
+                };
+            }
+        }
+        Self { offsets: offsets.into_boxed_slice(), route: route.into_boxed_slice() }
+    }
+}
+
+/// One outgoing FIFO: a chain of chunks plus cursors. 16 bytes per port.
+#[derive(Clone, Copy, Debug)]
+struct PortQ {
+    /// First chunk of the chain (`NIL` when empty).
+    head: u32,
+    /// Last chunk of the chain (`NIL` when empty).
+    tail: u32,
+    /// Queued message count.
+    len: u32,
+    /// Next slot to pop within `head`.
+    head_off: u8,
+    /// Next slot to fill within `tail`.
+    tail_off: u8,
+}
+
+impl PortQ {
+    const EMPTY: PortQ = PortQ { head: NIL, tail: NIL, len: 0, head_off: 0, tail_off: 0 };
+}
+
+/// A pooled block of queue slots.
+#[derive(Debug)]
+struct Chunk<M> {
+    slots: [Option<M>; CHUNK],
+    next: u32,
+}
+
+impl<M> Chunk<M> {
+    fn new() -> Self {
+        Self { slots: std::array::from_fn(|_| None), next: NIL }
+    }
+}
+
+/// Per-round delivery counters, merged into [`crate::Metrics`] after the
+/// parallel phases join. All fields are commutative aggregates, so the
+/// merge is independent of shard count — a determinism requirement.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Delta {
+    pub messages: u64,
+    pub bits: u64,
+    pub max_bits: usize,
+}
+
+/// Best-effort cache prefetch (no-op off x86_64). The chunk slab is the
+/// one random-access structure on the delivery hot path; prefetching the
+/// head chunks of a word's active ports overlaps their misses.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint with no memory effects.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+impl Delta {
+    #[inline]
+    fn record(&mut self, bits: usize) {
+        self.messages += 1;
+        self.bits += bits as u64;
+        self.max_bits = self.max_bits.max(bits);
+    }
+
+    pub fn take(&mut self) -> Delta {
+        std::mem::take(self)
+    }
+}
+
+/// The message-plane state owned by one worker: the outgoing queues of a
+/// contiguous node range, transfer buffers toward every receiver shard,
+/// and the receiver-side bucket store.
+#[derive(Debug)]
+pub(crate) struct Shard<M> {
+    /// First node of the range.
+    pub node_lo: usize,
+    /// One past the last node of the range.
+    pub node_hi: usize,
+    /// Global id of the first port in the range.
+    pub port_lo: u32,
+    /// Queue state per local port.
+    ports: Vec<PortQ>,
+    /// Chunk slab shared by all queues of this shard.
+    chunks: Vec<Chunk<M>>,
+    /// Head of the free-chunk list.
+    free_head: u32,
+    /// Bitset over local ports with queued messages; scan order = port
+    /// order = sender order.
+    active: Vec<u64>,
+    /// Total messages queued across the shard (O(1) quiescence checks).
+    queued: u64,
+    /// Outgoing transfer buffers, one per receiver shard.
+    pub out: Vec<Vec<Entry<M>>>,
+    /// Incoming buffers, swapped in from the transfer cells each round
+    /// (index = sender shard); reused, never copied.
+    pub incoming: Vec<Vec<Entry<M>>>,
+    /// Per-local-node message counts for the counting pass, then prefix-
+    /// summed into bucket cursors.
+    cursor: Vec<u32>,
+    /// Per-local-node bucket start offsets into [`Self::bucket`]
+    /// (`node_hi - node_lo + 1` entries once built).
+    pub starts: Vec<u32>,
+    /// The round's messages, bucketed by receiving node and sorted by
+    /// `(port, train index)` within each bucket. Protocols step directly
+    /// on these slices.
+    pub bucket: Vec<(Port, M)>,
+    /// This round's delivery counters.
+    pub delta: Delta,
+}
+
+impl<M: Message> Shard<M> {
+    /// An empty shard for nodes `node_lo..node_hi` with ports
+    /// `port_lo..port_hi`, ready to fan out to `shard_count` shards.
+    pub fn new(
+        node_lo: usize,
+        node_hi: usize,
+        port_lo: u32,
+        port_hi: u32,
+        shard_count: usize,
+    ) -> Self {
+        let port_count = (port_hi - port_lo) as usize;
+        let node_count = node_hi - node_lo;
+        Self {
+            node_lo,
+            node_hi,
+            port_lo,
+            ports: vec![PortQ::EMPTY; port_count],
+            chunks: Vec::new(),
+            free_head: NIL,
+            active: vec![0u64; port_count.div_ceil(64)],
+            queued: 0,
+            out: (0..shard_count).map(|_| Vec::new()).collect(),
+            incoming: (0..shard_count).map(|_| Vec::new()).collect(),
+            cursor: vec![0u32; node_count],
+            starts: vec![0u32; node_count + 1],
+            bucket: Vec::new(),
+            delta: Delta::default(),
+        }
+    }
+
+    /// Messages queued across all ports of this shard.
+    #[inline]
+    pub fn queued(&self) -> u64 {
+        self.queued
+    }
+
+    /// Prefetches the head chunk of every active port in word `wi`,
+    /// overlapping the slab's cache misses ahead of the pop loop.
+    #[inline]
+    fn prefetch_word_heads(&self, wi: usize) {
+        let mut word = self.active[wi];
+        while word != 0 {
+            let p = wi * 64 + word.trailing_zeros() as usize;
+            word &= word - 1;
+            let head = self.ports[p].head;
+            if head != NIL {
+                prefetch(&self.chunks[head as usize]);
+            }
+        }
+    }
+
+    fn alloc_chunk(&mut self) -> u32 {
+        if self.free_head != NIL {
+            let c = self.free_head;
+            self.free_head = self.chunks[c as usize].next;
+            self.chunks[c as usize].next = NIL;
+            c
+        } else {
+            self.chunks.push(Chunk::new());
+            (self.chunks.len() - 1) as u32
+        }
+    }
+
+    /// Enqueues `msg` on local port `p`. Allocates only while the chunk
+    /// pool is still growing toward the steady-state watermark.
+    pub fn push(&mut self, p: u32, msg: M) {
+        let q = self.ports[p as usize];
+        let (tail, tail_off) = if q.tail == NIL {
+            let c = self.alloc_chunk();
+            let q = &mut self.ports[p as usize];
+            q.head = c;
+            q.tail = c;
+            q.head_off = 0;
+            (c, 0u8)
+        } else if q.tail_off as usize == CHUNK {
+            let c = self.alloc_chunk();
+            self.chunks[q.tail as usize].next = c;
+            let q = &mut self.ports[p as usize];
+            q.tail = c;
+            (c, 0u8)
+        } else {
+            (q.tail, q.tail_off)
+        };
+        self.chunks[tail as usize].slots[tail_off as usize] = Some(msg);
+        let q = &mut self.ports[p as usize];
+        q.tail_off = tail_off + 1;
+        q.len += 1;
+        if q.len == 1 {
+            self.active[p as usize / 64] |= 1u64 << (p % 64);
+        }
+        self.queued += 1;
+    }
+
+    /// Dequeues from local port `p`, recycling exhausted chunks.
+    pub fn pop(&mut self, p: u32) -> Option<M> {
+        let q = self.ports[p as usize];
+        if q.len == 0 {
+            return None;
+        }
+        let msg = self.chunks[q.head as usize].slots[q.head_off as usize]
+            .take()
+            .expect("queue cursor points at a filled slot");
+        self.queued -= 1;
+        let q = &mut self.ports[p as usize];
+        q.head_off += 1;
+        q.len -= 1;
+        if q.len == 0 {
+            // Return the whole (single remaining) chain to the free list.
+            let (head, tail) = (q.head, q.tail);
+            *q = PortQ::EMPTY;
+            self.chunks[tail as usize].next = self.free_head;
+            self.free_head = head;
+            self.active[p as usize / 64] &= !(1u64 << (p % 64));
+        } else if q.head_off as usize == CHUNK {
+            let exhausted = q.head;
+            let next = self.chunks[exhausted as usize].next;
+            q.head = next;
+            q.head_off = 0;
+            self.chunks[exhausted as usize].next = self.free_head;
+            self.free_head = exhausted;
+        }
+        Some(msg)
+    }
+
+    /// Delivery phase A: drains this shard's active ports — one message
+    /// per port when `congest`, whole queues otherwise — routing each
+    /// message into the transfer buffer of its destination shard and
+    /// metering it in [`Self::delta`].
+    pub fn drain_active(&mut self, topo: &Topology, congest: bool) {
+        for wi in 0..self.active.len() {
+            // Pops may clear bits of the word being scanned; the snapshot
+            // is taken before any pop of this word, so each active port is
+            // visited exactly once, in port order.
+            self.prefetch_word_heads(wi);
+            let mut word = self.active[wi];
+            while word != 0 {
+                let p = (wi * 64) as u32 + word.trailing_zeros();
+                word &= word - 1;
+                let route = topo.route[(self.port_lo + p) as usize];
+                let mut k: u64 = 0;
+                while let Some(msg) = self.pop(p) {
+                    self.delta.record(msg.bit_size());
+                    self.out[route.dest_shard as usize].push((
+                        (u64::from(route.dest_slot) << 32) | k,
+                        route.dest_node,
+                        msg,
+                    ));
+                    if congest {
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Single-shard fast path: delivers straight from the port queues
+    /// into the bucket store, touching each payload exactly once (no
+    /// transfer-buffer round trip).
+    ///
+    /// Pass 1 counts deliverable messages per receiving node without
+    /// reading any payload (one per active port under `congest`, the
+    /// whole queue length otherwise); after a prefix sum, pass 2 pops
+    /// each message and writes it directly at its bucket cursor. The
+    /// result is identical to `drain_active` + `bucket_incoming` — same
+    /// canonical per-bucket order, same metering — just with half the
+    /// memory traffic.
+    pub fn deliver_direct(&mut self, topo: &Topology, congest: bool) {
+        const {
+            assert!(usize::BITS == 64, "bucket keys pack (port, k) into usize");
+        }
+        debug_assert_eq!(self.node_lo, 0, "direct delivery requires the single-shard layout");
+
+        let node_count = self.node_hi - self.node_lo;
+        self.cursor[..node_count].fill(0);
+        let mut total = 0usize;
+        for wi in 0..self.active.len() {
+            let mut word = self.active[wi];
+            while word != 0 {
+                let p = (wi * 64) as u32 + word.trailing_zeros();
+                word &= word - 1;
+                let route = topo.route[(self.port_lo + p) as usize];
+                let deliverable = if congest { 1 } else { self.ports[p as usize].len };
+                self.cursor[route.dest_node as usize] += deliverable;
+                total += deliverable as usize;
+            }
+        }
+
+        let mut acc = 0u32;
+        for i in 0..node_count {
+            self.starts[i] = acc;
+            acc += self.cursor[i];
+            self.cursor[i] = self.starts[i];
+        }
+        self.starts[node_count] = acc;
+        debug_assert_eq!(acc as usize, total);
+
+        self.bucket.clear();
+        self.bucket.reserve(total);
+        let bucket_ptr = self.bucket.as_mut_ptr();
+        let mut placed = 0usize;
+        for wi in 0..self.active.len() {
+            self.prefetch_word_heads(wi);
+            let mut word = self.active[wi];
+            while word != 0 {
+                let p = (wi * 64) as u32 + word.trailing_zeros();
+                word &= word - 1;
+                let route = topo.route[(self.port_lo + p) as usize];
+                let port = (route.dest_slot - topo.offsets[route.dest_node as usize]) as usize;
+                let mut k: usize = 0;
+                while let Some(msg) = self.pop(p) {
+                    self.delta.record(msg.bit_size());
+                    let local = route.dest_node as usize;
+                    let pos = self.cursor[local];
+                    self.cursor[local] = pos + 1;
+                    placed += 1;
+                    debug_assert!((pos as usize) < total);
+                    // SAFETY: pos < total <= capacity; the prefix-summed
+                    // cursors make positions distinct across the loop.
+                    unsafe {
+                        std::ptr::write(bucket_ptr.add(pos as usize), ((port << 32) | k, msg));
+                    }
+                    if congest {
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        debug_assert_eq!(placed, total);
+        // SAFETY: all `total` positions were just initialized (`placed`
+        // equals `total`: pass 2 pops exactly what pass 1 counted).
+        unsafe { self.bucket.set_len(total) };
+
+        for i in 0..node_count {
+            let range = self.starts[i] as usize..self.starts[i + 1] as usize;
+            let slice = &mut self.bucket[range];
+            slice.sort_unstable_by_key(|e| e.0);
+            for e in slice {
+                e.0 >>= 32;
+            }
+        }
+    }
+
+    /// Delivery phase B: buckets this round's incoming messages by
+    /// receiving node and sorts each bucket into canonical order.
+    ///
+    /// Three linear passes (count, prefix-sum, place) move each payload
+    /// exactly once; the per-bucket `sort_unstable` then runs on one
+    /// node's messages at a time — small and cache-resident — with keys
+    /// `(port << 32) | train index` that are unique within a round, so
+    /// the result is deterministic regardless of shard count or buffer
+    /// drain order. After this call, node `node_lo + i`'s inbox is
+    /// `bucket[starts[i]..starts[i + 1]]` with the key field rewritten to
+    /// the plain port.
+    pub fn bucket_incoming(&mut self, topo: &Topology) {
+        const {
+            assert!(usize::BITS == 64, "bucket keys pack (port, k) into usize");
+        }
+
+        let node_count = self.node_hi - self.node_lo;
+        self.cursor[..node_count].fill(0);
+        let mut total = 0usize;
+        for buf in &self.incoming {
+            total += buf.len();
+            for &(_, dest_node, _) in buf.iter() {
+                self.cursor[dest_node as usize - self.node_lo] += 1;
+            }
+        }
+
+        // Prefix sums: starts[i] = bucket offset of local node i.
+        let mut acc = 0u32;
+        for i in 0..node_count {
+            self.starts[i] = acc;
+            acc += self.cursor[i];
+            self.cursor[i] = self.starts[i];
+        }
+        self.starts[node_count] = acc;
+        debug_assert_eq!(acc as usize, total);
+
+        // Place every message exactly once into its bucket range. The
+        // buffers' lengths are zeroed before the raw reads so an unwind
+        // can at worst leak the tail, never double-drop; the writes go to
+        // `bucket`'s spare capacity and `set_len` runs only after every
+        // position 0..total has been written (the prefix-summed cursors
+        // enumerate each position exactly once).
+        self.bucket.clear();
+        self.bucket.reserve(total);
+        let bucket_ptr = self.bucket.as_mut_ptr();
+        for buf in &mut self.incoming {
+            let len = buf.len();
+            // SAFETY: shrinking only; elements are moved out below.
+            unsafe { buf.set_len(0) };
+            let src = buf.as_ptr();
+            for i in 0..len {
+                // SAFETY: `i` is below the pre-`set_len` length, and each
+                // element is read exactly once across the loop.
+                let (key, dest_node, msg) = unsafe { std::ptr::read(src.add(i)) };
+                let local = dest_node as usize - self.node_lo;
+                let slot = (key >> 32) as u32;
+                let port = (slot - topo.offsets[dest_node as usize]) as usize;
+                let packed = (port << 32) | (key as u32 as usize);
+                let pos = self.cursor[local];
+                self.cursor[local] = pos + 1;
+                debug_assert!((pos as usize) < total);
+                // SAFETY: pos < total <= capacity, and positions are
+                // distinct across the loop (see above).
+                unsafe { std::ptr::write(bucket_ptr.add(pos as usize), (packed, msg)) };
+            }
+        }
+        // SAFETY: all `total` positions were just initialized.
+        unsafe { self.bucket.set_len(total) };
+
+        // Canonicalize each bucket and strip keys down to ports.
+        for i in 0..node_count {
+            let range = self.starts[i] as usize..self.starts[i + 1] as usize;
+            let slice = &mut self.bucket[range];
+            slice.sort_unstable_by_key(|e| e.0);
+            for e in slice {
+                e.0 >>= 32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Ping;
+    use graphs::GraphBuilder;
+
+    fn shard_for(ports: u32) -> Shard<Ping> {
+        Shard::new(0, 1, 0, ports, 1)
+    }
+
+    #[test]
+    fn fifo_per_port_across_chunks() {
+        #[derive(Clone, Debug)]
+        struct N(usize);
+        impl Message for N {
+            fn bit_size(&self) -> usize {
+                8
+            }
+        }
+        let mut s: Shard<N> = Shard::new(0, 1, 0, 2, 1);
+        for i in 0..3 * CHUNK {
+            s.push(0, N(i));
+        }
+        s.push(1, N(999));
+        assert_eq!(s.queued(), 3 * CHUNK as u64 + 1);
+        for i in 0..3 * CHUNK {
+            assert_eq!(s.pop(0).unwrap().0, i);
+        }
+        assert!(s.pop(0).is_none());
+        assert_eq!(s.pop(1).unwrap().0, 999);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn chunks_recycle_no_unbounded_growth() {
+        let mut s = shard_for(1);
+        for _ in 0..100 {
+            for _ in 0..2 * CHUNK {
+                s.push(0, Ping);
+            }
+            while s.pop(0).is_some() {}
+        }
+        // Steady state: the pool high-water mark is one burst's worth.
+        assert!(s.chunks.len() <= 3, "pool grew to {} chunks", s.chunks.len());
+    }
+
+    #[test]
+    fn active_bits_track_queues() {
+        let mut s = shard_for(130);
+        s.push(0, Ping);
+        s.push(129, Ping);
+        assert_eq!(s.active[0], 1);
+        assert_eq!(s.active[2], 0b10);
+        s.pop(0);
+        assert_eq!(s.active[0], 0);
+        s.pop(129);
+        assert_eq!(s.active[2], 0);
+    }
+
+    #[test]
+    fn topology_routes_both_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        let topo = Topology::build(&g, 2, 2);
+        // Node 0 port 0 → node 1 port 0; node 1 has ports 1 (to 0) and 2
+        // (to 2); node 2 port 3 (to 1).
+        assert_eq!(topo.offsets.as_ref(), &[0, 1, 3, 4]);
+        let dest_slots: Vec<u32> = topo.route.iter().map(|r| r.dest_slot).collect();
+        let dest_nodes: Vec<u32> = topo.route.iter().map(|r| r.dest_node).collect();
+        let dest_shards: Vec<u16> = topo.route.iter().map(|r| r.dest_shard).collect();
+        assert_eq!(dest_slots, vec![1, 0, 3, 2]);
+        assert_eq!(dest_nodes, vec![1, 0, 2, 1]);
+        // chunk = 2: nodes 0..2 in shard 0, node 2 in shard 1.
+        assert_eq!(dest_shards, vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn drain_congest_takes_one_per_port() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let topo = Topology::build(&g, 2, 1);
+        let mut s: Shard<Ping> = Shard::new(0, 2, 0, 2, 1);
+        s.push(0, Ping);
+        s.push(0, Ping);
+        s.drain_active(&topo, true);
+        assert_eq!(s.out[0].len(), 1);
+        assert_eq!(s.queued(), 1);
+        s.drain_active(&topo, false);
+        assert_eq!(s.out[0].len(), 2);
+        assert_eq!(s.queued(), 0);
+        // Keys: dest slot 1 on node 1, train indices 0 then 0 (separate
+        // rounds).
+        assert_eq!(s.out[0][0].0, 1u64 << 32);
+        assert_eq!(s.out[0][0].1, 1);
+        assert_eq!(s.out[0][1].0, 1u64 << 32);
+    }
+
+    #[test]
+    fn buckets_order_by_port_then_train() {
+        #[derive(Clone, Debug)]
+        struct N(u32);
+        impl Message for N {
+            fn bit_size(&self) -> usize {
+                8
+            }
+        }
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        let topo = Topology::build(&g, 3, 1);
+        let mut s: Shard<N> = Shard::new(0, 3, 0, 4, 1);
+        // Deliveries to node 1 (slots 1 and 2), arriving out of order.
+        s.incoming[0].push(((2u64 << 32) | 1, 1, N(31)));
+        s.incoming[0].push((1u64 << 32, 1, N(10)));
+        s.incoming[0].push((2u64 << 32, 1, N(30)));
+        s.bucket_incoming(&topo);
+        assert_eq!(s.starts[..4], [0, 0, 3, 3]);
+        let got: Vec<(usize, u32)> = s.bucket.iter().map(|(p, m)| (*p, m.0)).collect();
+        assert_eq!(got, vec![(0, 10), (1, 30), (1, 31)]);
+        assert!(s.incoming[0].is_empty(), "incoming buffer drained");
+    }
+}

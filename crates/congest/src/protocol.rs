@@ -62,20 +62,31 @@ impl Endpoint {
     }
 }
 
-/// Outgoing per-port FIFO queues; drained by the network one message per
-/// round in CONGEST mode.
+/// Outgoing per-port FIFO queues, used by the event-driven asynchronous
+/// executor ([`crate::asynch`]) where each node owns its queues outright.
 ///
-/// Tracks its non-empty ports (sorted) so the network's delivery loop
-/// costs `O(active ports)` per round instead of `O(degree)`.
+/// The synchronous [`crate::Network`] no longer uses this type: its flat
+/// message plane keeps all queues in network-owned slabs (see
+/// `crate::plane`) so that steady-state rounds perform no allocation.
+///
+/// Tracks its non-empty ports (sorted) so a delivery sweep costs
+/// `O(active ports)` per round instead of `O(degree)`, and maintains a
+/// running length so [`Outbox::queued`] — and with it quiescence checks —
+/// is O(1) rather than an O(degree) recount.
 #[derive(Clone, Debug)]
 pub struct Outbox<M> {
     queues: Vec<VecDeque<M>>,
     nonempty: Vec<Port>,
+    len: usize,
 }
 
 impl<M> Outbox<M> {
     pub(crate) fn new(degree: usize) -> Self {
-        Self { queues: (0..degree).map(|_| VecDeque::new()).collect(), nonempty: Vec::new() }
+        Self {
+            queues: (0..degree).map(|_| VecDeque::new()).collect(),
+            nonempty: Vec::new(),
+            len: 0,
+        }
     }
 
     pub(crate) fn push(&mut self, port: Port, msg: M) {
@@ -84,13 +95,17 @@ impl<M> Outbox<M> {
             self.nonempty.insert(idx, port);
         }
         self.queues[port].push_back(msg);
+        self.len += 1;
     }
 
     pub(crate) fn pop(&mut self, port: Port) -> Option<M> {
         let msg = self.queues[port].pop_front();
-        if msg.is_some() && self.queues[port].is_empty() {
-            if let Ok(idx) = self.nonempty.binary_search(&port) {
-                self.nonempty.remove(idx);
+        if msg.is_some() {
+            self.len -= 1;
+            if self.queues[port].is_empty() {
+                if let Ok(idx) = self.nonempty.binary_search(&port) {
+                    self.nonempty.remove(idx);
+                }
             }
         }
         msg
@@ -105,10 +120,37 @@ impl<M> Outbox<M> {
         self.nonempty.is_empty()
     }
 
-    /// Total queued messages (diagnostics).
+    /// Total queued messages. O(1): maintained on push/pop.
     #[must_use]
     pub fn queued(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.len
+    }
+}
+
+/// Where a [`Context`] routes outgoing messages: a node-owned [`Outbox`]
+/// (asynchronous executor, tests) or a port range inside a network-owned
+/// flat queue shard (the synchronous engine's zero-allocation plane).
+#[derive(Debug)]
+pub(crate) enum OutboxHandle<'a, M> {
+    /// A node-owned queue set.
+    Owned(&'a mut Outbox<M>),
+    /// A window into the flat plane: the node's ports live at
+    /// `base..base + degree` within `shard`.
+    Flat {
+        /// The queue shard owning this node's ports.
+        shard: &'a mut crate::plane::Shard<M>,
+        /// Local offset of the node's port 0 within the shard.
+        base: u32,
+    },
+}
+
+impl<M: Message> OutboxHandle<'_, M> {
+    #[inline]
+    fn push(&mut self, port: Port, msg: M) {
+        match self {
+            OutboxHandle::Owned(outbox) => outbox.push(port, msg),
+            OutboxHandle::Flat { shard, base } => shard.push(*base + port as u32, msg),
+        }
     }
 }
 
@@ -120,7 +162,7 @@ impl<M> Outbox<M> {
 pub struct Context<'a, M> {
     pub(crate) endpoint: &'a Endpoint,
     pub(crate) round: Round,
-    pub(crate) outbox: &'a mut Outbox<M>,
+    pub(crate) outbox: OutboxHandle<'a, M>,
     pub(crate) rng: &'a mut StdRng,
 }
 
@@ -261,7 +303,12 @@ mod tests {
         let e = endpoint();
         let mut outbox = Outbox::new(e.degree());
         let mut rng = node_rng(1, 0);
-        let mut ctx = Context { endpoint: &e, round: 3, outbox: &mut outbox, rng: &mut rng };
+        let mut ctx = Context {
+            endpoint: &e,
+            round: 3,
+            outbox: OutboxHandle::Owned(&mut outbox),
+            rng: &mut rng,
+        };
         assert_eq!(ctx.id(), 42);
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.neighbor_id(2), 11);
@@ -276,7 +323,12 @@ mod tests {
         let e = endpoint();
         let mut outbox = Outbox::new(e.degree());
         let mut rng = node_rng(1, 0);
-        let mut ctx = Context { endpoint: &e, round: 0, outbox: &mut outbox, rng: &mut rng };
+        let mut ctx = Context {
+            endpoint: &e,
+            round: 0,
+            outbox: OutboxHandle::Owned(&mut outbox),
+            rng: &mut rng,
+        };
         ctx.send(3, Ping);
     }
 }

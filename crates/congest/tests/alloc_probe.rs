@@ -1,0 +1,185 @@
+//! Allocation probe: a steady-state round of the flat message plane must
+//! perform **zero heap allocations**.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator. After a
+//! warm-up (chunk pools, transfer buffers and inboxes reach their
+//! high-water marks) and a [`congest::Network::reserve_rounds`] call (the
+//! per-round metrics history is the one structure that grows with round
+//! count), executing hundreds of additional rounds must allocate exactly
+//! as much as executing zero rounds — i.e. only the constant-size
+//! `RunReport` that `run` returns.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use congest::{Context, Message, Mode, NetworkBuilder, Port, Protocol, RunLimits, Termination};
+use graphs::GraphBuilder;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; only a counter is added.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A message with no payload allocation.
+#[derive(Clone, Debug)]
+struct Tick;
+
+impl Message for Tick {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+/// Perpetual traffic: every received message is echoed back on its port,
+/// and `init` seeds one message per port — so every directed edge carries
+/// exactly one message every round, forever. The network never quiesces
+/// and per-round state never grows: the steady state the probe needs.
+struct Echo;
+
+impl Protocol for Echo {
+    type Msg = Tick;
+    type Output = ();
+
+    fn init(&mut self, ctx: &mut Context<'_, Tick>) {
+        ctx.broadcast(Tick);
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Tick>, inbox: &[(Port, Tick)]) {
+        for &(port, _) in inbox {
+            ctx.send(port, Tick);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn output(&self) {}
+}
+
+fn ring_with_chords(n: usize) -> graphs::Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n);
+    }
+    for i in (0..n).step_by(7) {
+        b.add_edge(i, (i + n / 2) % n);
+    }
+    b.build()
+}
+
+fn probe(mode: Mode) {
+    let g = ring_with_chords(64);
+    let mut net = NetworkBuilder::new().mode(mode).seed(5).build_with(&g, |_| Echo);
+
+    // Warm-up: reach every pool's high-water mark.
+    let report = net.run(RunLimits::rounds(64));
+    assert_eq!(report.termination, Termination::RoundLimit, "echo traffic never quiesces");
+    net.reserve_rounds(4096);
+
+    // Wrapper cost: a zero-round run() still clones metrics into its
+    // report. Steady-state rounds must add nothing beyond that.
+    let before = allocations();
+    net.run(RunLimits::rounds(0));
+    let wrapper = allocations() - before;
+
+    let before = allocations();
+    net.run(RunLimits::rounds(512));
+    let with_rounds = allocations() - before;
+
+    assert_eq!(
+        with_rounds,
+        wrapper,
+        "512 steady-state {mode:?} rounds performed {} heap allocations",
+        with_rounds.saturating_sub(wrapper)
+    );
+}
+
+#[test]
+fn congest_rounds_do_not_allocate() {
+    probe(Mode::Congest);
+}
+
+#[test]
+fn local_rounds_do_not_allocate() {
+    probe(Mode::Local);
+}
+
+/// Pipelined trains (multi-chunk queues) also reach an allocation-free
+/// steady state: chunk recycling must cover queue depths > one chunk.
+#[test]
+fn deep_queues_do_not_allocate() {
+    struct Burst;
+    impl Protocol for Burst {
+        type Msg = Tick;
+        type Output = ();
+
+        fn init(&mut self, ctx: &mut Context<'_, Tick>) {
+            for _ in 0..40 {
+                ctx.send(0, Tick);
+            }
+        }
+
+        fn step(&mut self, ctx: &mut Context<'_, Tick>, inbox: &[(Port, Tick)]) {
+            // Re-enqueue a fresh 40-deep train whenever the previous one
+            // has fully drained (every 40 rounds, in lock step).
+            if ctx.round() % 40 == 0 {
+                for _ in 0..40 {
+                    ctx.send(0, Tick);
+                }
+            }
+            let _ = inbox;
+        }
+
+        fn is_idle(&self) -> bool {
+            true
+        }
+
+        fn output(&self) {}
+    }
+
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(0, 1);
+    let g = b.build();
+    let mut net = NetworkBuilder::new().seed(1).build_with(&g, |_| Burst);
+    net.run(RunLimits::rounds(100));
+    net.reserve_rounds(4096);
+
+    let before = allocations();
+    net.run(RunLimits::rounds(0));
+    let wrapper = allocations() - before;
+
+    let before = allocations();
+    net.run(RunLimits::rounds(400));
+    let with_rounds = allocations() - before;
+
+    assert_eq!(
+        with_rounds,
+        wrapper,
+        "deep-queue steady state allocated {} times",
+        with_rounds.saturating_sub(wrapper)
+    );
+}

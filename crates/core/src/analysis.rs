@@ -51,9 +51,7 @@ pub fn x_star_in_one_component(g: &Graph, s: &FixedBitSet, x: &FixedBitSet) -> b
     if x.len() <= 1 {
         return true;
     }
-    g.components_within(s)
-        .iter()
-        .any(|comp| x.iter().all(|v| comp.binary_search(&v).is_ok()))
+    g.components_within(s).iter().any(|comp| x.iter().all(|v| comp.binary_search(&v).is_ok()))
 }
 
 /// The two representativeness conditions of §5.2 (preceding Claim 2):
@@ -142,11 +140,7 @@ mod tests {
             let p = generators::planted_near_clique(200, 100, epsilon.powi(3), 0.02, &mut rng);
             let c = density::core_c(&p.graph, &p.dense_set, epsilon);
             let bound = core_size_bound(100, epsilon);
-            assert!(
-                c.len() as f64 >= bound,
-                "seed {seed}: |C| = {} < bound {bound}",
-                c.len()
-            );
+            assert!(c.len() as f64 >= bound, "seed {seed}: |C| = {} < bound {bound}", c.len());
         }
     }
 

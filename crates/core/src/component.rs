@@ -69,10 +69,7 @@ impl VectorConverge {
     ///
     /// Panics if the port is already registered or counting started.
     pub fn add_contributor(&mut self, port: Port) {
-        assert!(
-            self.cursors.iter().all(|&(p, _)| p != port),
-            "port {port} registered twice"
-        );
+        assert!(self.cursors.iter().all(|&(p, _)| p != port), "port {port} registered twice");
         assert_eq!(self.up_next, 1, "contributors must be added before counting starts");
         self.cursors.push((port, 1));
     }

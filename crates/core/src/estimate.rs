@@ -56,12 +56,9 @@ pub fn t_eps_estimated<R: Rng + ?Sized>(
             // then scale to a count.
             let mut idx: Vec<usize> = (0..neighbors.len()).collect();
             idx.shuffle(rng);
-            let hits = idx[..sample_budget]
-                .iter()
-                .filter(|&&i| k_set.contains(neighbors[i]))
-                .count();
-            let est_cnt =
-                hits as f64 / sample_budget as f64 * neighbors.len() as f64;
+            let hits =
+                idx[..sample_budget].iter().filter(|&&i| k_set.contains(neighbors[i])).count();
+            let est_cnt = hits as f64 / sample_budget as f64 * neighbors.len() as f64;
             est_cnt >= k_threshold(k_size - 1, epsilon) as f64 - 0.5
         };
         if in_k {
@@ -98,10 +95,7 @@ mod tests {
     fn full_budget_matches_exact() {
         let mut rng = StdRng::seed_from_u64(1);
         let p = generators::planted_near_clique(150, 60, 0.02, 0.05, &mut rng);
-        let x = FixedBitSet::from_iter_with_capacity(
-            150,
-            p.dense_set.iter().take(4),
-        );
+        let x = FixedBitSet::from_iter_with_capacity(150, p.dense_set.iter().take(4));
         let exact = density::t_eps(&p.graph, &x, 0.25);
         let approx = t_eps_estimated(&p.graph, &x, 0.25, 10_000, &mut rng);
         assert_eq!(exact, approx);
@@ -114,10 +108,7 @@ mod tests {
         let x = FixedBitSet::from_iter_with_capacity(200, p.dense_set.iter().take(5));
         let (sym, exact) = estimate_disagreement(&p.graph, &x, 0.25, 30, &mut rng);
         assert!(exact > 50, "instance sanity: exact T is large");
-        assert!(
-            (sym as f64) < 0.2 * exact as f64,
-            "disagreement {sym} too large vs |T| = {exact}"
-        );
+        assert!((sym as f64) < 0.2 * exact as f64, "disagreement {sym} too large vs |T| = {exact}");
     }
 
     #[test]

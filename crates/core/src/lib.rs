@@ -87,7 +87,8 @@ mod equivalence_tests {
         );
         let reference = reference_run(g, &run.ids, params, &run.plan);
         assert_eq!(
-            run.labels, reference.labels,
+            run.labels,
+            reference.labels,
             "distributed and reference labels diverge (n = {}, seed = {seed})",
             g.node_count()
         );

@@ -58,13 +58,8 @@ impl NearCliqueParams {
     /// Returns [`InvalidParams`] unless `0 < epsilon < 1/3` and
     /// `0 < p < 1`.
     pub fn new(epsilon: f64, p: f64) -> Result<Self, InvalidParams> {
-        let params = Self {
-            epsilon,
-            p,
-            lambda: 1,
-            max_component_size: 16,
-            min_candidate_size: None,
-        };
+        let params =
+            Self { epsilon, p, lambda: 1, max_component_size: 16, min_candidate_size: None };
         params.validate()?;
         Ok(params)
     }
@@ -240,7 +235,7 @@ mod tests {
         assert_eq!(k_threshold(10, 0.0), 10);
         assert_eq!(k_threshold(10, 0.2), 8);
         assert_eq!(k_threshold(10, 0.25), 8); // 7.5 -> 8
-        assert_eq!(k_threshold(3, 0.32), 3);  // 2.04 -> 3
+        assert_eq!(k_threshold(3, 0.32), 3); // 2.04 -> 3
     }
 
     #[test]

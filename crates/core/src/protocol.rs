@@ -307,10 +307,7 @@ impl DistNearClique {
                         view.k_sizes[x] = total;
                         view.down.as_mut().expect("just set").push(x as u32, total);
                         if view.k_bits[x] {
-                            view.member_stream
-                                .as_mut()
-                                .expect("just set")
-                                .push(x as u32, total);
+                            view.member_stream.as_mut().expect("just set").push(x as u32, total);
                         }
                     }
                 }
@@ -362,11 +359,8 @@ impl DistNearClique {
                         best_x = x;
                     }
                 }
-                let info = CandidateInfo {
-                    x: best_x as u32,
-                    size: best,
-                    my_t_bit: view.t_bits[best_x],
-                };
+                let info =
+                    CandidateInfo { x: best_x as u32, size: best, my_t_bit: view.t_bits[best_x] };
                 view.candidate = Some(info);
                 for &port in &view.contributors {
                     ctx.send(
@@ -389,9 +383,7 @@ impl DistNearClique {
             .views
             .iter()
             .filter(|(_, view)| !view.oversized && view.candidate.is_some())
-            .map(|(&(v, root), view)| {
-                (view.candidate.expect("filtered").size, root, v)
-            })
+            .map(|(&(v, root), view)| (view.candidate.expect("filtered").size, root, v))
             .max();
         let version_keys: Vec<(u8, u64)> = self.views.keys().copied().collect();
         for key in version_keys {
@@ -436,10 +428,8 @@ impl DistNearClique {
         let keys: Vec<(u8, u64)> = self.views.keys().copied().collect();
         for key in keys {
             let view = self.views.get_mut(&key).expect("key enumerated");
-            let is_surviving_root = view.is_member
-                && view.parent_port.is_none()
-                && !view.oversized
-                && !view.abort_acc;
+            let is_surviving_root =
+                view.is_member && view.parent_port.is_none() && !view.oversized && !view.abort_acc;
             if !is_surviving_root {
                 continue;
             }
@@ -559,17 +549,15 @@ impl DistNearClique {
                         self.views.get_mut(&(*v, *root)).expect("attach to a non-member view");
                     debug_assert!(view.is_member, "attach must target a member");
                     view.contributors.push(*port);
-                    view.k_converge
-                        .as_mut()
-                        .expect("member has converge")
-                        .add_contributor(*port);
+                    view.k_converge.as_mut().expect("member has converge").add_contributor(*port);
                 }
                 Msg::KCount { version: v, root, x, count } => {
                     let view = self.views.get_mut(&(*v, *root)).expect("count for unknown view");
-                    view.k_converge
-                        .as_mut()
-                        .expect("member has converge")
-                        .receive(*port, *x as usize, *count);
+                    view.k_converge.as_mut().expect("member has converge").receive(
+                        *port,
+                        *x as usize,
+                        *count,
+                    );
                 }
                 other => panic!("unexpected message in KConverge: {other:?}"),
             }
@@ -668,10 +656,11 @@ impl DistNearClique {
             match msg {
                 Msg::TCount { version: v, root, x, count } => {
                     let view = self.views.get_mut(&(*v, *root)).expect("tcount unknown view");
-                    view.t_converge
-                        .as_mut()
-                        .expect("member has t-converge")
-                        .receive(*port, *x as usize, *count);
+                    view.t_converge.as_mut().expect("member has t-converge").receive(
+                        *port,
+                        *x as usize,
+                        *count,
+                    );
                 }
                 other => panic!("unexpected message in TConverge: {other:?}"),
             }
@@ -720,7 +709,12 @@ impl DistNearClique {
                         for &port in &view.contributors {
                             ctx.send(
                                 port,
-                                Msg::Candidate { version: *version, root: *root, x: *x, size: *size },
+                                Msg::Candidate {
+                                    version: *version,
+                                    root: *root,
+                                    x: *x,
+                                    size: *size,
+                                },
                             );
                         }
                     }
@@ -798,18 +792,11 @@ impl Protocol for DistNearClique {
         match self.phase {
             Phase::Announce | Phase::CandidateDown | Phase::Winner | Phase::Done => true,
             Phase::Roster => {
-                !self.in_s()
-                    || self
-                        .roster_cursors
-                        .iter()
-                        .all(|&c| c >= self.roster_ids.len())
+                !self.in_s() || self.roster_cursors.iter().all(|&c| c >= self.roster_ids.len())
             }
             Phase::CompShare => {
                 !self.in_s()
-                    || self
-                        .comp_share_cursors
-                        .iter()
-                        .all(|&c| c >= self.comp_share_list.len())
+                    || self.comp_share_cursors.iter().all(|&c| c >= self.comp_share_list.len())
             }
             Phase::KConverge => self.views.iter().all(|((v, _), view)| {
                 *v != version || view.oversized || {
@@ -926,9 +913,9 @@ mod tests {
         let g = Graph::complete(10);
         let params = NearCliqueParams::new(0.2, 0.2).unwrap();
         // Seed chosen freely: we override the flags to simulate an empty S.
-        let mut net = NetworkBuilder::new().seed(1).build_with(&g, |_| {
-            DistNearClique::new(params.clone(), vec![false])
-        });
+        let mut net = NetworkBuilder::new()
+            .seed(1)
+            .build_with(&g, |_| DistNearClique::new(params.clone(), vec![false]));
         let report = net.run(RunLimits::default());
         assert_eq!(report.termination, Termination::Quiescent);
         assert!(net.outputs().iter().all(|o| o.label.is_none()));
@@ -962,10 +949,7 @@ mod tests {
             assert_ne!(l, r, "disjoint cliques must not share a label");
         }
         // At least one side should be discovered with this sample rate.
-        assert!(
-            !left.is_empty() || !right.is_empty(),
-            "at least one clique should be labeled"
-        );
+        assert!(!left.is_empty() || !right.is_empty(), "at least one clique should be labeled");
     }
 
     #[test]
@@ -984,9 +968,7 @@ mod tests {
     fn oversized_components_are_skipped_not_fatal() {
         let g = Graph::complete(30);
         // Absurd p so S is large; cap tiny.
-        let params = NearCliqueParams::new(0.25, 0.9)
-            .unwrap()
-            .with_max_component_size(3);
+        let params = NearCliqueParams::new(0.25, 0.9).unwrap().with_max_component_size(3);
         let (outputs, _) = run(&g, &params, 17);
         assert!(outputs.iter().any(|o| o.oversized_component));
         // Nothing labeled since the (single) component was skipped.

@@ -30,6 +30,16 @@ impl Default for RunOptions {
     }
 }
 
+impl RunOptions {
+    /// Default limits, stepping over `threads` OS threads. Results are
+    /// bit-identical at any thread count (the flat plane's determinism
+    /// contract; see `crates/congest/src/network.rs`).
+    #[must_use]
+    pub fn threaded(threads: usize) -> Self {
+        Self { threads, ..Self::default() }
+    }
+}
+
 /// Everything a `DistNearClique` execution produced.
 #[derive(Clone, Debug)]
 pub struct NearCliqueRun {
@@ -121,14 +131,14 @@ pub fn run_near_clique_with(
     options: RunOptions,
 ) -> NearCliqueRun {
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
-    let mut net = NetworkBuilder::new()
-        .seed(seed)
-        .parallel(options.threads)
-        .build_with(g, |endpoint| {
-            let flags =
-                (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
+    let mut net =
+        NetworkBuilder::new().seed(seed).parallel(options.threads).build_with(g, |endpoint| {
+            let flags = (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
             DistNearClique::new(params.clone(), flags)
         });
+    // Pre-reserve the per-round metrics history (bounded): with it, the
+    // simulator's steady-state rounds perform zero heap allocations.
+    net.reserve_rounds(options.max_rounds.min(4096) as usize);
     let report = net.run(RunLimits::rounds(options.max_rounds));
     let outputs = net.outputs();
     let labels = outputs.iter().map(|o| o.label).collect();

@@ -1,0 +1,218 @@
+//! Engine-equivalence suite: the flat message plane must be
+//! **bit-identical** — labels, full metrics (rounds, messages, bits,
+//! per-round histogram, barriers) and termination — across
+//!
+//! * thread counts (`parallel(1)` vs `parallel(4)`),
+//! * the old→new engine boundary ([`congest::LegacyNetwork`], the seed
+//!   repository's pointer-chasing engine, vs [`congest::Network`]), and
+//! * the centralized executable specification ([`nearclique::reference_run`]),
+//!
+//! over the workload families of the paper's experiments: planted
+//! near-cliques, G(n,p) noise, stars, paths, and the Figure 1 shingles
+//! counterexample.
+
+use congest::{IdAssignment, LegacyNetwork, Mode, RunLimits};
+use graphs::{generators, Graph, GraphBuilder};
+use nearclique::{
+    reference_run, run_near_clique_with, DistNearClique, NearCliqueParams, RunOptions, SamplePlan,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i);
+    }
+    b.build()
+}
+
+fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        b.add_edge(i, i + 1);
+    }
+    b.build()
+}
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(71);
+    vec![
+        ("planted", generators::planted_near_clique(140, 60, 0.015, 0.04, &mut rng).graph),
+        ("gnp", generators::gnp(120, 0.08, &mut rng)),
+        ("star", star(80)),
+        ("path", path(80)),
+        ("counterexample", generators::shingles_counterexample(120, 0.5).graph),
+    ]
+}
+
+/// `parallel(1)` and `parallel(4)` runs must agree on everything,
+/// including the full metrics structure, and must match the centralized
+/// reference specification.
+/// ε = 0.25, E|S| = 7 (the benches' operating point): the exploration
+/// stage enumerates 2^|S| subsets, so pinning E|S| keeps the suite fast.
+fn test_params(n: usize) -> NearCliqueParams {
+    NearCliqueParams::for_expected_sample(0.25, 7.0, n).unwrap().with_lambda(2)
+}
+
+#[test]
+fn thread_counts_are_bit_identical_and_match_reference() {
+    for (name, g) in workloads() {
+        let params = test_params(g.node_count());
+        for seed in [3u64, 19] {
+            let sequential = run_near_clique_with(
+                &g,
+                &params,
+                seed,
+                RunOptions { max_rounds: 10_000_000, threads: 1 },
+            );
+            let sharded = run_near_clique_with(
+                &g,
+                &params,
+                seed,
+                RunOptions { max_rounds: 10_000_000, threads: 4 },
+            );
+            assert_eq!(
+                sequential.labels, sharded.labels,
+                "labels diverge across thread counts ({name}, seed {seed})"
+            );
+            assert_eq!(
+                sequential.metrics, sharded.metrics,
+                "metrics diverge across thread counts ({name}, seed {seed})"
+            );
+            assert_eq!(
+                sequential.termination, sharded.termination,
+                "termination diverges across thread counts ({name}, seed {seed})"
+            );
+
+            let reference = reference_run(&g, &sequential.ids, &params, &sequential.plan);
+            assert_eq!(
+                sequential.labels, reference.labels,
+                "distributed labels diverge from the centralized reference ({name}, seed {seed})"
+            );
+        }
+    }
+}
+
+/// The legacy (seed) engine and the flat plane must agree bit-for-bit on
+/// `DistNearClique` runs: same sample plan, same IDs, same labels, same
+/// metrics, same termination.
+#[test]
+fn legacy_and_flat_engines_agree_on_dist_near_clique() {
+    for (name, g) in workloads() {
+        let params = test_params(g.node_count());
+        for seed in [5u64, 23] {
+            let flat = run_near_clique_with(
+                &g,
+                &params,
+                seed,
+                RunOptions { max_rounds: 10_000_000, threads: 2 },
+            );
+
+            let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
+            let mut legacy = LegacyNetwork::build_with(
+                &g,
+                Mode::Congest,
+                seed,
+                IdAssignment::Hashed,
+                |endpoint| {
+                    let flags =
+                        (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
+                    DistNearClique::new(params.clone(), flags)
+                },
+            );
+            let legacy_report = legacy.run(RunLimits::rounds(10_000_000));
+
+            let legacy_labels: Vec<Option<u64>> =
+                legacy.outputs().iter().map(|o| o.label).collect();
+            assert_eq!(
+                flat.labels, legacy_labels,
+                "labels diverge across engines ({name}, seed {seed})"
+            );
+            assert_eq!(
+                flat.metrics, legacy_report.metrics,
+                "metrics diverge across engines ({name}, seed {seed})"
+            );
+            assert_eq!(
+                flat.termination, legacy_report.termination,
+                "termination diverges across engines ({name}, seed {seed})"
+            );
+        }
+    }
+}
+
+/// LOCAL-mode trains: the whole-queue delivery path (multi-message ports,
+/// FIFO within a train) must match across engines and thread counts.
+#[test]
+fn local_mode_trains_are_equivalent() {
+    use congest::{bits_for_count, Context, Message, NetworkBuilder, Port, Protocol};
+
+    #[derive(Clone, Debug)]
+    struct Seq(u32);
+    impl Message for Seq {
+        fn bit_size(&self) -> usize {
+            bits_for_count(1 << 16)
+        }
+    }
+
+    /// Every node sends a distinct train to each lower-indexed neighbor in
+    /// `init`, then every receiver records (round, port, payload) — a
+    /// direct probe of delivery order.
+    struct Trains {
+        start: bool,
+        heard: Vec<(u64, Port, u32)>,
+    }
+    impl Protocol for Trains {
+        type Msg = Seq;
+        type Output = Vec<(u64, Port, u32)>;
+
+        fn init(&mut self, ctx: &mut Context<'_, Seq>) {
+            if self.start {
+                for port in 0..ctx.degree() {
+                    for k in 0..5u32 {
+                        ctx.send(port, Seq(port as u32 * 100 + k));
+                    }
+                }
+            }
+        }
+
+        fn step(&mut self, ctx: &mut Context<'_, Seq>, inbox: &[(Port, Seq)]) {
+            for (port, msg) in inbox {
+                self.heard.push((ctx.round(), *port, msg.0));
+            }
+        }
+
+        fn is_idle(&self) -> bool {
+            true
+        }
+
+        fn output(&self) -> Vec<(u64, Port, u32)> {
+            self.heard.clone()
+        }
+    }
+
+    for (name, g) in workloads() {
+        for mode in [Mode::Congest, Mode::Local] {
+            let factory = |e: &congest::Endpoint| Trains {
+                start: e.index.is_multiple_of(3),
+                heard: Vec::new(),
+            };
+
+            let mut flat1 =
+                NetworkBuilder::new().mode(mode).seed(9).parallel(1).build_with(&g, factory);
+            let r1 = flat1.run(RunLimits::default());
+
+            let mut flat4 =
+                NetworkBuilder::new().mode(mode).seed(9).parallel(4).build_with(&g, factory);
+            let r4 = flat4.run(RunLimits::default());
+
+            let mut legacy = LegacyNetwork::build_with(&g, mode, 9, IdAssignment::Hashed, factory);
+            let rl = legacy.run(RunLimits::default());
+
+            assert_eq!(flat1.outputs(), flat4.outputs(), "{name} {mode:?}: thread counts");
+            assert_eq!(flat1.outputs(), legacy.outputs(), "{name} {mode:?}: engines");
+            assert_eq!(r1.metrics, r4.metrics, "{name} {mode:?}: thread-count metrics");
+            assert_eq!(r1.metrics, rl.metrics, "{name} {mode:?}: engine metrics");
+        }
+    }
+}

@@ -160,11 +160,7 @@ impl FixedBitSet {
     #[must_use]
     pub fn intersection_count(&self, other: &Self) -> usize {
         self.assert_same_capacity(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// `|self ∪ other|` without allocating.
@@ -175,11 +171,7 @@ impl FixedBitSet {
     #[must_use]
     pub fn union_count(&self, other: &Self) -> usize {
         self.assert_same_capacity(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a | b).count_ones() as usize).sum()
     }
 
     /// `|self \ other|` without allocating.
@@ -190,11 +182,7 @@ impl FixedBitSet {
     #[must_use]
     pub fn difference_count(&self, other: &Self) -> usize {
         self.assert_same_capacity(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & !b).count_ones() as usize).sum()
     }
 
     /// In-place union.

@@ -48,7 +48,11 @@ impl CommunityGraph {
             .map(|c| {
                 let inter = set.intersection_count(c);
                 let union = set.union_count(c);
-                if union == 0 { 0.0 } else { inter as f64 / union as f64 }
+                if union == 0 {
+                    0.0
+                } else {
+                    inter as f64 / union as f64
+                }
             })
             .fold(0.0, f64::max)
     }
@@ -293,11 +297,8 @@ mod tests {
     fn caveman_rewired_loses_some_internal_edges() {
         let mut rng = StdRng::seed_from_u64(26);
         let cg = caveman(4, 8, 0.3, &mut rng);
-        let internal: usize = cg
-            .communities
-            .iter()
-            .map(|c| density::directed_internal_edges(&cg.graph, c) / 2)
-            .sum();
+        let internal: usize =
+            cg.communities.iter().map(|c| density::directed_internal_edges(&cg.graph, c) / 2).sum();
         assert!(internal < 4 * 28, "rewiring must remove internal edges");
     }
 

@@ -154,10 +154,7 @@ mod tests {
         assert_eq!(s.c1.len(), 25);
         assert_eq!(s.c2.len(), 25);
         assert_eq!(s.i1.len() + s.i2.len(), 50);
-        assert_eq!(
-            s.i1.len() + s.c1.len() + s.c2.len() + s.i2.len(),
-            s.graph.node_count()
-        );
+        assert_eq!(s.i1.len() + s.c1.len() + s.c2.len() + s.i2.len(), s.graph.node_count());
     }
 
     #[test]

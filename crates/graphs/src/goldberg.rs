@@ -133,10 +133,8 @@ mod tests {
         assert!(n <= 16, "brute force only for tiny graphs");
         let mut best = 0.0f64;
         for mask in 1u32..(1 << n) {
-            let set = FixedBitSet::from_iter_with_capacity(
-                n,
-                (0..n).filter(|&v| mask & (1 << v) != 0),
-            );
+            let set =
+                FixedBitSet::from_iter_with_capacity(n, (0..n).filter(|&v| mask & (1 << v) != 0));
             let d = internal_edges(g, &set) as f64 / set.len() as f64;
             best = best.max(d);
         }

@@ -77,13 +77,12 @@ mod proptests {
     }
 
     fn arb_subset(n: usize) -> impl Strategy<Value = FixedBitSet> {
-        proptest::collection::vec(proptest::bool::ANY, n)
-            .prop_map(move |bits| {
-                FixedBitSet::from_iter_with_capacity(
-                    n,
-                    bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
-                )
-            })
+        proptest::collection::vec(proptest::bool::ANY, n).prop_map(move |bits| {
+            FixedBitSet::from_iter_with_capacity(
+                n,
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+            )
+        })
     }
 
     proptest! {

@@ -62,11 +62,7 @@ pub fn densest_at_least_k(g: &Graph, k: usize) -> PeelResult {
 fn peel_with_constraint(g: &Graph, min_size: usize) -> PeelResult {
     let n = g.node_count();
     if n == 0 {
-        return PeelResult {
-            set: FixedBitSet::new(0),
-            average_degree: 0.0,
-            pair_density: 1.0,
-        };
+        return PeelResult { set: FixedBitSet::new(0), average_degree: 0.0, pair_density: 1.0 };
     }
     assert!(min_size >= 1 && min_size <= n, "min_size = {min_size} out of range 1..={n}");
 

@@ -100,10 +100,8 @@ fn construct<R: Rng + ?Sized>(g: &Graph, config: &QuasiCliqueConfig, rng: &mut R
     loop {
         // Candidate with the most neighbors inside the set, restricted list.
         let s = set.len();
-        let mut candidates: Vec<(usize, usize)> = (0..n)
-            .filter(|&v| !set.contains(v))
-            .map(|v| (g.degree_into(v, &set), v))
-            .collect();
+        let mut candidates: Vec<(usize, usize)> =
+            (0..n).filter(|&v| !set.contains(v)).map(|v| (g.degree_into(v, &set), v)).collect();
         if candidates.is_empty() {
             break;
         }
@@ -153,10 +151,7 @@ fn local_search(g: &Graph, gamma: f64, set: &mut FixedBitSet) {
         // Exchange moves: remove the weakest member, add an outsider with
         // strictly more internal edges.
         if s >= 2 {
-            let weakest = set
-                .iter()
-                .min_by_key(|&v| g.degree_into(v, set))
-                .expect("set non-empty");
+            let weakest = set.iter().min_by_key(|&v| g.degree_into(v, set)).expect("set non-empty");
             let weakest_deg = g.degree_into(weakest, set);
             let mut without = set.clone();
             without.remove(weakest);
@@ -209,7 +204,8 @@ mod tests {
         assert!(!set.is_empty());
         assert!(
             density::density(&p.graph, &set) >= config.gamma - 1e-9,
-            "density {} below floor", density::density(&p.graph, &set)
+            "density {} below floor",
+            density::density(&p.graph, &set)
         );
     }
 

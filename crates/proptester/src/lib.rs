@@ -241,11 +241,7 @@ impl RhoCliqueTester {
 /// The "approximate find" companion \[10\]: given an accepting subset `X`,
 /// materialize `T_ε(X)` with a full scan — `O(n·|X| + n·|K|)` queries,
 /// linear in `n` for constant ε.
-pub fn approximate_find(
-    oracle: &CountingOracle<'_>,
-    x: &[usize],
-    epsilon: f64,
-) -> FixedBitSet {
+pub fn approximate_find(oracle: &CountingOracle<'_>, x: &[usize], epsilon: f64) -> FixedBitSet {
     let n = oracle.n();
     let inner_eps = 2.0 * epsilon * epsilon;
     let x_set: FixedBitSet = FixedBitSet::from_iter_with_capacity(n, x.iter().copied());

@@ -1,0 +1,460 @@
+//! Offline drop-in replacement for the subset of the `proptest` crate API
+//! this workspace's property tests use.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! deterministic random-input testing without shrinking: every
+//! [`test_runner::TestRunner`] draws inputs from a fixed-seed
+//! [`rand::rngs::StdRng`], so failures are reproducible run-to-run. The
+//! [`proptest!`] macro, [`strategy::Strategy`] combinators (`prop_map`,
+//! `prop_flat_map`), range/tuple/collection strategies, [`any`], and the
+//! `prop_assert*` macros cover everything the workspace's suites need.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its drawn values via the panic message only), no persistence files,
+//! and `prop_assert*` panics instead of returning `Err`.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Strategies: value generators and their combinators.
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use rand::rngs::StdRng;
+    use rand::{Rng, UniformInt};
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Mirrors proptest's tree API (no shrinking: the tree is a leaf).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Leaf<Self::Value>, String> {
+            Ok(Leaf(self.generate(runner.rng())))
+        }
+    }
+
+    /// A generated value plus its (trivial) shrink state.
+    pub trait ValueTree {
+        /// The value type.
+        type Value;
+
+        /// The current value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// Leaf tree: a bare value, no shrinking.
+    #[derive(Clone, Debug)]
+    pub struct Leaf<V>(pub(crate) V);
+
+    impl<V: Clone> ValueTree for Leaf<V> {
+        type Value = V;
+
+        fn current(&self) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    impl<T: UniformInt> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<usize> {
+        type Value = usize;
+
+        fn generate(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<u64> {
+        type Value = u64;
+
+        fn generate(&self, rng: &mut StdRng) -> u64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+/// Test driving: configuration and the case runner.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Suite configuration (subset: case count only).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each `proptest!` test runs.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Draws inputs for one test's cases, deterministically.
+    pub struct TestRunner {
+        config: Config,
+        rng: StdRng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            Self::new(Config::default())
+        }
+    }
+
+    impl TestRunner {
+        /// A runner over `config` with the fixed shim seed.
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            // Fixed seed: deterministic suites; vary inputs per case via
+            // the stream, not the clock.
+            Self { config, rng: StdRng::seed_from_u64(0x5EED_CAFE_F00D) }
+        }
+
+        /// Number of cases to run.
+        #[must_use]
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The underlying RNG (used by `Strategy::new_tree`).
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        /// Draws one value from `strategy`.
+        pub fn draw<S: crate::strategy::Strategy>(&mut self, strategy: &S) -> S::Value {
+            strategy.generate(&mut self.rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Something convertible to a size range for [`vec`].
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn draw_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn draw_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn draw_len(&self, rng: &mut StdRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                rng.gen_range(self.clone())
+            }
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn draw_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with length from `size`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.draw_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Fair-coin boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The boolean "any" strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// An abstract index into collections of then-unknown size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// This index resolved against a collection of `size` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `size == 0`.
+        #[must_use]
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "cannot index an empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl crate::Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.gen())
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::Rng;
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@body $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config.clone());
+            for _case in 0..config.cases {
+                $(let $arg = runner.draw(&($strat));)+
+                $body
+            }
+        }
+        $crate::proptest!(@body $cfg; $($rest)*);
+    };
+    (@body $cfg:expr;) => {};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced access mirroring the real prelude's `prop` module.
+    pub mod prop {
+        pub use crate::{bool, collection, sample, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    proptest! {
+        /// Drawn values respect their range strategies.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, b in 0u64..5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_applies(x in 0usize..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn combinators_and_collections() {
+        let strat = (2usize..=5).prop_flat_map(|n| {
+            crate::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| (n, pairs))
+        });
+        let mut runner = crate::test_runner::TestRunner::default();
+        for _ in 0..50 {
+            let (n, pairs) = runner.draw(&strat);
+            assert!((2..=5).contains(&n));
+            assert!(pairs.len() < n * 2);
+            for (u, v) in pairs {
+                assert!(u < n && v < n);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_api_and_index() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let tree = crate::collection::vec(crate::bool::ANY, 10).new_tree(&mut runner).unwrap();
+        assert_eq!(tree.current().len(), 10);
+        let idx = runner.draw(&any::<crate::sample::Index>());
+        assert!(idx.index(7) < 7);
+    }
+}

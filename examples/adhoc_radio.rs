@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cg.graph.max_degree()
     );
 
-    let params = NearCliqueParams::for_expected_sample(0.3, 9.0, n)?
-        .with_min_candidate_size(10);
+    let params = NearCliqueParams::for_expected_sample(0.3, 9.0, n)?.with_min_candidate_size(10);
     let run = run_near_clique(&cg.graph, &params, 53);
 
     // The communication profile: this is what CONGEST buys you.
@@ -35,14 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  rounds (slots)        : {}", run.metrics.rounds);
     println!("  messages              : {}", run.metrics.messages);
     println!("  widest message        : {} bits", run.metrics.max_message_bits);
-    println!(
-        "  peak per-slot traffic : {} messages",
-        run.metrics.peak_messages_per_round()
-    );
-    println!(
-        "  mean per-slot traffic : {:.1} messages",
-        run.metrics.mean_messages_per_round()
-    );
+    println!("  peak per-slot traffic : {} messages", run.metrics.peak_messages_per_round());
+    println!("  mean per-slot traffic : {:.1} messages", run.metrics.mean_messages_per_round());
 
     // Phase profile: where the slots went (the §4.1 wrapper would
     // allocate per-phase budgets along exactly these spans).

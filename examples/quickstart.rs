@@ -12,13 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    (ε = 0.25 → planted density ≥ 1 − 0.0156) over sparse noise.
     let epsilon: f64 = 0.25;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let planted = generators::planted_near_clique(
-        400,
-        200,
-        epsilon.powi(3),
-        0.02,
-        &mut rng,
-    );
+    let planted = generators::planted_near_clique(400, 200, epsilon.powi(3), 0.02, &mut rng);
     println!(
         "instance: n = {}, planted |D| = {} at density {:.4}",
         planted.graph.node_count(),

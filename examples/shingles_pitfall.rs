@@ -64,8 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // DistNearClique on the same graph.
-    let params = NearCliqueParams::for_expected_sample(0.25, 9.0, n)?
-        .with_min_candidate_size(10);
+    let params = NearCliqueParams::for_expected_sample(0.25, 9.0, n)?.with_min_candidate_size(10);
     let run = run_near_clique(&s.graph, &params, 77);
     match run.largest_set() {
         Some(found) => {

@@ -35,13 +35,11 @@ pub use proptester;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use baselines::{
-        run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig,
-    };
+    pub use baselines::{run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig};
     pub use congest::{Metrics, Mode, NetworkBuilder, RunLimits, Termination};
     pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
     pub use nearclique::{
-        check_labels, check_theorem_5_7, reference_run, run_near_clique,
-        run_near_clique_with, NearCliqueParams, NearCliqueRun, RunOptions, SamplePlan,
+        check_labels, check_theorem_5_7, reference_run, run_near_clique, run_near_clique_with,
+        NearCliqueParams, NearCliqueRun, RunOptions, SamplePlan,
     };
 }

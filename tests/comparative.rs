@@ -2,8 +2,8 @@
 //! as the paper says, and the finder trait compares like with like.
 
 use baselines::{
-    run_neighbors_neighbors, run_shingles, DistNearCliqueFinder, ExactFinder,
-    NearCliqueFinder, PeelFinder, QuasiFinder, ShinglesConfig, ShinglesFinder,
+    run_neighbors_neighbors, run_shingles, DistNearCliqueFinder, ExactFinder, NearCliqueFinder,
+    PeelFinder, QuasiFinder, ShinglesConfig, ShinglesFinder,
 };
 use graphs::generators::{self, ShinglesGraph};
 use graphs::{density, quasi::QuasiCliqueConfig, Graph};
@@ -24,8 +24,7 @@ fn claim_1_shingles_never_wins_on_figure_1() {
                 seed,
             );
             if let Some(set) = run.largest_set() {
-                let qualifies =
-                    set.len() >= need && density::is_near_clique(&s.graph, &set, eps);
+                let qualifies = set.len() >= need && density::is_near_clique(&s.graph, &set, eps);
                 assert!(
                     !qualifies,
                     "delta {delta}, seed {seed}: shingles produced {} nodes, \
@@ -61,9 +60,7 @@ fn finder_trait_is_consistent_across_algorithms() {
     let g = &planted.graph;
 
     let dist = DistNearCliqueFinder {
-        params: NearCliqueParams::for_expected_sample(0.25, 8.0, 100)
-            .unwrap()
-            .with_lambda(2),
+        params: NearCliqueParams::for_expected_sample(0.25, 8.0, 100).unwrap().with_lambda(2),
     };
     let shingles = ShinglesFinder { config: ShinglesConfig::default() };
     let peel = PeelFinder { min_size: 15 };
@@ -93,11 +90,7 @@ fn shingles_succeeds_where_it_should() {
     let cg = generators::caveman(5, 20, 0.0, &mut rng);
     let mut wins = 0;
     for seed in 0..10 {
-        let run = run_shingles(
-            &cg.graph,
-            ShinglesConfig { min_size: 10, min_density: 0.95 },
-            seed,
-        );
+        let run = run_shingles(&cg.graph, ShinglesConfig { min_size: 10, min_density: 0.95 }, seed);
         if let Some(set) = run.largest_set() {
             if set.len() == 20 {
                 wins += 1;
