@@ -20,8 +20,7 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 use congest::{
-    Context, Message, Metrics, Mode, NetworkBuilder, Port, Protocol, RunLimits, Termination,
-    ID_BITS, TAG_BITS,
+    Context, Message, Metrics, Mode, Port, Protocol, Session, Termination, ID_BITS, TAG_BITS,
 };
 use graphs::{exact, FixedBitSet, Graph, GraphBuilder};
 
@@ -269,13 +268,10 @@ impl NeighborsRun {
 /// small (the experiments use `n ≤ 150`).
 #[must_use]
 pub fn run_neighbors_neighbors(g: &Graph, seed: u64) -> NeighborsRun {
-    let mut net = NetworkBuilder::new()
-        .seed(seed)
-        .mode(Mode::Local)
-        .build_with(g, |_| NeighborsNeighbors::new());
-    let report = net.run(RunLimits::default());
+    let (labels, report) =
+        Session::on(g).seed(seed).mode(Mode::Local).run_with(|_| NeighborsNeighbors::new());
     debug_assert_eq!(report.termination, Termination::Quiescent);
-    NeighborsRun { labels: net.outputs(), metrics: report.metrics }
+    NeighborsRun { labels, metrics: report.metrics }
 }
 
 #[cfg(test)]

@@ -17,10 +17,7 @@
 //! the paper's description allows overlapping variants, ours is the
 //! disjoint one.
 
-use congest::{
-    bits_for_count, Context, Message, Metrics, NetworkBuilder, Port, Protocol, RunLimits,
-    Termination,
-};
+use congest::{bits_for_count, Context, Message, Metrics, Port, Protocol, Session, Termination};
 use graphs::{FixedBitSet, Graph};
 use rand::Rng;
 
@@ -244,10 +241,9 @@ impl ShinglesRun {
 /// Runs the shingles algorithm on `g`.
 #[must_use]
 pub fn run_shingles(g: &Graph, config: ShinglesConfig, seed: u64) -> ShinglesRun {
-    let mut net = NetworkBuilder::new().seed(seed).build_with(g, |_| Shingles::new(config));
-    let report = net.run(RunLimits::default());
+    let (labels, report) = Session::on(g).seed(seed).run_with(|_| Shingles::new(config));
     debug_assert_eq!(report.termination, Termination::Quiescent);
-    ShinglesRun { labels: net.outputs(), metrics: report.metrics }
+    ShinglesRun { labels, metrics: report.metrics }
 }
 
 /// Sanity helper mirroring the paper's counting: expected message width of

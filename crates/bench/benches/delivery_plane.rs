@@ -8,8 +8,10 @@
 //! * **Mode** — CONGEST (one message per directed edge per round) vs
 //!   LOCAL (whole queues per round).
 //! * **Engine** — `legacy` (the seed repository's `Vec<VecDeque>` plane,
-//!   kept as `congest::LegacyNetwork`), `flat1` (the flat plane,
-//!   sequential) and `flat4` (the flat plane on 4 shards).
+//!   kept as `congest::Engine::Legacy`), `flat1` (the flat plane,
+//!   sequential) and `flat4` (the flat plane on 4 shards) — all three
+//!   selected purely through the unified `congest::Session` surface, so
+//!   these records also measure that the surface adds no overhead.
 //!
 //! The `near_clique_n*` group runs the full `DistNearClique` protocol at
 //! n ≥ 5000 — the ISSUE 1 acceptance workload, whose before/after trail
@@ -19,12 +21,10 @@
 //! BENCH_JSON=BENCH_protocol.json cargo bench --bench delivery_plane
 //! ```
 
-use congest::{
-    Context, IdAssignment, LegacyNetwork, Message, Mode, NetworkBuilder, Port, Protocol, RunLimits,
-};
+use congest::{Context, Driver, Engine, Message, Mode, Port, Protocol, RunLimits, Session};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphs::{generators, Graph, GraphBuilder};
-use nearclique::{DistNearClique, NearCliqueParams, RunOptions, SamplePlan};
+use nearclique::{NearCliqueParams, RunOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,22 +78,15 @@ fn star(n: usize) -> Graph {
 
 const GOSSIP_ROUNDS: u64 = 50;
 
-fn run_gossip_flat(g: &Graph, mode: Mode, threads: usize) -> u64 {
-    let mut net = NetworkBuilder::new()
+fn run_gossip(g: &Graph, mode: Mode, engine: Engine) -> u64 {
+    let mut driver = Session::on(g)
         .mode(mode)
         .seed(3)
-        .parallel(threads)
-        .build_with(g, |_| Gossip { rounds: GOSSIP_ROUNDS });
-    net.reserve_rounds(GOSSIP_ROUNDS as usize + 8);
-    let report = net.run(RunLimits::rounds(GOSSIP_ROUNDS + 5));
-    report.metrics.messages
-}
-
-fn run_gossip_legacy(g: &Graph, mode: Mode) -> u64 {
-    let mut net = LegacyNetwork::build_with(g, mode, 3, IdAssignment::Hashed, |_| Gossip {
-        rounds: GOSSIP_ROUNDS,
-    });
-    let report = net.run(RunLimits::rounds(GOSSIP_ROUNDS + 5));
+        .engine(engine)
+        .limits(RunLimits::rounds(GOSSIP_ROUNDS + 5))
+        .build_with(|_| Gossip { rounds: GOSSIP_ROUNDS });
+    driver.reserve_rounds(GOSSIP_ROUNDS as usize + 8);
+    let report = driver.run();
     report.metrics.messages
 }
 
@@ -109,13 +102,13 @@ fn bench_gossip(c: &mut Criterion) {
         group.sample_size(10);
         for (shape, g) in shapes {
             group.bench_with_input(BenchmarkId::new(shape, "legacy"), g, |b, g| {
-                b.iter(|| run_gossip_legacy(g, mode));
+                b.iter(|| run_gossip(g, mode, Engine::Legacy));
             });
             group.bench_with_input(BenchmarkId::new(shape, "flat1"), g, |b, g| {
-                b.iter(|| run_gossip_flat(g, mode, 1));
+                b.iter(|| run_gossip(g, mode, Engine::Flat { shards: 1 }));
             });
             group.bench_with_input(BenchmarkId::new(shape, "flat4"), g, |b, g| {
-                b.iter(|| run_gossip_flat(g, mode, 4));
+                b.iter(|| run_gossip(g, mode, Engine::Flat { shards: 4 }));
             });
         }
         group.finish();
@@ -130,25 +123,9 @@ fn planted(n: usize, dense: usize, seed: u64) -> Graph {
     generators::planted_near_clique(n, dense, 0.0156, 0.002, &mut rng).graph
 }
 
-fn run_protocol_flat(g: &Graph, params: &NearCliqueParams, threads: usize) -> u64 {
-    let run = nearclique::run_near_clique_with(
-        g,
-        params,
-        7,
-        RunOptions { max_rounds: 10_000_000, threads },
-    );
+fn run_protocol(g: &Graph, params: &NearCliqueParams, engine: Engine) -> u64 {
+    let run = nearclique::run_near_clique_with(g, params, 7, RunOptions::with_engine(engine));
     run.metrics.messages
-}
-
-fn run_protocol_legacy(g: &Graph, params: &NearCliqueParams) -> u64 {
-    let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, 7);
-    let mut net =
-        LegacyNetwork::build_with(g, Mode::Congest, 7, IdAssignment::Hashed, |endpoint| {
-            let flags = (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
-            DistNearClique::new(params.clone(), flags)
-        });
-    let report = net.run(RunLimits::rounds(10_000_000));
-    report.metrics.messages
 }
 
 /// The acceptance workload: full `DistNearClique` at n ≥ 5000, seed
@@ -160,13 +137,13 @@ fn bench_near_clique(c: &mut Criterion) {
         let mut group = c.benchmark_group(&format!("delivery_plane/near_clique_n{n}"));
         group.sample_size(5);
         group.bench_with_input(BenchmarkId::from_parameter("legacy"), &g, |b, g| {
-            b.iter(|| run_protocol_legacy(g, &params));
+            b.iter(|| run_protocol(g, &params, Engine::Legacy));
         });
         group.bench_with_input(BenchmarkId::from_parameter("flat1"), &g, |b, g| {
-            b.iter(|| run_protocol_flat(g, &params, 1));
+            b.iter(|| run_protocol(g, &params, Engine::Flat { shards: 1 }));
         });
         group.bench_with_input(BenchmarkId::from_parameter("flat4"), &g, |b, g| {
-            b.iter(|| run_protocol_flat(g, &params, 4));
+            b.iter(|| run_protocol(g, &params, Engine::Flat { shards: 4 }));
         });
         group.finish();
     }

@@ -73,7 +73,7 @@ fn bench_parallel(c: &mut Criterion) {
                     &g,
                     &params,
                     17,
-                    nearclique::RunOptions { max_rounds: 10_000_000, threads },
+                    nearclique::RunOptions::threaded(threads),
                 )
             });
         });

@@ -49,7 +49,7 @@ fn bench_generators(c: &mut Criterion) {
 
 /// Raw simulator round-loop cost: a flooding protocol over G(n, p).
 fn bench_simulator_rounds(c: &mut Criterion) {
-    use congest::{Context, Message, NetworkBuilder, Port, Protocol, RunLimits};
+    use congest::{Context, Message, Port, Protocol, RunLimits, Session};
 
     #[derive(Clone, Debug)]
     struct Tick;
@@ -86,9 +86,11 @@ fn bench_simulator_rounds(c: &mut Criterion) {
         let g = generators::gnp(n, 0.02, &mut rng);
         group.bench_with_input(BenchmarkId::new("flood_20_rounds", n), &n, |b, _| {
             b.iter(|| {
-                let mut net =
-                    NetworkBuilder::new().seed(5).build_with(&g, |_| Pulse { remaining: 20 });
-                net.run(RunLimits::default())
+                Session::on(&g)
+                    .seed(5)
+                    .limits(RunLimits::default())
+                    .run_with(|_| Pulse { remaining: 20 })
+                    .1
             });
         });
     }

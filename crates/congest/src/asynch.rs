@@ -13,20 +13,28 @@
 //! * a node executes pulse `r` once every neighbor is safe for `r` — at
 //!   which point all pulse-`r` payloads addressed to it have arrived.
 //!
-//! [`run_synchronized`] drives a synchronous [`Protocol`] for a fixed
-//! pulse budget (the paper's deterministic time-bound wrapper, §4.1, is
-//! exactly such a budget) and returns outputs plus an [`AsyncReport`]
-//! with virtual-time and message-overhead accounting. The headline
-//! property — asynchronous outputs are **identical** to the synchronous
-//! simulator's — is pinned by tests here and used by the test suite on
-//! the shingles protocol.
+//! [`AsyncNetwork`] is the engine behind
+//! [`Engine::Async`](crate::Engine::Async): build it through
+//! [`crate::Session`] and drive it like any other [`Driver`]. Each
+//! [`Driver::drive`] call executes a fixed pulse budget (the paper's
+//! deterministic time-bound wrapper, §4.1, is exactly such a budget) and
+//! reports the unified [`RunReport`]: payload traffic lands in
+//! [`Metrics`] — where it is **bit-identical to the synchronous
+//! engines'** accounting, pulse for round — and the synchronizer's
+//! Ack/Safe overhead lands in [`SyncOverhead`].
+//!
+//! The node-outgoing queues are the flat plane's slab-backed
+//! `PortQueues` over the CSR route table (`plane::Topology`) — the same
+//! queue implementation the synchronous [`crate::Network`] uses, so
+//! CONGEST pipelining behaves identically in both engines. Only the
+//! in-flight event plumbing (delay heap, parked envelopes, per-pulse
+//! inbox staging) is specific to this executor.
 //!
 //! Scope note: protocols that rely on the simulator's quiescence barrier
 //! (`Protocol::on_quiescent`), like the staged `DistNearClique`, are out
 //! of scope for this wrapper — in a real asynchronous deployment each of
 //! their phases would get its own pulse budget, which is precisely the
-//! §4.1 wrapper this module's `pulse_budget` models for single-phase
-//! protocols.
+//! §4.1 wrapper a drive's pulse budget models for single-phase protocols.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -35,9 +43,14 @@ use graphs::Graph;
 use rand::rngs::StdRng;
 
 use crate::message::Message;
-use crate::network::IdAssignment;
-use crate::protocol::{Context, Endpoint, Outbox, OutboxHandle, Port, Protocol};
+use crate::metrics::Metrics;
+use crate::network::{assign_ids, IdAssignment};
+use crate::plane::{PortQueues, Topology};
+use crate::protocol::{Context, Endpoint, OutboxHandle, Port, Protocol};
 use crate::rng::{node_rng, splitmix64};
+use crate::session::{
+    Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
+};
 
 /// Control/payload envelope of synchronizer α.
 #[derive(Clone, Debug)]
@@ -52,55 +65,12 @@ enum SyncMsg<M> {
 
 const PULSE_BITS: usize = 32;
 
-impl<M: Message> SyncMsg<M> {
-    fn bit_size(&self) -> usize {
-        match self {
-            SyncMsg::Payload { msg, .. } => crate::TAG_BITS + PULSE_BITS + msg.bit_size(),
-            SyncMsg::Ack { .. } | SyncMsg::Safe { .. } => crate::TAG_BITS + PULSE_BITS,
-        }
-    }
-}
+/// Bits of one Ack/Safe envelope, and of the wrapper around a payload.
+const ENVELOPE_BITS: usize = crate::TAG_BITS + PULSE_BITS;
 
-/// Configuration of the asynchronous executor.
-#[derive(Clone, Copy, Debug)]
-pub struct AsyncConfig {
-    /// Master seed: drives node RNG streams, ID assignment and link
-    /// delays.
-    pub seed: u64,
-    /// Each message's delay is drawn uniformly from `1..=max_delay`
-    /// virtual time units (deterministically from the seed).
-    pub max_delay: u64,
-    /// Number of pulses to execute (the deterministic time-bound wrapper).
-    pub pulse_budget: u64,
-}
-
-impl Default for AsyncConfig {
-    fn default() -> Self {
-        Self { seed: 0, max_delay: 16, pulse_budget: 64 }
-    }
-}
-
-/// Resource accounting of one asynchronous run.
-#[derive(Clone, Debug, Default)]
-pub struct AsyncReport {
-    /// Pulses each node completed (= the configured budget).
-    pub pulses: u64,
-    /// Largest event timestamp (virtual time at completion).
-    pub virtual_time: u64,
-    /// Application payloads delivered.
-    pub payload_messages: u64,
-    /// Ack + Safe control messages delivered (the synchronizer overhead).
-    pub control_messages: u64,
-    /// Total delivered bits, envelopes included.
-    pub total_bits: u64,
-    /// Widest delivered message in bits.
-    pub max_message_bits: usize,
-}
-
-struct SyncNode<P: Protocol> {
+struct AsyncSlot<P: Protocol> {
     endpoint: Endpoint,
-    inner: P,
-    outbox: Outbox<P::Msg>,
+    protocol: P,
     rng: StdRng,
     /// The pulse this node is currently *waiting to execute* (1-based).
     pulse: u64,
@@ -112,53 +82,183 @@ struct SyncNode<P: Protocol> {
     safe_counts: BTreeMap<u64, usize>,
     /// Buffered payloads per pulse, as (port, msg).
     inbox_by_pulse: BTreeMap<u64, Vec<(Port, P::Msg)>>,
-    /// Acks that raced ahead (for sends of a pulse this node has not
-    /// entered yet — impossible under FIFO delays, kept for safety).
+    /// This node finished the current drive's pulse budget.
     done: bool,
 }
 
-/// The event-driven executor.
-struct Engine<P: Protocol> {
-    nodes: Vec<SyncNode<P>>,
-    /// `links[u][port] = (v, back_port)`.
-    links: Vec<Vec<(usize, usize)>>,
-    queue: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
-    /// Message payloads parked by event sequence id.
+/// The event-driven asynchronous engine (synchronizer α over seeded link
+/// delays). Construct through [`crate::Session`] with
+/// [`Engine::Async`](crate::Engine::Async), or directly via
+/// [`AsyncNetwork::build_with`].
+pub struct AsyncNetwork<P: Protocol> {
+    nodes: Vec<AsyncSlot<P>>,
+    /// CSR route table shared with the synchronous engine.
+    topo: Topology,
+    /// The flat plane's per-port FIFOs: application messages queued by
+    /// protocols, drained one per port per pulse (CONGEST pipelining).
+    queues: PortQueues<P::Msg>,
+    /// In-flight events as `(arrival time, seq, dest node, dest port)`.
+    events: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
+    /// Message envelopes parked by event sequence id.
     parked: BTreeMap<u64, SyncMsg<P::Msg>>,
     seq: u64,
     delay_state: u64,
     max_delay: u64,
+    /// Absolute pulse target of the current drive.
     budget: u64,
-    report: AsyncReport,
+    /// Pulses completed over all drives so far.
+    executed: u64,
+    /// Protocol `init` hooks have run (first drive, any budget).
+    initialized: bool,
+    /// Pulse 1 has been entered (first drive with a non-zero budget).
+    started: bool,
+    /// Payload-side accounting, attributed to pulses by tag — comparable
+    /// field-for-field with the synchronous engines' metrics.
+    metrics: Metrics,
+    overhead: SyncOverhead,
+    /// Per-pulse payload deltas, replayed to observers in pulse order
+    /// when a drive completes.
+    per_pulse: Vec<RoundDelta>,
 }
 
-impl<P: Protocol> Engine<P> {
+impl<P: Protocol> AsyncNetwork<P> {
+    /// Builds the asynchronous engine over `graph` with the same ID
+    /// assignment and per-node RNG streams as the synchronous engines,
+    /// so protocols observe identical endpoints and coin flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay == 0`, on a hashed ID collision, or if the
+    /// graph exceeds the plane's `u32` port space.
+    pub fn build_with<F>(
+        graph: &Graph,
+        seed: u64,
+        max_delay: u64,
+        ids: IdAssignment,
+        mut factory: F,
+    ) -> Self
+    where
+        F: FnMut(&Endpoint) -> P,
+    {
+        assert!(max_delay >= 1, "max_delay must be at least 1");
+        let n = graph.node_count();
+        let ids = assign_ids(ids, seed, n);
+        // Single-shard layout: the α engine owns the whole port space.
+        let topo = Topology::build(graph, n.max(1), 1);
+        let port_count = topo.offsets[n] as usize;
+
+        let nodes: Vec<AsyncSlot<P>> = (0..n)
+            .map(|u| {
+                let endpoint = Endpoint {
+                    index: u,
+                    id: ids[u],
+                    neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
+                };
+                let protocol = factory(&endpoint);
+                AsyncSlot {
+                    endpoint,
+                    protocol,
+                    rng: node_rng(seed, u),
+                    pulse: 1,
+                    pending_acks: 0,
+                    safe_sent: false,
+                    safe_counts: BTreeMap::new(),
+                    inbox_by_pulse: BTreeMap::new(),
+                    done: false,
+                }
+            })
+            .collect();
+
+        Self {
+            nodes,
+            topo,
+            queues: PortQueues::new(port_count),
+            events: BinaryHeap::new(),
+            parked: BTreeMap::new(),
+            seq: 0,
+            delay_state: splitmix64(seed ^ 0xA57_DE1A),
+            max_delay,
+            budget: 0,
+            executed: 0,
+            initialized: false,
+            started: false,
+            metrics: Metrics::default(),
+            overhead: SyncOverhead::default(),
+            per_pulse: Vec::new(),
+        }
+    }
+
+    /// The configured per-message delay bound.
+    #[must_use]
+    pub fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+
+    /// Accumulated payload-side metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Accumulated synchronizer overhead.
+    #[must_use]
+    pub fn overhead(&self) -> &SyncOverhead {
+        &self.overhead
+    }
+
+    /// Pre-reserves the per-pulse histories for a bounded run.
+    pub fn reserve_rounds(&mut self, rounds: usize) {
+        self.metrics.reserve_rounds(rounds);
+        self.per_pulse.reserve(rounds);
+    }
+
     fn delay(&mut self) -> u64 {
         self.delay_state = splitmix64(self.delay_state);
         1 + self.delay_state % self.max_delay
     }
 
+    /// Schedules `msg` from node `from`'s local `port`, arriving after a
+    /// seeded delay. Routing goes through the CSR table: one lookup
+    /// yields the destination node and its receiving port.
     fn send(&mut self, now: u64, from: usize, port: Port, msg: SyncMsg<P::Msg>) {
-        let (to, back_port) = self.links[from][port];
+        let slot = self.topo.offsets[from] as usize + port;
+        let route = self.topo.route[slot];
+        let to = route.dest_node as usize;
+        let back_port = (route.dest_slot - self.topo.offsets[to]) as usize;
         let at = now + self.delay();
         let seq = self.seq;
         self.seq += 1;
         self.parked.insert(seq, msg);
-        self.queue.push(Reverse((at, seq, to, back_port)));
+        self.events.push(Reverse((at, seq, to, back_port)));
     }
 
     /// Transition `node` into its next pulse: drain one application
-    /// message per port (CONGEST pipelining) and send the payloads, then
-    /// emit `Safe` immediately if nothing was sent.
+    /// message per port from the flat queues (CONGEST pipelining) and
+    /// send the payloads, then emit `Safe` immediately if nothing was
+    /// sent. Degree-0 nodes have no synchronizer traffic at all and just
+    /// execute their remaining pulses in place.
     fn begin_pulse(&mut self, now: u64, v: usize) {
-        let pulse = self.nodes[v].pulse;
-        let ports: Vec<Port> = self.nodes[v].outbox.nonempty_ports().to_vec();
-        let mut sent = 0usize;
-        for port in ports {
-            if let Some(msg) = self.nodes[v].outbox.pop(port) {
-                self.send(now, v, port, SyncMsg::Payload { pulse, msg });
-                sent += 1;
+        let degree = self.nodes[v].endpoint.degree();
+        if degree == 0 {
+            while self.nodes[v].pulse <= self.budget {
+                self.execute_pulse(v);
+                self.nodes[v].pulse += 1;
             }
+            self.nodes[v].pulse = self.budget;
+            self.nodes[v].done = true;
+            return;
+        }
+        let pulse = self.nodes[v].pulse;
+        let base = self.topo.offsets[v];
+        let mut sent = 0usize;
+        for port in 0..degree {
+            let p = base + port as u32;
+            if self.queues.len(p) == 0 {
+                continue;
+            }
+            let msg = self.queues.pop(p).expect("non-empty port queue pops");
+            self.send(now, v, port, SyncMsg::Payload { pulse, msg });
+            sent += 1;
         }
         self.nodes[v].pending_acks = sent;
         self.nodes[v].safe_sent = false;
@@ -178,31 +278,37 @@ impl<P: Protocol> Engine<P> {
         self.try_execute_pulse(now, v);
     }
 
-    /// Execute pulse `r` once every neighbor reported safe for `r` and we
-    /// are safe ourselves (degree-0 nodes are trivially ready).
-    fn try_execute_pulse(&mut self, now: u64, v: usize) {
+    /// Steps node `v`'s protocol on its current pulse's inbox, with its
+    /// context wired into the flat queues.
+    fn execute_pulse(&mut self, v: usize) {
         let node = &mut self.nodes[v];
+        let pulse = node.pulse;
+        node.safe_counts.remove(&pulse);
+        let mut inbox = node.inbox_by_pulse.remove(&pulse).unwrap_or_default();
+        inbox.sort_by_key(|&(port, _)| port);
+        let base = self.topo.offsets[v];
+        let mut ctx = Context {
+            endpoint: &node.endpoint,
+            round: pulse,
+            outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+            rng: &mut node.rng,
+        };
+        node.protocol.step(&mut ctx, &inbox);
+    }
+
+    /// Execute pulse `r` once every neighbor reported safe for `r` and we
+    /// are safe ourselves.
+    fn try_execute_pulse(&mut self, now: u64, v: usize) {
+        let node = &self.nodes[v];
         if node.done || !node.safe_sent {
             return;
         }
         let pulse = node.pulse;
         let needed = node.endpoint.degree();
-        let have = node.safe_counts.get(&pulse).copied().unwrap_or(0);
-        if have < needed {
+        if node.safe_counts.get(&pulse).copied().unwrap_or(0) < needed {
             return;
         }
-        node.safe_counts.remove(&pulse);
-        let mut inbox = node.inbox_by_pulse.remove(&pulse).unwrap_or_default();
-        inbox.sort_by_key(|&(port, _)| port);
-        {
-            let mut ctx = Context {
-                endpoint: &node.endpoint,
-                round: pulse,
-                outbox: OutboxHandle::Owned(&mut node.outbox),
-                rng: &mut node.rng,
-            };
-            node.inner.step(&mut ctx, &inbox);
-        }
+        self.execute_pulse(v);
         if pulse >= self.budget {
             self.nodes[v].done = true;
             return;
@@ -213,27 +319,38 @@ impl<P: Protocol> Engine<P> {
 
     fn handle(&mut self, now: u64, seq: u64, to: usize, port: Port) {
         let msg = self.parked.remove(&seq).expect("parked message exists");
-        let bits = msg.bit_size();
-        self.report.total_bits += bits as u64;
-        self.report.max_message_bits = self.report.max_message_bits.max(bits);
-        self.report.virtual_time = self.report.virtual_time.max(now);
+        self.overhead.virtual_time = self.overhead.virtual_time.max(now);
         match msg {
             SyncMsg::Payload { pulse, msg } => {
-                self.report.payload_messages += 1;
                 // A payload tagged r was drained by the sender on entering
                 // pulse r — exactly what the synchronous simulator
-                // delivers in round r — so it is consumed at pulse r.
+                // delivers in round r — so it is consumed at pulse r and
+                // metered there: scalars into `metrics`, the per-pulse
+                // attribution into `per_pulse` (the one per-round ledger;
+                // `metrics.messages_per_round` is rebuilt from it when the
+                // drive completes), and the pulse-tag envelope into the
+                // synchronizer's overhead.
+                let bits = msg.bit_size();
+                self.metrics.record_payload(bits);
+                self.overhead.control_bits += ENVELOPE_BITS as u64;
+                let idx = (pulse - 1) as usize;
+                if self.per_pulse.len() <= idx {
+                    self.per_pulse.resize(idx + 1, RoundDelta::default());
+                }
+                self.per_pulse[idx].record(bits);
                 self.nodes[to].inbox_by_pulse.entry(pulse).or_default().push((port, msg));
                 self.send(now, to, port, SyncMsg::Ack { pulse });
             }
             SyncMsg::Ack { pulse } => {
-                self.report.control_messages += 1;
+                self.overhead.control_messages += 1;
+                self.overhead.control_bits += ENVELOPE_BITS as u64;
                 debug_assert_eq!(pulse, self.nodes[to].pulse, "ack for a stale pulse");
                 self.nodes[to].pending_acks -= 1;
                 self.try_announce_safe(now, to);
             }
             SyncMsg::Safe { pulse } => {
-                self.report.control_messages += 1;
+                self.overhead.control_messages += 1;
+                self.overhead.control_bits += ENVELOPE_BITS as u64;
                 // Safe{r} from a neighbor certifies all its pulse-r
                 // payloads arrived; it gates the receiver's own pulse r.
                 *self.nodes[to].safe_counts.entry(pulse).or_default() += 1;
@@ -243,121 +360,126 @@ impl<P: Protocol> Engine<P> {
     }
 }
 
-/// Runs `factory`-built protocols over an asynchronous network under
-/// synchronizer α for `config.pulse_budget` pulses, returning per-node
-/// outputs and the resource report.
-///
-/// Outputs are identical to running the same protocol on the synchronous
-/// [`crate::Network`] for the same number of rounds with the same seed —
-/// the Awerbuch reduction, executed.
-///
-/// # Panics
-///
-/// Panics if `config.max_delay == 0` or `config.pulse_budget == 0`.
-pub fn run_synchronized<P, F>(
-    graph: &Graph,
-    config: AsyncConfig,
-    mut factory: F,
-) -> (Vec<P::Output>, AsyncReport)
-where
-    P: Protocol,
-    F: FnMut(&Endpoint) -> P,
-{
-    assert!(config.max_delay >= 1, "max_delay must be at least 1");
-    assert!(config.pulse_budget >= 1, "pulse_budget must be at least 1");
+impl<P: Protocol> Driver for AsyncNetwork<P> {
+    type P = P;
 
-    // Same hashed ID assignment as the synchronous builder, so protocols
-    // observe identical endpoints.
-    let n = graph.node_count();
-    let ids: Vec<u64> = match IdAssignment::Hashed {
-        IdAssignment::Sequential => (0..n as u64).collect(),
-        IdAssignment::Hashed => (0..n)
-            .map(|i| splitmix64(splitmix64(config.seed ^ 0x1D_5EED).wrapping_add(i as u64)))
-            .collect(),
-    };
-
-    let mut links: Vec<Vec<(usize, usize)>> = Vec::with_capacity(n);
-    for u in 0..n {
-        links.push(
-            graph
-                .neighbors(u)
-                .iter()
-                .map(|&v| {
-                    let back = graph.neighbors(v).binary_search(&u).expect("symmetric adjacency");
-                    (v, back)
-                })
-                .collect(),
-        );
-    }
-
-    let nodes: Vec<SyncNode<P>> = (0..n)
-        .map(|u| {
-            let endpoint = Endpoint {
-                index: u,
-                id: ids[u],
-                neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
-            };
-            let inner = factory(&endpoint);
-            let outbox = Outbox::new(endpoint.degree());
-            SyncNode {
-                endpoint,
-                inner,
-                outbox,
-                rng: node_rng(config.seed, u),
-                pulse: 1,
-                pending_acks: 0,
-                safe_sent: false,
-                safe_counts: BTreeMap::new(),
-                inbox_by_pulse: BTreeMap::new(),
-                done: false,
+    /// Executes `limits.max_rounds` further pulses under synchronizer α.
+    ///
+    /// Outputs after `B` total pulses are identical to the synchronous
+    /// engines' outputs after `RunLimits::rounds(B)` with the same seed
+    /// (the Awerbuch reduction, executed) for protocols whose `step` is
+    /// inert on empty inboxes — pulses never quiesce, so a quiescent
+    /// synchronous run corresponds to trailing empty pulses here.
+    ///
+    /// Always pass a finite, deliberate budget: every pulse floods
+    /// `Safe` control messages on every edge, budget or not, so the
+    /// default (1M-round) limits are *executable* but enormous.
+    /// Termination is always `RoundLimit`.
+    ///
+    /// Pulses complete out of event order across nodes, so `obs`
+    /// receives the per-pulse deltas in pulse order when the drive
+    /// completes.
+    fn drive(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
+        let previous = self.executed;
+        if !self.initialized {
+            // Lazy init on the first drive — even a zero-budget one, so
+            // outputs at budget 0 match the synchronous engines'.
+            self.initialized = true;
+            for v in 0..self.nodes.len() {
+                let node = &mut self.nodes[v];
+                let base = self.topo.offsets[v];
+                let mut ctx = Context {
+                    endpoint: &node.endpoint,
+                    round: 0,
+                    outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+                    rng: &mut node.rng,
+                };
+                node.protocol.init(&mut ctx);
             }
-        })
-        .collect();
+        }
+        if limits.max_rounds > 0 {
+            self.budget = self.executed.saturating_add(limits.max_rounds);
+            if !self.started {
+                self.started = true;
+                for v in 0..self.nodes.len() {
+                    self.begin_pulse(0, v);
+                }
+            } else {
+                // Resume: every node sits exactly at the previous budget
+                // with no event in flight, so all of them re-enter their
+                // next pulse at the current virtual time.
+                let now = self.overhead.virtual_time;
+                for v in 0..self.nodes.len() {
+                    debug_assert!(self.nodes[v].done, "paused nodes sit at the budget");
+                    self.nodes[v].done = false;
+                    self.nodes[v].pulse += 1;
+                    self.begin_pulse(now, v);
+                }
+            }
 
-    let mut engine = Engine {
-        nodes,
-        links,
-        queue: BinaryHeap::new(),
-        parked: BTreeMap::new(),
-        seq: 0,
-        delay_state: splitmix64(config.seed ^ 0xA57_DE1A),
-        max_delay: config.max_delay,
-        budget: config.pulse_budget,
-        report: AsyncReport { pulses: config.pulse_budget, ..AsyncReport::default() },
-    };
+            while let Some(Reverse((now, seq, to, port))) = self.events.pop() {
+                self.handle(now, seq, to, port);
+            }
+            debug_assert!(
+                self.nodes.iter().all(|s| s.done),
+                "all nodes must finish their pulse budget"
+            );
+            self.executed = self.budget;
+            self.per_pulse.resize(self.executed as usize, RoundDelta::default());
+            // Rebuild the per-round history from the single per-pulse
+            // ledger, so it cannot drift from what observers saw.
+            self.metrics.rounds = self.executed;
+            self.metrics.messages_per_round.clear();
+            self.metrics.messages_per_round.extend(self.per_pulse.iter().map(|d| d.messages));
+        }
 
-    // Init every inner protocol, then enter pulse 1.
-    for v in 0..n {
-        let node = &mut engine.nodes[v];
-        let mut ctx = Context {
-            endpoint: &node.endpoint,
-            round: 0,
-            outbox: OutboxHandle::Owned(&mut node.outbox),
-            rng: &mut node.rng,
-        };
-        node.inner.init(&mut ctx);
+        for pulse in previous + 1..=self.executed {
+            obs.on_round(pulse, &self.per_pulse[(pulse - 1) as usize]);
+        }
+        RunReport {
+            termination: Termination::RoundLimit,
+            rounds: self.executed,
+            metrics: self.metrics.clone(),
+            overhead: self.overhead,
+        }
     }
-    for v in 0..n {
-        engine.begin_pulse(0, v);
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
-    while let Some(Reverse((now, seq, to, port))) = engine.queue.pop() {
-        engine.handle(now, seq, to, port);
+    fn endpoint(&self, index: usize) -> &Endpoint {
+        &self.nodes[index].endpoint
     }
 
-    debug_assert!(
-        engine.nodes.iter().all(|s| s.done || s.endpoint.degree() == 0),
-        "all connected nodes must finish their pulse budget"
-    );
-    let outputs = engine.nodes.iter().map(|s| s.inner.output()).collect();
-    (outputs, engine.report)
+    fn protocol(&self, index: usize) -> &P {
+        &self.nodes[index].protocol
+    }
+
+    fn queued_messages(&self) -> u64 {
+        self.queues.queued()
+    }
+
+    fn reserve_rounds(&mut self, rounds: usize) {
+        AsyncNetwork::reserve_rounds(self, rounds);
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for AsyncNetwork<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncNetwork")
+            .field("nodes", &self.nodes.len())
+            .field("max_delay", &self.max_delay)
+            .field("pulses", &self.executed)
+            .finish_non_exhaustive()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::message::Message;
-    use crate::network::{NetworkBuilder, RunLimits};
+    use crate::session::{Engine, Session};
     use graphs::GraphBuilder;
 
     /// Flooding protocol identical to the synchronous test suite's.
@@ -412,21 +534,28 @@ mod tests {
         b.build()
     }
 
+    fn make(e: &Endpoint) -> Flood {
+        Flood { is_source: e.index == 3, heard_at: None, forwarded: false }
+    }
+
     #[test]
     fn async_flood_equals_sync_flood() {
         let g = ring_with_chords(24);
-        let make =
-            |e: &Endpoint| Flood { is_source: e.index == 3, heard_at: None, forwarded: false };
-
-        let mut sync_net = NetworkBuilder::new().seed(11).build_with(&g, make);
-        sync_net.run(RunLimits::rounds(40));
-        let sync_out = sync_net.outputs();
+        let (sync_out, sync_report) =
+            Session::on(&g).seed(11).limits(RunLimits::rounds(40)).run_with(make);
 
         for max_delay in [1u64, 7, 31] {
-            let (async_out, report) =
-                run_synchronized(&g, AsyncConfig { seed: 11, max_delay, pulse_budget: 40 }, make);
+            let (async_out, report) = Session::on(&g)
+                .seed(11)
+                .engine(Engine::Async { max_delay })
+                .limits(RunLimits::rounds(40))
+                .run_with(make);
             assert_eq!(async_out, sync_out, "max_delay = {max_delay}");
-            assert!(report.virtual_time > 0);
+            assert!(report.overhead.virtual_time > 0);
+            // Payload-side metrics agree with the synchronous engine's.
+            assert_eq!(report.metrics.messages, sync_report.metrics.messages);
+            assert_eq!(report.metrics.total_bits, sync_report.metrics.total_bits);
+            assert_eq!(report.metrics.max_message_bits, sync_report.metrics.max_message_bits);
         }
     }
 
@@ -435,13 +564,17 @@ mod tests {
         let g = graphs::Graph::complete(6);
         let make =
             |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
-        let (_, report) =
-            run_synchronized(&g, AsyncConfig { seed: 2, max_delay: 4, pulse_budget: 10 }, make);
+        let (_, report) = Session::on(&g)
+            .seed(2)
+            .engine(Engine::Async { max_delay: 4 })
+            .limits(RunLimits::rounds(10))
+            .run_with(make);
         // α sends one Ack per payload and Safe to every neighbor every
         // pulse: control dominates payloads.
-        assert!(report.control_messages > report.payload_messages);
-        assert!(report.total_bits > 0);
-        assert_eq!(report.pulses, 10);
+        assert!(report.overhead.control_messages > report.metrics.messages);
+        assert!(report.total_bits() > report.metrics.total_bits);
+        assert_eq!(report.rounds, 10);
+        assert_eq!(report.termination, Termination::RoundLimit);
     }
 
     #[test]
@@ -451,8 +584,11 @@ mod tests {
         let g = b.build();
         let make =
             |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
-        let (out, _) =
-            run_synchronized(&g, AsyncConfig { seed: 3, max_delay: 3, pulse_budget: 5 }, make);
+        let (out, _) = Session::on(&g)
+            .seed(3)
+            .engine(Engine::Async { max_delay: 3 })
+            .limits(RunLimits::rounds(5))
+            .run_with(make);
         assert_eq!(out[1], Some(1));
         assert_eq!(out[2], None);
     }
@@ -462,12 +598,52 @@ mod tests {
         let g = ring_with_chords(16);
         let make =
             |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
-        let run =
-            |seed| run_synchronized(&g, AsyncConfig { seed, max_delay: 9, pulse_budget: 30 }, make);
+        let run = |seed| {
+            Session::on(&g)
+                .seed(seed)
+                .engine(Engine::Async { max_delay: 9 })
+                .limits(RunLimits::rounds(30))
+                .run_with(make)
+        };
         let (a, ra) = run(7);
         let (b, rb) = run(7);
         assert_eq!(a, b);
-        assert_eq!(ra.virtual_time, rb.virtual_time);
-        assert_eq!(ra.total_bits, rb.total_bits);
+        assert_eq!(ra.overhead, rb.overhead);
+        assert_eq!(ra.metrics, rb.metrics);
+    }
+
+    #[test]
+    fn zero_budget_drive_still_initializes() {
+        let g = ring_with_chords(8);
+        let mut net = AsyncNetwork::build_with(&g, 4, 3, IdAssignment::Hashed, make);
+        let report = net.drive(RunLimits::rounds(0), &mut ());
+        assert_eq!(report.rounds, 0);
+        // Protocol init ran (as on the synchronous engines): the source
+        // already knows the rumor at round 0.
+        assert_eq!(net.outputs()[3], Some(0));
+        // A later drive enters pulse 1 as if the zero-budget call had
+        // never happened.
+        net.drive(RunLimits::rounds(20), &mut ());
+        let (full, _) = Session::on(&g)
+            .seed(4)
+            .engine(Engine::Async { max_delay: 3 })
+            .limits(RunLimits::rounds(20))
+            .run_with(make);
+        assert_eq!(net.outputs(), full);
+    }
+
+    #[test]
+    fn split_budget_equals_one_budget() {
+        let g = ring_with_chords(20);
+        let mut split = AsyncNetwork::build_with(&g, 5, 6, IdAssignment::Hashed, make);
+        split.drive(RunLimits::rounds(4), &mut ());
+        let split_report = split.drive(RunLimits::rounds(26), &mut ());
+
+        let mut whole = AsyncNetwork::build_with(&g, 5, 6, IdAssignment::Hashed, make);
+        let whole_report = whole.drive(RunLimits::rounds(30), &mut ());
+
+        assert_eq!(split.outputs(), whole.outputs());
+        assert_eq!(split_report.rounds, whole_report.rounds);
+        assert_eq!(split_report.metrics, whole_report.metrics);
     }
 }

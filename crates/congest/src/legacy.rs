@@ -20,9 +20,12 @@ use rand::rngs::StdRng;
 
 use crate::message::Message;
 use crate::metrics::Metrics;
-use crate::network::{assign_ids, IdAssignment, Mode, RunLimits, RunReport, Termination};
+use crate::network::{assign_ids, IdAssignment, Mode};
 use crate::protocol::{Context, Endpoint, Outbox, OutboxHandle, Port, Protocol, Round};
 use crate::rng::node_rng;
+use crate::session::{
+    Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
+};
 
 struct LegacySlot<P: Protocol> {
     endpoint: Endpoint,
@@ -135,6 +138,12 @@ impl<P: Protocol> LegacyNetwork<P> {
     /// Runs until quiescence or the round limit (identical semantics to
     /// [`crate::Network::run`]).
     pub fn run(&mut self, limits: RunLimits) -> RunReport {
+        self.run_observed(limits, &mut ())
+    }
+
+    /// Like [`LegacyNetwork::run`], streaming per-round deltas and
+    /// barriers to `obs`.
+    pub fn run_observed(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
         if !self.initialized {
             self.initialized = true;
             for slot in &mut self.nodes {
@@ -153,16 +162,23 @@ impl<P: Protocol> LegacyNetwork<P> {
                     break Termination::Quiescent;
                 }
                 self.metrics.barriers += 1;
+                obs.on_barrier(self.round);
                 continue;
             }
             if executed >= limits.max_rounds {
                 break Termination::RoundLimit;
             }
-            self.execute_round();
+            let delta = self.execute_round();
             executed += 1;
+            obs.on_round(self.round, &delta);
         };
 
-        RunReport { termination, rounds: self.metrics.rounds, metrics: self.metrics.clone() }
+        RunReport {
+            termination,
+            rounds: self.metrics.rounds,
+            metrics: self.metrics.clone(),
+            overhead: SyncOverhead::default(),
+        }
     }
 
     fn all_outboxes_empty(&self) -> bool {
@@ -173,9 +189,14 @@ impl<P: Protocol> LegacyNetwork<P> {
         self.all_outboxes_empty() && self.nodes.iter().all(|s| s.protocol.is_idle())
     }
 
-    fn execute_round(&mut self) {
+    fn execute_round(&mut self) -> RoundDelta {
         self.round += 1;
         self.metrics.begin_round();
+        let mut delta = RoundDelta::default();
+        let mut meter = |metrics: &mut Metrics, bits: usize| {
+            metrics.record_message(bits);
+            delta.record(bits);
+        };
 
         // Delivery phase: the seed's allocation profile, kept as-is —
         // fresh vectors every round, per-port snapshots, stable sort.
@@ -188,13 +209,13 @@ impl<P: Protocol> LegacyNetwork<P> {
                 match self.mode {
                     Mode::Congest => {
                         if let Some(msg) = self.nodes[u].outbox.pop(port) {
-                            self.metrics.record_message(msg.bit_size());
+                            meter(&mut self.metrics, msg.bit_size());
                             deliveries.push((v, back_port, msg));
                         }
                     }
                     Mode::Local => {
                         while let Some(msg) = self.nodes[u].outbox.pop(port) {
-                            self.metrics.record_message(msg.bit_size());
+                            meter(&mut self.metrics, msg.bit_size());
                             deliveries.push((v, back_port, msg));
                         }
                     }
@@ -218,6 +239,53 @@ impl<P: Protocol> LegacyNetwork<P> {
             let inbox = std::mem::take(&mut slot.inbox);
             slot.with_ctx(round, |p, ctx| p.step(ctx, &inbox));
         }
+        delta
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to node `index`'s protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn protocol(&self, index: usize) -> &P {
+        &self.nodes[index].protocol
+    }
+
+    /// Total messages queued across all outboxes. O(n).
+    #[must_use]
+    pub fn queued_messages(&self) -> u64 {
+        self.nodes.iter().map(|s| s.outbox.queued() as u64).sum()
+    }
+}
+
+impl<P: Protocol> Driver for LegacyNetwork<P> {
+    type P = P;
+
+    fn drive(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
+        self.run_observed(limits, obs)
+    }
+
+    fn node_count(&self) -> usize {
+        LegacyNetwork::node_count(self)
+    }
+
+    fn endpoint(&self, index: usize) -> &Endpoint {
+        LegacyNetwork::endpoint(self, index)
+    }
+
+    fn protocol(&self, index: usize) -> &P {
+        LegacyNetwork::protocol(self, index)
+    }
+
+    fn queued_messages(&self) -> u64 {
+        LegacyNetwork::queued_messages(self)
     }
 }
 

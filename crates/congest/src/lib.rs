@@ -1,10 +1,10 @@
-//! A synchronous CONGEST/LOCAL network simulator.
+//! A CONGEST/LOCAL network simulator behind one execution API.
 //!
 //! This crate is the distributed substrate of the workspace reproducing
 //! Brakerski & Patt-Shamir, *Distributed Discovery of Large Near-Cliques*
 //! (PODC 2009). It executes per-node [`Protocol`] state machines over a
-//! [`graphs::Graph`] topology in synchronous rounds, exactly as the
-//! CONGEST model of Peleg \[20\] prescribes:
+//! [`graphs::Graph`] topology, exactly as the CONGEST model of Peleg
+//! \[20\] prescribes:
 //!
 //! * per round, each node may send **one message per incident edge**
 //!   ([`Mode::Congest`]); messages queued beyond that pipeline over
@@ -14,12 +14,27 @@
 //! * the LOCAL model ([`Mode::Local`]) is available for the
 //!   neighbors'-neighbors baseline, with the same metering,
 //! * execution is **deterministic given a seed** (per-node RNG streams),
-//!   under both sequential and multi-threaded stepping.
+//!   across engines and thread counts.
 //!
-//! # Example: flooding
+//! # One surface, three engines
+//!
+//! Every run starts at [`Session`], which selects an [`Engine`]:
+//!
+//! | engine | model | backing |
+//! |---|---|---|
+//! | [`Engine::Flat`] | synchronous rounds | the zero-allocation flat plane, sharded over threads |
+//! | [`Engine::Legacy`] | synchronous rounds | the preserved seed engine (frozen reference) |
+//! | [`Engine::Async`] | event-driven, synchronizer α | flat-plane queues + seeded link delays |
+//!
+//! All three implement [`Driver`] (drive rounds → read outputs /
+//! metrics / termination), report through one [`RunReport`], and stream
+//! to [`Observer`]s. Per-node outputs — and the payload-side
+//! [`Metrics`] — are bit-identical across engines for the same seed.
+//!
+//! # Example: flooding, on all three engines
 //!
 //! ```
-//! use congest::{Context, Message, NetworkBuilder, Port, Protocol, RunLimits};
+//! use congest::{Context, Engine, Message, Port, Protocol, RunLimits, Session};
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
@@ -45,12 +60,16 @@
 //! }
 //!
 //! let g = graphs::Graph::complete(5);
-//! let mut net = NetworkBuilder::new()
-//!     .seed(7)
-//!     .build_with(&g, |e| Echo { seen: false, source: e.index == 0 });
-//! let report = net.run(RunLimits::default());
-//! assert!(net.outputs().iter().all(|&heard| heard));
-//! assert_eq!(report.metrics.max_message_bits, 1);
+//! let factory = |e: &congest::Endpoint| Echo { seen: false, source: e.index == 0 };
+//! for engine in [Engine::Flat { shards: 1 }, Engine::Legacy, Engine::Async { max_delay: 4 }] {
+//!     let (outputs, report) = Session::on(&g)
+//!         .seed(7)
+//!         .engine(engine)
+//!         .limits(RunLimits::rounds(8))
+//!         .run_with(factory);
+//!     assert!(outputs.iter().all(|&heard| heard));
+//!     assert_eq!(report.metrics.max_message_bits, 1);
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -64,10 +83,15 @@ pub mod network;
 mod plane;
 pub mod protocol;
 pub mod rng;
+pub mod session;
 
-pub use asynch::{run_synchronized, AsyncConfig, AsyncReport};
+pub use asynch::AsyncNetwork;
 pub use legacy::LegacyNetwork;
 pub use message::{bits_for_count, Message, ID_BITS, TAG_BITS};
 pub use metrics::Metrics;
-pub use network::{IdAssignment, Mode, Network, NetworkBuilder, RunLimits, RunReport, Termination};
+pub use network::{IdAssignment, Mode, Network, NetworkBuilder};
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
+pub use session::{
+    Driver, Engine, Observer, RoundDelta, RunLimits, RunReport, Session, SessionDriver,
+    SyncOverhead, Termination,
+};

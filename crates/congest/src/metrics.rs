@@ -54,6 +54,17 @@ impl Metrics {
         self.messages_per_round.push(0);
     }
 
+    /// Records one delivered payload's scalar aggregates without opening
+    /// a [`Metrics::begin_round`] window. The asynchronous engine
+    /// completes pulses out of event order, so it meters scalars here
+    /// and rebuilds the per-round history from its per-pulse deltas when
+    /// a drive completes (keeping one ledger, not two).
+    pub(crate) fn record_payload(&mut self, bits: usize) {
+        self.messages += 1;
+        self.total_bits += bits as u64;
+        self.max_message_bits = self.max_message_bits.max(bits);
+    }
+
     /// Pre-reserves the per-round history, so metered loops of known
     /// length perform no allocation in steady state.
     pub fn reserve_rounds(&mut self, rounds: usize) {

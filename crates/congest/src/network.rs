@@ -63,6 +63,9 @@ use crate::metrics::Metrics;
 use crate::plane::{Entry, Shard, Topology};
 use crate::protocol::{Context, Endpoint, OutboxHandle, Protocol, Round};
 use crate::rng::{node_rng, splitmix64};
+use crate::session::{
+    Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
+};
 
 /// Bandwidth regime for message delivery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,57 +91,18 @@ pub enum IdAssignment {
     Hashed,
 }
 
-/// Stop conditions for [`Network::run`].
-#[derive(Clone, Copy, Debug)]
-pub struct RunLimits {
-    /// Abort after this many rounds (the deterministic time-bound wrapper
-    /// of §4.1). `u64::MAX` means effectively unlimited.
-    pub max_rounds: u64,
-}
-
-impl Default for RunLimits {
-    fn default() -> Self {
-        Self { max_rounds: 1_000_000 }
-    }
-}
-
-impl RunLimits {
-    /// Limits the run to `max_rounds` rounds.
-    #[must_use]
-    pub fn rounds(max_rounds: u64) -> Self {
-        Self { max_rounds }
-    }
-}
-
-/// Why a run ended.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Termination {
-    /// All nodes idle, no messages anywhere, no node resumed at the final
-    /// barrier.
-    Quiescent,
-    /// The [`RunLimits::max_rounds`] bound fired first.
-    RoundLimit,
-}
-
-/// Summary of a completed run. Full counters remain available from
-/// [`Network::metrics`].
-#[derive(Clone, Debug)]
-pub struct RunReport {
-    /// Why the run ended.
-    pub termination: Termination,
-    /// Rounds executed.
-    pub rounds: u64,
-    /// Copy of the metrics at termination.
-    pub metrics: Metrics,
-}
-
 struct NodeSlot<P: Protocol> {
     endpoint: Endpoint,
     protocol: P,
     rng: StdRng,
 }
 
-/// Configures and constructs a [`Network`].
+/// Configures and constructs a [`Network`] — the flat engine's
+/// low-level constructor.
+///
+/// Most code should start at [`crate::Session`] instead, which wraps
+/// this builder behind the engine-agnostic surface (and can swap in the
+/// legacy or asynchronous engine without touching the call site).
 #[derive(Clone, Debug)]
 pub struct NetworkBuilder {
     mode: Mode,
@@ -338,6 +302,13 @@ impl<P: Protocol> Network<P> {
     /// a `RoundLimit` stop to continue the same execution with a larger
     /// budget.
     pub fn run(&mut self, limits: RunLimits) -> RunReport {
+        self.run_observed(limits, &mut ())
+    }
+
+    /// Like [`Network::run`], streaming per-round deltas and barriers to
+    /// `obs`. Called from the control thread only, after the parallel
+    /// phases of each round have joined.
+    pub fn run_observed(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
         if !self.initialized {
             self.initialized = true;
             for v in 0..self.nodes.len() {
@@ -358,16 +329,23 @@ impl<P: Protocol> Network<P> {
                     break Termination::Quiescent;
                 }
                 self.metrics.barriers += 1;
+                obs.on_barrier(round);
                 continue;
             }
             if executed >= limits.max_rounds {
                 break Termination::RoundLimit;
             }
-            self.execute_round();
+            let delta = self.execute_round();
             executed += 1;
+            obs.on_round(self.round, &delta);
         };
 
-        RunReport { termination, rounds: self.metrics.rounds, metrics: self.metrics.clone() }
+        RunReport {
+            termination,
+            rounds: self.metrics.rounds,
+            metrics: self.metrics.clone(),
+            overhead: SyncOverhead::default(),
+        }
     }
 
     fn shard_of(&self, v: usize) -> usize {
@@ -390,7 +368,7 @@ impl<P: Protocol> Network<P> {
         let mut ctx = Context {
             endpoint: &slot.endpoint,
             round,
-            outbox: OutboxHandle::Flat { shard, base },
+            outbox: OutboxHandle::Flat { queues: &mut shard.queues, base },
             rng: &mut slot.rng,
         };
         f(&mut slot.protocol, &mut ctx)
@@ -404,7 +382,7 @@ impl<P: Protocol> Network<P> {
         self.all_outboxes_empty() && self.nodes.iter().all(|s| s.protocol.is_idle())
     }
 
-    fn execute_round(&mut self) {
+    fn execute_round(&mut self) -> RoundDelta {
         self.round += 1;
         self.metrics.begin_round();
 
@@ -452,10 +430,49 @@ impl<P: Protocol> Network<P> {
 
         // Deterministic merge: commutative aggregates folded in shard
         // order (the order itself is immaterial to the totals).
+        let mut round_delta = RoundDelta::default();
         for shard in &mut self.shards {
             let delta = shard.delta.take();
             self.metrics.absorb_delivery(delta.messages, delta.bits, delta.max_bits);
+            round_delta.messages += delta.messages;
+            round_delta.bits += delta.bits;
+            round_delta.max_bits = round_delta.max_bits.max(delta.max_bits);
         }
+        round_delta
+    }
+
+    /// Number of queue shards (the configured thread count).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<P: Protocol> Driver for Network<P> {
+    type P = P;
+
+    fn drive(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
+        self.run_observed(limits, obs)
+    }
+
+    fn node_count(&self) -> usize {
+        Network::node_count(self)
+    }
+
+    fn endpoint(&self, index: usize) -> &Endpoint {
+        Network::endpoint(self, index)
+    }
+
+    fn protocol(&self, index: usize) -> &P {
+        Network::protocol(self, index)
+    }
+
+    fn queued_messages(&self) -> u64 {
+        Network::queued_messages(self)
+    }
+
+    fn reserve_rounds(&mut self, rounds: usize) {
+        Network::reserve_rounds(self, rounds);
     }
 }
 
@@ -498,32 +515,31 @@ fn phase_bucket_step<P: Protocol>(
     step_shard(shard, nodes, topo, round);
 }
 
-/// Steps every node of `shard` on its bucket slice.
+/// Steps every node of `shard` on its bucket slice. The queue set and the
+/// bucket store are disjoint shard fields, so the inbox slices stay
+/// borrowed while each context pushes into the queues.
 fn step_shard<P: Protocol>(
     shard: &mut Shard<P::Msg>,
     nodes: &mut [NodeSlot<P>],
     topo: &Topology,
     round: Round,
 ) {
-    // The bucket store is taken out of the shard for the step loop so the
-    // inbox slices can be borrowed while the context mutates the shard's
-    // queues; both are restored afterwards (no allocation either way).
-    let bucket = std::mem::take(&mut shard.bucket);
-    let starts = std::mem::take(&mut shard.starts);
+    let node_lo = shard.node_lo;
+    let port_lo = shard.port_lo;
+    let queues = &mut shard.queues;
+    let bucket = &shard.bucket;
+    let starts = &shard.starts;
     for (i, slot) in nodes.iter_mut().enumerate() {
-        let v = shard.node_lo + i;
-        let base = topo.offsets[v] - shard.port_lo;
+        let base = topo.offsets[node_lo + i] - port_lo;
         let inbox = &bucket[starts[i] as usize..starts[i + 1] as usize];
         let mut ctx = Context {
             endpoint: &slot.endpoint,
             round,
-            outbox: OutboxHandle::Flat { shard: &mut *shard, base },
+            outbox: OutboxHandle::Flat { queues: &mut *queues, base },
             rng: &mut slot.rng,
         };
         slot.protocol.step(&mut ctx, inbox);
     }
-    shard.bucket = bucket;
-    shard.starts = starts;
 }
 
 impl<P: Protocol> std::fmt::Debug for Network<P> {

@@ -186,81 +186,48 @@ impl Delta {
     }
 }
 
-/// The message-plane state owned by one worker: the outgoing queues of a
-/// contiguous node range, transfer buffers toward every receiver shard,
-/// and the receiver-side bucket store.
+/// A set of slab-backed per-port FIFOs: the queue half of the flat plane,
+/// shared by every engine. The synchronous [`Shard`] embeds one per node
+/// range; the asynchronous executor ([`crate::asynch`]) owns a single set
+/// covering the whole port space — one queue implementation, three
+/// engines.
 #[derive(Debug)]
-pub(crate) struct Shard<M> {
-    /// First node of the range.
-    pub node_lo: usize,
-    /// One past the last node of the range.
-    pub node_hi: usize,
-    /// Global id of the first port in the range.
-    pub port_lo: u32,
+pub(crate) struct PortQueues<M> {
     /// Queue state per local port.
     ports: Vec<PortQ>,
-    /// Chunk slab shared by all queues of this shard.
+    /// Chunk slab shared by all queues of this set.
     chunks: Vec<Chunk<M>>,
     /// Head of the free-chunk list.
     free_head: u32,
     /// Bitset over local ports with queued messages; scan order = port
     /// order = sender order.
     active: Vec<u64>,
-    /// Total messages queued across the shard (O(1) quiescence checks).
+    /// Total messages queued across the set (O(1) quiescence checks).
     queued: u64,
-    /// Outgoing transfer buffers, one per receiver shard.
-    pub out: Vec<Vec<Entry<M>>>,
-    /// Incoming buffers, swapped in from the transfer cells each round
-    /// (index = sender shard); reused, never copied.
-    pub incoming: Vec<Vec<Entry<M>>>,
-    /// Per-local-node message counts for the counting pass, then prefix-
-    /// summed into bucket cursors.
-    cursor: Vec<u32>,
-    /// Per-local-node bucket start offsets into [`Self::bucket`]
-    /// (`node_hi - node_lo + 1` entries once built).
-    pub starts: Vec<u32>,
-    /// The round's messages, bucketed by receiving node and sorted by
-    /// `(port, train index)` within each bucket. Protocols step directly
-    /// on these slices.
-    pub bucket: Vec<(Port, M)>,
-    /// This round's delivery counters.
-    pub delta: Delta,
 }
 
-impl<M: Message> Shard<M> {
-    /// An empty shard for nodes `node_lo..node_hi` with ports
-    /// `port_lo..port_hi`, ready to fan out to `shard_count` shards.
-    pub fn new(
-        node_lo: usize,
-        node_hi: usize,
-        port_lo: u32,
-        port_hi: u32,
-        shard_count: usize,
-    ) -> Self {
-        let port_count = (port_hi - port_lo) as usize;
-        let node_count = node_hi - node_lo;
+impl<M: Message> PortQueues<M> {
+    /// An empty queue set over `port_count` ports.
+    pub fn new(port_count: usize) -> Self {
         Self {
-            node_lo,
-            node_hi,
-            port_lo,
             ports: vec![PortQ::EMPTY; port_count],
             chunks: Vec::new(),
             free_head: NIL,
             active: vec![0u64; port_count.div_ceil(64)],
             queued: 0,
-            out: (0..shard_count).map(|_| Vec::new()).collect(),
-            incoming: (0..shard_count).map(|_| Vec::new()).collect(),
-            cursor: vec![0u32; node_count],
-            starts: vec![0u32; node_count + 1],
-            bucket: Vec::new(),
-            delta: Delta::default(),
         }
     }
 
-    /// Messages queued across all ports of this shard.
+    /// Messages queued across all ports.
     #[inline]
     pub fn queued(&self) -> u64 {
         self.queued
+    }
+
+    /// Messages queued on local port `p`.
+    #[inline]
+    pub fn len(&self, p: u32) -> u32 {
+        self.ports[p as usize].len
     }
 
     /// Prefetches the head chunk of every active port in word `wi`,
@@ -350,24 +317,101 @@ impl<M: Message> Shard<M> {
         }
         Some(msg)
     }
+}
+
+/// The message-plane state owned by one worker: the outgoing queues of a
+/// contiguous node range, transfer buffers toward every receiver shard,
+/// and the receiver-side bucket store.
+#[derive(Debug)]
+pub(crate) struct Shard<M> {
+    /// First node of the range.
+    pub node_lo: usize,
+    /// One past the last node of the range.
+    pub node_hi: usize,
+    /// Global id of the first port in the range.
+    pub port_lo: u32,
+    /// The range's outgoing per-port FIFOs.
+    pub queues: PortQueues<M>,
+    /// Outgoing transfer buffers, one per receiver shard.
+    pub out: Vec<Vec<Entry<M>>>,
+    /// Incoming buffers, swapped in from the transfer cells each round
+    /// (index = sender shard); reused, never copied.
+    pub incoming: Vec<Vec<Entry<M>>>,
+    /// Per-local-node message counts for the counting pass, then prefix-
+    /// summed into bucket cursors.
+    cursor: Vec<u32>,
+    /// Per-local-node bucket start offsets into [`Self::bucket`]
+    /// (`node_hi - node_lo + 1` entries once built).
+    pub starts: Vec<u32>,
+    /// The round's messages, bucketed by receiving node and sorted by
+    /// `(port, train index)` within each bucket. Protocols step directly
+    /// on these slices.
+    pub bucket: Vec<(Port, M)>,
+    /// This round's delivery counters.
+    pub delta: Delta,
+}
+
+impl<M: Message> Shard<M> {
+    /// An empty shard for nodes `node_lo..node_hi` with ports
+    /// `port_lo..port_hi`, ready to fan out to `shard_count` shards.
+    pub fn new(
+        node_lo: usize,
+        node_hi: usize,
+        port_lo: u32,
+        port_hi: u32,
+        shard_count: usize,
+    ) -> Self {
+        let port_count = (port_hi - port_lo) as usize;
+        let node_count = node_hi - node_lo;
+        Self {
+            node_lo,
+            node_hi,
+            port_lo,
+            queues: PortQueues::new(port_count),
+            out: (0..shard_count).map(|_| Vec::new()).collect(),
+            incoming: (0..shard_count).map(|_| Vec::new()).collect(),
+            cursor: vec![0u32; node_count],
+            starts: vec![0u32; node_count + 1],
+            bucket: Vec::new(),
+            delta: Delta::default(),
+        }
+    }
+
+    /// Messages queued across all ports of this shard.
+    #[inline]
+    pub fn queued(&self) -> u64 {
+        self.queues.queued()
+    }
+
+    /// Enqueues `msg` on local port `p`.
+    #[cfg(test)]
+    pub fn push(&mut self, p: u32, msg: M) {
+        self.queues.push(p, msg);
+    }
+
+    /// Dequeues from local port `p`.
+    #[cfg(test)]
+    pub fn pop(&mut self, p: u32) -> Option<M> {
+        self.queues.pop(p)
+    }
 
     /// Delivery phase A: drains this shard's active ports — one message
     /// per port when `congest`, whole queues otherwise — routing each
     /// message into the transfer buffer of its destination shard and
     /// metering it in [`Self::delta`].
     pub fn drain_active(&mut self, topo: &Topology, congest: bool) {
-        for wi in 0..self.active.len() {
+        for wi in 0..self.queues.active.len() {
             // Pops may clear bits of the word being scanned; the snapshot
             // is taken before any pop of this word, so each active port is
             // visited exactly once, in port order.
-            self.prefetch_word_heads(wi);
-            let mut word = self.active[wi];
+            self.queues.prefetch_word_heads(wi);
+            let mut word = self.queues.active[wi];
             while word != 0 {
                 let p = (wi * 64) as u32 + word.trailing_zeros();
                 word &= word - 1;
                 let route = topo.route[(self.port_lo + p) as usize];
                 let mut k: u64 = 0;
-                while let Some(msg) = self.pop(p) {
+                while let Some(msg) = self.queues.pop(p) {
                     self.delta.record(msg.bit_size());
                     self.out[route.dest_shard as usize].push((
                         (u64::from(route.dest_slot) << 32) | k,
@@ -403,13 +447,13 @@ impl<M: Message> Shard<M> {
         let node_count = self.node_hi - self.node_lo;
         self.cursor[..node_count].fill(0);
         let mut total = 0usize;
-        for wi in 0..self.active.len() {
-            let mut word = self.active[wi];
+        for wi in 0..self.queues.active.len() {
+            let mut word = self.queues.active[wi];
             while word != 0 {
                 let p = (wi * 64) as u32 + word.trailing_zeros();
                 word &= word - 1;
                 let route = topo.route[(self.port_lo + p) as usize];
-                let deliverable = if congest { 1 } else { self.ports[p as usize].len };
+                let deliverable = if congest { 1 } else { self.queues.len(p) };
                 self.cursor[route.dest_node as usize] += deliverable;
                 total += deliverable as usize;
             }
@@ -428,16 +472,16 @@ impl<M: Message> Shard<M> {
         self.bucket.reserve(total);
         let bucket_ptr = self.bucket.as_mut_ptr();
         let mut placed = 0usize;
-        for wi in 0..self.active.len() {
-            self.prefetch_word_heads(wi);
-            let mut word = self.active[wi];
+        for wi in 0..self.queues.active.len() {
+            self.queues.prefetch_word_heads(wi);
+            let mut word = self.queues.active[wi];
             while word != 0 {
                 let p = (wi * 64) as u32 + word.trailing_zeros();
                 word &= word - 1;
                 let route = topo.route[(self.port_lo + p) as usize];
                 let port = (route.dest_slot - topo.offsets[route.dest_node as usize]) as usize;
                 let mut k: usize = 0;
-                while let Some(msg) = self.pop(p) {
+                while let Some(msg) = self.queues.pop(p) {
                     self.delta.record(msg.bit_size());
                     let local = route.dest_node as usize;
                     let pos = self.cursor[local];
@@ -595,7 +639,7 @@ mod tests {
             while s.pop(0).is_some() {}
         }
         // Steady state: the pool high-water mark is one burst's worth.
-        assert!(s.chunks.len() <= 3, "pool grew to {} chunks", s.chunks.len());
+        assert!(s.queues.chunks.len() <= 3, "pool grew to {} chunks", s.queues.chunks.len());
     }
 
     #[test]
@@ -603,12 +647,12 @@ mod tests {
         let mut s = shard_for(130);
         s.push(0, Ping);
         s.push(129, Ping);
-        assert_eq!(s.active[0], 1);
-        assert_eq!(s.active[2], 0b10);
+        assert_eq!(s.queues.active[0], 1);
+        assert_eq!(s.queues.active[2], 0b10);
         s.pop(0);
-        assert_eq!(s.active[0], 0);
+        assert_eq!(s.queues.active[0], 0);
         s.pop(129);
-        assert_eq!(s.active[2], 0);
+        assert_eq!(s.queues.active[2], 0);
     }
 
     #[test]

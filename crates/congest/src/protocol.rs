@@ -62,12 +62,13 @@ impl Endpoint {
     }
 }
 
-/// Outgoing per-port FIFO queues, used by the event-driven asynchronous
-/// executor ([`crate::asynch`]) where each node owns its queues outright.
+/// Outgoing per-port FIFO queues, node-owned. Only the frozen reference
+/// engine ([`crate::LegacyNetwork`]) still routes through this type.
 ///
-/// The synchronous [`crate::Network`] no longer uses this type: its flat
-/// message plane keeps all queues in network-owned slabs (see
-/// `crate::plane`) so that steady-state rounds perform no allocation.
+/// Neither production engine uses it: the synchronous [`crate::Network`]
+/// and the asynchronous executor ([`crate::asynch`]) both keep their
+/// queues in the flat plane's engine-owned slabs (see `crate::plane`) so
+/// that steady-state rounds perform no allocation.
 ///
 /// Tracks its non-empty ports (sorted) so a delivery sweep costs
 /// `O(active ports)` per round instead of `O(degree)`, and maintains a
@@ -128,18 +129,19 @@ impl<M> Outbox<M> {
 }
 
 /// Where a [`Context`] routes outgoing messages: a node-owned [`Outbox`]
-/// (asynchronous executor, tests) or a port range inside a network-owned
-/// flat queue shard (the synchronous engine's zero-allocation plane).
+/// (the legacy reference engine, tests) or a port range inside a set of
+/// flat slab-backed queues (the zero-allocation plane shared by the
+/// synchronous and asynchronous engines).
 #[derive(Debug)]
 pub(crate) enum OutboxHandle<'a, M> {
     /// A node-owned queue set.
     Owned(&'a mut Outbox<M>),
     /// A window into the flat plane: the node's ports live at
-    /// `base..base + degree` within `shard`.
+    /// `base..base + degree` within `queues`.
     Flat {
-        /// The queue shard owning this node's ports.
-        shard: &'a mut crate::plane::Shard<M>,
-        /// Local offset of the node's port 0 within the shard.
+        /// The flat queue set owning this node's ports.
+        queues: &'a mut crate::plane::PortQueues<M>,
+        /// Local offset of the node's port 0 within the queue set.
         base: u32,
     },
 }
@@ -149,7 +151,7 @@ impl<M: Message> OutboxHandle<'_, M> {
     fn push(&mut self, port: Port, msg: M) {
         match self {
             OutboxHandle::Owned(outbox) => outbox.push(port, msg),
-            OutboxHandle::Flat { shard, base } => shard.push(*base + port as u32, msg),
+            OutboxHandle::Flat { queues, base } => queues.push(*base + port as u32, msg),
         }
     }
 }

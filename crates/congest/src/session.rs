@@ -1,0 +1,754 @@
+//! The unified execution surface: one [`Session`] builder and one
+//! [`Driver`] trait over all three engines.
+//!
+//! The paper's claim structure spans three execution models — the
+//! synchronous CONGEST simulator it analyzes, the §2 remark that any
+//! synchronous algorithm runs asynchronously under a synchronizer
+//! (Awerbuch's α), and the §4.1 deterministic time-bound wrapper. This
+//! module exposes all of them behind a single engine-agnostic API:
+//!
+//! * [`Engine`] selects the execution model: [`Engine::Flat`] (the
+//!   zero-allocation flat message plane, optionally sharded over
+//!   threads), [`Engine::Legacy`] (the preserved seed engine, a frozen
+//!   sequential reference), or [`Engine::Async`] (event-driven delivery
+//!   with seeded link delays under synchronizer α).
+//! * [`Session`] configures a run — graph, seed, mode, ID assignment,
+//!   engine, limits, observers — and builds a [`SessionDriver`].
+//! * [`Driver`] is the uniform handle every engine implements:
+//!   `drive` advances rounds (pulses, for α), then outputs, endpoints
+//!   and protocols are read back uniformly.
+//! * [`RunReport`] is the one report type for all engines: termination,
+//!   rounds-or-pulses, the payload-side [`Metrics`] (bit-identical
+//!   across engines for the same seed), and the synchronizer's
+//!   [`SyncOverhead`] (zero for the synchronous engines).
+//! * [`Observer`] streams per-round [`RoundDelta`]s and quiescence
+//!   barriers (phase transitions) while the run executes.
+//!
+//! All engines share the determinism contract pinned by
+//! `crates/core/tests/engine_equivalence.rs`: for a given seed, per-node
+//! outputs are identical across engines, shard counts and (for α) link
+//! delays.
+//!
+//! # Example: one protocol, three engines
+//!
+//! ```
+//! use congest::{Context, Engine, Message, Port, Protocol, RunLimits, Session};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Token;
+//! impl Message for Token {
+//!     fn bit_size(&self) -> usize { 1 }
+//! }
+//!
+//! struct Echo { seen: bool, source: bool }
+//! impl Protocol for Echo {
+//!     type Msg = Token;
+//!     type Output = bool;
+//!     fn init(&mut self, ctx: &mut Context<'_, Token>) {
+//!         if self.source { ctx.broadcast(Token); }
+//!     }
+//!     fn step(&mut self, ctx: &mut Context<'_, Token>, inbox: &[(Port, Token)]) {
+//!         if !inbox.is_empty() && !self.seen {
+//!             self.seen = true;
+//!             ctx.broadcast(Token);
+//!         }
+//!     }
+//!     fn is_idle(&self) -> bool { true }
+//!     fn output(&self) -> bool { self.seen || self.source }
+//! }
+//!
+//! let g = graphs::Graph::complete(5);
+//! let factory = |e: &congest::Endpoint| Echo { seen: false, source: e.index == 0 };
+//! let mut flat = Vec::new();
+//! for engine in [Engine::Flat { shards: 2 }, Engine::Legacy, Engine::Async { max_delay: 7 }] {
+//!     let (outputs, report) = Session::on(&g)
+//!         .seed(7)
+//!         .engine(engine)
+//!         .limits(RunLimits::rounds(8))
+//!         .run_with(factory);
+//!     assert!(outputs.iter().all(|&heard| heard));
+//!     assert_eq!(report.metrics.max_message_bits, 1);
+//!     flat.push(report.metrics.messages);
+//! }
+//! // Payload metrics agree across all three engines.
+//! assert!(flat.windows(2).all(|w| w[0] == w[1]));
+//! ```
+
+use graphs::Graph;
+
+use crate::asynch::AsyncNetwork;
+use crate::legacy::LegacyNetwork;
+use crate::metrics::Metrics;
+use crate::network::{IdAssignment, Mode, Network, NetworkBuilder};
+use crate::protocol::{Endpoint, Protocol, Round};
+
+/// Which execution engine a [`Session`] drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The flat zero-allocation message plane, sharded over `shards` OS
+    /// threads (1 = sequential). Results are bit-identical at any shard
+    /// count.
+    Flat {
+        /// Number of node shards / OS threads.
+        shards: usize,
+    },
+    /// The preserved seed engine: sequential, pointer-chasing, kept as a
+    /// frozen behavioral reference for equivalence testing and
+    /// benchmarking.
+    Legacy,
+    /// Event-driven asynchronous execution under synchronizer α: every
+    /// message is delayed by a seeded draw from `1..=max_delay` virtual
+    /// time units, and the synchronizer's Ack/Safe traffic recreates
+    /// synchronous pulses (the §2 Awerbuch reduction).
+    ///
+    /// α pulses are CONGEST rounds; this engine rejects
+    /// [`Mode::Local`]. Always give it an explicit pulse budget via
+    /// [`Session::limits`] — pulses never quiesce (empty pulses still
+    /// flood `Safe` messages), so the budget *is* the termination rule
+    /// (the paper's §4.1 deterministic time bound).
+    Async {
+        /// Upper bound on per-message link delay (≥ 1).
+        max_delay: u64,
+    },
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Flat { shards: 1 }
+    }
+}
+
+/// Stop conditions for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Abort after this many rounds — or α pulses — (the deterministic
+    /// time-bound wrapper of §4.1). `u64::MAX` means effectively
+    /// unlimited for the synchronous engines; the α engine treats it as
+    /// its pulse budget, so always set it explicitly there.
+    pub max_rounds: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        Self { max_rounds: 1_000_000 }
+    }
+}
+
+impl RunLimits {
+    /// Limits the run to `max_rounds` rounds (pulses).
+    #[must_use]
+    pub fn rounds(max_rounds: u64) -> Self {
+        Self { max_rounds }
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// All nodes idle, no messages anywhere, no node resumed at the final
+    /// barrier. (The α engine never reports this: synchronizer pulses
+    /// keep exchanging control traffic forever, so only the budget
+    /// stops it.)
+    Quiescent,
+    /// The [`RunLimits::max_rounds`] bound fired first.
+    RoundLimit,
+}
+
+/// Synchronizer-α resource overhead. Identically zero for the
+/// synchronous engines; for [`Engine::Async`] it accounts everything the
+/// asynchronous execution pays *on top of* the payload traffic already
+/// metered in [`Metrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncOverhead {
+    /// Ack + Safe control messages delivered.
+    pub control_messages: u64,
+    /// Control bits delivered: whole Ack/Safe envelopes plus the
+    /// pulse-tag envelope wrapped around each payload.
+    pub control_bits: u64,
+    /// Largest event timestamp (virtual time at completion).
+    pub virtual_time: u64,
+}
+
+impl SyncOverhead {
+    /// `true` when no synchronizer overhead was paid (synchronous runs).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Summary of a completed (or paused) run — the one report type shared
+/// by every engine.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Why the run ended.
+    pub termination: Termination,
+    /// Rounds executed (α: pulses completed).
+    pub rounds: u64,
+    /// Payload-side counters, identical across engines for the same
+    /// seed: application messages, their bits, per-round histogram,
+    /// barriers.
+    pub metrics: Metrics,
+    /// Synchronizer control-plane overhead (zero for synchronous runs).
+    pub overhead: SyncOverhead,
+}
+
+impl RunReport {
+    /// Total bits delivered, payload and control plane combined.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.metrics.total_bits + self.overhead.control_bits
+    }
+}
+
+/// Per-round payload-delivery aggregates streamed to [`Observer`]s.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundDelta {
+    /// Payload messages delivered this round.
+    pub messages: u64,
+    /// Payload bits delivered this round.
+    pub bits: u64,
+    /// Widest payload message delivered this round, in bits.
+    pub max_bits: usize,
+}
+
+impl RoundDelta {
+    /// Folds one delivered payload of `bits` width in — the single
+    /// metering implementation shared by the engines that attribute
+    /// deliveries message by message (legacy, α).
+    #[inline]
+    pub(crate) fn record(&mut self, bits: usize) {
+        self.messages += 1;
+        self.bits += bits as u64;
+        self.max_bits = self.max_bits.max(bits);
+    }
+}
+
+/// Streaming hook into a run: called by every engine as rounds execute.
+///
+/// Observers replace ad-hoc post-run trace plumbing: phase transitions
+/// arrive as [`Observer::on_barrier`] calls the moment the quiescence
+/// barrier is granted, and per-round traffic arrives as
+/// [`Observer::on_round`] deltas. The α engine completes pulses out of
+/// event order across nodes, so it reports pulse deltas when `drive`
+/// returns, in pulse order; the synchronous engines call back live,
+/// after each round, from the control thread (never from a shard
+/// worker).
+pub trait Observer {
+    /// Called after round `round` (1-based) executed.
+    fn on_round(&mut self, round: Round, delta: &RoundDelta);
+
+    /// Called when a quiescence barrier is granted — i.e. some node took
+    /// a phase transition via [`Protocol::on_quiescent`]. `round` is the
+    /// last executed round.
+    fn on_barrier(&mut self, round: Round) {
+        let _ = round;
+    }
+}
+
+/// The no-op observer: `drive(limits, &mut ())` observes nothing.
+impl Observer for () {
+    #[inline]
+    fn on_round(&mut self, _round: Round, _delta: &RoundDelta) {}
+}
+
+/// Chains two observers (used to combine a [`Session`]-installed
+/// observer with one passed to [`SessionDriver::run_observed`]).
+struct Chain<'a>(&'a mut dyn Observer, &'a mut dyn Observer);
+
+impl Observer for Chain<'_> {
+    fn on_round(&mut self, round: Round, delta: &RoundDelta) {
+        self.0.on_round(round, delta);
+        self.1.on_round(round, delta);
+    }
+
+    fn on_barrier(&mut self, round: Round) {
+        self.0.on_barrier(round);
+        self.1.on_barrier(round);
+    }
+}
+
+/// The uniform execution handle implemented by every engine
+/// ([`Network`], [`LegacyNetwork`], [`AsyncNetwork`]) and by
+/// [`SessionDriver`].
+///
+/// Lifecycle: building the driver constructs one protocol per node;
+/// `init` runs lazily on the first [`Driver::drive`] call; each `drive`
+/// advances up to `limits.max_rounds` further rounds (α: pulses) and is
+/// resumable; outputs, endpoints and per-node protocol state are
+/// readable at any pause.
+pub trait Driver {
+    /// The protocol type instantiated at every node.
+    type P: Protocol;
+
+    /// Advances execution by at most `limits.max_rounds` rounds
+    /// (pulses), streaming per-round deltas and barriers to `obs`. Pass
+    /// `&mut ()` to observe nothing.
+    fn drive(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport;
+
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// The endpoint facts of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    fn endpoint(&self, index: usize) -> &Endpoint;
+
+    /// Read access to node `index`'s protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    fn protocol(&self, index: usize) -> &Self::P;
+
+    /// Application messages queued anywhere in the engine.
+    fn queued_messages(&self) -> u64;
+
+    /// Pre-reserves per-round bookkeeping for a bounded run, so engines
+    /// with a zero-allocation steady state (the flat plane) stay
+    /// allocation-free over `rounds` rounds. Optional; a no-op where it
+    /// does not apply.
+    fn reserve_rounds(&mut self, rounds: usize) {
+        let _ = rounds;
+    }
+
+    /// Collects every node's output, indexed by node.
+    fn outputs(&self) -> Vec<<Self::P as Protocol>::Output> {
+        (0..self.node_count()).map(|v| self.protocol(v).output()).collect()
+    }
+}
+
+/// Engine-agnostic run configuration: the one way to start a run.
+///
+/// `Session::on(&graph)` starts from defaults (flat engine, one shard,
+/// CONGEST mode, seed 0, hashed IDs, default limits); the chained
+/// setters mirror the old `NetworkBuilder` knobs plus engine selection;
+/// [`Session::build_with`] constructs the selected engine's driver and
+/// [`Session::run_with`] additionally drives it to the configured
+/// limits.
+pub struct Session<'g> {
+    graph: &'g Graph,
+    seed: u64,
+    mode: Mode,
+    ids: IdAssignment,
+    engine: Engine,
+    /// `None` until [`Session::limits`] is called; the synchronous
+    /// engines then fall back to [`RunLimits::default`], while
+    /// [`Engine::Async`] insists on an explicit budget.
+    limits: Option<RunLimits>,
+    observer: Option<Box<dyn Observer>>,
+}
+
+impl<'g> Session<'g> {
+    /// Starts configuring a run over `graph`.
+    #[must_use]
+    pub fn on(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            seed: 0,
+            mode: Mode::Congest,
+            ids: IdAssignment::Hashed,
+            engine: Engine::default(),
+            limits: None,
+            observer: None,
+        }
+    }
+
+    /// Sets the master seed; node RNG streams, hashed IDs and (for α)
+    /// link delays derive from it.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the execution engine.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the bandwidth regime (synchronous engines only; α always
+    /// runs CONGEST pulses).
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the ID assignment scheme.
+    #[must_use]
+    pub fn ids(mut self, ids: IdAssignment) -> Self {
+        self.ids = ids;
+        self
+    }
+
+    /// Sets the round (pulse) budget used by [`SessionDriver::run`] and
+    /// [`Session::run_with`]. Optional for the synchronous engines
+    /// (which fall back to [`RunLimits::default`] and can quiesce);
+    /// **required** for [`Engine::Async`], whose pulses never quiesce —
+    /// the budget is its only termination rule.
+    #[must_use]
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Installs a streaming observer; it receives every round delta and
+    /// barrier of every subsequent `run` on the built driver.
+    #[must_use]
+    pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Builds the selected engine's driver, creating each node's
+    /// protocol via `factory` (called with the node's [`Endpoint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if hashed ID assignment collides (retry with another
+    /// seed), if the graph exceeds the plane's `u32` port space, or if
+    /// [`Engine::Async`] is combined with [`Mode::Local`], with
+    /// `max_delay == 0`, or without an explicit [`Session::limits`]
+    /// budget (α pulses never quiesce, so a defaulted 1M-pulse budget
+    /// would flood control traffic effectively forever).
+    pub fn build_with<P, F>(self, factory: F) -> SessionDriver<P>
+    where
+        P: Protocol,
+        F: FnMut(&Endpoint) -> P,
+    {
+        let inner = match self.engine {
+            Engine::Flat { shards } => EngineDriver::Flat(
+                NetworkBuilder::new()
+                    .mode(self.mode)
+                    .seed(self.seed)
+                    .ids(self.ids)
+                    .parallel(shards)
+                    .build_with(self.graph, factory),
+            ),
+            Engine::Legacy => EngineDriver::Legacy(LegacyNetwork::build_with(
+                self.graph, self.mode, self.seed, self.ids, factory,
+            )),
+            Engine::Async { max_delay } => {
+                assert!(
+                    self.mode == Mode::Congest,
+                    "synchronizer α models CONGEST pulses; Mode::Local is not executable on \
+                     Engine::Async"
+                );
+                assert!(
+                    self.limits.is_some(),
+                    "Engine::Async needs an explicit pulse budget: call \
+                     Session::limits(RunLimits::rounds(b)) — α pulses never quiesce, the \
+                     budget is the §4.1 termination rule"
+                );
+                EngineDriver::Async(AsyncNetwork::build_with(
+                    self.graph, self.seed, max_delay, self.ids, factory,
+                ))
+            }
+        };
+        SessionDriver { inner, limits: self.limits.unwrap_or_default(), observer: self.observer }
+    }
+
+    /// Builds the driver, drives it to the configured limits, and
+    /// returns per-node outputs plus the unified report.
+    pub fn run_with<P, F>(self, factory: F) -> (Vec<P::Output>, RunReport)
+    where
+        P: Protocol,
+        F: FnMut(&Endpoint) -> P,
+    {
+        let mut driver = self.build_with(factory);
+        let report = driver.run();
+        (driver.outputs(), report)
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("nodes", &self.graph.node_count())
+            .field("seed", &self.seed)
+            .field("mode", &self.mode)
+            .field("engine", &self.engine)
+            .finish_non_exhaustive()
+    }
+}
+
+enum EngineDriver<P: Protocol> {
+    Flat(Network<P>),
+    Legacy(LegacyNetwork<P>),
+    Async(AsyncNetwork<P>),
+}
+
+/// The driver a [`Session`] builds: the selected engine plus the
+/// session's limits and installed observer, behind the uniform
+/// [`Driver`] interface.
+pub struct SessionDriver<P: Protocol> {
+    inner: EngineDriver<P>,
+    limits: RunLimits,
+    observer: Option<Box<dyn Observer>>,
+}
+
+impl<P: Protocol> SessionDriver<P> {
+    /// Which engine this driver runs.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match &self.inner {
+            EngineDriver::Flat(net) => Engine::Flat { shards: net.shard_count() },
+            EngineDriver::Legacy(_) => Engine::Legacy,
+            EngineDriver::Async(net) => Engine::Async { max_delay: net.max_delay() },
+        }
+    }
+
+    /// Drives to the session's configured limits, notifying the
+    /// installed observer (if any). Resumable after a `RoundLimit` stop.
+    pub fn run(&mut self) -> RunReport {
+        let limits = self.limits;
+        self.drive(limits, &mut ())
+    }
+
+    /// Like [`SessionDriver::run`], additionally streaming to `obs`
+    /// (chained after the installed observer). Use this to collect into
+    /// borrowed state without `'static` gymnastics.
+    pub fn run_observed(&mut self, obs: &mut dyn Observer) -> RunReport {
+        let limits = self.limits;
+        self.drive(limits, obs)
+    }
+}
+
+impl<P: Protocol> Driver for SessionDriver<P> {
+    type P = P;
+
+    fn drive(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
+        let inner = &mut self.inner;
+        let mut dispatch = |obs: &mut dyn Observer| match inner {
+            EngineDriver::Flat(net) => net.drive(limits, obs),
+            EngineDriver::Legacy(net) => net.drive(limits, obs),
+            EngineDriver::Async(net) => net.drive(limits, obs),
+        };
+        match self.observer.as_deref_mut() {
+            Some(installed) => dispatch(&mut Chain(installed, obs)),
+            None => dispatch(obs),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match &self.inner {
+            EngineDriver::Flat(net) => net.node_count(),
+            EngineDriver::Legacy(net) => net.node_count(),
+            EngineDriver::Async(net) => net.node_count(),
+        }
+    }
+
+    fn endpoint(&self, index: usize) -> &Endpoint {
+        match &self.inner {
+            EngineDriver::Flat(net) => net.endpoint(index),
+            EngineDriver::Legacy(net) => net.endpoint(index),
+            EngineDriver::Async(net) => net.endpoint(index),
+        }
+    }
+
+    fn protocol(&self, index: usize) -> &P {
+        match &self.inner {
+            EngineDriver::Flat(net) => net.protocol(index),
+            EngineDriver::Legacy(net) => net.protocol(index),
+            EngineDriver::Async(net) => net.protocol(index),
+        }
+    }
+
+    fn queued_messages(&self) -> u64 {
+        match &self.inner {
+            EngineDriver::Flat(net) => net.queued_messages(),
+            EngineDriver::Legacy(net) => net.queued_messages(),
+            EngineDriver::Async(net) => net.queued_messages(),
+        }
+    }
+
+    fn reserve_rounds(&mut self, rounds: usize) {
+        match &mut self.inner {
+            EngineDriver::Flat(net) => net.reserve_rounds(rounds),
+            EngineDriver::Legacy(_) => {}
+            EngineDriver::Async(net) => net.reserve_rounds(rounds),
+        }
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for SessionDriver<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionDriver").field("engine", &self.engine()).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::protocol::{Context, Port};
+    use graphs::GraphBuilder;
+
+    #[derive(Clone, Debug)]
+    struct Rumor;
+    impl Message for Rumor {
+        fn bit_size(&self) -> usize {
+            5
+        }
+    }
+
+    #[derive(Debug)]
+    struct Flood {
+        is_source: bool,
+        heard_at: Option<u64>,
+    }
+
+    impl Protocol for Flood {
+        type Msg = Rumor;
+        type Output = Option<u64>;
+        fn init(&mut self, ctx: &mut Context<'_, Rumor>) {
+            if self.is_source {
+                self.heard_at = Some(0);
+                ctx.broadcast(Rumor);
+            }
+        }
+        fn step(&mut self, ctx: &mut Context<'_, Rumor>, inbox: &[(Port, Rumor)]) {
+            if !inbox.is_empty() && self.heard_at.is_none() {
+                self.heard_at = Some(ctx.round());
+                ctx.broadcast(Rumor);
+            }
+        }
+        fn is_idle(&self) -> bool {
+            true
+        }
+        fn output(&self) -> Option<u64> {
+            self.heard_at
+        }
+    }
+
+    fn ring(n: usize) -> graphs::Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i, (i + 1) % n);
+        }
+        b.build()
+    }
+
+    fn factory(e: &Endpoint) -> Flood {
+        Flood { is_source: e.index == 0, heard_at: None }
+    }
+
+    #[test]
+    fn three_engines_one_surface_same_outputs() {
+        let g = ring(12);
+        let mut results = Vec::new();
+        for engine in [
+            Engine::Flat { shards: 1 },
+            Engine::Flat { shards: 3 },
+            Engine::Legacy,
+            Engine::Async { max_delay: 5 },
+        ] {
+            let (out, report) = Session::on(&g)
+                .seed(4)
+                .engine(engine)
+                .limits(RunLimits::rounds(12))
+                .run_with(factory);
+            assert_eq!(report.metrics.max_message_bits, 5, "{engine:?}");
+            results.push((out, report.metrics.messages, report.metrics.total_bits));
+        }
+        for pair in results.windows(2) {
+            assert_eq!(pair[0], pair[1], "engines disagree");
+        }
+    }
+
+    #[test]
+    fn only_async_pays_synchronizer_overhead() {
+        let g = ring(8);
+        let (_, sync_report) =
+            Session::on(&g).seed(1).limits(RunLimits::rounds(6)).run_with(factory);
+        assert!(sync_report.overhead.is_zero());
+
+        let (_, async_report) = Session::on(&g)
+            .seed(1)
+            .engine(Engine::Async { max_delay: 3 })
+            .limits(RunLimits::rounds(6))
+            .run_with(factory);
+        assert!(async_report.overhead.control_messages > 0);
+        assert!(async_report.overhead.virtual_time > 0);
+        assert!(async_report.total_bits() > async_report.metrics.total_bits);
+    }
+
+    #[test]
+    fn observer_streams_round_deltas() {
+        #[derive(Default)]
+        struct Tape {
+            rounds: Vec<(u64, u64)>,
+        }
+        impl Observer for Tape {
+            fn on_round(&mut self, round: Round, delta: &RoundDelta) {
+                self.rounds.push((round, delta.messages));
+            }
+        }
+
+        let g = ring(6);
+        for engine in [Engine::Flat { shards: 1 }, Engine::Legacy, Engine::Async { max_delay: 2 }] {
+            let mut tape = Tape::default();
+            let mut driver = Session::on(&g)
+                .seed(2)
+                .engine(engine)
+                .limits(RunLimits::rounds(5))
+                .build_with(factory);
+            let report = driver.run_observed(&mut tape);
+            let observed: Vec<u64> = tape.rounds.iter().map(|&(_, m)| m).collect();
+            assert_eq!(
+                observed, report.metrics.messages_per_round,
+                "{engine:?}: observer deltas must mirror the per-round histogram"
+            );
+            let rounds: Vec<u64> = tape.rounds.iter().map(|&(r, _)| r).collect();
+            let expect: Vec<u64> = (1..=report.rounds).collect();
+            assert_eq!(rounds, expect, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn driver_is_resumable_across_engines() {
+        let g = ring(10);
+        for engine in [Engine::Flat { shards: 1 }, Engine::Legacy, Engine::Async { max_delay: 4 }] {
+            let mut driver = Session::on(&g)
+                .seed(3)
+                .engine(engine)
+                .limits(RunLimits::rounds(12))
+                .build_with(factory);
+            let first = driver.drive(RunLimits::rounds(2), &mut ());
+            assert_eq!(first.termination, Termination::RoundLimit, "{engine:?}");
+            assert_eq!(first.rounds, 2, "{engine:?}");
+            driver.drive(RunLimits::rounds(10), &mut ());
+            let full: Vec<Option<u64>> =
+                Session::on(&g).seed(3).limits(RunLimits::rounds(12)).run_with(factory).0;
+            assert_eq!(driver.outputs(), full, "{engine:?}: split run diverged");
+        }
+    }
+
+    #[test]
+    fn installed_observer_chains_with_passed_observer() {
+        struct CountRounds(std::rc::Rc<std::cell::Cell<u64>>);
+        impl Observer for CountRounds {
+            fn on_round(&mut self, _round: Round, _delta: &RoundDelta) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+
+        let installed = std::rc::Rc::new(std::cell::Cell::new(0));
+        let g = ring(6);
+        let mut driver = Session::on(&g)
+            .seed(5)
+            .limits(RunLimits::rounds(4))
+            .observer(CountRounds(installed.clone()))
+            .build_with(factory);
+        let passed = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut counter = CountRounds(passed.clone());
+        let report = driver.run_observed(&mut counter);
+        assert_eq!(installed.get(), report.rounds);
+        assert_eq!(passed.get(), report.rounds);
+    }
+}

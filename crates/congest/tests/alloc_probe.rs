@@ -3,16 +3,20 @@
 //!
 //! A counting `#[global_allocator]` wraps the system allocator. After a
 //! warm-up (chunk pools, transfer buffers and inboxes reach their
-//! high-water marks) and a [`congest::Network::reserve_rounds`] call (the
+//! high-water marks) and a [`congest::Driver::reserve_rounds`] call (the
 //! per-round metrics history is the one structure that grows with round
 //! count), executing hundreds of additional rounds must allocate exactly
 //! as much as executing zero rounds — i.e. only the constant-size
-//! `RunReport` that `run` returns.
+//! `RunReport` that a drive returns.
+//!
+//! The probe runs through the unified [`congest::Session`] surface, so
+//! the guarantee covers the production entry path, not just the engine
+//! internals.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use congest::{Context, Message, Mode, NetworkBuilder, Port, Protocol, RunLimits, Termination};
+use congest::{Context, Driver, Message, Mode, Port, Protocol, RunLimits, Session, Termination};
 use graphs::GraphBuilder;
 
 struct CountingAlloc;
@@ -93,21 +97,21 @@ fn ring_with_chords(n: usize) -> graphs::Graph {
 
 fn probe(mode: Mode) {
     let g = ring_with_chords(64);
-    let mut net = NetworkBuilder::new().mode(mode).seed(5).build_with(&g, |_| Echo);
+    let mut net = Session::on(&g).mode(mode).seed(5).build_with(|_| Echo);
 
     // Warm-up: reach every pool's high-water mark.
-    let report = net.run(RunLimits::rounds(64));
+    let report = net.drive(RunLimits::rounds(64), &mut ());
     assert_eq!(report.termination, Termination::RoundLimit, "echo traffic never quiesces");
     net.reserve_rounds(4096);
 
-    // Wrapper cost: a zero-round run() still clones metrics into its
+    // Wrapper cost: a zero-round drive still clones metrics into its
     // report. Steady-state rounds must add nothing beyond that.
     let before = allocations();
-    net.run(RunLimits::rounds(0));
+    net.drive(RunLimits::rounds(0), &mut ());
     let wrapper = allocations() - before;
 
     let before = allocations();
-    net.run(RunLimits::rounds(512));
+    net.drive(RunLimits::rounds(512), &mut ());
     let with_rounds = allocations() - before;
 
     assert_eq!(
@@ -164,16 +168,16 @@ fn deep_queues_do_not_allocate() {
     let mut b = GraphBuilder::new(2);
     b.add_edge(0, 1);
     let g = b.build();
-    let mut net = NetworkBuilder::new().seed(1).build_with(&g, |_| Burst);
-    net.run(RunLimits::rounds(100));
+    let mut net = Session::on(&g).seed(1).build_with(|_| Burst);
+    net.drive(RunLimits::rounds(100), &mut ());
     net.reserve_rounds(4096);
 
     let before = allocations();
-    net.run(RunLimits::rounds(0));
+    net.drive(RunLimits::rounds(0), &mut ());
     let wrapper = allocations() - before;
 
     let before = allocations();
-    net.run(RunLimits::rounds(400));
+    net.drive(RunLimits::rounds(400), &mut ());
     let with_rounds = allocations() - before;
 
     assert_eq!(

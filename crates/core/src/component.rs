@@ -311,7 +311,7 @@ impl CompView {
     ///
     /// # Panics
     ///
-    /// Panics if the roster is larger than [`MAX_K`] (callers must mark
+    /// Panics if the roster is larger than `MAX_K` (callers must mark
     /// such components oversized instead) or if the member count differs
     /// from the declared total.
     pub fn fix_roster(&mut self, my_id: u64, neighbor_ids: &BTreeSet<u64>, inner_eps: f64) {

@@ -17,7 +17,7 @@
 //! * [`msg`] / [`component`] / [`protocol`] — the CONGEST state machine:
 //!   message alphabet, per-component bookkeeping, phase logic.
 //! * [`runner`] — one-call execution over a [`congest::Network`].
-//! * [`reference`] — a centralized executable specification; property
+//! * [`mod@reference`] — a centralized executable specification; property
 //!   tests pin the distributed protocol to it.
 //! * [`verify`] — executable forms of the paper's unconditional
 //!   guarantees (Lemma 5.3) and of Theorem 5.7's assertions.
@@ -56,6 +56,7 @@ pub mod runner;
 pub mod sample;
 pub mod verify;
 
+pub use congest::{Driver, Engine, Session};
 pub use msg::Msg;
 pub use params::{InvalidParams, NearCliqueParams};
 pub use protocol::{DistNearClique, NodeOutput};

@@ -91,7 +91,7 @@ pub struct NodeOutput {
 ///
 /// Construct via [`DistNearClique::new`] with the node's per-version
 /// sample flags (drawn by [`crate::SamplePlan`]), then hand to
-/// `congest::NetworkBuilder::build_with`. Most users should call
+/// `congest::Session::build_with`. Most users should call
 /// [`crate::run_near_clique`] instead, which wires everything up.
 #[derive(Debug)]
 pub struct DistNearClique {
@@ -869,7 +869,7 @@ impl Protocol for DistNearClique {
 mod tests {
     use super::*;
     use crate::sample::SamplePlan;
-    use congest::{NetworkBuilder, RunLimits, Termination};
+    use congest::{Engine, Session, Termination};
     use graphs::{Graph, GraphBuilder};
 
     fn run(
@@ -878,13 +878,12 @@ mod tests {
         seed: u64,
     ) -> (Vec<NodeOutput>, congest::Metrics) {
         let plan = SamplePlan::draw(graph.node_count(), params.lambda, params.p, seed);
-        let mut net = NetworkBuilder::new().seed(seed).build_with(graph, |e| {
+        let (outputs, report) = Session::on(graph).seed(seed).run_with(|e| {
             let flags = (0..params.lambda).map(|v| plan.in_sample(v, e.index)).collect();
             DistNearClique::new(params.clone(), flags)
         });
-        let report = net.run(RunLimits::default());
         assert_eq!(report.termination, Termination::Quiescent, "protocol must quiesce");
-        (net.outputs(), report.metrics)
+        (outputs, report.metrics)
     }
 
     #[test]
@@ -913,12 +912,10 @@ mod tests {
         let g = Graph::complete(10);
         let params = NearCliqueParams::new(0.2, 0.2).unwrap();
         // Seed chosen freely: we override the flags to simulate an empty S.
-        let mut net = NetworkBuilder::new()
-            .seed(1)
-            .build_with(&g, |_| DistNearClique::new(params.clone(), vec![false]));
-        let report = net.run(RunLimits::default());
+        let (outputs, report) =
+            Session::on(&g).seed(1).run_with(|_| DistNearClique::new(params.clone(), vec![false]));
         assert_eq!(report.termination, Termination::Quiescent);
-        assert!(net.outputs().iter().all(|o| o.label.is_none()));
+        assert!(outputs.iter().all(|o| o.label.is_none()));
     }
 
     #[test]
@@ -991,12 +988,12 @@ mod tests {
         let g = Graph::complete(24);
         let params = NearCliqueParams::new(0.25, 0.2).unwrap();
         let plan = SamplePlan::draw(24, 1, params.p, 29);
-        let build = |threads| {
-            let mut net = NetworkBuilder::new().seed(29).parallel(threads).build_with(&g, |e| {
-                DistNearClique::new(params.clone(), vec![plan.in_sample(0, e.index)])
-            });
-            net.run(RunLimits::default());
-            net.outputs()
+        let build = |shards| {
+            Session::on(&g)
+                .seed(29)
+                .engine(Engine::Flat { shards })
+                .run_with(|e| DistNearClique::new(params.clone(), vec![plan.in_sample(0, e.index)]))
+                .0
         };
         assert_eq!(build(1), build(4));
     }

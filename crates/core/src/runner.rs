@@ -1,12 +1,12 @@
 //! High-level entry points: build the network, run, collect results.
 //!
 //! [`run_near_clique`] is the one-call API most users (and all examples)
-//! want: draw the sampling stage, execute the protocol over a
-//! [`congest::Network`], and return labels, per-node outputs, metrics and
-//! everything needed for verification or cross-checking against the
-//! centralized reference.
+//! want: draw the sampling stage, execute the protocol through a
+//! [`congest::Session`] (any synchronous [`Engine`]), and return labels,
+//! per-node outputs, metrics and everything needed for verification or
+//! cross-checking against the centralized reference.
 
-use congest::{Metrics, NetworkBuilder, RunLimits, Termination};
+use congest::{Driver, Engine, Metrics, Observer, RoundDelta, RunLimits, Session, Termination};
 use graphs::{FixedBitSet, Graph};
 
 use crate::params::NearCliqueParams;
@@ -20,23 +20,46 @@ pub struct RunOptions {
     /// Deterministic round bound (§4.1 wrapper); the run aborts with
     /// whatever labels exist if exceeded.
     pub max_rounds: u64,
-    /// Threads for stepping nodes (semantics identical at any count).
-    pub threads: usize,
+    /// Which engine executes the protocol. Both synchronous engines are
+    /// bit-identical for the same seed (and the flat engine at any shard
+    /// count) — the determinism contract `engine_equivalence` enforces.
+    pub engine: Engine,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { max_rounds: 10_000_000, threads: 1 }
+        Self { max_rounds: 10_000_000, engine: Engine::default() }
     }
 }
 
 impl RunOptions {
-    /// Default limits, stepping over `threads` OS threads. Results are
-    /// bit-identical at any thread count (the flat plane's determinism
-    /// contract; see `crates/congest/src/network.rs`).
+    /// Default limits on the flat engine, sharded over `threads` OS
+    /// threads. Results are bit-identical at any thread count (the flat
+    /// plane's determinism contract; see `crates/congest/src/network.rs`).
     #[must_use]
     pub fn threaded(threads: usize) -> Self {
-        Self { threads, ..Self::default() }
+        Self { engine: Engine::Flat { shards: threads }, ..Self::default() }
+    }
+
+    /// Default limits on an explicit engine.
+    #[must_use]
+    pub fn with_engine(engine: Engine) -> Self {
+        Self { engine, ..Self::default() }
+    }
+}
+
+/// Collects the rounds at which quiescence barriers (phase transitions)
+/// were granted — the streaming replacement for post-run trace plumbing.
+#[derive(Default)]
+struct BarrierTrace {
+    rounds: Vec<u64>,
+}
+
+impl Observer for BarrierTrace {
+    fn on_round(&mut self, _round: u64, _delta: &RoundDelta) {}
+
+    fn on_barrier(&mut self, round: u64) {
+        self.rounds.push(round);
     }
 }
 
@@ -61,6 +84,10 @@ pub struct NearCliqueRun {
     /// node 0's trace; phases are global barriers so it describes the
     /// whole run.
     pub phase_trace: Vec<(u8, &'static str, u64)>,
+    /// Rounds at which a quiescence barrier was granted, streamed by a
+    /// [`congest::Observer`] during the run (one entry per barrier in
+    /// `metrics.barriers`).
+    pub barrier_rounds: Vec<u64>,
 }
 
 impl NearCliqueRun {
@@ -122,7 +149,15 @@ pub fn run_near_clique(g: &Graph, params: &NearCliqueParams, seed: u64) -> NearC
     run_near_clique_with(g, params, seed, RunOptions::default())
 }
 
-/// Runs `DistNearClique` with explicit [`RunOptions`].
+/// Runs `DistNearClique` with explicit [`RunOptions`], through the
+/// unified [`Session`] surface.
+///
+/// # Panics
+///
+/// Panics on [`Engine::Async`]: `DistNearClique`'s staged phases need
+/// the simulator's quiescence barrier, which synchronizer α does not
+/// provide — each phase would need its own §4.1 pulse budget (see the
+/// scope note in `congest::asynch`).
 #[must_use]
 pub fn run_near_clique_with(
     g: &Graph,
@@ -130,21 +165,30 @@ pub fn run_near_clique_with(
     seed: u64,
     options: RunOptions,
 ) -> NearCliqueRun {
+    assert!(
+        !matches!(options.engine, Engine::Async { .. }),
+        "DistNearClique takes phase transitions at quiescence barriers; synchronizer α \
+         (Engine::Async) runs single-phase protocols only"
+    );
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
-    let mut net =
-        NetworkBuilder::new().seed(seed).parallel(options.threads).build_with(g, |endpoint| {
+    let mut driver = Session::on(g)
+        .seed(seed)
+        .engine(options.engine)
+        .limits(RunLimits::rounds(options.max_rounds))
+        .build_with(|endpoint| {
             let flags = (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
             DistNearClique::new(params.clone(), flags)
         });
     // Pre-reserve the per-round metrics history (bounded): with it, the
-    // simulator's steady-state rounds perform zero heap allocations.
-    net.reserve_rounds(options.max_rounds.min(4096) as usize);
-    let report = net.run(RunLimits::rounds(options.max_rounds));
-    let outputs = net.outputs();
+    // flat engine's steady-state rounds perform zero heap allocations.
+    driver.reserve_rounds(options.max_rounds.min(4096) as usize);
+    let mut barriers = BarrierTrace::default();
+    let report = driver.run_observed(&mut barriers);
+    let outputs = driver.outputs();
     let labels = outputs.iter().map(|o| o.label).collect();
-    let ids = (0..g.node_count()).map(|v| net.endpoint(v).id).collect();
+    let ids = (0..g.node_count()).map(|v| driver.endpoint(v).id).collect();
     let phase_trace =
-        if g.node_count() > 0 { net.protocol(0).phase_trace().to_vec() } else { Vec::new() };
+        if g.node_count() > 0 { driver.protocol(0).phase_trace().to_vec() } else { Vec::new() };
     NearCliqueRun {
         outputs,
         labels,
@@ -154,6 +198,7 @@ pub fn run_near_clique_with(
         ids,
         params: params.clone(),
         phase_trace,
+        barrier_rounds: barriers.rounds,
     }
 }
 
@@ -192,7 +237,7 @@ mod tests {
     fn round_bound_aborts_gracefully() {
         let g = Graph::complete(20);
         let params = NearCliqueParams::new(0.25, 0.2).unwrap();
-        let options = RunOptions { max_rounds: 2, threads: 1 };
+        let options = RunOptions { max_rounds: 2, ..RunOptions::default() };
         let run = run_near_clique_with(&g, &params, 9, options);
         assert_eq!(run.termination, Termination::RoundLimit);
         // Aborted mid-protocol: no labels, never inconsistent ones.
@@ -213,6 +258,9 @@ mod tests {
         // Entry rounds are non-decreasing.
         let rounds: Vec<u64> = run.phase_trace.iter().map(|&(_, _, r)| r).collect();
         assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
+        // The observer saw every barrier the metrics counted, in order.
+        assert_eq!(run.barrier_rounds.len() as u64, run.metrics.barriers);
+        assert!(run.barrier_rounds.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Property test locking the determinism contract into the unified
+//! [`congest::Session`] surface: for random G(n,p) graphs and seeds, a
+//! randomized protocol run is **bit-identical** across
+//! `Engine::Flat { shards: 1 }`, `Engine::Flat { shards: 4 }` and
+//! `Engine::Legacy` — per-node outputs, the full metrics structure
+//! (per-round histogram included) and termination.
+//!
+//! The protocol below deliberately leans on everything the contract
+//! covers: per-node RNG streams (random payloads *and* random ports),
+//! multi-message trains on single ports (CONGEST pipelining), and
+//! data-dependent sends.
+
+use congest::{Context, Engine, Message, Port, Protocol, RunLimits, Session, Termination};
+use graphs::generators;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Debug)]
+struct Token(u64);
+
+impl Message for Token {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+/// Randomized gossip: every node keeps a rolling hash of everything it
+/// heard (order-sensitive within a round) and, for a few rounds, sends
+/// fresh random tokens to randomly drawn ports — sometimes several to
+/// the same port in one round, so trains pipeline.
+struct RandomGossip {
+    bursts_left: u32,
+    acc: u64,
+}
+
+impl Protocol for RandomGossip {
+    type Msg = Token;
+    type Output = u64;
+
+    fn init(&mut self, ctx: &mut Context<'_, Token>) {
+        let degree = ctx.degree();
+        if degree == 0 {
+            self.bursts_left = 0;
+            return;
+        }
+        let token = ctx.rng().gen_range(0..u64::MAX);
+        ctx.broadcast(Token(token));
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Token>, inbox: &[(Port, Token)]) {
+        for &(port, Token(w)) in inbox {
+            self.acc = self
+                .acc
+                .rotate_left(7)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(w ^ port as u64);
+        }
+        if self.bursts_left > 0 && !inbox.is_empty() {
+            self.bursts_left -= 1;
+            let degree = ctx.degree();
+            for _ in 0..3 {
+                let port = ctx.rng().gen_range(0..degree);
+                let token = ctx.rng().gen_range(0..u64::MAX);
+                ctx.send(port, Token(token));
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn output(&self) -> u64 {
+        self.acc
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random sparse graphs, random seeds: the three synchronous engine
+    /// configurations agree bit for bit through one `Session` entry.
+    #[test]
+    fn session_runs_are_bit_identical_across_engines(
+        n in 8usize..48,
+        edge_factor in 1usize..5,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let p = (edge_factor as f64) * 2.0 / n as f64;
+        let g = generators::gnp(n, p.min(0.6), &mut rng);
+
+        let run = |engine| {
+            Session::on(&g)
+                .seed(run_seed)
+                .engine(engine)
+                .limits(RunLimits::rounds(200))
+                .run_with(|_| RandomGossip { bursts_left: 4, acc: 0 })
+        };
+
+        let (flat1_out, flat1) = run(Engine::Flat { shards: 1 });
+        let (flat4_out, flat4) = run(Engine::Flat { shards: 4 });
+        let (legacy_out, legacy) = run(Engine::Legacy);
+
+        prop_assert_eq!(&flat1_out, &flat4_out, "shard counts diverge");
+        prop_assert_eq!(&flat1_out, &legacy_out, "flat vs legacy diverge");
+        prop_assert_eq!(&flat1.metrics, &flat4.metrics, "shard-count metrics diverge");
+        prop_assert_eq!(&flat1.metrics, &legacy.metrics, "engine metrics diverge");
+        prop_assert_eq!(flat1.termination, flat4.termination);
+        prop_assert_eq!(flat1.termination, legacy.termination);
+        // The workload itself must be non-trivial and finish.
+        prop_assert_eq!(flat1.termination, Termination::Quiescent);
+        prop_assert!(flat1.metrics.messages > 0 || g.edge_count() == 0);
+    }
+}

@@ -216,7 +216,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Something convertible to a size range for [`vec`].
+    /// Something convertible to a size range for [`fn@vec`].
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn draw_len(&self, rng: &mut StdRng) -> usize;
@@ -249,7 +249,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,

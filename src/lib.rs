@@ -8,6 +8,14 @@
 //!
 //! # The one-minute tour
 //!
+//! Everything executes through one surface: a [`congest::Session`]
+//! selects a graph, a seed and an [`congest::Engine`] — the flat
+//! synchronous plane (optionally sharded over threads), the preserved
+//! seed engine, or the synchronizer-α asynchronous executor — and every
+//! engine returns the same outputs and the same payload metrics for the
+//! same seed. The paper's algorithm rides on top via
+//! [`nearclique::run_near_clique`]:
+//!
 //! ```
 //! use near_clique_suite::prelude::*;
 //! use rand::SeedableRng;
@@ -16,12 +24,24 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
 //! let planted = graphs::generators::planted_near_clique(300, 150, 0.01, 0.02, &mut rng);
 //!
-//! // The paper's algorithm, ε = 0.25, E|S| = 8.
+//! // The paper's algorithm, ε = 0.25, E|S| = 8 — one call, which runs a
+//! // Session on the flat engine under the hood.
 //! let params = NearCliqueParams::for_expected_sample(0.25, 8.0, 300)?;
 //! let run = run_near_clique(&planted.graph, &params, 42);
 //!
 //! // Outputs carry the paper's unconditional guarantee (Lemma 5.3).
 //! assert!(check_labels(&planted.graph, &run.labels, params.epsilon).is_ok());
+//!
+//! // Engine A/B is a one-line change: the frozen seed engine (or a
+//! // 4-shard flat run, or synchronizer α) through the same entry point.
+//! let legacy = run_near_clique_with(
+//!     &planted.graph, &params, 42, RunOptions::with_engine(Engine::Legacy),
+//! );
+//! assert_eq!(run.labels, legacy.labels);
+//! assert_eq!(run.metrics, legacy.metrics);
+//!
+//! // Custom protocols use Session directly — see `congest`'s docs; the
+//! // §2 asynchrony reduction is `.engine(Engine::Async { max_delay })`.
 //! # Ok::<(), nearclique::InvalidParams>(())
 //! ```
 
@@ -36,7 +56,10 @@ pub use proptester;
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
     pub use baselines::{run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig};
-    pub use congest::{Metrics, Mode, NetworkBuilder, RunLimits, Termination};
+    pub use congest::{
+        Driver, Engine, Metrics, Mode, Observer, RoundDelta, RunLimits, RunReport, Session,
+        Termination,
+    };
     pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
     pub use nearclique::{
         check_labels, check_theorem_5_7, reference_run, run_near_clique, run_near_clique_with,

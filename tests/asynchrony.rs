@@ -1,9 +1,11 @@
 //! The §2 asynchrony reduction, tested on a real protocol of the paper:
-//! the shingles algorithm runs unchanged over the asynchronous executor
-//! under synchronizer α and produces the exact synchronous outputs.
+//! the shingles algorithm runs unchanged over the asynchronous engine
+//! under synchronizer α — selected purely by [`Engine::Async`] on the
+//! unified [`Session`] surface — and produces the exact synchronous
+//! outputs, with identical payload-side metrics.
 
 use baselines::shingles::{Shingles, ShinglesConfig};
-use congest::{run_synchronized, AsyncConfig, NetworkBuilder, RunLimits};
+use congest::{Engine, RunLimits, Session};
 use graphs::generators;
 use rand::SeedableRng;
 
@@ -14,23 +16,26 @@ fn shingles_is_asynchrony_invariant() {
     let config = ShinglesConfig { min_size: 3, min_density: 0.8 };
 
     for seed in 0..5u64 {
-        let mut sync_net =
-            NetworkBuilder::new().seed(seed).build_with(&planted.graph, |_| Shingles::new(config));
-        sync_net.run(RunLimits::rounds(8));
-        let sync_out = sync_net.outputs();
+        let (sync_out, sync_report) = Session::on(&planted.graph)
+            .seed(seed)
+            .limits(RunLimits::rounds(8))
+            .run_with(|_| Shingles::new(config));
 
         for max_delay in [1u64, 13, 64] {
-            let (async_out, report) = run_synchronized(
-                &planted.graph,
-                AsyncConfig { seed, max_delay, pulse_budget: 8 },
-                |_| Shingles::new(config),
-            );
+            let (async_out, report) = Session::on(&planted.graph)
+                .seed(seed)
+                .engine(Engine::Async { max_delay })
+                .limits(RunLimits::rounds(8))
+                .run_with(|_| Shingles::new(config));
             assert_eq!(
                 async_out, sync_out,
                 "seed {seed}, max_delay {max_delay}: asynchrony changed the output"
             );
-            // The synchronizer pays: control messages dominate.
-            assert!(report.control_messages >= report.payload_messages);
+            // The payload ledger is engine-independent ...
+            assert_eq!(report.metrics.messages, sync_report.metrics.messages);
+            assert_eq!(report.metrics.total_bits, sync_report.metrics.total_bits);
+            // ... and the synchronizer pays on top: control dominates.
+            assert!(report.overhead.control_messages >= report.metrics.messages);
         }
     }
 }
@@ -41,11 +46,14 @@ fn async_virtual_time_scales_with_delay() {
     let g = generators::gnp(40, 0.2, &mut rng);
     let config = ShinglesConfig::default();
     let run = |max_delay| {
-        run_synchronized(&g, AsyncConfig { seed: 1, max_delay, pulse_budget: 8 }, |_| {
-            Shingles::new(config)
-        })
-        .1
-        .virtual_time
+        Session::on(&g)
+            .seed(1)
+            .engine(Engine::Async { max_delay })
+            .limits(RunLimits::rounds(8))
+            .run_with(|_| Shingles::new(config))
+            .1
+            .overhead
+            .virtual_time
     };
     let fast = run(1);
     let slow = run(32);

@@ -75,7 +75,7 @@ fn time_bound_wrapper_aborts_consistently() {
             &planted.graph,
             &params,
             9,
-            RunOptions { max_rounds: budget, threads: 1 },
+            RunOptions { max_rounds: budget, ..RunOptions::default() },
         );
         match run.termination {
             Termination::RoundLimit => {
@@ -127,18 +127,8 @@ fn parallel_and_sequential_runs_agree_cross_crate() {
     let mut r = rng(8);
     let planted = generators::planted_near_clique(200, 80, 0.0156, 0.03, &mut r);
     let params = NearCliqueParams::for_expected_sample(0.25, 8.0, 200).unwrap();
-    let seq = run_near_clique_with(
-        &planted.graph,
-        &params,
-        13,
-        RunOptions { max_rounds: 10_000_000, threads: 1 },
-    );
-    let par = run_near_clique_with(
-        &planted.graph,
-        &params,
-        13,
-        RunOptions { max_rounds: 10_000_000, threads: 4 },
-    );
+    let seq = run_near_clique_with(&planted.graph, &params, 13, RunOptions::threaded(1));
+    let par = run_near_clique_with(&planted.graph, &params, 13, RunOptions::threaded(4));
     assert_eq!(seq.labels, par.labels);
     assert_eq!(seq.metrics.rounds, par.metrics.rounds);
     assert_eq!(seq.metrics.total_bits, par.metrics.total_bits);
