@@ -1,0 +1,153 @@
+//! Asynchronous-engine benches: the scheduling subsystem's two
+//! dimensions under load.
+//!
+//! * **`gossip_models`** — sustained gossip through synchronizer α on a
+//!   1000-node G(n,p), one row per [`DelayModel`] (uniform vs per-link
+//!   vs heavy-tailed vs adversarial at the same bound). The payload
+//!   ledger is identical across rows (pinned by tests); what varies is
+//!   the event-plumbing cost of each schedule.
+//! * **`near_clique_alpha_n1000`** — the full staged `DistNearClique`
+//!   under α at n = 1000, phase transitions driven by a derived
+//!   `PhasePlan` (§4.1), against the flat synchronous baseline. This is
+//!   the "α tax": payload traffic is bit-identical, the difference is
+//!   pure synchronizer control plane.
+//!
+//! Append machine-readable records with:
+//!
+//! ```text
+//! # from the repo root ($PWD: benches run with cwd = the bench package)
+//! BENCH_JSON=$PWD/BENCH_protocol.json cargo bench -p bench --bench async_plane
+//! ```
+//!
+//! CI runs this bench in smoke mode (`ASYNC_PLANE_SMOKE=1`: n shrinks to
+//! 160, one sample) purely to keep the async hot path exercised end to
+//! end; real records come from full local runs.
+
+use congest::{Context, DelayModel, Driver, Engine, Message, Port, Protocol, RunLimits, Session};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::{generators, Graph};
+use nearclique::{near_clique_phase_plan, run_near_clique_phased, NearCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smoke() -> bool {
+    std::env::var("ASYNC_PLANE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// A counter message: representative `O(log n)` width.
+#[derive(Clone, Debug)]
+struct Word {
+    _payload: u64,
+}
+
+impl Message for Word {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+/// Sustained traffic: every node broadcasts every pulse until `rounds`.
+struct Gossip {
+    rounds: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = Word;
+    type Output = ();
+
+    fn init(&mut self, ctx: &mut Context<'_, Word>) {
+        ctx.broadcast(Word { _payload: 0 });
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Word>, inbox: &[(Port, Word)]) {
+        let _ = inbox;
+        if ctx.round() < self.rounds {
+            ctx.broadcast(Word { _payload: ctx.round() });
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn output(&self) {}
+}
+
+const GOSSIP_PULSES: u64 = 30;
+
+fn run_gossip(g: &Graph, delay: DelayModel) -> u64 {
+    let mut driver = Session::on(g)
+        .seed(3)
+        .engine(Engine::Async { delay })
+        .limits(RunLimits::rounds(GOSSIP_PULSES))
+        .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
+    driver.reserve_rounds(GOSSIP_PULSES as usize + 2);
+    let report = driver.run();
+    report.metrics.messages + report.overhead.control_messages
+}
+
+fn bench_gossip_models(c: &mut Criterion) {
+    let n = if smoke() { 160 } else { 1000 };
+    let g = generators::gnp(n, 8.0 / n as f64, &mut StdRng::seed_from_u64(11));
+
+    let mut group = c.benchmark_group("async_plane/gossip_models");
+    group.sample_size(if smoke() { 1 } else { 10 });
+    for delay in [
+        DelayModel::Uniform { max_delay: 8 },
+        DelayModel::PerLink { max_delay: 8 },
+        DelayModel::HeavyTailed { max_delay: 8 },
+        DelayModel::Adversarial { max_delay: 8 },
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(delay.name()), &g, |b, g| {
+            b.iter(|| run_gossip(g, delay));
+        });
+    }
+    group.finish();
+}
+
+/// The α acceptance workload: `DistNearClique` end to end at n = 1000, a
+/// planted near-clique in noise (the protocol-bench shape scaled down),
+/// flat baseline vs phased asynchronous execution.
+fn bench_near_clique_alpha(c: &mut Criterion) {
+    let n: usize = if smoke() { 160 } else { 1000 };
+    let dense = n / 5;
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generators::planted_near_clique(n, dense, 0.0156, 4.0 / n as f64, &mut rng).graph;
+    let params = NearCliqueParams::for_expected_sample(0.25, 7.0, n).unwrap();
+
+    // The §4.1 schedule is precomputed once (it depends only on the
+    // graph/params/seed) and shared by every delay-model row, exactly
+    // how a repeated-deployment harness would amortize it.
+    let plan = near_clique_phase_plan(&g, &params, 7, 1_000_000);
+
+    let mut group = c.benchmark_group(&format!("async_plane/near_clique_alpha_n{n}"));
+    group.sample_size(if smoke() { 1 } else { 5 });
+    group.bench_with_input(BenchmarkId::from_parameter("flat1"), &g, |b, g| {
+        b.iter(|| {
+            let run = nearclique::run_near_clique_with(
+                g,
+                &params,
+                7,
+                nearclique::RunOptions::with_engine(Engine::Flat { shards: 1 }),
+            );
+            run.metrics.messages
+        });
+    });
+    for delay in [
+        DelayModel::Uniform { max_delay: 8 },
+        DelayModel::HeavyTailed { max_delay: 8 },
+        DelayModel::Adversarial { max_delay: 8 },
+    ] {
+        let label = format!("alpha_{}", delay.name());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| {
+                let run = run_near_clique_phased(g, &params, 7, delay, &plan);
+                run.metrics.messages
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip_models, bench_near_clique_alpha);
+criterion_main!(benches);

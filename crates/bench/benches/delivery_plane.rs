@@ -18,7 +18,8 @@
 //! lives in `BENCH_protocol.json`. Regenerate it with:
 //!
 //! ```text
-//! BENCH_JSON=BENCH_protocol.json cargo bench --bench delivery_plane
+//! # from the repo root ($PWD: benches run with cwd = the bench package)
+//! BENCH_JSON=$PWD/BENCH_protocol.json cargo bench -p bench --bench delivery_plane
 //! ```
 
 use congest::{Context, Driver, Engine, Message, Mode, Port, Protocol, RunLimits, Session};

@@ -30,11 +30,14 @@
 //! in-flight event plumbing (delay heap, parked envelopes, per-pulse
 //! inbox staging) is specific to this executor.
 //!
-//! Scope note: protocols that rely on the simulator's quiescence barrier
-//! (`Protocol::on_quiescent`), like the staged `DistNearClique`, are out
-//! of scope for this wrapper — in a real asynchronous deployment each of
-//! their phases would get its own pulse budget, which is precisely the
-//! §4.1 wrapper a drive's pulse budget models for single-phase protocols.
+//! Scheduling is pluggable through [`crate::sched`]: link delays come
+//! from a seeded [`DelayModel`] (uniform, per-link, heavy-tailed or
+//! adversarial-within-bound), and staged protocols that rely on the
+//! simulator's quiescence barrier (`Protocol::on_quiescent`), like the
+//! staged `DistNearClique`, run end-to-end via
+//! [`AsyncNetwork::run_phases`] under a [`PhasePlan`] — each phase gets
+//! its own deterministic pulse budget and the transition fires on
+//! schedule, which is exactly the paper's §4.1 wrapper.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -47,7 +50,8 @@ use crate::metrics::Metrics;
 use crate::network::{assign_ids, IdAssignment};
 use crate::plane::{PortQueues, Topology};
 use crate::protocol::{Context, Endpoint, OutboxHandle, Port, Protocol};
-use crate::rng::{node_rng, splitmix64};
+use crate::rng::node_rng;
+use crate::sched::{DelayModel, DelaySampler, PhasePlan};
 use crate::session::{
     Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
 };
@@ -102,8 +106,8 @@ pub struct AsyncNetwork<P: Protocol> {
     /// Message envelopes parked by event sequence id.
     parked: BTreeMap<u64, SyncMsg<P::Msg>>,
     seq: u64,
-    delay_state: u64,
-    max_delay: u64,
+    /// The compiled link-delay model (see [`crate::sched`]).
+    delays: DelaySampler,
     /// Absolute pulse target of the current drive.
     budget: u64,
     /// Pulses completed over all drives so far.
@@ -124,23 +128,24 @@ pub struct AsyncNetwork<P: Protocol> {
 impl<P: Protocol> AsyncNetwork<P> {
     /// Builds the asynchronous engine over `graph` with the same ID
     /// assignment and per-node RNG streams as the synchronous engines,
-    /// so protocols observe identical endpoints and coin flips.
+    /// so protocols observe identical endpoints and coin flips. Link
+    /// delays are drawn from `delay` (seeded off `seed`; see
+    /// [`crate::sched::DelayModel`]).
     ///
     /// # Panics
     ///
-    /// Panics if `max_delay == 0`, on a hashed ID collision, or if the
-    /// graph exceeds the plane's `u32` port space.
+    /// Panics if the delay model's `max_delay == 0`, on a hashed ID
+    /// collision, or if the graph exceeds the plane's `u32` port space.
     pub fn build_with<F>(
         graph: &Graph,
         seed: u64,
-        max_delay: u64,
+        delay: DelayModel,
         ids: IdAssignment,
         mut factory: F,
     ) -> Self
     where
         F: FnMut(&Endpoint) -> P,
     {
-        assert!(max_delay >= 1, "max_delay must be at least 1");
         let n = graph.node_count();
         let ids = assign_ids(ids, seed, n);
         // Single-shard layout: the α engine owns the whole port space.
@@ -176,8 +181,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             events: BinaryHeap::new(),
             parked: BTreeMap::new(),
             seq: 0,
-            delay_state: splitmix64(seed ^ 0xA57_DE1A),
-            max_delay,
+            delays: DelaySampler::new(delay, seed, port_count),
             budget: 0,
             executed: 0,
             initialized: false,
@@ -191,7 +195,13 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// The configured per-message delay bound.
     #[must_use]
     pub fn max_delay(&self) -> u64 {
-        self.max_delay
+        self.delays.model().bound()
+    }
+
+    /// The configured link-delay model.
+    #[must_use]
+    pub fn delay_model(&self) -> DelayModel {
+        self.delays.model()
     }
 
     /// Accumulated payload-side metrics.
@@ -212,20 +222,16 @@ impl<P: Protocol> AsyncNetwork<P> {
         self.per_pulse.reserve(rounds);
     }
 
-    fn delay(&mut self) -> u64 {
-        self.delay_state = splitmix64(self.delay_state);
-        1 + self.delay_state % self.max_delay
-    }
-
     /// Schedules `msg` from node `from`'s local `port`, arriving after a
-    /// seeded delay. Routing goes through the CSR table: one lookup
-    /// yields the destination node and its receiving port.
+    /// model-drawn delay keyed by the sending port's CSR slot. Routing
+    /// goes through the CSR table: one lookup yields the destination
+    /// node and its receiving port.
     fn send(&mut self, now: u64, from: usize, port: Port, msg: SyncMsg<P::Msg>) {
         let slot = self.topo.offsets[from] as usize + port;
         let route = self.topo.route[slot];
         let to = route.dest_node as usize;
         let back_port = (route.dest_slot - self.topo.offsets[to]) as usize;
-        let at = now + self.delay();
+        let at = now + self.delays.draw(slot);
         let seq = self.seq;
         self.seq += 1;
         self.parked.insert(seq, msg);
@@ -358,6 +364,83 @@ impl<P: Protocol> AsyncNetwork<P> {
             }
         }
     }
+
+    /// Offers every node its [`Protocol::on_quiescent`] transition — the
+    /// §4.1 scheduled stand-in for the synchronous simulator's quiescence
+    /// barrier, taken when a [`PhasePlan`] phase's budget elapses (not at
+    /// detected quiescence, which a synchronizer cannot observe).
+    ///
+    /// Semantics mirror the synchronous engines': nodes are visited in
+    /// index order at the current pulse count; if no node resumes and no
+    /// application message is queued, the protocol has retired and the
+    /// barrier is **not** counted. Otherwise it is metered in
+    /// [`Metrics::barriers`] and streamed via [`Observer::on_barrier`].
+    ///
+    /// Returns `true` while execution should continue (some node resumed,
+    /// or queued messages remain to be delivered).
+    pub fn barrier(&mut self, obs: &mut dyn Observer) -> bool {
+        let round = self.executed;
+        let mut resumed = false;
+        for v in 0..self.nodes.len() {
+            let node = &mut self.nodes[v];
+            let base = self.topo.offsets[v];
+            let mut ctx = Context {
+                endpoint: &node.endpoint,
+                round,
+                outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+                rng: &mut node.rng,
+            };
+            resumed |= node.protocol.on_quiescent(&mut ctx);
+        }
+        if !resumed && self.queues.queued() == 0 {
+            return false;
+        }
+        self.metrics.barriers += 1;
+        obs.on_barrier(round);
+        true
+    }
+
+    /// Executes `plan` phase by phase: each phase drives its pulse
+    /// budget, then [`AsyncNetwork::barrier`] fires the scheduled
+    /// transition — the barrier closing the final phase is the one at
+    /// which a finished protocol retires.
+    ///
+    /// With a plan derived from a synchronous run's phase trace
+    /// ([`PhasePlan::from_trace`]), outputs **and** the payload-side
+    /// [`Metrics`] — per-pulse histogram, barrier count included — equal
+    /// the synchronous engines' bit for bit: this is how staged
+    /// protocols like `DistNearClique` complete under synchronizer α.
+    ///
+    /// Termination is [`Termination::Quiescent`] when the retiring
+    /// barrier finds every node finished, [`Termination::RoundLimit`]
+    /// when the plan ended while the protocol still wanted to resume
+    /// (the plan under-budgeted the run).
+    pub fn run_phases(&mut self, plan: &PhasePlan, obs: &mut dyn Observer) -> RunReport {
+        self.reserve_rounds(plan.total_pulses() as usize);
+        // Run `init` (and the entry into the first phase) before the
+        // first transition barrier, exactly like the synchronous loop.
+        let mut report = self.drive(RunLimits::rounds(0), obs);
+        let mut live = true;
+        for phase in plan.phases() {
+            if phase.pulses > 0 {
+                report = self.drive(RunLimits::rounds(phase.pulses), obs);
+            }
+            live = self.barrier(obs);
+            if !live {
+                break;
+            }
+        }
+        if plan.is_empty() {
+            // No phases scheduled: still offer the retiring barrier so an
+            // already-finished protocol reports quiescence.
+            live = self.barrier(obs);
+        }
+        report.termination = if live { Termination::RoundLimit } else { Termination::Quiescent };
+        report.metrics = self.metrics.clone();
+        report.overhead = self.overhead;
+        report.rounds = self.executed;
+        report
+    }
 }
 
 impl<P: Protocol> Driver for AsyncNetwork<P> {
@@ -469,7 +552,7 @@ impl<P: Protocol> std::fmt::Debug for AsyncNetwork<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AsyncNetwork")
             .field("nodes", &self.nodes.len())
-            .field("max_delay", &self.max_delay)
+            .field("delay", &self.delays.model())
             .field("pulses", &self.executed)
             .finish_non_exhaustive()
     }
@@ -481,6 +564,10 @@ mod tests {
     use crate::message::Message;
     use crate::session::{Engine, Session};
     use graphs::GraphBuilder;
+
+    fn uniform(max_delay: u64) -> Engine {
+        Engine::Async { delay: DelayModel::Uniform { max_delay } }
+    }
 
     /// Flooding protocol identical to the synchronous test suite's.
     #[derive(Debug)]
@@ -547,7 +634,7 @@ mod tests {
         for max_delay in [1u64, 7, 31] {
             let (async_out, report) = Session::on(&g)
                 .seed(11)
-                .engine(Engine::Async { max_delay })
+                .engine(uniform(max_delay))
                 .limits(RunLimits::rounds(40))
                 .run_with(make);
             assert_eq!(async_out, sync_out, "max_delay = {max_delay}");
@@ -564,11 +651,8 @@ mod tests {
         let g = graphs::Graph::complete(6);
         let make =
             |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
-        let (_, report) = Session::on(&g)
-            .seed(2)
-            .engine(Engine::Async { max_delay: 4 })
-            .limits(RunLimits::rounds(10))
-            .run_with(make);
+        let (_, report) =
+            Session::on(&g).seed(2).engine(uniform(4)).limits(RunLimits::rounds(10)).run_with(make);
         // α sends one Ack per payload and Safe to every neighbor every
         // pulse: control dominates payloads.
         assert!(report.overhead.control_messages > report.metrics.messages);
@@ -584,11 +668,8 @@ mod tests {
         let g = b.build();
         let make =
             |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
-        let (out, _) = Session::on(&g)
-            .seed(3)
-            .engine(Engine::Async { max_delay: 3 })
-            .limits(RunLimits::rounds(5))
-            .run_with(make);
+        let (out, _) =
+            Session::on(&g).seed(3).engine(uniform(3)).limits(RunLimits::rounds(5)).run_with(make);
         assert_eq!(out[1], Some(1));
         assert_eq!(out[2], None);
     }
@@ -601,7 +682,7 @@ mod tests {
         let run = |seed| {
             Session::on(&g)
                 .seed(seed)
-                .engine(Engine::Async { max_delay: 9 })
+                .engine(uniform(9))
                 .limits(RunLimits::rounds(30))
                 .run_with(make)
         };
@@ -615,7 +696,13 @@ mod tests {
     #[test]
     fn zero_budget_drive_still_initializes() {
         let g = ring_with_chords(8);
-        let mut net = AsyncNetwork::build_with(&g, 4, 3, IdAssignment::Hashed, make);
+        let mut net = AsyncNetwork::build_with(
+            &g,
+            4,
+            DelayModel::Uniform { max_delay: 3 },
+            IdAssignment::Hashed,
+            make,
+        );
         let report = net.drive(RunLimits::rounds(0), &mut ());
         assert_eq!(report.rounds, 0);
         // Protocol init ran (as on the synchronous engines): the source
@@ -624,26 +711,128 @@ mod tests {
         // A later drive enters pulse 1 as if the zero-budget call had
         // never happened.
         net.drive(RunLimits::rounds(20), &mut ());
-        let (full, _) = Session::on(&g)
-            .seed(4)
-            .engine(Engine::Async { max_delay: 3 })
-            .limits(RunLimits::rounds(20))
-            .run_with(make);
+        let (full, _) =
+            Session::on(&g).seed(4).engine(uniform(3)).limits(RunLimits::rounds(20)).run_with(make);
         assert_eq!(net.outputs(), full);
     }
 
     #[test]
     fn split_budget_equals_one_budget() {
         let g = ring_with_chords(20);
-        let mut split = AsyncNetwork::build_with(&g, 5, 6, IdAssignment::Hashed, make);
+        let mut split = AsyncNetwork::build_with(
+            &g,
+            5,
+            DelayModel::Uniform { max_delay: 6 },
+            IdAssignment::Hashed,
+            make,
+        );
         split.drive(RunLimits::rounds(4), &mut ());
         let split_report = split.drive(RunLimits::rounds(26), &mut ());
 
-        let mut whole = AsyncNetwork::build_with(&g, 5, 6, IdAssignment::Hashed, make);
+        let mut whole = AsyncNetwork::build_with(
+            &g,
+            5,
+            DelayModel::Uniform { max_delay: 6 },
+            IdAssignment::Hashed,
+            make,
+        );
         let whole_report = whole.drive(RunLimits::rounds(30), &mut ());
 
         assert_eq!(split.outputs(), whole.outputs());
         assert_eq!(split_report.rounds, whole_report.rounds);
         assert_eq!(split_report.metrics, whole_report.metrics);
+    }
+
+    /// A staged protocol: sends one wave per phase, advances phases at
+    /// the barrier, records (wave, round) per delivery.
+    #[derive(Debug)]
+    struct Staged {
+        wave: u32,
+        waves: u32,
+        heard: Vec<(u32, u64)>,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Tagged(u32);
+    impl Message for Tagged {
+        fn bit_size(&self) -> usize {
+            8
+        }
+    }
+
+    impl Protocol for Staged {
+        type Msg = Tagged;
+        type Output = Vec<(u32, u64)>;
+        fn init(&mut self, ctx: &mut Context<'_, Tagged>) {
+            ctx.broadcast(Tagged(0));
+        }
+        fn step(&mut self, ctx: &mut Context<'_, Tagged>, inbox: &[(Port, Tagged)]) {
+            for (_, Tagged(w)) in inbox {
+                self.heard.push((*w, ctx.round()));
+            }
+        }
+        fn is_idle(&self) -> bool {
+            true
+        }
+        fn on_quiescent(&mut self, ctx: &mut Context<'_, Tagged>) -> bool {
+            self.wave += 1;
+            if self.wave < self.waves {
+                ctx.broadcast(Tagged(self.wave));
+                true
+            } else {
+                false
+            }
+        }
+        fn output(&self) -> Vec<(u32, u64)> {
+            self.heard.clone()
+        }
+    }
+
+    #[test]
+    fn phased_run_matches_the_synchronous_quiescence_barriers() {
+        let g = ring_with_chords(12);
+        let make_staged = |_: &Endpoint| Staged { wave: 0, waves: 3, heard: Vec::new() };
+
+        // Synchronous ground truth: each wave is one round, then the
+        // quiescence barrier grants the next phase.
+        let (sync_out, sync_report) = Session::on(&g).seed(8).run_with(make_staged);
+        assert_eq!(sync_report.termination, Termination::Quiescent);
+        assert_eq!(sync_report.metrics.barriers, 2);
+
+        // The §4.1 schedule for that execution: three one-pulse phases.
+        let plan = PhasePlan::new().phase("wave0", 1).phase("wave1", 1).phase("wave2", 1);
+        for delay in [
+            DelayModel::Uniform { max_delay: 5 },
+            DelayModel::PerLink { max_delay: 5 },
+            DelayModel::HeavyTailed { max_delay: 5 },
+            DelayModel::Adversarial { max_delay: 5 },
+        ] {
+            let mut net = AsyncNetwork::build_with(&g, 8, delay, IdAssignment::Hashed, make_staged);
+            let report = net.run_phases(&plan, &mut ());
+            assert_eq!(net.outputs(), sync_out, "{delay:?}");
+            assert_eq!(report.termination, Termination::Quiescent, "{delay:?}");
+            assert_eq!(report.metrics, sync_report.metrics, "{delay:?}");
+            assert!(report.overhead.control_messages > 0, "{delay:?}");
+        }
+    }
+
+    #[test]
+    fn under_budgeted_plan_reports_round_limit() {
+        let g = ring_with_chords(10);
+        let make_staged = |_: &Endpoint| Staged { wave: 0, waves: 4, heard: Vec::new() };
+        // Only two of the four waves are scheduled: the closing barrier
+        // still wants to resume, so the plan ran out of schedule.
+        let plan = PhasePlan::new().phase("wave0", 1).phase("wave1", 1);
+        let mut net = AsyncNetwork::build_with(
+            &g,
+            2,
+            DelayModel::Uniform { max_delay: 3 },
+            IdAssignment::Hashed,
+            make_staged,
+        );
+        let report = net.run_phases(&plan, &mut ());
+        assert_eq!(report.termination, Termination::RoundLimit);
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.metrics.barriers, 2, "both scheduled barriers were taken");
     }
 }

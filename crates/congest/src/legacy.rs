@@ -14,6 +14,12 @@
 //!    before/after trail).
 //!
 //! It is sequential-only and not optimized — by design. Do not grow it.
+//!
+//! **Status: frozen reference, slated for demotion to a test-only
+//! fixture** (per ROADMAP) once enough equivalence history accumulates.
+//! New capabilities land elsewhere: scheduling work (delay models, phase
+//! plans) belongs in `crate::sched` + `crate::asynch`, delivery work in
+//! the flat plane (`crate::network`) — never here.
 
 use graphs::Graph;
 use rand::rngs::StdRng;

@@ -23,8 +23,15 @@
 //! | engine | model | backing |
 //! |---|---|---|
 //! | [`Engine::Flat`] | synchronous rounds | the zero-allocation flat plane, sharded over threads |
-//! | [`Engine::Legacy`] | synchronous rounds | the preserved seed engine (frozen reference) |
-//! | [`Engine::Async`] | event-driven, synchronizer α | flat-plane queues + seeded link delays |
+//! | [`Engine::Legacy`] | synchronous rounds | the preserved seed engine (frozen test/bench reference) |
+//! | [`Engine::Async`] | event-driven, synchronizer α | flat-plane queues + pluggable [`DelayModel`]s |
+//!
+//! The asynchronous engine's scheduling is a subsystem of its own
+//! ([`sched`]): four seeded link-[`DelayModel`]s (uniform, per-link,
+//! heavy-tailed, adversarial-within-bound) and per-phase [`PhasePlan`]
+//! pulse budgets (the paper's §4.1 staged execution) that let
+//! multi-phase protocols complete under α via
+//! [`SessionDriver::run_phased`].
 //!
 //! All three implement [`Driver`] (drive rounds → read outputs /
 //! metrics / termination), report through one [`RunReport`], and stream
@@ -34,7 +41,7 @@
 //! # Example: flooding, on all three engines
 //!
 //! ```
-//! use congest::{Context, Engine, Message, Port, Protocol, RunLimits, Session};
+//! use congest::{Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session};
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
@@ -61,7 +68,7 @@
 //!
 //! let g = graphs::Graph::complete(5);
 //! let factory = |e: &congest::Endpoint| Echo { seen: false, source: e.index == 0 };
-//! for engine in [Engine::Flat { shards: 1 }, Engine::Legacy, Engine::Async { max_delay: 4 }] {
+//! for engine in [Engine::Flat { shards: 1 }, Engine::Legacy, Engine::Async { delay: DelayModel::Uniform { max_delay: 4 } }] {
 //!     let (outputs, report) = Session::on(&g)
 //!         .seed(7)
 //!         .engine(engine)
@@ -83,6 +90,7 @@ pub mod network;
 mod plane;
 pub mod protocol;
 pub mod rng;
+pub mod sched;
 pub mod session;
 
 pub use asynch::AsyncNetwork;
@@ -91,6 +99,7 @@ pub use message::{bits_for_count, Message, ID_BITS, TAG_BITS};
 pub use metrics::Metrics;
 pub use network::{IdAssignment, Mode, Network, NetworkBuilder};
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
+pub use sched::{DelayModel, PhaseBudget, PhasePlan};
 pub use session::{
     Driver, Engine, Observer, RoundDelta, RunLimits, RunReport, Session, SessionDriver,
     SyncOverhead, Termination,

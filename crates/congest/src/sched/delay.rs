@@ -1,0 +1,246 @@
+//! Link-delay models for the asynchronous engine.
+//!
+//! A [`DelayModel`] is a *pure description* (`Copy`, engine-config
+//! sized); the engine compiles it into a [`DelaySampler`] at build time —
+//! per-port tables are computed once, and drawing a delay never
+//! allocates, keeping the executor's steady state allocation-free on the
+//! sampler side.
+
+use crate::rng::splitmix64;
+
+/// Stream salt of the shared delay-draw state. This constant predates the
+/// pluggable models: [`DelayModel::Uniform`] draws are bit-identical to
+/// the original fixed `1..=max_delay` engine.
+const DELAY_STREAM_SALT: u64 = 0xA57_DE1A;
+/// Salt of the per-port bound table of [`DelayModel::PerLink`].
+const PER_LINK_SALT: u64 = 0x09E1_114B;
+/// Salt of the slow-port subset of [`DelayModel::Adversarial`].
+const ADVERSARIAL_SALT: u64 = 0xAD_5A_17;
+
+/// How the asynchronous engine delays each message, in virtual time
+/// units. All models are seeded off the session's master seed and bounded
+/// by `max_delay` (≥ 1), so the §2 synchronizer correctness argument
+/// (finite, positive link delays) holds for every variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Independent uniform draws from `1..=max_delay` — the classic
+    /// model, bit-identical to the engine's original fixed draw (same
+    /// stream, same salt), so pre-existing seeds reproduce exactly.
+    Uniform {
+        /// Upper bound on per-message link delay (≥ 1).
+        max_delay: u64,
+    },
+    /// Heterogeneous links: every directed port gets its own seeded bound
+    /// in `1..=max_delay`, and each message draws uniformly within its
+    /// port's bound. Models networks where some links are consistently
+    /// slower than others.
+    PerLink {
+        /// Upper bound on any port's delay bound (≥ 1).
+        max_delay: u64,
+    },
+    /// A bounded Pareto-like draw (shape α = 2): most messages arrive in
+    /// one or two time units, a heavy tail takes up to `max_delay`.
+    /// Models congestion spikes and stragglers.
+    HeavyTailed {
+        /// Hard cap on the tail (≥ 1).
+        max_delay: u64,
+    },
+    /// Deterministic worst-case-within-bound: a seeded half of the
+    /// directed ports *always* takes the full `max_delay`, the other half
+    /// is always instant (delay 1). No randomness per message — the
+    /// adversary commits to the schedule up front, maximizing skew
+    /// between neighboring nodes' pulse progress.
+    Adversarial {
+        /// Delay of every slow port (≥ 1); fast ports take 1.
+        max_delay: u64,
+    },
+}
+
+impl DelayModel {
+    /// The model's delay bound: no message is ever delayed by more.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        match *self {
+            DelayModel::Uniform { max_delay }
+            | DelayModel::PerLink { max_delay }
+            | DelayModel::HeavyTailed { max_delay }
+            | DelayModel::Adversarial { max_delay } => max_delay,
+        }
+    }
+
+    /// Short stable label (bench records, diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DelayModel::Uniform { .. } => "uniform",
+            DelayModel::PerLink { .. } => "per_link",
+            DelayModel::HeavyTailed { .. } => "heavy_tailed",
+            DelayModel::Adversarial { .. } => "adversarial",
+        }
+    }
+
+    /// Panics unless the model is well-formed (`max_delay >= 1`).
+    pub(crate) fn validate(&self) {
+        assert!(self.bound() >= 1, "{}: max_delay must be at least 1", self.name());
+    }
+}
+
+impl Default for DelayModel {
+    /// Uniform with `max_delay = 1`: synchronous-like timing (every
+    /// message takes exactly one time unit).
+    fn default() -> Self {
+        DelayModel::Uniform { max_delay: 1 }
+    }
+}
+
+/// The runtime form of a [`DelayModel`]: the shared draw state plus any
+/// per-port tables, compiled once at engine build. [`DelaySampler::draw`]
+/// is allocation-free.
+#[derive(Clone, Debug)]
+pub(crate) struct DelaySampler {
+    model: DelayModel,
+    /// Shared splitmix64 stream advanced by the randomized models.
+    state: u64,
+    /// Per-directed-port table: the port's delay bound (`PerLink`) or its
+    /// fixed delay (`Adversarial`). Empty for the port-blind models.
+    per_port: Vec<u64>,
+}
+
+impl DelaySampler {
+    /// Compiles `model` for a plane of `port_count` directed ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's `max_delay` is 0.
+    pub fn new(model: DelayModel, seed: u64, port_count: usize) -> Self {
+        model.validate();
+        let per_port = match model {
+            DelayModel::Uniform { .. } | DelayModel::HeavyTailed { .. } => Vec::new(),
+            DelayModel::PerLink { max_delay } => (0..port_count)
+                .map(|slot| {
+                    1 + splitmix64(splitmix64(seed ^ PER_LINK_SALT).wrapping_add(slot as u64))
+                        % max_delay
+                })
+                .collect(),
+            DelayModel::Adversarial { max_delay } => (0..port_count)
+                .map(|slot| {
+                    let coin =
+                        splitmix64(splitmix64(seed ^ ADVERSARIAL_SALT).wrapping_add(slot as u64));
+                    if coin & 1 == 0 {
+                        max_delay
+                    } else {
+                        1
+                    }
+                })
+                .collect(),
+        };
+        Self { model, state: splitmix64(seed ^ DELAY_STREAM_SALT), per_port }
+    }
+
+    /// The compiled model.
+    pub fn model(&self) -> DelayModel {
+        self.model
+    }
+
+    /// Draws the delay for one message leaving through the directed port
+    /// at global CSR slot `slot`. Never allocates; never returns 0 or a
+    /// value above the model's bound.
+    #[inline]
+    pub fn draw(&mut self, slot: usize) -> u64 {
+        match self.model {
+            DelayModel::Uniform { max_delay } => {
+                self.state = splitmix64(self.state);
+                1 + self.state % max_delay
+            }
+            DelayModel::PerLink { .. } => {
+                self.state = splitmix64(self.state);
+                1 + self.state % self.per_port[slot]
+            }
+            DelayModel::HeavyTailed { max_delay } => {
+                self.state = splitmix64(self.state);
+                // Bounded Pareto, shape α = 2, via inverse CDF: with
+                // u ∈ (0, 1), `1/√u` exceeds d with probability d⁻².
+                // `sqrt` is IEEE-exact, so the draw is fully
+                // deterministic. The low bit is forced so u > 0.
+                let u = ((self.state >> 11) | 1) as f64 / (1u64 << 53) as f64;
+                let raw = u.sqrt().recip() as u64;
+                raw.clamp(1, max_delay)
+            }
+            DelayModel::Adversarial { .. } => self.per_port[slot],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_the_original_fixed_draw() {
+        // The pre-subsystem engine drew `state = splitmix64(state);
+        // 1 + state % max_delay` off `splitmix64(seed ^ 0xA57_DE1A)`.
+        // Uniform must reproduce that stream bit for bit.
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            for max_delay in [1u64, 7, 31] {
+                let mut sampler = DelaySampler::new(DelayModel::Uniform { max_delay }, seed, 8);
+                let mut state = splitmix64(seed ^ 0xA57_DE1A);
+                for slot in 0..64 {
+                    state = splitmix64(state);
+                    assert_eq!(sampler.draw(slot % 8), 1 + state % max_delay);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_models_respect_the_bound() {
+        for model in [
+            DelayModel::Uniform { max_delay: 9 },
+            DelayModel::PerLink { max_delay: 9 },
+            DelayModel::HeavyTailed { max_delay: 9 },
+            DelayModel::Adversarial { max_delay: 9 },
+        ] {
+            let mut sampler = DelaySampler::new(model, 3, 16);
+            for i in 0..2000 {
+                let d = sampler.draw(i % 16);
+                assert!((1..=9).contains(&d), "{model:?} drew {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_link_bounds_are_port_stable() {
+        let mut a = DelaySampler::new(DelayModel::PerLink { max_delay: 64 }, 11, 4);
+        // Port 0's draws never exceed its bound even when other ports do.
+        let bound0 = a.per_port[0];
+        for _ in 0..500 {
+            assert!(a.draw(0) <= bound0);
+        }
+    }
+
+    #[test]
+    fn adversarial_is_deterministic_and_bimodal() {
+        let mut s = DelaySampler::new(DelayModel::Adversarial { max_delay: 40 }, 5, 64);
+        let first: Vec<u64> = (0..64).map(|p| s.draw(p)).collect();
+        let second: Vec<u64> = (0..64).map(|p| s.draw(p)).collect();
+        assert_eq!(first, second, "adversarial delays are fixed per port");
+        assert!(first.iter().all(|&d| d == 1 || d == 40));
+        assert!(first.contains(&1) && first.contains(&40));
+    }
+
+    #[test]
+    fn heavy_tail_skews_low_but_reaches_high() {
+        let mut s = DelaySampler::new(DelayModel::HeavyTailed { max_delay: 100 }, 1, 1);
+        let draws: Vec<u64> = (0..4000).map(|_| s.draw(0)).collect();
+        let ones = draws.iter().filter(|&&d| d == 1).count();
+        // P(D = 1) = 3/4 under α = 2.
+        assert!(ones > 2400, "expected a fast majority, got {ones}/4000 ones");
+        assert!(draws.iter().any(|&d| d > 20), "tail never materialized");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delay must be at least 1")]
+    fn zero_bound_is_rejected() {
+        DelaySampler::new(DelayModel::HeavyTailed { max_delay: 0 }, 0, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! The asynchronous scheduling subsystem: *what is delayed* × *how
+//! phases advance*.
+//!
+//! [`Engine::Async`](crate::Engine::Async) executes the §2 Awerbuch
+//! reduction — any synchronous algorithm runs unchanged under
+//! synchronizer α. This module supplies the two scheduling dimensions
+//! that turn that executor into an adversarial testbed:
+//!
+//! * [`DelayModel`] — the link-delay distribution. Four models, all
+//!   seeded and deterministic: [`DelayModel::Uniform`] (the classic
+//!   `1..=max_delay` draw), [`DelayModel::PerLink`] (every directed port
+//!   gets its own seeded bound — heterogeneous links),
+//!   [`DelayModel::HeavyTailed`] (a bounded Pareto-like draw — most
+//!   messages fast, a heavy tail of stragglers), and
+//!   [`DelayModel::Adversarial`] (worst-case-within-bound: a seeded half
+//!   of the ports always takes the full `max_delay`, the rest are
+//!   instant — maximal skew the synchronizer must absorb).
+//! * [`PhasePlan`] — per-phase deterministic pulse budgets, the paper's
+//!   §4.1 staged execution. A synchronizer has no quiescence barrier, so
+//!   multi-phase protocols (like `DistNearClique`) assign each phase a
+//!   precomputed budget; when a phase's budget elapses, every node takes
+//!   its [`Protocol::on_quiescent`](crate::Protocol::on_quiescent)
+//!   transition, exactly as the synchronous simulator does at
+//!   quiescence. Budgets can be written by hand or derived from a
+//!   synchronous dry run's phase trace
+//!   ([`PhasePlan::from_trace`]).
+//!
+//! Both knobs ride the unified [`crate::Session`] surface: the delay
+//! model goes into `Engine::Async { delay }`, the plan into
+//! [`crate::SessionDriver::run_phased`]. Payload-side [`crate::Metrics`]
+//! stay bit-identical to the synchronous engines' under **every** delay
+//! model — delays reorder delivery, never traffic — which the
+//! cross-model tests in `crates/core/tests/engine_equivalence.rs` and
+//! `tests/asynchrony.rs` pin.
+
+mod delay;
+mod phase;
+
+pub use delay::DelayModel;
+pub(crate) use delay::DelaySampler;
+pub use phase::{PhaseBudget, PhasePlan};

@@ -32,7 +32,7 @@
 //! # Example: one protocol, three engines
 //!
 //! ```
-//! use congest::{Context, Engine, Message, Port, Protocol, RunLimits, Session};
+//! use congest::{Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session};
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
@@ -60,7 +60,7 @@
 //! let g = graphs::Graph::complete(5);
 //! let factory = |e: &congest::Endpoint| Echo { seen: false, source: e.index == 0 };
 //! let mut flat = Vec::new();
-//! for engine in [Engine::Flat { shards: 2 }, Engine::Legacy, Engine::Async { max_delay: 7 }] {
+//! for engine in [Engine::Flat { shards: 2 }, Engine::Legacy, Engine::Async { delay: DelayModel::Uniform { max_delay: 7 } }] {
 //!     let (outputs, report) = Session::on(&g)
 //!         .seed(7)
 //!         .engine(engine)
@@ -81,6 +81,7 @@ use crate::legacy::LegacyNetwork;
 use crate::metrics::Metrics;
 use crate::network::{IdAssignment, Mode, Network, NetworkBuilder};
 use crate::protocol::{Endpoint, Protocol, Round};
+use crate::sched::{DelayModel, PhasePlan};
 
 /// Which execution engine a [`Session`] drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,18 +98,22 @@ pub enum Engine {
     /// benchmarking.
     Legacy,
     /// Event-driven asynchronous execution under synchronizer α: every
-    /// message is delayed by a seeded draw from `1..=max_delay` virtual
-    /// time units, and the synchronizer's Ack/Safe traffic recreates
-    /// synchronous pulses (the §2 Awerbuch reduction).
+    /// message is delayed by a seeded draw from a pluggable
+    /// [`DelayModel`] (uniform, per-link, heavy-tailed, or
+    /// adversarial-within-bound — see [`crate::sched`]), and the
+    /// synchronizer's Ack/Safe traffic recreates synchronous pulses (the
+    /// §2 Awerbuch reduction).
     ///
     /// α pulses are CONGEST rounds; this engine rejects
     /// [`Mode::Local`]. Always give it an explicit pulse budget via
     /// [`Session::limits`] — pulses never quiesce (empty pulses still
     /// flood `Safe` messages), so the budget *is* the termination rule
-    /// (the paper's §4.1 deterministic time bound).
+    /// (the paper's §4.1 deterministic time bound). Staged protocols
+    /// additionally take a per-phase [`PhasePlan`] through
+    /// [`SessionDriver::run_phased`].
     Async {
-        /// Upper bound on per-message link delay (≥ 1).
-        max_delay: u64,
+        /// The link-delay model (its `max_delay` must be ≥ 1).
+        delay: DelayModel,
     },
 }
 
@@ -146,9 +151,10 @@ impl RunLimits {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Termination {
     /// All nodes idle, no messages anywhere, no node resumed at the final
-    /// barrier. (The α engine never reports this: synchronizer pulses
-    /// keep exchanging control traffic forever, so only the budget
-    /// stops it.)
+    /// barrier. (A plain α drive never reports this — synchronizer pulses
+    /// keep exchanging control traffic forever, so only the budget stops
+    /// it; a phased α run does, when its [`PhasePlan`]'s closing barrier
+    /// retires every node.)
     Quiescent,
     /// The [`RunLimits::max_rounds`] bound fired first.
     RoundLimit,
@@ -433,7 +439,7 @@ impl<'g> Session<'g> {
             Engine::Legacy => EngineDriver::Legacy(LegacyNetwork::build_with(
                 self.graph, self.mode, self.seed, self.ids, factory,
             )),
-            Engine::Async { max_delay } => {
+            Engine::Async { delay } => {
                 assert!(
                     self.mode == Mode::Congest,
                     "synchronizer α models CONGEST pulses; Mode::Local is not executable on \
@@ -446,7 +452,7 @@ impl<'g> Session<'g> {
                      budget is the §4.1 termination rule"
                 );
                 EngineDriver::Async(AsyncNetwork::build_with(
-                    self.graph, self.seed, max_delay, self.ids, factory,
+                    self.graph, self.seed, delay, self.ids, factory,
                 ))
             }
         };
@@ -499,7 +505,7 @@ impl<P: Protocol> SessionDriver<P> {
         match &self.inner {
             EngineDriver::Flat(net) => Engine::Flat { shards: net.shard_count() },
             EngineDriver::Legacy(_) => Engine::Legacy,
-            EngineDriver::Async(net) => Engine::Async { max_delay: net.max_delay() },
+            EngineDriver::Async(net) => Engine::Async { delay: net.delay_model() },
         }
     }
 
@@ -516,6 +522,32 @@ impl<P: Protocol> SessionDriver<P> {
     pub fn run_observed(&mut self, obs: &mut dyn Observer) -> RunReport {
         let limits = self.limits;
         self.drive(limits, obs)
+    }
+
+    /// Executes a staged run under a [`PhasePlan`] (the paper's §4.1
+    /// per-phase deterministic budgets), streaming to `obs`.
+    ///
+    /// On [`Engine::Async`] this is
+    /// [`AsyncNetwork::run_phases`](crate::AsyncNetwork::run_phases):
+    /// each phase drives its pulse budget, then every node takes its
+    /// scheduled [`Protocol::on_quiescent`]
+    /// transition — how multi-phase protocols complete under
+    /// synchronizer α. On the synchronous engines the quiescence barrier
+    /// fires natively, so the plan collapses to its overall time bound
+    /// ([`PhasePlan::total_pulses`]) and the run behaves exactly like
+    /// [`SessionDriver::run`] with that budget — the same plan drives
+    /// every engine.
+    pub fn run_phased(&mut self, plan: &PhasePlan, obs: &mut dyn Observer) -> RunReport {
+        let inner = &mut self.inner;
+        let mut dispatch = |obs: &mut dyn Observer| match inner {
+            EngineDriver::Flat(net) => net.drive(RunLimits::rounds(plan.total_pulses()), obs),
+            EngineDriver::Legacy(net) => net.drive(RunLimits::rounds(plan.total_pulses()), obs),
+            EngineDriver::Async(net) => net.run_phases(plan, obs),
+        };
+        match self.observer.as_deref_mut() {
+            Some(installed) => dispatch(&mut Chain(installed, obs)),
+            None => dispatch(obs),
+        }
     }
 }
 
@@ -646,7 +678,7 @@ mod tests {
             Engine::Flat { shards: 1 },
             Engine::Flat { shards: 3 },
             Engine::Legacy,
-            Engine::Async { max_delay: 5 },
+            Engine::Async { delay: DelayModel::Uniform { max_delay: 5 } },
         ] {
             let (out, report) = Session::on(&g)
                 .seed(4)
@@ -670,7 +702,7 @@ mod tests {
 
         let (_, async_report) = Session::on(&g)
             .seed(1)
-            .engine(Engine::Async { max_delay: 3 })
+            .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 3 } })
             .limits(RunLimits::rounds(6))
             .run_with(factory);
         assert!(async_report.overhead.control_messages > 0);
@@ -691,7 +723,11 @@ mod tests {
         }
 
         let g = ring(6);
-        for engine in [Engine::Flat { shards: 1 }, Engine::Legacy, Engine::Async { max_delay: 2 }] {
+        for engine in [
+            Engine::Flat { shards: 1 },
+            Engine::Legacy,
+            Engine::Async { delay: DelayModel::Uniform { max_delay: 2 } },
+        ] {
             let mut tape = Tape::default();
             let mut driver = Session::on(&g)
                 .seed(2)
@@ -713,7 +749,11 @@ mod tests {
     #[test]
     fn driver_is_resumable_across_engines() {
         let g = ring(10);
-        for engine in [Engine::Flat { shards: 1 }, Engine::Legacy, Engine::Async { max_delay: 4 }] {
+        for engine in [
+            Engine::Flat { shards: 1 },
+            Engine::Legacy,
+            Engine::Async { delay: DelayModel::Uniform { max_delay: 4 } },
+        ] {
             let mut driver = Session::on(&g)
                 .seed(3)
                 .engine(engine)

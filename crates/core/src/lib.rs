@@ -61,7 +61,10 @@ pub use msg::Msg;
 pub use params::{InvalidParams, NearCliqueParams};
 pub use protocol::{DistNearClique, NodeOutput};
 pub use reference::{reference_run, RefCandidate, ReferenceResult};
-pub use runner::{run_near_clique, run_near_clique_with, NearCliqueRun, RunOptions};
+pub use runner::{
+    near_clique_phase_plan, run_near_clique, run_near_clique_phased, run_near_clique_with,
+    NearCliqueRun, RunOptions,
+};
 pub use sample::SamplePlan;
 pub use verify::{check_labels, check_theorem_5_7, LabelViolation, SetCheck};
 

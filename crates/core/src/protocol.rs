@@ -186,6 +186,40 @@ impl DistNearClique {
         &self.trace
     }
 
+    /// The canonical phase-entry order for `lambda` boosting versions —
+    /// the names a complete run's [`DistNearClique::phase_trace`] (and
+    /// any `congest::PhasePlan` scheduling it, e.g. one built by
+    /// `PhasePlan::from_trace`) walks through: the seven-phase
+    /// exploration block once per version, then the single
+    /// `vote`/`winner` decision pass.
+    #[must_use]
+    pub fn phase_sequence(lambda: u32) -> Vec<&'static str> {
+        let per_version = [
+            Phase::Announce,
+            Phase::Roster,
+            Phase::CompShare,
+            Phase::KConverge,
+            Phase::KBroadcast,
+            Phase::TConverge,
+            Phase::CandidateDown,
+        ];
+        let mut names = Vec::with_capacity(per_version.len() * lambda.max(1) as usize + 2);
+        for _ in 0..lambda.max(1) {
+            names.extend(per_version.iter().map(|p| p.name()));
+        }
+        names.push(Phase::Vote.name());
+        names.push(Phase::Winner.name());
+        names
+    }
+
+    /// Name of the phase this node currently executes (the §4.1 wrapper
+    /// and the phased async runner use this to diagnose mis-budgeted
+    /// schedules).
+    #[must_use]
+    pub fn current_phase(&self) -> &'static str {
+        self.phase.name()
+    }
+
     fn record_phase(&mut self, round: Round) {
         self.trace.push((self.version, self.phase.name(), round));
     }

@@ -2,11 +2,15 @@
 //!
 //! [`run_near_clique`] is the one-call API most users (and all examples)
 //! want: draw the sampling stage, execute the protocol through a
-//! [`congest::Session`] (any synchronous [`Engine`]), and return labels,
-//! per-node outputs, metrics and everything needed for verification or
-//! cross-checking against the centralized reference.
+//! [`congest::Session`] (any [`Engine`] — synchronous, or asynchronous
+//! under synchronizer α with a precomputed [`PhasePlan`]), and return
+//! labels, per-node outputs, metrics and everything needed for
+//! verification or cross-checking against the centralized reference.
 
-use congest::{Driver, Engine, Metrics, Observer, RoundDelta, RunLimits, Session, Termination};
+use congest::{
+    DelayModel, Driver, Engine, Metrics, Observer, PhasePlan, RoundDelta, RunLimits, Session,
+    Termination,
+};
 use graphs::{FixedBitSet, Graph};
 
 use crate::params::NearCliqueParams;
@@ -20,9 +24,11 @@ pub struct RunOptions {
     /// Deterministic round bound (§4.1 wrapper); the run aborts with
     /// whatever labels exist if exceeded.
     pub max_rounds: u64,
-    /// Which engine executes the protocol. Both synchronous engines are
-    /// bit-identical for the same seed (and the flat engine at any shard
-    /// count) — the determinism contract `engine_equivalence` enforces.
+    /// Which engine executes the protocol. All engines are bit-identical
+    /// on labels, outputs and payload metrics for the same seed (the flat
+    /// engine at any shard count; [`Engine::Async`] under any
+    /// [`DelayModel`], scheduled by a derived [`PhasePlan`]) — the
+    /// determinism contract `engine_equivalence` enforces.
     pub engine: Engine,
 }
 
@@ -72,6 +78,10 @@ pub struct NearCliqueRun {
     pub labels: Vec<Option<u64>>,
     /// Simulator metrics: rounds, messages, bits.
     pub metrics: Metrics,
+    /// Synchronizer control-plane overhead — identically zero on the
+    /// synchronous engines; on [`Engine::Async`], α's Ack/Safe traffic
+    /// and the virtual completion time.
+    pub overhead: congest::SyncOverhead,
     /// Whether the run quiesced or hit the round bound.
     pub termination: Termination,
     /// The sampling-stage coin flips used.
@@ -152,12 +162,15 @@ pub fn run_near_clique(g: &Graph, params: &NearCliqueParams, seed: u64) -> NearC
 /// Runs `DistNearClique` with explicit [`RunOptions`], through the
 /// unified [`Session`] surface.
 ///
-/// # Panics
-///
-/// Panics on [`Engine::Async`]: `DistNearClique`'s staged phases need
-/// the simulator's quiescence barrier, which synchronizer α does not
-/// provide — each phase would need its own §4.1 pulse budget (see the
-/// scope note in `congest::asynch`).
+/// On the synchronous engines, phase transitions happen at the
+/// simulator's quiescence barriers. On [`Engine::Async`] — where
+/// synchronizer α has no quiescence barrier — the runner first
+/// *precomputes* the §4.1 schedule with [`near_clique_phase_plan`] (a
+/// synchronous dry run on the flat engine; the stand-in for the paper's
+/// offline round-bound analysis) and then executes the phased
+/// asynchronous run via [`run_near_clique_phased`]. Labels, outputs and
+/// the payload-side [`Metrics`] equal the synchronous engines' bit for
+/// bit, under every [`DelayModel`].
 #[must_use]
 pub fn run_near_clique_with(
     g: &Graph,
@@ -165,11 +178,10 @@ pub fn run_near_clique_with(
     seed: u64,
     options: RunOptions,
 ) -> NearCliqueRun {
-    assert!(
-        !matches!(options.engine, Engine::Async { .. }),
-        "DistNearClique takes phase transitions at quiescence barriers; synchronizer α \
-         (Engine::Async) runs single-phase protocols only"
-    );
+    if let Engine::Async { delay } = options.engine {
+        let plan = near_clique_phase_plan(g, params, seed, options.max_rounds);
+        return run_near_clique_phased(g, params, seed, delay, &plan);
+    }
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
     let mut driver = Session::on(g)
         .seed(seed)
@@ -193,6 +205,90 @@ pub fn run_near_clique_with(
         outputs,
         labels,
         metrics: report.metrics,
+        overhead: report.overhead,
+        termination: report.termination,
+        plan,
+        ids,
+        params: params.clone(),
+        phase_trace,
+        barrier_rounds: barriers.rounds,
+    }
+}
+
+/// Precomputes the §4.1 per-phase pulse schedule for a `DistNearClique`
+/// run: a synchronous dry run on the flat engine (same seed, same
+/// sampling stage, same IDs) records its phase trace, and
+/// [`PhasePlan::from_trace`] turns the barrier entry rounds into exact
+/// per-phase budgets.
+///
+/// The paper precomputes these bounds analytically; the harness
+/// precomputes them by simulation — either way the asynchronous
+/// execution receives a *deterministic* schedule fixed before it starts.
+/// Derive the plan once and reuse it across delay models: the schedule
+/// depends only on `(g, params, seed)`.
+///
+/// If the dry run hits `max_rounds` before quiescing, the plan covers
+/// only the phases reached — the phased run will then also stop at the
+/// round limit.
+#[must_use]
+pub fn near_clique_phase_plan(
+    g: &Graph,
+    params: &NearCliqueParams,
+    seed: u64,
+    max_rounds: u64,
+) -> PhasePlan {
+    let dry = run_near_clique_with(
+        g,
+        params,
+        seed,
+        RunOptions { max_rounds, engine: Engine::Flat { shards: 1 } },
+    );
+    PhasePlan::from_trace(&dry.phase_trace, dry.metrics.rounds)
+}
+
+/// Runs `DistNearClique` on [`Engine::Async`] under an explicit
+/// [`PhasePlan`] — synchronizer α with the given link-[`DelayModel`],
+/// phase transitions fired on the plan's schedule instead of at
+/// quiescence.
+///
+/// With a plan from [`near_clique_phase_plan`], the run reproduces the
+/// synchronous execution exactly (labels, outputs, payload metrics,
+/// phase trace — pulse for round). Hand-written plans may deviate: a
+/// *truncated* plan (fewer phases) stops cleanly at
+/// [`Termination::RoundLimit`] with no labels; a plan that cuts a phase
+/// *short* fires the next transition while stale-phase messages are
+/// still in flight, which `DistNearClique` — a phase-pure protocol —
+/// rejects with a panic. Both are faithful §4.1 failure modes: a
+/// mis-derived deterministic bound breaks the staged algorithm.
+#[must_use]
+pub fn run_near_clique_phased(
+    g: &Graph,
+    params: &NearCliqueParams,
+    seed: u64,
+    delay: DelayModel,
+    phases: &PhasePlan,
+) -> NearCliqueRun {
+    let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
+    let mut driver = Session::on(g)
+        .seed(seed)
+        .engine(Engine::Async { delay })
+        .limits(RunLimits::rounds(phases.total_pulses()))
+        .build_with(|endpoint| {
+            let flags = (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
+            DistNearClique::new(params.clone(), flags)
+        });
+    let mut barriers = BarrierTrace::default();
+    let report = driver.run_phased(phases, &mut barriers);
+    let outputs = driver.outputs();
+    let labels = outputs.iter().map(|o| o.label).collect();
+    let ids = (0..g.node_count()).map(|v| driver.endpoint(v).id).collect();
+    let phase_trace =
+        if g.node_count() > 0 { driver.protocol(0).phase_trace().to_vec() } else { Vec::new() };
+    NearCliqueRun {
+        outputs,
+        labels,
+        metrics: report.metrics,
+        overhead: report.overhead,
         termination: report.termination,
         plan,
         ids,
@@ -281,5 +377,55 @@ mod tests {
         let params = NearCliqueParams::new(0.25, 0.1).unwrap();
         let run = run_near_clique(&g, &params, 21);
         assert_eq!(run.sample_size(0), run.plan.sample(0).len());
+    }
+
+    #[test]
+    fn async_engine_runs_dist_near_clique_end_to_end() {
+        let g = Graph::complete(25);
+        let params = NearCliqueParams::new(0.25, 0.15).unwrap();
+        let sync = run_near_clique(&g, &params, 3);
+        let options = RunOptions::with_engine(Engine::Async {
+            delay: DelayModel::HeavyTailed { max_delay: 6 },
+        });
+        let run = run_near_clique_with(&g, &params, 3, options);
+        assert_eq!(run.termination, Termination::Quiescent);
+        assert_eq!(run.labels, sync.labels);
+        assert_eq!(run.outputs, sync.outputs);
+        assert_eq!(run.metrics, sync.metrics, "payload ledger must match pulse for round");
+        assert_eq!(run.phase_trace, sync.phase_trace);
+        assert_eq!(run.barrier_rounds, sync.barrier_rounds);
+        // Only the α run pays a control plane, and the run reports it.
+        assert!(sync.overhead.is_zero());
+        assert!(run.overhead.control_messages > 0);
+        assert!(run.overhead.virtual_time > 0);
+    }
+
+    #[test]
+    fn derived_phase_plan_walks_the_canonical_phase_sequence() {
+        let g = Graph::complete(20);
+        let params = NearCliqueParams::new(0.25, 0.2).unwrap().with_lambda(2);
+        let plan = near_clique_phase_plan(&g, &params, 37, 10_000);
+        assert_eq!(plan.names(), DistNearClique::phase_sequence(2));
+        assert!(plan.total_pulses() > 0);
+    }
+
+    #[test]
+    fn truncated_phase_plan_aborts_with_round_limit() {
+        let g = Graph::complete(20);
+        let params = NearCliqueParams::new(0.25, 0.2).unwrap();
+        // Only the announce phase is scheduled (its true length is one
+        // pulse); the schedule then runs out while nodes want to resume.
+        let truncated = PhasePlan::new().phase("announce", 1);
+        let run = run_near_clique_phased(
+            &g,
+            &params,
+            9,
+            DelayModel::Uniform { max_delay: 2 },
+            &truncated,
+        );
+        assert_eq!(run.termination, Termination::RoundLimit);
+        assert!(run.labels.iter().all(Option::is_none));
+        // The schedule's one barrier was taken (announce → roster).
+        assert_eq!(run.metrics.barriers, 1);
     }
 }

@@ -16,11 +16,28 @@
 //! near-cliques, G(n,p) noise, stars, paths, and the Figure 1 shingles
 //! counterexample.
 
-use congest::{Engine, Mode, RunLimits, Session};
+use congest::{DelayModel, Engine, Mode, RunLimits, Session};
 use graphs::{generators, Graph, GraphBuilder};
-use nearclique::{reference_run, run_near_clique_with, NearCliqueParams, RunOptions, SamplePlan};
+use nearclique::{
+    near_clique_phase_plan, reference_run, run_near_clique_phased, run_near_clique_with,
+    DistNearClique, NearCliqueParams, RunOptions, SamplePlan,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The delay-model grid the asynchronous equivalence tests sweep: the
+/// classic uniform draw at several bounds, plus one of each pluggable
+/// model (per-link, heavy-tailed, adversarial-within-bound).
+fn delay_models() -> Vec<DelayModel> {
+    vec![
+        DelayModel::Uniform { max_delay: 1 },
+        DelayModel::Uniform { max_delay: 7 },
+        DelayModel::Uniform { max_delay: 31 },
+        DelayModel::PerLink { max_delay: 7 },
+        DelayModel::HeavyTailed { max_delay: 7 },
+        DelayModel::Adversarial { max_delay: 7 },
+    ]
+}
 
 fn star(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
@@ -286,31 +303,33 @@ fn async_engine_matches_flat_on_gossip_and_flood() {
             .limits(RunLimits::rounds(BUDGET))
             .run_with(factory);
 
-        for max_delay in [1u64, 7, 31] {
+        for delay in delay_models() {
             let (async_out, async_report) = Session::on(g)
                 .seed(17)
-                .engine(Engine::Async { max_delay })
+                .engine(Engine::Async { delay })
                 .limits(RunLimits::rounds(BUDGET))
                 .run_with(factory);
-            assert_eq!(async_out, flat_out, "{name}, max_delay {max_delay}: outputs diverge");
+            assert_eq!(async_out, flat_out, "{name}, {delay:?}: outputs diverge");
 
-            // The payload ledger matches pulse-for-round: the α engine
-            // executes the full budget, so its histogram may only extend
-            // the flat engine's (quiescent) one with empty pulses.
+            // The payload ledger matches pulse-for-round — under every
+            // delay model (delays reorder delivery, never traffic): the
+            // α engine executes the full budget, so its histogram may
+            // only extend the flat engine's (quiescent) one with empty
+            // pulses.
             let fm = &flat_report.metrics;
             let am = &async_report.metrics;
-            assert_eq!(am.messages, fm.messages, "{name}, max_delay {max_delay}");
-            assert_eq!(am.total_bits, fm.total_bits, "{name}, max_delay {max_delay}");
-            assert_eq!(am.max_message_bits, fm.max_message_bits, "{name}, max_delay {max_delay}");
+            assert_eq!(am.messages, fm.messages, "{name}, {delay:?}");
+            assert_eq!(am.total_bits, fm.total_bits, "{name}, {delay:?}");
+            assert_eq!(am.max_message_bits, fm.max_message_bits, "{name}, {delay:?}");
             let executed = fm.messages_per_round.len();
             assert_eq!(
                 &am.messages_per_round[..executed],
                 &fm.messages_per_round[..],
-                "{name}, max_delay {max_delay}: per-round histogram diverges"
+                "{name}, {delay:?}: per-round histogram diverges"
             );
             assert!(
                 am.messages_per_round[executed..].iter().all(|&m| m == 0),
-                "{name}, max_delay {max_delay}: trailing pulses must be empty"
+                "{name}, {delay:?}: trailing pulses must be empty"
             );
         }
     }
@@ -328,14 +347,14 @@ fn async_engine_is_deterministic_via_session() {
     let mut rng = StdRng::seed_from_u64(41);
     let g = generators::gnp(60, 0.1, &mut rng);
     let params = test_params(60);
-    // DistNearClique needs quiescence barriers, which α does not offer,
-    // so determinism is probed with a single-phase protocol seeded by
-    // the same sampling stage the real runs use.
+    // A single-phase probe protocol seeded by the same sampling stage
+    // the real runs use; `dist_near_clique_under_alpha_matches_flat`
+    // below covers the staged protocol itself.
     let plan = SamplePlan::draw(60, params.lambda, params.p, 7);
     let run = || {
         Session::on(&g)
             .seed(7)
-            .engine(Engine::Async { max_delay: 9 })
+            .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 9 } })
             .limits(RunLimits::rounds(16))
             .run_with(|e| Probe { sampled: plan.in_sample(0, e.index), seen: 0 })
     };
@@ -378,6 +397,58 @@ fn async_engine_is_deterministic_via_session() {
         }
         fn output(&self) -> u64 {
             self.seen
+        }
+    }
+}
+
+/// The acceptance boundary of the scheduling subsystem: the *staged*
+/// `DistNearClique` protocol completes under synchronizer α — phase
+/// transitions fired by a `PhasePlan` derived from a synchronous dry run
+/// (`near_clique_phase_plan`, the §4.1 precomputed schedule) — and its
+/// labels, outputs, full payload metrics and phase trace equal the flat
+/// engine's, under **all four** delay models.
+#[test]
+fn dist_near_clique_under_alpha_matches_flat() {
+    let acceptance = ["planted", "gnp", "star"];
+    for (name, g) in workloads().into_iter().filter(|(n, _)| acceptance.contains(n)) {
+        let params = test_params(g.node_count());
+        let seed = 11;
+        let flat = run_near_clique_with(&g, &params, seed, RunOptions::threaded(1));
+
+        // One schedule serves every delay model: it depends only on
+        // (graph, params, seed).
+        let plan = near_clique_phase_plan(&g, &params, seed, 1_000_000);
+        assert_eq!(
+            plan.names(),
+            DistNearClique::phase_sequence(params.lambda),
+            "{name}: derived schedule must walk the canonical phase order"
+        );
+
+        for delay in [
+            DelayModel::Uniform { max_delay: 5 },
+            DelayModel::PerLink { max_delay: 5 },
+            DelayModel::HeavyTailed { max_delay: 5 },
+            DelayModel::Adversarial { max_delay: 5 },
+        ] {
+            let alpha = run_near_clique_phased(&g, &params, seed, delay, &plan);
+            assert_eq!(alpha.labels, flat.labels, "{name}, {delay:?}: labels diverge");
+            assert_eq!(alpha.outputs, flat.outputs, "{name}, {delay:?}: outputs diverge");
+            assert_eq!(
+                alpha.metrics, flat.metrics,
+                "{name}, {delay:?}: payload ledger diverges (rounds/messages/bits/histogram)"
+            );
+            assert_eq!(
+                alpha.termination, flat.termination,
+                "{name}, {delay:?}: termination diverges"
+            );
+            assert_eq!(
+                alpha.phase_trace, flat.phase_trace,
+                "{name}, {delay:?}: phase entry rounds diverge"
+            );
+            assert_eq!(
+                alpha.barrier_rounds, flat.barrier_rounds,
+                "{name}, {delay:?}: observed barriers diverge"
+            );
         }
     }
 }

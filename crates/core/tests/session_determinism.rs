@@ -10,8 +10,14 @@
 //! multi-message trains on single ports (CONGEST pipelining), and
 //! data-dependent sends.
 
-use congest::{Context, Engine, Message, Port, Protocol, RunLimits, Session, Termination};
+use congest::{
+    Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session, Termination,
+};
 use graphs::generators;
+use nearclique::{
+    near_clique_phase_plan, run_near_clique_phased, run_near_clique_with, DistNearClique,
+    NearCliqueParams, RunOptions,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -113,5 +119,46 @@ proptest! {
         // The workload itself must be non-trivial and finish.
         prop_assert_eq!(flat1.termination, Termination::Quiescent);
         prop_assert!(flat1.metrics.messages > 0 || g.edge_count() == 0);
+    }
+
+    /// The §4.1 schedule contract on random G(n,p): a `PhasePlan` derived
+    /// from a synchronous `DistNearClique` run enters phases in exactly
+    /// the order of the sync engine's `phase_trace` names (= the
+    /// protocol's canonical phase sequence), and replaying that plan on
+    /// the asynchronous engine reproduces the same trace and labels.
+    #[test]
+    fn phase_plan_order_matches_sync_phase_trace(
+        n in 8usize..40,
+        edge_factor in 1usize..5,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+        lambda in 1u32..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let p = (edge_factor as f64) * 2.0 / n as f64;
+        let g = generators::gnp(n, p.min(0.6), &mut rng);
+        let params = NearCliqueParams::for_expected_sample(0.25, 4.0, n)
+            .expect("valid params")
+            .with_lambda(lambda);
+
+        let sync = run_near_clique_with(&g, &params, run_seed, RunOptions::threaded(1));
+        prop_assert_eq!(sync.termination, Termination::Quiescent);
+        let plan = near_clique_phase_plan(&g, &params, run_seed, 1_000_000);
+
+        let sync_names: Vec<&'static str> =
+            sync.phase_trace.iter().map(|&(_, name, _)| name).collect();
+        prop_assert_eq!(&plan.names(), &sync_names, "plan order diverges from the sync trace");
+        prop_assert_eq!(&sync_names, &DistNearClique::phase_sequence(lambda));
+
+        let alpha = run_near_clique_phased(
+            &g,
+            &params,
+            run_seed,
+            DelayModel::Uniform { max_delay: 3 },
+            &plan,
+        );
+        prop_assert_eq!(&alpha.phase_trace, &sync.phase_trace);
+        prop_assert_eq!(&alpha.labels, &sync.labels);
+        prop_assert_eq!(&alpha.metrics, &sync.metrics);
     }
 }

@@ -40,8 +40,20 @@
 //! assert_eq!(run.labels, legacy.labels);
 //! assert_eq!(run.metrics, legacy.metrics);
 //!
-//! // Custom protocols use Session directly — see `congest`'s docs; the
-//! // §2 asynchrony reduction is `.engine(Engine::Async { max_delay })`.
+//! // Custom protocols use Session directly — see `congest`'s docs. The
+//! // §2 asynchrony reduction is `.engine(Engine::Async { delay })` with
+//! // a pluggable `DelayModel` (uniform / per-link / heavy-tailed /
+//! // adversarial); staged protocols complete under synchronizer α with
+//! // a `PhasePlan` of §4.1 per-phase pulse budgets — run_near_clique_with
+//! // derives the schedule automatically:
+//! let alpha = run_near_clique_with(
+//!     &planted.graph, &params, 42,
+//!     RunOptions::with_engine(Engine::Async {
+//!         delay: DelayModel::HeavyTailed { max_delay: 8 },
+//!     }),
+//! );
+//! assert_eq!(run.labels, alpha.labels);
+//! assert_eq!(run.metrics, alpha.metrics);
 //! # Ok::<(), nearclique::InvalidParams>(())
 //! ```
 
@@ -57,12 +69,13 @@ pub use proptester;
 pub mod prelude {
     pub use baselines::{run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig};
     pub use congest::{
-        Driver, Engine, Metrics, Mode, Observer, RoundDelta, RunLimits, RunReport, Session,
-        Termination,
+        DelayModel, Driver, Engine, Metrics, Mode, Observer, PhaseBudget, PhasePlan, RoundDelta,
+        RunLimits, RunReport, Session, Termination,
     };
     pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
     pub use nearclique::{
-        check_labels, check_theorem_5_7, reference_run, run_near_clique, run_near_clique_with,
-        NearCliqueParams, NearCliqueRun, RunOptions, SamplePlan,
+        check_labels, check_theorem_5_7, near_clique_phase_plan, reference_run, run_near_clique,
+        run_near_clique_phased, run_near_clique_with, NearCliqueParams, NearCliqueRun, RunOptions,
+        SamplePlan,
     };
 }
