@@ -11,6 +11,15 @@
 //!   `PhasePlan` (§4.1), against the flat synchronous baseline. This is
 //!   the "α tax": payload traffic is bit-identical, the difference is
 //!   pure synchronizer control plane.
+//! * **`near_clique_alpha_n5000`** — the same workload at n = 5000,
+//!   pinning how the event plane scales: the wheel's O(1) push/pop keeps
+//!   the tax flat as the event population grows five-fold.
+//! * **`wheel_vs_heap`** — the event plane in isolation: a
+//!   self-sustaining event churn (each handled event schedules its
+//!   successor within the delay bound) through the slab-backed
+//!   [`congest::EventWheel`] versus the structure it replaced — a
+//!   `BinaryHeap` of `(time, seq, dest)` keys with every envelope parked
+//!   in a side `BTreeMap`.
 //!
 //! Append machine-readable records with:
 //!
@@ -105,11 +114,10 @@ fn bench_gossip_models(c: &mut Criterion) {
     group.finish();
 }
 
-/// The α acceptance workload: `DistNearClique` end to end at n = 1000, a
-/// planted near-clique in noise (the protocol-bench shape scaled down),
-/// flat baseline vs phased asynchronous execution.
-fn bench_near_clique_alpha(c: &mut Criterion) {
-    let n: usize = if smoke() { 160 } else { 1000 };
+/// The α acceptance workload: `DistNearClique` end to end, a planted
+/// near-clique in noise (the protocol-bench shape scaled down), flat
+/// baseline vs phased asynchronous execution, at the given scale.
+fn near_clique_alpha_at(c: &mut Criterion, n: usize, models: &[DelayModel], samples: usize) {
     let dense = n / 5;
     let mut rng = StdRng::seed_from_u64(42);
     let g = generators::planted_near_clique(n, dense, 0.0156, 4.0 / n as f64, &mut rng).graph;
@@ -121,7 +129,7 @@ fn bench_near_clique_alpha(c: &mut Criterion) {
     let plan = near_clique_phase_plan(&g, &params, 7, 1_000_000);
 
     let mut group = c.benchmark_group(&format!("async_plane/near_clique_alpha_n{n}"));
-    group.sample_size(if smoke() { 1 } else { 5 });
+    group.sample_size(if smoke() { 1 } else { samples });
     group.bench_with_input(BenchmarkId::from_parameter("flat1"), &g, |b, g| {
         b.iter(|| {
             let run = nearclique::run_near_clique_with(
@@ -133,11 +141,7 @@ fn bench_near_clique_alpha(c: &mut Criterion) {
             run.metrics.messages
         });
     });
-    for delay in [
-        DelayModel::Uniform { max_delay: 8 },
-        DelayModel::HeavyTailed { max_delay: 8 },
-        DelayModel::Adversarial { max_delay: 8 },
-    ] {
+    for &delay in models {
         let label = format!("alpha_{}", delay.name());
         group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
             b.iter(|| {
@@ -149,5 +153,121 @@ fn bench_near_clique_alpha(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gossip_models, bench_near_clique_alpha);
+fn bench_near_clique_alpha(c: &mut Criterion) {
+    let n = if smoke() { 160 } else { 1000 };
+    near_clique_alpha_at(
+        c,
+        n,
+        &[
+            DelayModel::Uniform { max_delay: 8 },
+            DelayModel::HeavyTailed { max_delay: 8 },
+            DelayModel::Adversarial { max_delay: 8 },
+        ],
+        5,
+    );
+}
+
+/// The event plane at scale: five-fold the nodes (and event population)
+/// of the n = 1000 group, one α row — enough to read the scaling.
+fn bench_near_clique_alpha_large(c: &mut Criterion) {
+    let n = if smoke() { 320 } else { 5000 };
+    near_clique_alpha_at(c, n, &[DelayModel::Uniform { max_delay: 8 }], 3);
+}
+
+/// The event plane in isolation: wheel vs the heap it replaced.
+///
+/// The workload mirrors the engine's churn without protocol logic: a
+/// pool of in-flight events where every handled event schedules one
+/// successor at a bounded random delay, until `total` events flowed.
+/// The `heap_parked` row reproduces the old plumbing exactly — keys in a
+/// `BinaryHeap<Reverse<(time, seq, dest, port)>>`, envelopes parked in a
+/// `BTreeMap<seq, _>` — and the `wheel` row is the replacement, envelope
+/// riding inside its slab-chunk wheel entry.
+fn bench_wheel_vs_heap(c: &mut Criterion) {
+    use congest::rng::splitmix64;
+    use congest::EventWheel;
+    use std::cmp::Reverse;
+    use std::collections::{BTreeMap, BinaryHeap};
+
+    const MAX_DELAY: u64 = 8;
+    const IN_FLIGHT: usize = 4096;
+    let total: u64 = if smoke() { 20_000 } else { 2_000_000 };
+
+    /// The envelope the engine ships per event (payload pulse + word).
+    #[derive(Clone)]
+    struct Envelope {
+        _pulse: u64,
+        word: u64,
+    }
+
+    let mut group = c.benchmark_group("async_plane/wheel_vs_heap");
+    group.sample_size(if smoke() { 1 } else { 10 });
+
+    group.bench_function(BenchmarkId::from_parameter("wheel"), |b| {
+        b.iter(|| {
+            let mut wheel: EventWheel<(u32, u32, Envelope)> = EventWheel::new(MAX_DELAY);
+            let mut rng = 0x5EEDu64;
+            let mut draw = || {
+                rng = splitmix64(rng);
+                1 + rng % MAX_DELAY
+            };
+            for i in 0..IN_FLIGHT {
+                wheel.schedule(draw(), (i as u32, 0, Envelope { _pulse: 0, word: i as u64 }));
+            }
+            let mut handled = 0u64;
+            let mut check = 0u64;
+            while let Some((t, (to, _port, env))) = wheel.pop_next() {
+                handled += 1;
+                check = check.wrapping_add(env.word ^ t);
+                if handled + wheel.pending() < total {
+                    wheel.schedule(t + draw(), (to, 1, Envelope { _pulse: t, word: check }));
+                }
+            }
+            assert_eq!(handled, total);
+            check
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("heap_parked"), |b| {
+        b.iter(|| {
+            let mut heap: BinaryHeap<Reverse<(u64, u64, usize, usize)>> = BinaryHeap::new();
+            let mut parked: BTreeMap<u64, Envelope> = BTreeMap::new();
+            let mut seq = 0u64;
+            let mut rng = 0x5EEDu64;
+            let mut draw = || {
+                rng = splitmix64(rng);
+                1 + rng % MAX_DELAY
+            };
+            for i in 0..IN_FLIGHT {
+                parked.insert(seq, Envelope { _pulse: 0, word: i as u64 });
+                heap.push(Reverse((draw(), seq, i, 0)));
+                seq += 1;
+            }
+            let mut handled = 0u64;
+            let mut check = 0u64;
+            while let Some(Reverse((t, s, to, _port))) = heap.pop() {
+                let env = parked.remove(&s).expect("parked envelope exists");
+                handled += 1;
+                check = check.wrapping_add(env.word ^ t);
+                if handled + (heap.len() as u64) < total {
+                    parked.insert(seq, Envelope { _pulse: t, word: check });
+                    heap.push(Reverse((t + draw(), seq, to, 1)));
+                    seq += 1;
+                }
+            }
+            assert_eq!(handled, total);
+            check
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gossip_models,
+    bench_near_clique_alpha,
+    bench_near_clique_alpha_large,
+    bench_wheel_vs_heap
+);
 criterion_main!(benches);

@@ -23,12 +23,37 @@
 //! engines'** accounting, pulse for round — and the synchronizer's
 //! Ack/Safe overhead lands in [`SyncOverhead`].
 //!
+//! # The event plane
+//!
+//! Like the flat synchronous plane, this executor performs **zero heap
+//! allocations in steady state**: after warm-up, driving pulses only
+//! recycles slab chunks. Three structures carry every event:
+//!
+//! * **The timing wheel** ([`EventWheel`]): in-flight messages live in a
+//!   circular array of `bound + 1` chunked-slab FIFO buckets, where
+//!   `bound` is the [`DelayModel`]'s *compiled* per-port delay maximum.
+//!   Delays are bounded and positive, so all pending events fit at
+//!   unique `time % (bound + 1)` slots — push is O(1), drain is in-order
+//!   bucket rotation, and the order is bit-identical to the
+//!   `(arrival time, sequence number)` min-heap this replaced (FIFO
+//!   within a bucket *is* sequence order). The envelope travels inside
+//!   its wheel entry; the old side-table of parked envelopes is gone.
+//! * **Rotating inboxes**: synchronizer α keeps neighboring nodes within
+//!   one pulse of each other, so a payload tagged for pulse `r` can only
+//!   arrive while its receiver waits on pulse `r` or `r − 1`. Two
+//!   pulse-parity-indexed inboxes per node therefore suffice, and they
+//!   live as `2n` FIFOs in one shared chunked slab (`plane::PortQueues`
+//!   again), drained into a reused scratch buffer at execution — the old
+//!   per-node `BTreeMap<pulse, Vec<_>>` staging (a tree walk plus a
+//!   `Vec` churn per pulse) is gone.
+//! * **Parity safe-counters**: the same ±1 pulse-skew argument bounds
+//!   which `Safe` pulses can be live, so the per-node map of safe
+//!   neighbor counts is a two-element array indexed by pulse parity.
+//!
 //! The node-outgoing queues are the flat plane's slab-backed
 //! `PortQueues` over the CSR route table (`plane::Topology`) — the same
 //! queue implementation the synchronous [`crate::Network`] uses, so
-//! CONGEST pipelining behaves identically in both engines. Only the
-//! in-flight event plumbing (delay heap, parked envelopes, per-pulse
-//! inbox staging) is specific to this executor.
+//! CONGEST pipelining behaves identically in both engines.
 //!
 //! Scheduling is pluggable through [`crate::sched`]: link delays come
 //! from a seeded [`DelayModel`] (uniform, per-link, heavy-tailed or
@@ -39,9 +64,6 @@
 //! its own deterministic pulse budget and the transition fires on
 //! schedule, which is exactly the paper's §4.1 wrapper.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
-
 use graphs::Graph;
 use rand::rngs::StdRng;
 
@@ -51,7 +73,7 @@ use crate::network::{assign_ids, IdAssignment};
 use crate::plane::{PortQueues, Topology};
 use crate::protocol::{Context, Endpoint, OutboxHandle, Port, Protocol};
 use crate::rng::node_rng;
-use crate::sched::{DelayModel, DelaySampler, PhasePlan};
+use crate::sched::{DelayModel, DelaySampler, EventWheel, PhasePlan};
 use crate::session::{
     Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
 };
@@ -65,6 +87,18 @@ enum SyncMsg<M> {
     Ack { pulse: u64 },
     /// "All my pulse-`pulse` payloads are acknowledged."
     Safe { pulse: u64 },
+}
+
+/// One in-flight event on the timing wheel: the envelope plus its
+/// destination, resolved at send time by the CSR route table.
+struct Event<M> {
+    /// Destination node.
+    to: u32,
+    /// The destination node's local receiving port.
+    port: u32,
+    /// The envelope itself — carried in the wheel entry, not parked in a
+    /// side table.
+    msg: SyncMsg<M>,
 }
 
 const PULSE_BITS: usize = 32;
@@ -82,10 +116,12 @@ struct AsyncSlot<P: Protocol> {
     pending_acks: usize,
     /// Whether `Safe` for the current pulse's sends has been emitted.
     safe_sent: bool,
-    /// Count of neighbors known safe, per pulse.
-    safe_counts: BTreeMap<u64, usize>,
-    /// Buffered payloads per pulse, as (port, msg).
-    inbox_by_pulse: BTreeMap<u64, Vec<(Port, P::Msg)>>,
+    /// Count of neighbors known safe, indexed by pulse parity: α keeps
+    /// neighbors within one pulse of this node, so at most two pulses'
+    /// counts are ever live (the current pulse and the next — see
+    /// [`AsyncNetwork::handle`]), and executing pulse `r` retires slot
+    /// `r % 2` for reuse by pulse `r + 2`.
+    safe_counts: [usize; 2],
     /// This node finished the current drive's pulse budget.
     done: bool,
 }
@@ -101,11 +137,16 @@ pub struct AsyncNetwork<P: Protocol> {
     /// The flat plane's per-port FIFOs: application messages queued by
     /// protocols, drained one per port per pulse (CONGEST pipelining).
     queues: PortQueues<P::Msg>,
-    /// In-flight events as `(arrival time, seq, dest node, dest port)`.
-    events: BinaryHeap<Reverse<(u64, u64, usize, usize)>>,
-    /// Message envelopes parked by event sequence id.
-    parked: BTreeMap<u64, SyncMsg<P::Msg>>,
-    seq: u64,
+    /// In-flight events: the slab-backed timing wheel, sized to the
+    /// delay model's compiled bound. Pops come out in `(arrival time,
+    /// send order)` order — exactly the old heap's `(time, seq)` order.
+    events: EventWheel<Event<P::Msg>>,
+    /// Per-pulse payload staging: two rotating inboxes per node (slot
+    /// `2·node + pulse-parity`), sharing one chunked slab.
+    inboxes: PortQueues<(Port, P::Msg)>,
+    /// Reused scratch an executing pulse drains its inbox into (the
+    /// protocol steps on a sorted slice of it).
+    inbox_buf: Vec<(Port, P::Msg)>,
     /// The compiled link-delay model (see [`crate::sched`]).
     delays: DelaySampler,
     /// Absolute pulse target of the current drive.
@@ -167,21 +208,25 @@ impl<P: Protocol> AsyncNetwork<P> {
                     pulse: 1,
                     pending_acks: 0,
                     safe_sent: false,
-                    safe_counts: BTreeMap::new(),
-                    inbox_by_pulse: BTreeMap::new(),
+                    safe_counts: [0, 0],
                     done: false,
                 }
             })
             .collect();
 
+        let delays = DelaySampler::new(delay, seed, port_count);
+        // The wheel spans the *compiled* bound: what the sampler can
+        // actually draw for this plane, never more than the model's
+        // declared `max_delay` and tighter for the per-port models.
+        let events = EventWheel::new(delays.compiled_bound());
         Self {
             nodes,
             topo,
             queues: PortQueues::new(port_count),
-            events: BinaryHeap::new(),
-            parked: BTreeMap::new(),
-            seq: 0,
-            delays: DelaySampler::new(delay, seed, port_count),
+            events,
+            inboxes: PortQueues::new(n * 2),
+            inbox_buf: Vec::new(),
+            delays,
             budget: 0,
             executed: 0,
             initialized: false,
@@ -229,13 +274,9 @@ impl<P: Protocol> AsyncNetwork<P> {
     fn send(&mut self, now: u64, from: usize, port: Port, msg: SyncMsg<P::Msg>) {
         let slot = self.topo.offsets[from] as usize + port;
         let route = self.topo.route[slot];
-        let to = route.dest_node as usize;
-        let back_port = (route.dest_slot - self.topo.offsets[to]) as usize;
+        let back_port = route.dest_slot - self.topo.offsets[route.dest_node as usize];
         let at = now + self.delays.draw(slot);
-        let seq = self.seq;
-        self.seq += 1;
-        self.parked.insert(seq, msg);
-        self.events.push(Reverse((at, seq, to, back_port)));
+        self.events.schedule(at, Event { to: route.dest_node, port: back_port, msg });
     }
 
     /// Transition `node` into its next pulse: drain one application
@@ -287,11 +328,27 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// Steps node `v`'s protocol on its current pulse's inbox, with its
     /// context wired into the flat queues.
     fn execute_pulse(&mut self, v: usize) {
+        let pulse = self.nodes[v].pulse;
+        let parity = (pulse & 1) as usize;
+        // Retire this pulse's safe-count slot; it next serves pulse + 2
+        // (no further `Safe { pulse }` can arrive: execution required all
+        // `degree` of them, and each neighbor sends one per pulse).
+        self.nodes[v].safe_counts[parity] = 0;
+        // Drain the pulse's rotating inbox into the scratch buffer and
+        // canonicalize. CONGEST delivers at most one payload per port
+        // per pulse, so port keys are unique and the unstable sort is
+        // deterministic (and allocation-free, unlike a stable sort).
+        self.inbox_buf.clear();
+        let slot = (v * 2 + parity) as u32;
+        while let Some(entry) = self.inboxes.pop(slot) {
+            self.inbox_buf.push(entry);
+        }
+        self.inbox_buf.sort_unstable_by_key(|&(port, _)| port);
+        debug_assert!(
+            self.inbox_buf.windows(2).all(|w| w[0].0 != w[1].0),
+            "one payload per port per pulse"
+        );
         let node = &mut self.nodes[v];
-        let pulse = node.pulse;
-        node.safe_counts.remove(&pulse);
-        let mut inbox = node.inbox_by_pulse.remove(&pulse).unwrap_or_default();
-        inbox.sort_by_key(|&(port, _)| port);
         let base = self.topo.offsets[v];
         let mut ctx = Context {
             endpoint: &node.endpoint,
@@ -299,7 +356,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
             rng: &mut node.rng,
         };
-        node.protocol.step(&mut ctx, &inbox);
+        node.protocol.step(&mut ctx, &self.inbox_buf);
     }
 
     /// Execute pulse `r` once every neighbor reported safe for `r` and we
@@ -311,7 +368,7 @@ impl<P: Protocol> AsyncNetwork<P> {
         }
         let pulse = node.pulse;
         let needed = node.endpoint.degree();
-        if node.safe_counts.get(&pulse).copied().unwrap_or(0) < needed {
+        if node.safe_counts[(pulse & 1) as usize] < needed {
             return;
         }
         self.execute_pulse(v);
@@ -323,8 +380,9 @@ impl<P: Protocol> AsyncNetwork<P> {
         self.begin_pulse(now, v);
     }
 
-    fn handle(&mut self, now: u64, seq: u64, to: usize, port: Port) {
-        let msg = self.parked.remove(&seq).expect("parked message exists");
+    fn handle(&mut self, now: u64, event: Event<P::Msg>) {
+        let Event { to, port, msg } = event;
+        let (to, port) = (to as usize, port as usize);
         self.overhead.virtual_time = self.overhead.virtual_time.max(now);
         match msg {
             SyncMsg::Payload { pulse, msg } => {
@@ -344,7 +402,14 @@ impl<P: Protocol> AsyncNetwork<P> {
                     self.per_pulse.resize(idx + 1, RoundDelta::default());
                 }
                 self.per_pulse[idx].record(bits);
-                self.nodes[to].inbox_by_pulse.entry(pulse).or_default().push((port, msg));
+                // Pulse skew under α is at most one: a payload can only
+                // arrive while its receiver waits on `pulse` or
+                // `pulse - 1`, so the parity-indexed inbox slot is free.
+                debug_assert!(
+                    pulse == self.nodes[to].pulse || pulse == self.nodes[to].pulse + 1,
+                    "payload outside the two-pulse horizon"
+                );
+                self.inboxes.push((to * 2 + (pulse & 1) as usize) as u32, (port, msg));
                 self.send(now, to, port, SyncMsg::Ack { pulse });
             }
             SyncMsg::Ack { pulse } => {
@@ -359,7 +424,13 @@ impl<P: Protocol> AsyncNetwork<P> {
                 self.overhead.control_bits += ENVELOPE_BITS as u64;
                 // Safe{r} from a neighbor certifies all its pulse-r
                 // payloads arrived; it gates the receiver's own pulse r.
-                *self.nodes[to].safe_counts.entry(pulse).or_default() += 1;
+                // The same ±1 skew argument as for payloads bounds the
+                // live pulses to two, so parity addressing is exact.
+                debug_assert!(
+                    pulse == self.nodes[to].pulse || pulse == self.nodes[to].pulse + 1,
+                    "Safe outside the two-pulse horizon"
+                );
+                self.nodes[to].safe_counts[(pulse & 1) as usize] += 1;
                 self.try_execute_pulse(now, to);
             }
         }
@@ -419,11 +490,11 @@ impl<P: Protocol> AsyncNetwork<P> {
         self.reserve_rounds(plan.total_pulses() as usize);
         // Run `init` (and the entry into the first phase) before the
         // first transition barrier, exactly like the synchronous loop.
-        let mut report = self.drive(RunLimits::rounds(0), obs);
+        self.drive_pulses(0, obs);
         let mut live = true;
         for phase in plan.phases() {
             if phase.pulses > 0 {
-                report = self.drive(RunLimits::rounds(phase.pulses), obs);
+                self.drive_pulses(phase.pulses, obs);
             }
             live = self.barrier(obs);
             if !live {
@@ -435,11 +506,14 @@ impl<P: Protocol> AsyncNetwork<P> {
             // already-finished protocol reports quiescence.
             live = self.barrier(obs);
         }
-        report.termination = if live { Termination::RoundLimit } else { Termination::Quiescent };
-        report.metrics = self.metrics.clone();
-        report.overhead = self.overhead;
-        report.rounds = self.executed;
-        report
+        // Intermediate phases ran report-free; the run's metrics are
+        // cloned into a report exactly once, here.
+        RunReport {
+            termination: if live { Termination::RoundLimit } else { Termination::Quiescent },
+            rounds: self.executed,
+            metrics: self.metrics.clone(),
+            overhead: self.overhead,
+        }
     }
 }
 
@@ -463,62 +537,7 @@ impl<P: Protocol> Driver for AsyncNetwork<P> {
     /// receives the per-pulse deltas in pulse order when the drive
     /// completes.
     fn drive(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
-        let previous = self.executed;
-        if !self.initialized {
-            // Lazy init on the first drive — even a zero-budget one, so
-            // outputs at budget 0 match the synchronous engines'.
-            self.initialized = true;
-            for v in 0..self.nodes.len() {
-                let node = &mut self.nodes[v];
-                let base = self.topo.offsets[v];
-                let mut ctx = Context {
-                    endpoint: &node.endpoint,
-                    round: 0,
-                    outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
-                    rng: &mut node.rng,
-                };
-                node.protocol.init(&mut ctx);
-            }
-        }
-        if limits.max_rounds > 0 {
-            self.budget = self.executed.saturating_add(limits.max_rounds);
-            if !self.started {
-                self.started = true;
-                for v in 0..self.nodes.len() {
-                    self.begin_pulse(0, v);
-                }
-            } else {
-                // Resume: every node sits exactly at the previous budget
-                // with no event in flight, so all of them re-enter their
-                // next pulse at the current virtual time.
-                let now = self.overhead.virtual_time;
-                for v in 0..self.nodes.len() {
-                    debug_assert!(self.nodes[v].done, "paused nodes sit at the budget");
-                    self.nodes[v].done = false;
-                    self.nodes[v].pulse += 1;
-                    self.begin_pulse(now, v);
-                }
-            }
-
-            while let Some(Reverse((now, seq, to, port))) = self.events.pop() {
-                self.handle(now, seq, to, port);
-            }
-            debug_assert!(
-                self.nodes.iter().all(|s| s.done),
-                "all nodes must finish their pulse budget"
-            );
-            self.executed = self.budget;
-            self.per_pulse.resize(self.executed as usize, RoundDelta::default());
-            // Rebuild the per-round history from the single per-pulse
-            // ledger, so it cannot drift from what observers saw.
-            self.metrics.rounds = self.executed;
-            self.metrics.messages_per_round.clear();
-            self.metrics.messages_per_round.extend(self.per_pulse.iter().map(|d| d.messages));
-        }
-
-        for pulse in previous + 1..=self.executed {
-            obs.on_round(pulse, &self.per_pulse[(pulse - 1) as usize]);
-        }
+        self.drive_pulses(limits.max_rounds, obs);
         RunReport {
             termination: Termination::RoundLimit,
             rounds: self.executed,
@@ -545,6 +564,73 @@ impl<P: Protocol> Driver for AsyncNetwork<P> {
 
     fn reserve_rounds(&mut self, rounds: usize) {
         AsyncNetwork::reserve_rounds(self, rounds);
+    }
+}
+
+impl<P: Protocol> AsyncNetwork<P> {
+    /// The report-free pulse engine behind [`Driver::drive`] and
+    /// [`AsyncNetwork::run_phases`]: executes up to `max_rounds` further
+    /// pulses and streams their deltas to `obs`. Callers that drive in
+    /// stages (phased runs) use this directly so the run's [`Metrics`]
+    /// are cloned into a [`RunReport`] once, not once per stage.
+    fn drive_pulses(&mut self, max_rounds: u64, obs: &mut dyn Observer) {
+        let previous = self.executed;
+        if !self.initialized {
+            // Lazy init on the first drive — even a zero-budget one, so
+            // outputs at budget 0 match the synchronous engines'.
+            self.initialized = true;
+            for v in 0..self.nodes.len() {
+                let node = &mut self.nodes[v];
+                let base = self.topo.offsets[v];
+                let mut ctx = Context {
+                    endpoint: &node.endpoint,
+                    round: 0,
+                    outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+                    rng: &mut node.rng,
+                };
+                node.protocol.init(&mut ctx);
+            }
+        }
+        if max_rounds > 0 {
+            self.budget = self.executed.saturating_add(max_rounds);
+            if !self.started {
+                self.started = true;
+                for v in 0..self.nodes.len() {
+                    self.begin_pulse(0, v);
+                }
+            } else {
+                // Resume: every node sits exactly at the previous budget
+                // with no event in flight, so all of them re-enter their
+                // next pulse at the current virtual time.
+                let now = self.overhead.virtual_time;
+                for v in 0..self.nodes.len() {
+                    debug_assert!(self.nodes[v].done, "paused nodes sit at the budget");
+                    self.nodes[v].done = false;
+                    self.nodes[v].pulse += 1;
+                    self.begin_pulse(now, v);
+                }
+            }
+
+            while let Some((now, event)) = self.events.pop_next() {
+                self.handle(now, event);
+            }
+            debug_assert_eq!(self.inboxes.queued(), 0, "all staged payloads were consumed");
+            debug_assert!(
+                self.nodes.iter().all(|s| s.done),
+                "all nodes must finish their pulse budget"
+            );
+            self.executed = self.budget;
+            self.per_pulse.resize(self.executed as usize, RoundDelta::default());
+            // Rebuild the per-round history from the single per-pulse
+            // ledger, so it cannot drift from what observers saw.
+            self.metrics.rounds = self.executed;
+            self.metrics.messages_per_round.clear();
+            self.metrics.messages_per_round.extend(self.per_pulse.iter().map(|d| d.messages));
+        }
+
+        for pulse in previous + 1..=self.executed {
+            obs.on_round(pulse, &self.per_pulse[(pulse - 1) as usize]);
+        }
     }
 }
 

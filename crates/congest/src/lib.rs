@@ -24,7 +24,7 @@
 //! |---|---|---|
 //! | [`Engine::Flat`] | synchronous rounds | the zero-allocation flat plane, sharded over threads |
 //! | [`Engine::Legacy`] | synchronous rounds | the preserved seed engine (frozen test/bench reference) |
-//! | [`Engine::Async`] | event-driven, synchronizer α | flat-plane queues + pluggable [`DelayModel`]s |
+//! | [`Engine::Async`] | event-driven, synchronizer α | flat-plane queues + [`EventWheel`] event plane + pluggable [`DelayModel`]s |
 //!
 //! The asynchronous engine's scheduling is a subsystem of its own
 //! ([`sched`]): four seeded link-[`DelayModel`]s (uniform, per-link,
@@ -99,7 +99,7 @@ pub use message::{bits_for_count, Message, ID_BITS, TAG_BITS};
 pub use metrics::Metrics;
 pub use network::{IdAssignment, Mode, Network, NetworkBuilder};
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
-pub use sched::{DelayModel, PhaseBudget, PhasePlan};
+pub use sched::{DelayModel, EventWheel, PhaseBudget, PhasePlan};
 pub use session::{
     Driver, Engine, Observer, RoundDelta, RunLimits, RunReport, Session, SessionDriver,
     SyncOverhead, Termination,

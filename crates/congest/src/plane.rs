@@ -190,7 +190,10 @@ impl Delta {
 /// shared by every engine. The synchronous [`Shard`] embeds one per node
 /// range; the asynchronous executor ([`crate::asynch`]) owns a single set
 /// covering the whole port space — one queue implementation, three
-/// engines.
+/// engines. The element type is unconstrained: the α engine also reuses
+/// this machinery for structures that queue things other than
+/// application messages (the timing wheel's in-flight envelopes and the
+/// rotating per-pulse inboxes — see [`crate::sched::EventWheel`]).
 #[derive(Debug)]
 pub(crate) struct PortQueues<M> {
     /// Queue state per local port.
@@ -206,7 +209,7 @@ pub(crate) struct PortQueues<M> {
     queued: u64,
 }
 
-impl<M: Message> PortQueues<M> {
+impl<M> PortQueues<M> {
     /// An empty queue set over `port_count` ports.
     pub fn new(port_count: usize) -> Self {
         Self {

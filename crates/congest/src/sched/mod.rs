@@ -32,10 +32,17 @@
 //! model — delays reorder delivery, never traffic — which the
 //! cross-model tests in `crates/core/tests/engine_equivalence.rs` and
 //! `tests/asynchrony.rs` pin.
+//!
+//! The subsystem also owns the executor's event plane: the bounded
+//! delays every model guarantees are what make the [`EventWheel`] —
+//! the O(1), zero-steady-state-allocation replacement for the engine's
+//! old delay heap — correct (see [`wheel`]).
 
 mod delay;
 mod phase;
+pub mod wheel;
 
 pub use delay::DelayModel;
 pub(crate) use delay::DelaySampler;
 pub use phase::{PhaseBudget, PhasePlan};
+pub use wheel::EventWheel;

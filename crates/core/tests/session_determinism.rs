@@ -161,4 +161,43 @@ proptest! {
         prop_assert_eq!(&alpha.labels, &sync.labels);
         prop_assert_eq!(&alpha.metrics, &sync.metrics);
     }
+
+    /// Regression for the slab-backed event plane (timing wheel +
+    /// rotating inboxes): `PhasePlan`-driven phased runs still match the
+    /// flat engine **bit for bit** on random G(n,p), under every delay
+    /// model and random bounds — labels, the full payload `Metrics`
+    /// (per-pulse histogram and barrier count included) and the phase
+    /// trace. The delay bound varies so the wheel's horizon (and, for
+    /// the per-port models, its *compiled* tighter bound) is exercised
+    /// at many sizes.
+    #[test]
+    fn phased_alpha_runs_match_flat_under_every_delay_model(
+        n in 8usize..36,
+        edge_factor in 1usize..5,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+        model_pick in 0usize..4,
+        max_delay in 1u64..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let p = (edge_factor as f64) * 2.0 / n as f64;
+        let g = generators::gnp(n, p.min(0.6), &mut rng);
+        let params = NearCliqueParams::for_expected_sample(0.25, 4.0, n).expect("valid params");
+
+        let sync = run_near_clique_with(&g, &params, run_seed, RunOptions::threaded(1));
+        prop_assert_eq!(sync.termination, Termination::Quiescent);
+
+        let plan = near_clique_phase_plan(&g, &params, run_seed, 1_000_000);
+        let delay = match model_pick {
+            0 => DelayModel::Uniform { max_delay },
+            1 => DelayModel::PerLink { max_delay },
+            2 => DelayModel::HeavyTailed { max_delay },
+            _ => DelayModel::Adversarial { max_delay },
+        };
+        let alpha = run_near_clique_phased(&g, &params, run_seed, delay, &plan);
+        prop_assert_eq!(&alpha.labels, &sync.labels, "{:?}", delay);
+        prop_assert_eq!(&alpha.metrics, &sync.metrics, "{:?}", delay);
+        prop_assert_eq!(&alpha.phase_trace, &sync.phase_trace, "{:?}", delay);
+        prop_assert_eq!(alpha.termination, Termination::Quiescent, "{:?}", delay);
+    }
 }
