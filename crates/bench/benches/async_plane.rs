@@ -1,25 +1,32 @@
-//! Asynchronous-engine benches: the scheduling subsystem's two
-//! dimensions under load.
+//! Asynchronous-engine benches: the scheduling subsystem's dimensions
+//! under load — delay models × synchronizers.
 //!
-//! * **`gossip_models`** — sustained gossip through synchronizer α on a
-//!   1000-node G(n,p), one row per [`DelayModel`] (uniform vs per-link
-//!   vs heavy-tailed vs adversarial at the same bound). The payload
-//!   ledger is identical across rows (pinned by tests); what varies is
-//!   the event-plumbing cost of each schedule.
+//! * **`gossip_models`** — sustained gossip on a 1000-node G(n,p), one
+//!   row per [`DelayModel`] × [`SyncModel`] (uniform vs per-link vs
+//!   heavy-tailed vs adversarial at the same bound, under classic α and
+//!   the batched Safe-wave synchronizer). The payload ledger is
+//!   identical across rows (pinned by tests); what varies is the
+//!   control plane and its event-plumbing cost.
 //! * **`near_clique_alpha_n1000`** — the full staged `DistNearClique`
-//!   under α at n = 1000, phase transitions driven by a derived
-//!   `PhasePlan` (§4.1), against the flat synchronous baseline. This is
-//!   the "α tax": payload traffic is bit-identical, the difference is
-//!   pure synchronizer control plane.
+//!   under a synchronizer at n = 1000, phase transitions driven by a
+//!   derived `PhasePlan` (§4.1), against the flat synchronous baseline.
+//!   This is the "α tax": payload traffic is bit-identical, the
+//!   difference is pure synchronizer control plane — and the
+//!   `batched_*` rows measure how much of it the Safe-wave coalescing
+//!   recovers.
 //! * **`near_clique_alpha_n5000`** — the same workload at n = 5000,
-//!   pinning how the event plane scales: the wheel's O(1) push/pop keeps
-//!   the tax flat as the event population grows five-fold.
+//!   pinning how the event plane and the synchronizer layer scale.
 //! * **`wheel_vs_heap`** — the event plane in isolation: a
 //!   self-sustaining event churn (each handled event schedules its
 //!   successor within the delay bound) through the slab-backed
 //!   [`congest::EventWheel`] versus the structure it replaced — a
 //!   `BinaryHeap` of `(time, seq, dest)` keys with every envelope parked
 //!   in a side `BTreeMap`.
+//!
+//! Every asynchronous row's `BENCH_JSON` record carries its
+//! [`SyncOverhead`](congest::SyncOverhead) next to the timing —
+//! `control_messages` and `control_bits` fields — so the α-tax trend is
+//! tracked in control traffic as well as in `min_ns` across PRs.
 //!
 //! Append machine-readable records with:
 //!
@@ -29,10 +36,14 @@
 //! ```
 //!
 //! CI runs this bench in smoke mode (`ASYNC_PLANE_SMOKE=1`: n shrinks to
-//! 160, one sample) purely to keep the async hot path exercised end to
-//! end; real records come from full local runs.
+//! 160, one sample) purely to keep the async hot path — both
+//! synchronizers included — exercised end to end; real records come from
+//! full local runs.
 
-use congest::{Context, DelayModel, Driver, Engine, Message, Port, Protocol, RunLimits, Session};
+use congest::{
+    Context, DelayModel, Driver, Engine, Message, Port, Protocol, RunLimits, Session, SyncModel,
+    SyncOverhead,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphs::{generators, Graph};
 use nearclique::{near_clique_phase_plan, run_near_clique_phased, NearCliqueParams};
@@ -42,6 +53,8 @@ use rand::SeedableRng;
 fn smoke() -> bool {
     std::env::var("ASYNC_PLANE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
+
+const SYNC_MODELS: [SyncModel; 2] = [SyncModel::Alpha, SyncModel::BatchedAlpha];
 
 /// A counter message: representative `O(log n)` width.
 #[derive(Clone, Debug)]
@@ -84,15 +97,15 @@ impl Protocol for Gossip {
 
 const GOSSIP_PULSES: u64 = 30;
 
-fn run_gossip(g: &Graph, delay: DelayModel) -> u64 {
+fn run_gossip(g: &Graph, delay: DelayModel, sync: SyncModel) -> SyncOverhead {
     let mut driver = Session::on(g)
         .seed(3)
-        .engine(Engine::Async { delay })
+        .engine(Engine::Async { delay, sync })
         .limits(RunLimits::rounds(GOSSIP_PULSES))
         .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
     driver.reserve_rounds(GOSSIP_PULSES as usize + 2);
     let report = driver.run();
-    report.metrics.messages + report.overhead.control_messages
+    report.overhead
 }
 
 fn bench_gossip_models(c: &mut Criterion) {
@@ -107,16 +120,30 @@ fn bench_gossip_models(c: &mut Criterion) {
         DelayModel::HeavyTailed { max_delay: 8 },
         DelayModel::Adversarial { max_delay: 8 },
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(delay.name()), &g, |b, g| {
-            b.iter(|| run_gossip(g, delay));
-        });
+        for sync in SYNC_MODELS {
+            let label = format!("{}_{}", sync.name(), delay.name());
+            // The overhead is deterministic per (graph, seed, delay,
+            // sync); capture it from the timed iterations instead of
+            // paying for an extra un-timed run.
+            let overhead = std::cell::Cell::new(SyncOverhead::default());
+            group.bench_with_input(BenchmarkId::from_parameter(&label), &g, |b, g| {
+                b.iter(|| {
+                    let run = run_gossip(g, delay, sync);
+                    overhead.set(run);
+                    run.control_messages
+                });
+            });
+            group.annotate("control_messages", overhead.get().control_messages);
+            group.annotate("control_bits", overhead.get().control_bits);
+        }
     }
     group.finish();
 }
 
-/// The α acceptance workload: `DistNearClique` end to end, a planted
+/// The acceptance workload: `DistNearClique` end to end, a planted
 /// near-clique in noise (the protocol-bench shape scaled down), flat
-/// baseline vs phased asynchronous execution, at the given scale.
+/// baseline vs phased asynchronous execution under each synchronizer,
+/// at the given scale.
 fn near_clique_alpha_at(c: &mut Criterion, n: usize, models: &[DelayModel], samples: usize) {
     let dense = n / 5;
     let mut rng = StdRng::seed_from_u64(42);
@@ -124,8 +151,8 @@ fn near_clique_alpha_at(c: &mut Criterion, n: usize, models: &[DelayModel], samp
     let params = NearCliqueParams::for_expected_sample(0.25, 7.0, n).unwrap();
 
     // The §4.1 schedule is precomputed once (it depends only on the
-    // graph/params/seed) and shared by every delay-model row, exactly
-    // how a repeated-deployment harness would amortize it.
+    // graph/params/seed) and shared by every row, exactly how a
+    // repeated-deployment harness would amortize it.
     let plan = near_clique_phase_plan(&g, &params, 7, 1_000_000);
 
     let mut group = c.benchmark_group(&format!("async_plane/near_clique_alpha_n{n}"));
@@ -142,13 +169,21 @@ fn near_clique_alpha_at(c: &mut Criterion, n: usize, models: &[DelayModel], samp
         });
     });
     for &delay in models {
-        let label = format!("alpha_{}", delay.name());
-        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
-            b.iter(|| {
-                let run = run_near_clique_phased(g, &params, 7, delay, &plan);
-                run.metrics.messages
+        for sync in SYNC_MODELS {
+            let label = format!("{}_{}", sync.name(), delay.name());
+            // Deterministic per row — captured from the timed
+            // iterations, not an extra un-timed run.
+            let overhead = std::cell::Cell::new(SyncOverhead::default());
+            group.bench_with_input(BenchmarkId::from_parameter(&label), &g, |b, g| {
+                b.iter(|| {
+                    let run = run_near_clique_phased(g, &params, 7, delay, sync, &plan);
+                    overhead.set(run.overhead);
+                    run.metrics.messages
+                });
             });
-        });
+            group.annotate("control_messages", overhead.get().control_messages);
+            group.annotate("control_bits", overhead.get().control_bits);
+        }
     }
     group.finish();
 }
@@ -168,7 +203,8 @@ fn bench_near_clique_alpha(c: &mut Criterion) {
 }
 
 /// The event plane at scale: five-fold the nodes (and event population)
-/// of the n = 1000 group, one α row — enough to read the scaling.
+/// of the n = 1000 group, one delay model — enough to read the scaling
+/// of both synchronizers.
 fn bench_near_clique_alpha_large(c: &mut Criterion) {
     let n = if smoke() { 320 } else { 5000 };
     near_clique_alpha_at(c, n, &[DelayModel::Uniform { max_delay: 8 }], 3);

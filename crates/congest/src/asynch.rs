@@ -1,27 +1,35 @@
-//! Asynchronous execution via synchronizer α.
+//! Asynchronous execution: an event-driven executor core under a
+//! pluggable synchronizer.
 //!
 //! The paper assumes the synchronous model and notes (§2) that, absent
 //! crashes, "any synchronous algorithm can be executed in an asynchronous
 //! environment using a synchronizer" (Awerbuch \[3\]). This module makes
-//! that claim executable: an event-driven asynchronous network with
-//! arbitrary (seeded) link delays, plus the classic **synchronizer α**
-//! wrapper:
+//! that claim executable — and, since the control-plane split, makes the
+//! *synchronizer itself* a pluggable layer:
 //!
-//! * every payload is tagged with its pulse and acknowledged on receipt;
-//! * a node is *safe* for pulse `r` once all its pulse-`r` payloads are
-//!   acknowledged, and then tells its neighbors;
-//! * a node executes pulse `r` once every neighbor is safe for `r` — at
-//!   which point all pulse-`r` payloads addressed to it have arrived.
+//! * The **executor core** ([`AsyncNetwork`]) owns the mechanics: the
+//!   CSR route table and flat per-port payload queues shared with the
+//!   synchronous engine, the slab-backed timing wheel of in-flight
+//!   envelopes, the rotating parity-indexed pulse inboxes, delay
+//!   sampling, payload metering, and stepping protocols. It knows
+//!   nothing about *when* a pulse may run.
+//! * The **synchronizer** (`crate::sched::sync`, selected by the public
+//!   [`SyncModel`] knob on [`Engine::Async`](crate::Engine::Async))
+//!   owns the control plane: it observes payloads sent and received,
+//!   emits its own control traffic, accounts it in [`SyncOverhead`],
+//!   and decides per node when the next pulse executes.
+//!   [`SyncModel::Alpha`] is the classic synchronizer α (per-payload
+//!   `Ack`s plus a per-pulse `Safe` flood on every edge), extracted
+//!   from the pre-split engine bit for bit;
+//!   [`SyncModel::BatchedAlpha`] piggybacks safety on the payloads
+//!   themselves and clears idle edges with one coalesced `Safe` wave
+//!   per node per pulse, so empty and sparse pulses cost control
+//!   traffic proportional to the active frontier instead of `O(m)`.
 //!
-//! [`AsyncNetwork`] is the engine behind
-//! [`Engine::Async`](crate::Engine::Async): build it through
-//! [`crate::Session`] and drive it like any other [`Driver`]. Each
-//! [`Driver::drive`] call executes a fixed pulse budget (the paper's
-//! deterministic time-bound wrapper, §4.1, is exactly such a budget) and
-//! reports the unified [`RunReport`]: payload traffic lands in
-//! [`Metrics`] — where it is **bit-identical to the synchronous
-//! engines'** accounting, pulse for round — and the synchronizer's
-//! Ack/Safe overhead lands in [`SyncOverhead`].
+//! Outputs and the payload-side [`Metrics`] are **bit-identical to the
+//! synchronous engines'** — pulse for round, under every delay model
+//! *and* every synchronizer; only [`SyncOverhead`] depends on the
+//! synchronizer, which is exactly the cost the layer exists to expose.
 //!
 //! # The event plane
 //!
@@ -37,23 +45,18 @@
 //!   bucket rotation, and the order is bit-identical to the
 //!   `(arrival time, sequence number)` min-heap this replaced (FIFO
 //!   within a bucket *is* sequence order). The envelope travels inside
-//!   its wheel entry; the old side-table of parked envelopes is gone.
-//! * **Rotating inboxes**: synchronizer α keeps neighboring nodes within
-//!   one pulse of each other, so a payload tagged for pulse `r` can only
-//!   arrive while its receiver waits on pulse `r` or `r − 1`. Two
-//!   pulse-parity-indexed inboxes per node therefore suffice, and they
-//!   live as `2n` FIFOs in one shared chunked slab (`plane::PortQueues`
-//!   again), drained into a reused scratch buffer at execution — the old
-//!   per-node `BTreeMap<pulse, Vec<_>>` staging (a tree walk plus a
-//!   `Vec` churn per pulse) is gone.
-//! * **Parity safe-counters**: the same ±1 pulse-skew argument bounds
-//!   which `Safe` pulses can be live, so the per-node map of safe
-//!   neighbor counts is a two-element array indexed by pulse parity.
-//!
-//! The node-outgoing queues are the flat plane's slab-backed
-//! `PortQueues` over the CSR route table (`plane::Topology`) — the same
-//! queue implementation the synchronous [`crate::Network`] uses, so
-//! CONGEST pipelining behaves identically in both engines.
+//!   its wheel entry.
+//! * **Rotating inboxes**: every synchronizer here keeps neighboring
+//!   nodes within one pulse of each other, so a payload tagged for
+//!   pulse `r` can only arrive while its receiver waits on pulse `r` or
+//!   `r − 1`. Two pulse-parity-indexed inboxes per node therefore
+//!   suffice, and they live as `2n` FIFOs in one shared chunked slab
+//!   (`plane::PortQueues` again), drained into a reused scratch buffer
+//!   at execution.
+//! * **The ready worklist**: synchronizer signals resolved eagerly
+//!   (`BatchedAlpha`'s coalesced waves) complete pulse gates outside
+//!   the event loop; affected nodes land on a reused worklist and are
+//!   executed iteratively — cascades of any length, no recursion.
 //!
 //! Scheduling is pluggable through [`crate::sched`]: link delays come
 //! from a seeded [`DelayModel`] (uniform, per-link, heavy-tailed or
@@ -73,38 +76,11 @@ use crate::network::{assign_ids, IdAssignment};
 use crate::plane::{PortQueues, Topology};
 use crate::protocol::{Context, Endpoint, OutboxHandle, Port, Protocol};
 use crate::rng::node_rng;
-use crate::sched::{DelayModel, DelaySampler, EventWheel, PhasePlan};
+use crate::sched::sync::{ControlPlane, Event, SyncDriver, SyncMsg, Synchronizer, ENVELOPE_BITS};
+use crate::sched::{DelayModel, DelaySampler, EventWheel, PhasePlan, SyncModel};
 use crate::session::{
     Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
 };
-
-/// Control/payload envelope of synchronizer α.
-#[derive(Clone, Debug)]
-enum SyncMsg<M> {
-    /// An application message to be consumed at `pulse`.
-    Payload { pulse: u64, msg: M },
-    /// Receipt acknowledgment for one pulse-`pulse` payload.
-    Ack { pulse: u64 },
-    /// "All my pulse-`pulse` payloads are acknowledged."
-    Safe { pulse: u64 },
-}
-
-/// One in-flight event on the timing wheel: the envelope plus its
-/// destination, resolved at send time by the CSR route table.
-struct Event<M> {
-    /// Destination node.
-    to: u32,
-    /// The destination node's local receiving port.
-    port: u32,
-    /// The envelope itself — carried in the wheel entry, not parked in a
-    /// side table.
-    msg: SyncMsg<M>,
-}
-
-const PULSE_BITS: usize = 32;
-
-/// Bits of one Ack/Safe envelope, and of the wrapper around a payload.
-const ENVELOPE_BITS: usize = crate::TAG_BITS + PULSE_BITS;
 
 struct AsyncSlot<P: Protocol> {
     endpoint: Endpoint,
@@ -112,24 +88,14 @@ struct AsyncSlot<P: Protocol> {
     rng: StdRng,
     /// The pulse this node is currently *waiting to execute* (1-based).
     pulse: u64,
-    /// Unacknowledged payloads of the current pulse's send phase.
-    pending_acks: usize,
-    /// Whether `Safe` for the current pulse's sends has been emitted.
-    safe_sent: bool,
-    /// Count of neighbors known safe, indexed by pulse parity: α keeps
-    /// neighbors within one pulse of this node, so at most two pulses'
-    /// counts are ever live (the current pulse and the next — see
-    /// [`AsyncNetwork::handle`]), and executing pulse `r` retires slot
-    /// `r % 2` for reuse by pulse `r + 2`.
-    safe_counts: [usize; 2],
     /// This node finished the current drive's pulse budget.
     done: bool,
 }
 
-/// The event-driven asynchronous engine (synchronizer α over seeded link
-/// delays). Construct through [`crate::Session`] with
-/// [`Engine::Async`](crate::Engine::Async), or directly via
-/// [`AsyncNetwork::build_with`].
+/// The event-driven asynchronous engine: an executor core gated by a
+/// pluggable synchronizer over seeded link delays. Construct through
+/// [`crate::Session`] with [`Engine::Async`](crate::Engine::Async), or
+/// directly via [`AsyncNetwork::build_with`].
 pub struct AsyncNetwork<P: Protocol> {
     nodes: Vec<AsyncSlot<P>>,
     /// CSR route table shared with the synchronous engine.
@@ -147,6 +113,12 @@ pub struct AsyncNetwork<P: Protocol> {
     /// Reused scratch an executing pulse drains its inbox into (the
     /// protocol steps on a sorted slice of it).
     inbox_buf: Vec<(Port, P::Msg)>,
+    /// The control plane: per-node gating state and control-traffic
+    /// policy (see [`crate::sched::sync`]).
+    sync: SyncDriver,
+    /// Nodes whose pulse gate an eager synchronizer signal completed,
+    /// drained iteratively after every hook (reused; sized to `n`).
+    ready: Vec<u32>,
     /// The compiled link-delay model (see [`crate::sched`]).
     delays: DelaySampler,
     /// Absolute pulse target of the current drive.
@@ -166,12 +138,28 @@ pub struct AsyncNetwork<P: Protocol> {
     per_pulse: Vec<RoundDelta>,
 }
 
+/// Builds the per-hook [`ControlPlane`] view over disjoint executor
+/// fields, so synchronizer calls borrow-check against `self.sync`.
+macro_rules! control_plane {
+    ($self:ident, $now:expr) => {
+        ControlPlane {
+            topo: &$self.topo,
+            delays: &mut $self.delays,
+            events: &mut $self.events,
+            overhead: &mut $self.overhead,
+            ready: &mut $self.ready,
+            now: $now,
+        }
+    };
+}
+
 impl<P: Protocol> AsyncNetwork<P> {
     /// Builds the asynchronous engine over `graph` with the same ID
     /// assignment and per-node RNG streams as the synchronous engines,
     /// so protocols observe identical endpoints and coin flips. Link
     /// delays are drawn from `delay` (seeded off `seed`; see
-    /// [`crate::sched::DelayModel`]).
+    /// [`crate::sched::DelayModel`]); pulse gating and control traffic
+    /// follow `sync` (see [`SyncModel`]).
     ///
     /// # Panics
     ///
@@ -181,6 +169,7 @@ impl<P: Protocol> AsyncNetwork<P> {
         graph: &Graph,
         seed: u64,
         delay: DelayModel,
+        sync: SyncModel,
         ids: IdAssignment,
         mut factory: F,
     ) -> Self
@@ -201,16 +190,7 @@ impl<P: Protocol> AsyncNetwork<P> {
                     neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
                 };
                 let protocol = factory(&endpoint);
-                AsyncSlot {
-                    endpoint,
-                    protocol,
-                    rng: node_rng(seed, u),
-                    pulse: 1,
-                    pending_acks: 0,
-                    safe_sent: false,
-                    safe_counts: [0, 0],
-                    done: false,
-                }
+                AsyncSlot { endpoint, protocol, rng: node_rng(seed, u), pulse: 1, done: false }
             })
             .collect();
 
@@ -226,6 +206,12 @@ impl<P: Protocol> AsyncNetwork<P> {
             events,
             inboxes: PortQueues::new(n * 2),
             inbox_buf: Vec::new(),
+            sync: SyncDriver::new(sync, n),
+            // Gate completions happen once per (node, pulse) and at most
+            // two pulses are live per node (the ±1 skew bound), so a
+            // node has at most two outstanding wakes; `2n` capacity
+            // keeps the worklist allocation-free forever.
+            ready: Vec::with_capacity(2 * n),
             delays,
             budget: 0,
             executed: 0,
@@ -247,6 +233,12 @@ impl<P: Protocol> AsyncNetwork<P> {
     #[must_use]
     pub fn delay_model(&self) -> DelayModel {
         self.delays.model()
+    }
+
+    /// The configured synchronizer.
+    #[must_use]
+    pub fn sync_model(&self) -> SyncModel {
+        self.sync.model()
     }
 
     /// Accumulated payload-side metrics.
@@ -272,18 +264,18 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// goes through the CSR table: one lookup yields the destination
     /// node and its receiving port.
     fn send(&mut self, now: u64, from: usize, port: Port, msg: SyncMsg<P::Msg>) {
-        let slot = self.topo.offsets[from] as usize + port;
-        let route = self.topo.route[slot];
-        let back_port = route.dest_slot - self.topo.offsets[route.dest_node as usize];
+        let (slot, to, back_port) = self.topo.resolve(from, port);
         let at = now + self.delays.draw(slot);
-        self.events.schedule(at, Event { to: route.dest_node, port: back_port, msg });
+        self.events.schedule(at, Event { to, port: back_port, msg });
     }
 
     /// Transition `node` into its next pulse: drain one application
     /// message per port from the flat queues (CONGEST pipelining) and
-    /// send the payloads, then emit `Safe` immediately if nothing was
-    /// sent. Degree-0 nodes have no synchronizer traffic at all and just
-    /// execute their remaining pulses in place.
+    /// send the payloads, reporting each idle port — and then the whole
+    /// send phase — to the synchronizer, which emits whatever control
+    /// traffic its discipline requires. Degree-0 nodes have no
+    /// synchronizer traffic at all and just execute their remaining
+    /// pulses in place.
     fn begin_pulse(&mut self, now: u64, v: usize) {
         let degree = self.nodes[v].endpoint.degree();
         if degree == 0 {
@@ -301,28 +293,16 @@ impl<P: Protocol> AsyncNetwork<P> {
         for port in 0..degree {
             let p = base + port as u32;
             if self.queues.len(p) == 0 {
+                let mut cp = control_plane!(self, now);
+                self.sync.on_idle_port(&mut cp, v, port, pulse);
                 continue;
             }
             let msg = self.queues.pop(p).expect("non-empty port queue pops");
             self.send(now, v, port, SyncMsg::Payload { pulse, msg });
             sent += 1;
         }
-        self.nodes[v].pending_acks = sent;
-        self.nodes[v].safe_sent = false;
-        self.try_announce_safe(now, v);
-        self.try_execute_pulse(now, v);
-    }
-
-    fn try_announce_safe(&mut self, now: u64, v: usize) {
-        if self.nodes[v].safe_sent || self.nodes[v].pending_acks > 0 {
-            return;
-        }
-        self.nodes[v].safe_sent = true;
-        let pulse = self.nodes[v].pulse;
-        for port in 0..self.nodes[v].endpoint.degree() {
-            self.send(now, v, port, SyncMsg::Safe { pulse });
-        }
-        self.try_execute_pulse(now, v);
+        let mut cp = control_plane!(self, now);
+        self.sync.on_pulse_begun(&mut cp, v, pulse, sent);
     }
 
     /// Steps node `v`'s protocol on its current pulse's inbox, with its
@@ -330,10 +310,6 @@ impl<P: Protocol> AsyncNetwork<P> {
     fn execute_pulse(&mut self, v: usize) {
         let pulse = self.nodes[v].pulse;
         let parity = (pulse & 1) as usize;
-        // Retire this pulse's safe-count slot; it next serves pulse + 2
-        // (no further `Safe { pulse }` can arrive: execution required all
-        // `degree` of them, and each neighbor sends one per pulse).
-        self.nodes[v].safe_counts[parity] = 0;
         // Drain the pulse's rotating inbox into the scratch buffer and
         // canonicalize. CONGEST delivers at most one payload per port
         // per pulse, so port keys are unique and the unstable sort is
@@ -359,25 +335,39 @@ impl<P: Protocol> AsyncNetwork<P> {
         node.protocol.step(&mut ctx, &self.inbox_buf);
     }
 
-    /// Execute pulse `r` once every neighbor reported safe for `r` and we
-    /// are safe ourselves.
-    fn try_execute_pulse(&mut self, now: u64, v: usize) {
-        let node = &self.nodes[v];
-        if node.done || !node.safe_sent {
-            return;
+    /// Executes node `v`'s pulses for as long as the synchronizer grants
+    /// the gate, entering the next pulse after each execution. Iterative
+    /// — a node catching up several pulses (or a whole quiescent stretch
+    /// under `BatchedAlpha`) never recurses.
+    fn try_execute(&mut self, now: u64, v: usize) {
+        loop {
+            let node = &self.nodes[v];
+            if node.done {
+                return;
+            }
+            let pulse = node.pulse;
+            let degree = node.endpoint.degree();
+            if !self.sync.ready(v, pulse, degree) {
+                return;
+            }
+            self.execute_pulse(v);
+            self.sync.on_executed(v, pulse);
+            if pulse >= self.budget {
+                self.nodes[v].done = true;
+                return;
+            }
+            self.nodes[v].pulse = pulse + 1;
+            self.begin_pulse(now, v);
         }
-        let pulse = node.pulse;
-        let needed = node.endpoint.degree();
-        if node.safe_counts[(pulse & 1) as usize] < needed {
-            return;
+    }
+
+    /// Drains the ready worklist: nodes whose gate an eager synchronizer
+    /// signal completed outside the event loop. Executing them may wake
+    /// further nodes; the loop runs until the cascade dies out.
+    fn drain_ready(&mut self, now: u64) {
+        while let Some(v) = self.ready.pop() {
+            self.try_execute(now, v as usize);
         }
-        self.execute_pulse(v);
-        if pulse >= self.budget {
-            self.nodes[v].done = true;
-            return;
-        }
-        self.nodes[v].pulse = pulse + 1;
-        self.begin_pulse(now, v);
     }
 
     fn handle(&mut self, now: u64, event: Event<P::Msg>) {
@@ -402,38 +392,25 @@ impl<P: Protocol> AsyncNetwork<P> {
                     self.per_pulse.resize(idx + 1, RoundDelta::default());
                 }
                 self.per_pulse[idx].record(bits);
-                // Pulse skew under α is at most one: a payload can only
-                // arrive while its receiver waits on `pulse` or
-                // `pulse - 1`, so the parity-indexed inbox slot is free.
+                // Pulse skew is at most one under every synchronizer
+                // here: a payload can only arrive while its receiver
+                // waits on `pulse` or `pulse - 1`, so the parity-indexed
+                // inbox slot is free.
                 debug_assert!(
                     pulse == self.nodes[to].pulse || pulse == self.nodes[to].pulse + 1,
                     "payload outside the two-pulse horizon"
                 );
                 self.inboxes.push((to * 2 + (pulse & 1) as usize) as u32, (port, msg));
-                self.send(now, to, port, SyncMsg::Ack { pulse });
+                let mut cp = control_plane!(self, now);
+                self.sync.on_payload(&mut cp, to, port, pulse);
             }
-            SyncMsg::Ack { pulse } => {
-                self.overhead.control_messages += 1;
-                self.overhead.control_bits += ENVELOPE_BITS as u64;
-                debug_assert_eq!(pulse, self.nodes[to].pulse, "ack for a stale pulse");
-                self.nodes[to].pending_acks -= 1;
-                self.try_announce_safe(now, to);
-            }
-            SyncMsg::Safe { pulse } => {
-                self.overhead.control_messages += 1;
-                self.overhead.control_bits += ENVELOPE_BITS as u64;
-                // Safe{r} from a neighbor certifies all its pulse-r
-                // payloads arrived; it gates the receiver's own pulse r.
-                // The same ±1 skew argument as for payloads bounds the
-                // live pulses to two, so parity addressing is exact.
-                debug_assert!(
-                    pulse == self.nodes[to].pulse || pulse == self.nodes[to].pulse + 1,
-                    "Safe outside the two-pulse horizon"
-                );
-                self.nodes[to].safe_counts[(pulse & 1) as usize] += 1;
-                self.try_execute_pulse(now, to);
+            SyncMsg::Ctrl(ctrl) => {
+                let node_pulse = self.nodes[to].pulse;
+                let mut cp = control_plane!(self, now);
+                self.sync.on_ctrl(&mut cp, to, node_pulse, port, ctrl);
             }
         }
+        self.try_execute(now, to);
     }
 
     /// Offers every node its [`Protocol::on_quiescent`] transition — the
@@ -480,7 +457,7 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// ([`PhasePlan::from_trace`]), outputs **and** the payload-side
     /// [`Metrics`] — per-pulse histogram, barrier count included — equal
     /// the synchronous engines' bit for bit: this is how staged
-    /// protocols like `DistNearClique` complete under synchronizer α.
+    /// protocols like `DistNearClique` complete under a synchronizer.
     ///
     /// Termination is [`Termination::Quiescent`] when the retiring
     /// barrier finds every node finished, [`Termination::RoundLimit`]
@@ -520,7 +497,8 @@ impl<P: Protocol> AsyncNetwork<P> {
 impl<P: Protocol> Driver for AsyncNetwork<P> {
     type P = P;
 
-    /// Executes `limits.max_rounds` further pulses under synchronizer α.
+    /// Executes `limits.max_rounds` further pulses under the configured
+    /// synchronizer.
     ///
     /// Outputs after `B` total pulses are identical to the synchronous
     /// engines' outputs after `RunLimits::rounds(B)` with the same seed
@@ -528,10 +506,12 @@ impl<P: Protocol> Driver for AsyncNetwork<P> {
     /// inert on empty inboxes — pulses never quiesce, so a quiescent
     /// synchronous run corresponds to trailing empty pulses here.
     ///
-    /// Always pass a finite, deliberate budget: every pulse floods
-    /// `Safe` control messages on every edge, budget or not, so the
-    /// default (1M-round) limits are *executable* but enormous.
-    /// Termination is always `RoundLimit`.
+    /// Always pass a finite, deliberate budget: pulses keep exchanging
+    /// control traffic budget or not (a `Safe` flood per edge under
+    /// [`SyncModel::Alpha`]; a coalesced wave per node under
+    /// [`SyncModel::BatchedAlpha`]), so the default (1M-round) limits
+    /// are *executable* but enormous. Termination is always
+    /// `RoundLimit`.
     ///
     /// Pulses complete out of event order across nodes, so `obs`
     /// receives the per-pulse deltas in pulse order when the drive
@@ -597,7 +577,9 @@ impl<P: Protocol> AsyncNetwork<P> {
                 self.started = true;
                 for v in 0..self.nodes.len() {
                     self.begin_pulse(0, v);
+                    self.try_execute(0, v);
                 }
+                self.drain_ready(0);
             } else {
                 // Resume: every node sits exactly at the previous budget
                 // with no event in flight, so all of them re-enter their
@@ -608,11 +590,14 @@ impl<P: Protocol> AsyncNetwork<P> {
                     self.nodes[v].done = false;
                     self.nodes[v].pulse += 1;
                     self.begin_pulse(now, v);
+                    self.try_execute(now, v);
                 }
+                self.drain_ready(now);
             }
 
             while let Some((now, event)) = self.events.pop_next() {
                 self.handle(now, event);
+                self.drain_ready(now);
             }
             debug_assert_eq!(self.inboxes.queued(), 0, "all staged payloads were consumed");
             debug_assert!(
@@ -639,6 +624,7 @@ impl<P: Protocol> std::fmt::Debug for AsyncNetwork<P> {
         f.debug_struct("AsyncNetwork")
             .field("nodes", &self.nodes.len())
             .field("delay", &self.delays.model())
+            .field("sync", &self.sync.model())
             .field("pulses", &self.executed)
             .finish_non_exhaustive()
     }
@@ -651,8 +637,10 @@ mod tests {
     use crate::session::{Engine, Session};
     use graphs::GraphBuilder;
 
+    const SYNC_MODELS: [SyncModel; 2] = [SyncModel::Alpha, SyncModel::BatchedAlpha];
+
     fn uniform(max_delay: u64) -> Engine {
-        Engine::Async { delay: DelayModel::Uniform { max_delay } }
+        Engine::Async { delay: DelayModel::Uniform { max_delay }, sync: SyncModel::Alpha }
     }
 
     /// Flooding protocol identical to the synchronous test suite's.
@@ -718,17 +706,19 @@ mod tests {
             Session::on(&g).seed(11).limits(RunLimits::rounds(40)).run_with(make);
 
         for max_delay in [1u64, 7, 31] {
-            let (async_out, report) = Session::on(&g)
-                .seed(11)
-                .engine(uniform(max_delay))
-                .limits(RunLimits::rounds(40))
-                .run_with(make);
-            assert_eq!(async_out, sync_out, "max_delay = {max_delay}");
-            assert!(report.overhead.virtual_time > 0);
-            // Payload-side metrics agree with the synchronous engine's.
-            assert_eq!(report.metrics.messages, sync_report.metrics.messages);
-            assert_eq!(report.metrics.total_bits, sync_report.metrics.total_bits);
-            assert_eq!(report.metrics.max_message_bits, sync_report.metrics.max_message_bits);
+            for sync in SYNC_MODELS {
+                let (async_out, report) = Session::on(&g)
+                    .seed(11)
+                    .engine(Engine::Async { delay: DelayModel::Uniform { max_delay }, sync })
+                    .limits(RunLimits::rounds(40))
+                    .run_with(make);
+                assert_eq!(async_out, sync_out, "max_delay = {max_delay}, {sync:?}");
+                assert!(report.overhead.virtual_time > 0);
+                // Payload-side metrics agree with the synchronous engine's.
+                assert_eq!(report.metrics.messages, sync_report.metrics.messages);
+                assert_eq!(report.metrics.total_bits, sync_report.metrics.total_bits);
+                assert_eq!(report.metrics.max_message_bits, sync_report.metrics.max_message_bits);
+            }
         }
     }
 
@@ -748,16 +738,81 @@ mod tests {
     }
 
     #[test]
+    fn batched_alpha_pays_less_control_than_alpha() {
+        let g = ring_with_chords(24);
+        let run = |sync| {
+            Session::on(&g)
+                .seed(9)
+                .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 5 }, sync })
+                .limits(RunLimits::rounds(30))
+                .run_with(make)
+        };
+        let (alpha_out, alpha) = run(SyncModel::Alpha);
+        let (batched_out, batched) = run(SyncModel::BatchedAlpha);
+        assert_eq!(alpha_out, batched_out, "synchronizers must agree on outputs");
+        assert_eq!(alpha.metrics, batched.metrics, "payload ledger is synchronizer-invariant");
+        // The whole point of the batched control plane: a flood run is
+        // mostly empty pulses, where α floods Safe per edge and the
+        // batched wave pays one message per node.
+        assert!(
+            batched.overhead.control_messages * 2 <= alpha.overhead.control_messages,
+            "batched {} vs alpha {}",
+            batched.overhead.control_messages,
+            alpha.overhead.control_messages
+        );
+        assert!(batched.overhead.control_bits < alpha.overhead.control_bits);
+    }
+
+    #[test]
+    fn fully_loaded_pulses_need_no_batched_control_messages() {
+        // Every directed edge carries a payload every pulse, so every
+        // edge token is piggybacked and no Safe wave is ever posted.
+        struct EchoAll;
+        impl Protocol for EchoAll {
+            type Msg = Rumor;
+            type Output = ();
+            fn init(&mut self, ctx: &mut Context<'_, Rumor>) {
+                ctx.broadcast(Rumor);
+            }
+            fn step(&mut self, ctx: &mut Context<'_, Rumor>, inbox: &[(Port, Rumor)]) {
+                for &(port, _) in inbox {
+                    ctx.send(port, Rumor);
+                }
+            }
+            fn is_idle(&self) -> bool {
+                true
+            }
+            fn output(&self) {}
+        }
+        let g = ring_with_chords(12);
+        let (_, report) = Session::on(&g)
+            .seed(4)
+            .engine(Engine::Async {
+                delay: DelayModel::Uniform { max_delay: 3 },
+                sync: SyncModel::BatchedAlpha,
+            })
+            .limits(RunLimits::rounds(16))
+            .run_with(|_| EchoAll);
+        assert_eq!(report.overhead.control_messages, 0);
+        assert!(report.metrics.messages > 0);
+    }
+
+    #[test]
     fn degree_zero_nodes_do_not_deadlock() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1); // node 2 isolated
         let g = b.build();
         let make =
             |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
-        let (out, _) =
-            Session::on(&g).seed(3).engine(uniform(3)).limits(RunLimits::rounds(5)).run_with(make);
-        assert_eq!(out[1], Some(1));
-        assert_eq!(out[2], None);
+        for sync in SYNC_MODELS {
+            let (out, _) = Session::on(&g)
+                .seed(3)
+                .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 3 }, sync })
+                .limits(RunLimits::rounds(5))
+                .run_with(make);
+            assert_eq!(out[1], Some(1), "{sync:?}");
+            assert_eq!(out[2], None, "{sync:?}");
+        }
     }
 
     #[test]
@@ -765,18 +820,20 @@ mod tests {
         let g = ring_with_chords(16);
         let make =
             |e: &Endpoint| Flood { is_source: e.index == 0, heard_at: None, forwarded: false };
-        let run = |seed| {
-            Session::on(&g)
-                .seed(seed)
-                .engine(uniform(9))
-                .limits(RunLimits::rounds(30))
-                .run_with(make)
-        };
-        let (a, ra) = run(7);
-        let (b, rb) = run(7);
-        assert_eq!(a, b);
-        assert_eq!(ra.overhead, rb.overhead);
-        assert_eq!(ra.metrics, rb.metrics);
+        for sync in SYNC_MODELS {
+            let run = |seed| {
+                Session::on(&g)
+                    .seed(seed)
+                    .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 9 }, sync })
+                    .limits(RunLimits::rounds(30))
+                    .run_with(make)
+            };
+            let (a, ra) = run(7);
+            let (b, rb) = run(7);
+            assert_eq!(a, b);
+            assert_eq!(ra.overhead, rb.overhead);
+            assert_eq!(ra.metrics, rb.metrics);
+        }
     }
 
     #[test]
@@ -786,6 +843,7 @@ mod tests {
             &g,
             4,
             DelayModel::Uniform { max_delay: 3 },
+            SyncModel::Alpha,
             IdAssignment::Hashed,
             make,
         );
@@ -805,28 +863,32 @@ mod tests {
     #[test]
     fn split_budget_equals_one_budget() {
         let g = ring_with_chords(20);
-        let mut split = AsyncNetwork::build_with(
-            &g,
-            5,
-            DelayModel::Uniform { max_delay: 6 },
-            IdAssignment::Hashed,
-            make,
-        );
-        split.drive(RunLimits::rounds(4), &mut ());
-        let split_report = split.drive(RunLimits::rounds(26), &mut ());
+        for sync in SYNC_MODELS {
+            let build = || {
+                AsyncNetwork::build_with(
+                    &g,
+                    5,
+                    DelayModel::Uniform { max_delay: 6 },
+                    sync,
+                    IdAssignment::Hashed,
+                    make,
+                )
+            };
+            let mut split = build();
+            split.drive(RunLimits::rounds(4), &mut ());
+            let split_report = split.drive(RunLimits::rounds(26), &mut ());
 
-        let mut whole = AsyncNetwork::build_with(
-            &g,
-            5,
-            DelayModel::Uniform { max_delay: 6 },
-            IdAssignment::Hashed,
-            make,
-        );
-        let whole_report = whole.drive(RunLimits::rounds(30), &mut ());
+            let mut whole = build();
+            let whole_report = whole.drive(RunLimits::rounds(30), &mut ());
 
-        assert_eq!(split.outputs(), whole.outputs());
-        assert_eq!(split_report.rounds, whole_report.rounds);
-        assert_eq!(split_report.metrics, whole_report.metrics);
+            assert_eq!(split.outputs(), whole.outputs(), "{sync:?}");
+            assert_eq!(split_report.rounds, whole_report.rounds, "{sync:?}");
+            // Overheads are not compared: resuming re-enters all nodes at
+            // once, which reorders the shared delay-draw stream and with
+            // it the virtual times (outputs and the payload ledger are
+            // order-blind by design).
+            assert_eq!(split_report.metrics, whole_report.metrics, "{sync:?}");
+        }
     }
 
     /// A staged protocol: sends one wave per phase, advances phases at
@@ -893,12 +955,19 @@ mod tests {
             DelayModel::HeavyTailed { max_delay: 5 },
             DelayModel::Adversarial { max_delay: 5 },
         ] {
-            let mut net = AsyncNetwork::build_with(&g, 8, delay, IdAssignment::Hashed, make_staged);
-            let report = net.run_phases(&plan, &mut ());
-            assert_eq!(net.outputs(), sync_out, "{delay:?}");
-            assert_eq!(report.termination, Termination::Quiescent, "{delay:?}");
-            assert_eq!(report.metrics, sync_report.metrics, "{delay:?}");
-            assert!(report.overhead.control_messages > 0, "{delay:?}");
+            for sync in SYNC_MODELS {
+                let mut net =
+                    AsyncNetwork::build_with(&g, 8, delay, sync, IdAssignment::Hashed, make_staged);
+                let report = net.run_phases(&plan, &mut ());
+                assert_eq!(net.outputs(), sync_out, "{delay:?}, {sync:?}");
+                assert_eq!(report.termination, Termination::Quiescent, "{delay:?}, {sync:?}");
+                assert_eq!(report.metrics, sync_report.metrics, "{delay:?}, {sync:?}");
+                if sync == SyncModel::Alpha {
+                    // Fully-broadcast waves load every port, so batched α
+                    // legitimately pays zero control messages here.
+                    assert!(report.overhead.control_messages > 0, "{delay:?}");
+                }
+            }
         }
     }
 
@@ -913,6 +982,7 @@ mod tests {
             &g,
             2,
             DelayModel::Uniform { max_delay: 3 },
+            SyncModel::Alpha,
             IdAssignment::Hashed,
             make_staged,
         );

@@ -15,11 +15,15 @@
 //!
 //! It is sequential-only and not optimized — by design. Do not grow it.
 //!
-//! **Status: frozen reference, slated for demotion to a test-only
-//! fixture** (per ROADMAP) once enough equivalence history accumulates.
-//! New capabilities land elsewhere: scheduling work (delay models, phase
-//! plans) belongs in `crate::sched` + `crate::asynch`, delivery work in
-//! the flat plane (`crate::network`) — never here.
+//! **Status: demoted to a test-only fixture.** This module compiles only
+//! with congest's `legacy-engine` cargo feature (default-off), which the
+//! equivalence suites in `crates/core/tests/` and the `delivery_plane`
+//! bench enable through their dev-dependencies; without it,
+//! [`Engine::Legacy`](crate::Engine::Legacy) panics with a pointer at
+//! the flat plane. New capabilities land elsewhere: scheduling work
+//! (delay models, phase plans, synchronizers) belongs in `crate::sched`
+//! and `crate::asynch`, delivery work in the flat plane
+//! (`crate::network`) — never here.
 
 use graphs::Graph;
 use rand::rngs::StdRng;

@@ -23,15 +23,18 @@
 //! | engine | model | backing |
 //! |---|---|---|
 //! | [`Engine::Flat`] | synchronous rounds | the zero-allocation flat plane, sharded over threads |
-//! | [`Engine::Legacy`] | synchronous rounds | the preserved seed engine (frozen test/bench reference) |
-//! | [`Engine::Async`] | event-driven, synchronizer α | flat-plane queues + [`EventWheel`] event plane + pluggable [`DelayModel`]s |
+//! | [`Engine::Legacy`] | synchronous rounds | the preserved seed engine (test-only fixture, behind the `legacy-engine` feature) |
+//! | [`Engine::Async`] | event-driven, pluggable synchronizer | flat-plane queues + [`EventWheel`] event plane + [`DelayModel`]s + [`SyncModel`]s |
 //!
 //! The asynchronous engine's scheduling is a subsystem of its own
 //! ([`sched`]): four seeded link-[`DelayModel`]s (uniform, per-link,
-//! heavy-tailed, adversarial-within-bound) and per-phase [`PhasePlan`]
+//! heavy-tailed, adversarial-within-bound), per-phase [`PhasePlan`]
 //! pulse budgets (the paper's §4.1 staged execution) that let
-//! multi-phase protocols complete under α via
-//! [`SessionDriver::run_phased`].
+//! multi-phase protocols complete under a synchronizer via
+//! [`SessionDriver::run_phased`], and a pluggable synchronizer layer
+//! ([`SyncModel`]): classic α, or the quiescence-aware `BatchedAlpha`
+//! whose control cost follows the active frontier instead of the edge
+//! count.
 //!
 //! All three implement [`Driver`] (drive rounds → read outputs /
 //! metrics / termination), report through one [`RunReport`], and stream
@@ -68,7 +71,13 @@
 //!
 //! let g = graphs::Graph::complete(5);
 //! let factory = |e: &congest::Endpoint| Echo { seen: false, source: e.index == 0 };
-//! for engine in [Engine::Flat { shards: 1 }, Engine::Legacy, Engine::Async { delay: DelayModel::Uniform { max_delay: 4 } }] {
+//! let delay = DelayModel::Uniform { max_delay: 4 };
+//! for engine in [
+//!     Engine::Flat { shards: 1 },
+//!     Engine::Flat { shards: 2 },
+//!     Engine::Async { delay, sync: congest::SyncModel::Alpha },
+//!     Engine::Async { delay, sync: congest::SyncModel::BatchedAlpha },
+//! ] {
 //!     let (outputs, report) = Session::on(&g)
 //!         .seed(7)
 //!         .engine(engine)
@@ -83,6 +92,7 @@
 #![warn(clippy::all)]
 
 pub mod asynch;
+#[cfg(feature = "legacy-engine")]
 pub mod legacy;
 pub mod message;
 pub mod metrics;
@@ -94,12 +104,13 @@ pub mod sched;
 pub mod session;
 
 pub use asynch::AsyncNetwork;
+#[cfg(feature = "legacy-engine")]
 pub use legacy::LegacyNetwork;
 pub use message::{bits_for_count, Message, ID_BITS, TAG_BITS};
 pub use metrics::Metrics;
 pub use network::{IdAssignment, Mode, Network, NetworkBuilder};
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
-pub use sched::{DelayModel, EventWheel, PhaseBudget, PhasePlan};
+pub use sched::{DelayModel, EventWheel, PhaseBudget, PhasePlan, SyncModel};
 pub use session::{
     Driver, Engine, Observer, RoundDelta, RunLimits, RunReport, Session, SessionDriver,
     SyncOverhead, Termination,

@@ -25,7 +25,11 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Records one delivered message of the given width.
+    /// Records one delivered message of the given width. Only the legacy
+    /// fixture meters message by message; the production engines fold
+    /// per-shard deltas ([`Metrics::absorb_delivery`]) or per-pulse
+    /// scalars ([`Metrics::record_payload`]).
+    #[cfg_attr(not(feature = "legacy-engine"), allow(dead_code))]
     pub(crate) fn record_message(&mut self, bits: usize) {
         self.messages += 1;
         self.total_bits += bits as u64;

@@ -115,6 +115,18 @@ impl Topology {
         }
         Self { offsets: offsets.into_boxed_slice(), route: route.into_boxed_slice() }
     }
+
+    /// Resolves node `from`'s local `port` to `(sender slot, destination
+    /// node, destination's local port)` — the one place the CSR
+    /// back-port arithmetic lives (payload and control envelopes must
+    /// route identically).
+    #[inline]
+    pub fn resolve(&self, from: usize, port: usize) -> (usize, u32, u32) {
+        let slot = self.offsets[from] as usize + port;
+        let route = self.route[slot];
+        let back = route.dest_slot - self.offsets[route.dest_node as usize];
+        (slot, route.dest_node, back)
+    }
 }
 
 /// One outgoing FIFO: a chain of chunks plus cursors. 16 bytes per port.

@@ -63,7 +63,8 @@ impl Endpoint {
 }
 
 /// Outgoing per-port FIFO queues, node-owned. Only the frozen reference
-/// engine ([`crate::LegacyNetwork`]) still routes through this type.
+/// engine (`LegacyNetwork`, behind the `legacy-engine` feature) still
+/// routes through this type.
 ///
 /// Neither production engine uses it: the synchronous [`crate::Network`]
 /// and the asynchronous executor ([`crate::asynch`]) both keep their
@@ -81,6 +82,9 @@ pub struct Outbox<M> {
     len: usize,
 }
 
+// Without the `legacy-engine` feature no engine constructs an `Outbox`;
+// it stays compiled (and unit-tested) as the fixture's queue type.
+#[cfg_attr(not(feature = "legacy-engine"), allow(dead_code))]
 impl<M> Outbox<M> {
     pub(crate) fn new(degree: usize) -> Self {
         Self {
@@ -134,7 +138,8 @@ impl<M> Outbox<M> {
 /// synchronous and asynchronous engines).
 #[derive(Debug)]
 pub(crate) enum OutboxHandle<'a, M> {
-    /// A node-owned queue set.
+    /// A node-owned queue set (the legacy fixture and tests).
+    #[cfg_attr(not(feature = "legacy-engine"), allow(dead_code))]
     Owned(&'a mut Outbox<M>),
     /// A window into the flat plane: the node's ports live at
     /// `base..base + degree` within `queues`.

@@ -290,7 +290,8 @@ mod tests {
 
     #[test]
     fn compiled_bound_on_empty_planes_is_one() {
-        for model in [DelayModel::PerLink { max_delay: 9 }, DelayModel::Adversarial { max_delay: 9 }]
+        for model in
+            [DelayModel::PerLink { max_delay: 9 }, DelayModel::Adversarial { max_delay: 9 }]
         {
             assert_eq!(DelaySampler::new(model, 0, 0).compiled_bound(), 1, "{model:?}");
         }

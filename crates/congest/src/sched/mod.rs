@@ -1,9 +1,9 @@
 //! The asynchronous scheduling subsystem: *what is delayed* × *how
-//! phases advance*.
+//! phases advance* × *how pulses are synchronized*.
 //!
 //! [`Engine::Async`](crate::Engine::Async) executes the §2 Awerbuch
-//! reduction — any synchronous algorithm runs unchanged under
-//! synchronizer α. This module supplies the two scheduling dimensions
+//! reduction — any synchronous algorithm runs unchanged under a
+//! synchronizer. This module supplies the three scheduling dimensions
 //! that turn that executor into an adversarial testbed:
 //!
 //! * [`DelayModel`] — the link-delay distribution. Four models, all
@@ -24,14 +24,23 @@
 //!   quiescence. Budgets can be written by hand or derived from a
 //!   synchronous dry run's phase trace
 //!   ([`PhasePlan::from_trace`]).
+//! * [`SyncModel`] — the synchronizer itself ([`sync`]): the executor
+//!   core delegates pulse gating and all control traffic to a pluggable
+//!   `Synchronizer`. [`SyncModel::Alpha`] is Awerbuch's classic α
+//!   (per-payload `Ack`s + a `Safe` flood per edge per pulse), the
+//!   extracted reference; [`SyncModel::BatchedAlpha`] piggybacks safety
+//!   on payload envelopes and coalesces the pure-`Safe` flood into one
+//!   wave per node per pulse, cutting the control cost of empty and
+//!   sparse pulses from `O(m)` to the active frontier.
 //!
-//! Both knobs ride the unified [`crate::Session`] surface: the delay
-//! model goes into `Engine::Async { delay }`, the plan into
-//! [`crate::SessionDriver::run_phased`]. Payload-side [`crate::Metrics`]
-//! stay bit-identical to the synchronous engines' under **every** delay
-//! model — delays reorder delivery, never traffic — which the
-//! cross-model tests in `crates/core/tests/engine_equivalence.rs` and
-//! `tests/asynchrony.rs` pin.
+//! All knobs ride the unified [`crate::Session`] surface: the delay
+//! model and synchronizer go into `Engine::Async { delay, sync }`, the
+//! plan into [`crate::SessionDriver::run_phased`]. Payload-side
+//! [`crate::Metrics`] stay bit-identical to the synchronous engines'
+//! under **every** delay model and **every** synchronizer — scheduling
+//! reorders delivery, never traffic — which the cross-model tests in
+//! `crates/core/tests/engine_equivalence.rs` and `tests/asynchrony.rs`
+//! pin.
 //!
 //! The subsystem also owns the executor's event plane: the bounded
 //! delays every model guarantees are what make the [`EventWheel`] —
@@ -40,9 +49,11 @@
 
 mod delay;
 mod phase;
+pub mod sync;
 pub mod wheel;
 
 pub use delay::DelayModel;
 pub(crate) use delay::DelaySampler;
 pub use phase::{PhaseBudget, PhasePlan};
+pub use sync::SyncModel;
 pub use wheel::EventWheel;

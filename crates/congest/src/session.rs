@@ -9,9 +9,10 @@
 //!
 //! * [`Engine`] selects the execution model: [`Engine::Flat`] (the
 //!   zero-allocation flat message plane, optionally sharded over
-//!   threads), [`Engine::Legacy`] (the preserved seed engine, a frozen
-//!   sequential reference), or [`Engine::Async`] (event-driven delivery
-//!   with seeded link delays under synchronizer α).
+//!   threads), [`Engine::Legacy`] (the preserved seed engine — a frozen
+//!   test-only fixture behind the `legacy-engine` cargo feature), or
+//!   [`Engine::Async`] (event-driven delivery with seeded link delays
+//!   under a pluggable synchronizer).
 //! * [`Session`] configures a run — graph, seed, mode, ID assignment,
 //!   engine, limits, observers — and builds a [`SessionDriver`].
 //! * [`Driver`] is the uniform handle every engine implements:
@@ -32,7 +33,7 @@
 //! # Example: one protocol, three engines
 //!
 //! ```
-//! use congest::{Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session};
+//! use congest::{Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session, SyncModel};
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
@@ -59,8 +60,13 @@
 //!
 //! let g = graphs::Graph::complete(5);
 //! let factory = |e: &congest::Endpoint| Echo { seen: false, source: e.index == 0 };
+//! let delay = DelayModel::Uniform { max_delay: 7 };
 //! let mut flat = Vec::new();
-//! for engine in [Engine::Flat { shards: 2 }, Engine::Legacy, Engine::Async { delay: DelayModel::Uniform { max_delay: 7 } }] {
+//! for engine in [
+//!     Engine::Flat { shards: 2 },
+//!     Engine::Async { delay, sync: SyncModel::Alpha },
+//!     Engine::Async { delay, sync: SyncModel::BatchedAlpha },
+//! ] {
 //!     let (outputs, report) = Session::on(&g)
 //!         .seed(7)
 //!         .engine(engine)
@@ -70,18 +76,19 @@
 //!     assert_eq!(report.metrics.max_message_bits, 1);
 //!     flat.push(report.metrics.messages);
 //! }
-//! // Payload metrics agree across all three engines.
+//! // Payload metrics agree across engines and synchronizers.
 //! assert!(flat.windows(2).all(|w| w[0] == w[1]));
 //! ```
 
 use graphs::Graph;
 
 use crate::asynch::AsyncNetwork;
+#[cfg(feature = "legacy-engine")]
 use crate::legacy::LegacyNetwork;
 use crate::metrics::Metrics;
 use crate::network::{IdAssignment, Mode, Network, NetworkBuilder};
 use crate::protocol::{Endpoint, Protocol, Round};
-use crate::sched::{DelayModel, PhasePlan};
+use crate::sched::{DelayModel, PhasePlan, SyncModel};
 
 /// Which execution engine a [`Session`] drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,25 +102,37 @@ pub enum Engine {
     },
     /// The preserved seed engine: sequential, pointer-chasing, kept as a
     /// frozen behavioral reference for equivalence testing and
-    /// benchmarking.
+    /// benchmarking. **Test-only fixture**: available only with
+    /// congest's `legacy-engine` cargo feature (default-off; the
+    /// equivalence suites and the `delivery_plane` bench enable it);
+    /// without the feature, building a session on it panics with a
+    /// pointer at [`Engine::Flat`].
     Legacy,
-    /// Event-driven asynchronous execution under synchronizer α: every
-    /// message is delayed by a seeded draw from a pluggable
+    /// Event-driven asynchronous execution under a pluggable
+    /// synchronizer: every message is delayed by a seeded draw from a
     /// [`DelayModel`] (uniform, per-link, heavy-tailed, or
     /// adversarial-within-bound — see [`crate::sched`]), and the
-    /// synchronizer's Ack/Safe traffic recreates synchronous pulses (the
-    /// §2 Awerbuch reduction).
+    /// synchronizer's control traffic recreates synchronous pulses (the
+    /// §2 Awerbuch reduction). `sync` picks the control plane:
+    /// [`SyncModel::Alpha`] (classic synchronizer α — per-payload Acks
+    /// plus a per-pulse Safe flood on every edge) or
+    /// [`SyncModel::BatchedAlpha`] (safety piggybacked on payloads,
+    /// idle edges cleared by one coalesced Safe wave per node per
+    /// pulse). Outputs and payload [`Metrics`] are identical either
+    /// way; only [`SyncOverhead`] differs.
     ///
-    /// α pulses are CONGEST rounds; this engine rejects
+    /// Pulses are CONGEST rounds; this engine rejects
     /// [`Mode::Local`]. Always give it an explicit pulse budget via
-    /// [`Session::limits`] — pulses never quiesce (empty pulses still
-    /// flood `Safe` messages), so the budget *is* the termination rule
-    /// (the paper's §4.1 deterministic time bound). Staged protocols
-    /// additionally take a per-phase [`PhasePlan`] through
+    /// [`Session::limits`] — pulses never quiesce (even empty pulses
+    /// exchange control traffic), so the budget *is* the termination
+    /// rule (the paper's §4.1 deterministic time bound). Staged
+    /// protocols additionally take a per-phase [`PhasePlan`] through
     /// [`SessionDriver::run_phased`].
     Async {
         /// The link-delay model (its `max_delay` must be ≥ 1).
         delay: DelayModel,
+        /// The synchronizer gating pulses (default [`SyncModel::Alpha`]).
+        sync: SyncModel,
     },
 }
 
@@ -275,7 +294,8 @@ impl Observer for Chain<'_> {
 }
 
 /// The uniform execution handle implemented by every engine
-/// ([`Network`], [`LegacyNetwork`], [`AsyncNetwork`]) and by
+/// ([`Network`], [`AsyncNetwork`], and the feature-gated
+/// `LegacyNetwork`) and by
 /// [`SessionDriver`].
 ///
 /// Lifecycle: building the driver constructs one protocol per node;
@@ -436,23 +456,30 @@ impl<'g> Session<'g> {
                     .parallel(shards)
                     .build_with(self.graph, factory),
             ),
+            #[cfg(feature = "legacy-engine")]
             Engine::Legacy => EngineDriver::Legacy(LegacyNetwork::build_with(
                 self.graph, self.mode, self.seed, self.ids, factory,
             )),
-            Engine::Async { delay } => {
+            #[cfg(not(feature = "legacy-engine"))]
+            Engine::Legacy => panic!(
+                "Engine::Legacy is a test-only fixture: enable congest's `legacy-engine` cargo \
+                 feature (the equivalence suites and the delivery_plane bench do), or use \
+                 Engine::Flat — it is bit-identical on every workload"
+            ),
+            Engine::Async { delay, sync } => {
                 assert!(
                     self.mode == Mode::Congest,
-                    "synchronizer α models CONGEST pulses; Mode::Local is not executable on \
+                    "synchronizers model CONGEST pulses; Mode::Local is not executable on \
                      Engine::Async"
                 );
                 assert!(
                     self.limits.is_some(),
                     "Engine::Async needs an explicit pulse budget: call \
-                     Session::limits(RunLimits::rounds(b)) — α pulses never quiesce, the \
+                     Session::limits(RunLimits::rounds(b)) — pulses never quiesce, the \
                      budget is the §4.1 termination rule"
                 );
                 EngineDriver::Async(AsyncNetwork::build_with(
-                    self.graph, self.seed, delay, self.ids, factory,
+                    self.graph, self.seed, delay, sync, self.ids, factory,
                 ))
             }
         };
@@ -483,8 +510,13 @@ impl std::fmt::Debug for Session<'_> {
     }
 }
 
+// One driver exists per run, never in collections, so the size spread
+// between the flat and asynchronous engines is irrelevant — boxing the
+// large variant would only add a pointer hop to every `drive` dispatch.
+#[allow(clippy::large_enum_variant)]
 enum EngineDriver<P: Protocol> {
     Flat(Network<P>),
+    #[cfg(feature = "legacy-engine")]
     Legacy(LegacyNetwork<P>),
     Async(AsyncNetwork<P>),
 }
@@ -504,8 +536,11 @@ impl<P: Protocol> SessionDriver<P> {
     pub fn engine(&self) -> Engine {
         match &self.inner {
             EngineDriver::Flat(net) => Engine::Flat { shards: net.shard_count() },
+            #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(_) => Engine::Legacy,
-            EngineDriver::Async(net) => Engine::Async { delay: net.delay_model() },
+            EngineDriver::Async(net) => {
+                Engine::Async { delay: net.delay_model(), sync: net.sync_model() }
+            }
         }
     }
 
@@ -541,6 +576,7 @@ impl<P: Protocol> SessionDriver<P> {
         let inner = &mut self.inner;
         let mut dispatch = |obs: &mut dyn Observer| match inner {
             EngineDriver::Flat(net) => net.drive(RunLimits::rounds(plan.total_pulses()), obs),
+            #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(net) => net.drive(RunLimits::rounds(plan.total_pulses()), obs),
             EngineDriver::Async(net) => net.run_phases(plan, obs),
         };
@@ -558,6 +594,7 @@ impl<P: Protocol> Driver for SessionDriver<P> {
         let inner = &mut self.inner;
         let mut dispatch = |obs: &mut dyn Observer| match inner {
             EngineDriver::Flat(net) => net.drive(limits, obs),
+            #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(net) => net.drive(limits, obs),
             EngineDriver::Async(net) => net.drive(limits, obs),
         };
@@ -570,6 +607,7 @@ impl<P: Protocol> Driver for SessionDriver<P> {
     fn node_count(&self) -> usize {
         match &self.inner {
             EngineDriver::Flat(net) => net.node_count(),
+            #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(net) => net.node_count(),
             EngineDriver::Async(net) => net.node_count(),
         }
@@ -578,6 +616,7 @@ impl<P: Protocol> Driver for SessionDriver<P> {
     fn endpoint(&self, index: usize) -> &Endpoint {
         match &self.inner {
             EngineDriver::Flat(net) => net.endpoint(index),
+            #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(net) => net.endpoint(index),
             EngineDriver::Async(net) => net.endpoint(index),
         }
@@ -586,6 +625,7 @@ impl<P: Protocol> Driver for SessionDriver<P> {
     fn protocol(&self, index: usize) -> &P {
         match &self.inner {
             EngineDriver::Flat(net) => net.protocol(index),
+            #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(net) => net.protocol(index),
             EngineDriver::Async(net) => net.protocol(index),
         }
@@ -594,6 +634,7 @@ impl<P: Protocol> Driver for SessionDriver<P> {
     fn queued_messages(&self) -> u64 {
         match &self.inner {
             EngineDriver::Flat(net) => net.queued_messages(),
+            #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(net) => net.queued_messages(),
             EngineDriver::Async(net) => net.queued_messages(),
         }
@@ -602,6 +643,7 @@ impl<P: Protocol> Driver for SessionDriver<P> {
     fn reserve_rounds(&mut self, rounds: usize) {
         match &mut self.inner {
             EngineDriver::Flat(net) => net.reserve_rounds(rounds),
+            #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(_) => {}
             EngineDriver::Async(net) => net.reserve_rounds(rounds),
         }
@@ -670,16 +712,25 @@ mod tests {
         Flood { is_source: e.index == 0, heard_at: None }
     }
 
+    /// One engine of each kind (Legacy only when its feature is on),
+    /// with `max_delay` for the asynchronous rows.
+    fn engines_under_test(max_delay: u64) -> Vec<Engine> {
+        let mut engines = vec![Engine::Flat { shards: 1 }];
+        #[cfg(feature = "legacy-engine")]
+        engines.push(Engine::Legacy);
+        let delay = DelayModel::Uniform { max_delay };
+        engines.push(Engine::Async { delay, sync: SyncModel::Alpha });
+        engines.push(Engine::Async { delay, sync: SyncModel::BatchedAlpha });
+        engines
+    }
+
     #[test]
     fn three_engines_one_surface_same_outputs() {
         let g = ring(12);
         let mut results = Vec::new();
-        for engine in [
-            Engine::Flat { shards: 1 },
-            Engine::Flat { shards: 3 },
-            Engine::Legacy,
-            Engine::Async { delay: DelayModel::Uniform { max_delay: 5 } },
-        ] {
+        let mut engines = engines_under_test(5);
+        engines.insert(1, Engine::Flat { shards: 3 });
+        for engine in engines {
             let (out, report) = Session::on(&g)
                 .seed(4)
                 .engine(engine)
@@ -702,7 +753,10 @@ mod tests {
 
         let (_, async_report) = Session::on(&g)
             .seed(1)
-            .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 3 } })
+            .engine(Engine::Async {
+                delay: DelayModel::Uniform { max_delay: 3 },
+                sync: SyncModel::Alpha,
+            })
             .limits(RunLimits::rounds(6))
             .run_with(factory);
         assert!(async_report.overhead.control_messages > 0);
@@ -723,11 +777,7 @@ mod tests {
         }
 
         let g = ring(6);
-        for engine in [
-            Engine::Flat { shards: 1 },
-            Engine::Legacy,
-            Engine::Async { delay: DelayModel::Uniform { max_delay: 2 } },
-        ] {
+        for engine in engines_under_test(2) {
             let mut tape = Tape::default();
             let mut driver = Session::on(&g)
                 .seed(2)
@@ -749,11 +799,7 @@ mod tests {
     #[test]
     fn driver_is_resumable_across_engines() {
         let g = ring(10);
-        for engine in [
-            Engine::Flat { shards: 1 },
-            Engine::Legacy,
-            Engine::Async { delay: DelayModel::Uniform { max_delay: 4 } },
-        ] {
+        for engine in engines_under_test(4) {
             let mut driver = Session::on(&g)
                 .seed(3)
                 .engine(engine)

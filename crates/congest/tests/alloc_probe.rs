@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use congest::{
     Context, DelayModel, Driver, Engine, Message, Mode, Port, Protocol, RunLimits, Session,
-    Termination,
+    SyncModel, Termination,
 };
 use graphs::GraphBuilder;
 
@@ -195,11 +195,13 @@ fn deep_queues_do_not_allocate() {
 /// The asynchronous engine's steady state is **zero-allocation**, same
 /// as the flat plane's: the event plumbing is the slab-backed timing
 /// wheel (in-flight envelopes ride recycled chunks), payloads stage in
-/// rotating parity-indexed inboxes on the same chunk machinery, and
+/// rotating parity-indexed inboxes on the same chunk machinery,
 /// `DelayModel` sampling never allocates (per-port tables are built
-/// once). Once warmed, hundreds of further pulses must allocate exactly
-/// as much as a zero-pulse drive — i.e. only the constant-size
-/// `RunReport` wrapper — under **all four** delay models.
+/// once), and the synchronizer layer's gating state (α safe counters,
+/// batched token counters, the ready worklist) is fixed-size per node.
+/// Once warmed, hundreds of further pulses must allocate exactly as
+/// much as a zero-pulse drive — i.e. only the constant-size `RunReport`
+/// wrapper — under **all four** delay models × **both** synchronizers.
 #[test]
 fn async_pulses_do_not_allocate() {
     let g = ring_with_chords(32);
@@ -209,32 +211,93 @@ fn async_pulses_do_not_allocate() {
         DelayModel::HeavyTailed { max_delay: 4 },
         DelayModel::Adversarial { max_delay: 4 },
     ] {
-        let mut net = Session::on(&g)
-            .seed(5)
-            .engine(Engine::Async { delay })
-            .limits(RunLimits::rounds(1024))
-            .build_with(|_| Echo);
+        for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+            let mut net = Session::on(&g)
+                .seed(5)
+                .engine(Engine::Async { delay, sync })
+                .limits(RunLimits::rounds(1024))
+                .build_with(|_| Echo);
 
-        // Warm-up: queue slabs, wheel buckets and inbox chunks reach
-        // their high-water marks; reserve the cumulative histories.
-        net.reserve_rounds(1024);
-        net.drive(RunLimits::rounds(256), &mut ());
+            // Warm-up: queue slabs, wheel buckets and inbox chunks reach
+            // their high-water marks; reserve the cumulative histories.
+            net.reserve_rounds(1024);
+            net.drive(RunLimits::rounds(256), &mut ());
 
-        // Wrapper cost: a zero-pulse drive still clones metrics into
-        // its report. Steady-state pulses must add exactly nothing.
-        let before = allocations();
-        net.drive(RunLimits::rounds(0), &mut ());
-        let wrapper = allocations() - before;
+            // Wrapper cost: a zero-pulse drive still clones metrics into
+            // its report. Steady-state pulses must add exactly nothing.
+            let before = allocations();
+            net.drive(RunLimits::rounds(0), &mut ());
+            let wrapper = allocations() - before;
 
-        let before = allocations();
-        net.drive(RunLimits::rounds(256), &mut ());
-        let with_pulses = allocations() - before;
+            let before = allocations();
+            net.drive(RunLimits::rounds(256), &mut ());
+            let with_pulses = allocations() - before;
 
-        assert_eq!(
-            with_pulses,
-            wrapper,
-            "{delay:?}: 256 steady-state pulses performed {} heap allocations",
-            with_pulses.saturating_sub(wrapper)
-        );
+            assert_eq!(
+                with_pulses,
+                wrapper,
+                "{delay:?}, {sync:?}: 256 steady-state pulses performed {} heap allocations",
+                with_pulses.saturating_sub(wrapper)
+            );
+        }
     }
+}
+
+/// The batched synchronizer's *sparse* path — idle ports cleared by
+/// coalesced waves, gates completed eagerly through the ready worklist —
+/// is equally allocation-free. The echo probe above keeps every port
+/// loaded (pure piggyback path); here only one port per node ever
+/// carries payloads, so every pulse floods the wave/wake machinery.
+#[test]
+fn batched_sparse_pulses_do_not_allocate() {
+    /// Each node forwards one token on port 0 every pulse; every other
+    /// port stays idle forever.
+    struct Trickle;
+    impl Protocol for Trickle {
+        type Msg = Tick;
+        type Output = ();
+
+        fn init(&mut self, ctx: &mut Context<'_, Tick>) {
+            ctx.send(0, Tick);
+        }
+
+        fn step(&mut self, ctx: &mut Context<'_, Tick>, inbox: &[(Port, Tick)]) {
+            let _ = inbox;
+            ctx.send(0, Tick);
+        }
+
+        fn is_idle(&self) -> bool {
+            true
+        }
+
+        fn output(&self) {}
+    }
+
+    let g = ring_with_chords(32);
+    let mut net = Session::on(&g)
+        .seed(7)
+        .engine(Engine::Async {
+            delay: DelayModel::Uniform { max_delay: 4 },
+            sync: SyncModel::BatchedAlpha,
+        })
+        .limits(RunLimits::rounds(1024))
+        .build_with(|_| Trickle);
+
+    net.reserve_rounds(1024);
+    net.drive(RunLimits::rounds(256), &mut ());
+
+    let before = allocations();
+    net.drive(RunLimits::rounds(0), &mut ());
+    let wrapper = allocations() - before;
+
+    let before = allocations();
+    net.drive(RunLimits::rounds(256), &mut ());
+    let with_pulses = allocations() - before;
+
+    assert_eq!(
+        with_pulses,
+        wrapper,
+        "sparse batched steady state performed {} heap allocations",
+        with_pulses.saturating_sub(wrapper)
+    );
 }

@@ -9,7 +9,7 @@
 
 use congest::{
     DelayModel, Driver, Engine, Metrics, Observer, PhasePlan, RoundDelta, RunLimits, Session,
-    Termination,
+    SyncModel, Termination,
 };
 use graphs::{FixedBitSet, Graph};
 
@@ -79,8 +79,10 @@ pub struct NearCliqueRun {
     /// Simulator metrics: rounds, messages, bits.
     pub metrics: Metrics,
     /// Synchronizer control-plane overhead — identically zero on the
-    /// synchronous engines; on [`Engine::Async`], α's Ack/Safe traffic
-    /// and the virtual completion time.
+    /// synchronous engines; on [`Engine::Async`], the configured
+    /// [`SyncModel`]'s control traffic (α's Ack/Safe flood, or the
+    /// batched variant's coalesced Safe waves) and the virtual
+    /// completion time.
     pub overhead: congest::SyncOverhead,
     /// Whether the run quiesced or hit the round bound.
     pub termination: Termination,
@@ -178,9 +180,9 @@ pub fn run_near_clique_with(
     seed: u64,
     options: RunOptions,
 ) -> NearCliqueRun {
-    if let Engine::Async { delay } = options.engine {
+    if let Engine::Async { delay, sync } = options.engine {
         let plan = near_clique_phase_plan(g, params, seed, options.max_rounds);
-        return run_near_clique_phased(g, params, seed, delay, &plan);
+        return run_near_clique_phased(g, params, seed, delay, sync, &plan);
     }
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
     let mut driver = Session::on(g)
@@ -247,14 +249,15 @@ pub fn near_clique_phase_plan(
 }
 
 /// Runs `DistNearClique` on [`Engine::Async`] under an explicit
-/// [`PhasePlan`] — synchronizer α with the given link-[`DelayModel`],
-/// phase transitions fired on the plan's schedule instead of at
-/// quiescence.
+/// [`PhasePlan`] — the `sync` synchronizer (classic α or the batched
+/// Safe-wave variant) with the given link-[`DelayModel`], phase
+/// transitions fired on the plan's schedule instead of at quiescence.
 ///
 /// With a plan from [`near_clique_phase_plan`], the run reproduces the
 /// synchronous execution exactly (labels, outputs, payload metrics,
-/// phase trace — pulse for round). Hand-written plans may deviate: a
-/// *truncated* plan (fewer phases) stops cleanly at
+/// phase trace — pulse for round) under **either** synchronizer; they
+/// differ only in the control-plane `overhead` they report. Hand-written
+/// plans may deviate: a *truncated* plan (fewer phases) stops cleanly at
 /// [`Termination::RoundLimit`] with no labels; a plan that cuts a phase
 /// *short* fires the next transition while stale-phase messages are
 /// still in flight, which `DistNearClique` — a phase-pure protocol —
@@ -266,12 +269,13 @@ pub fn run_near_clique_phased(
     params: &NearCliqueParams,
     seed: u64,
     delay: DelayModel,
+    sync: SyncModel,
     phases: &PhasePlan,
 ) -> NearCliqueRun {
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
     let mut driver = Session::on(g)
         .seed(seed)
-        .engine(Engine::Async { delay })
+        .engine(Engine::Async { delay, sync })
         .limits(RunLimits::rounds(phases.total_pulses()))
         .build_with(|endpoint| {
             let flags = (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
@@ -384,20 +388,24 @@ mod tests {
         let g = Graph::complete(25);
         let params = NearCliqueParams::new(0.25, 0.15).unwrap();
         let sync = run_near_clique(&g, &params, 3);
-        let options = RunOptions::with_engine(Engine::Async {
-            delay: DelayModel::HeavyTailed { max_delay: 6 },
-        });
-        let run = run_near_clique_with(&g, &params, 3, options);
-        assert_eq!(run.termination, Termination::Quiescent);
-        assert_eq!(run.labels, sync.labels);
-        assert_eq!(run.outputs, sync.outputs);
-        assert_eq!(run.metrics, sync.metrics, "payload ledger must match pulse for round");
-        assert_eq!(run.phase_trace, sync.phase_trace);
-        assert_eq!(run.barrier_rounds, sync.barrier_rounds);
-        // Only the α run pays a control plane, and the run reports it.
-        assert!(sync.overhead.is_zero());
-        assert!(run.overhead.control_messages > 0);
-        assert!(run.overhead.virtual_time > 0);
+        for model in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+            let options = RunOptions::with_engine(Engine::Async {
+                delay: DelayModel::HeavyTailed { max_delay: 6 },
+                sync: model,
+            });
+            let run = run_near_clique_with(&g, &params, 3, options);
+            assert_eq!(run.termination, Termination::Quiescent, "{model:?}");
+            assert_eq!(run.labels, sync.labels, "{model:?}");
+            assert_eq!(run.outputs, sync.outputs, "{model:?}");
+            assert_eq!(run.metrics, sync.metrics, "{model:?}: payload ledger must match");
+            assert_eq!(run.phase_trace, sync.phase_trace, "{model:?}");
+            assert_eq!(run.barrier_rounds, sync.barrier_rounds, "{model:?}");
+            // Only the asynchronous run pays a control plane, and the
+            // run reports it.
+            assert!(sync.overhead.is_zero());
+            assert!(run.overhead.control_messages > 0, "{model:?}");
+            assert!(run.overhead.virtual_time > 0, "{model:?}");
+        }
     }
 
     #[test]
@@ -421,6 +429,7 @@ mod tests {
             &params,
             9,
             DelayModel::Uniform { max_delay: 2 },
+            SyncModel::Alpha,
             &truncated,
         );
         assert_eq!(run.termination, Termination::RoundLimit);

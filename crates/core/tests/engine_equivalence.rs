@@ -16,7 +16,9 @@
 //! near-cliques, G(n,p) noise, stars, paths, and the Figure 1 shingles
 //! counterexample.
 
-use congest::{DelayModel, Engine, Mode, RunLimits, Session};
+use congest::{
+    Context, DelayModel, Engine, Message, Mode, Port, Protocol, RunLimits, Session, SyncModel,
+};
 use graphs::{generators, Graph, GraphBuilder};
 use nearclique::{
     near_clique_phase_plan, reference_run, run_near_clique_phased, run_near_clique_with,
@@ -206,89 +208,87 @@ fn local_mode_trains_are_equivalent() {
     }
 }
 
-/// The §2 reduction on the unified surface: `Engine::Async` (any
-/// `max_delay`) must produce the flat engine's exact outputs — and the
-/// exact payload-side ledger, pulse for round — on gossip and flood
-/// protocols, for the same seed and budget.
-#[test]
-fn async_engine_matches_flat_on_gossip_and_flood() {
-    use congest::{Context, Message, Port, Protocol};
+#[derive(Clone, Debug)]
+struct Word(u64);
+impl Message for Word {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
 
-    #[derive(Clone, Debug)]
-    struct Word(u64);
-    impl Message for Word {
-        fn bit_size(&self) -> usize {
-            64
+/// Flood: the source announces; nodes record the round they first
+/// heard it and forward once.
+struct Flood {
+    source: bool,
+    heard_at: Option<u64>,
+}
+impl Protocol for Flood {
+    type Msg = Word;
+    type Output = Option<u64>;
+    fn init(&mut self, ctx: &mut Context<'_, Word>) {
+        if self.source {
+            self.heard_at = Some(0);
+            ctx.broadcast(Word(ctx.id()));
         }
     }
-
-    /// Flood: the source announces; nodes record the round they first
-    /// heard it and forward once.
-    struct Flood {
-        source: bool,
-        heard_at: Option<u64>,
+    fn step(&mut self, ctx: &mut Context<'_, Word>, inbox: &[(Port, Word)]) {
+        if !inbox.is_empty() && self.heard_at.is_none() {
+            self.heard_at = Some(ctx.round());
+            ctx.broadcast(Word(ctx.id()));
+        }
     }
-    impl Protocol for Flood {
-        type Msg = Word;
-        type Output = Option<u64>;
-        fn init(&mut self, ctx: &mut Context<'_, Word>) {
-            if self.source {
-                self.heard_at = Some(0);
-                ctx.broadcast(Word(ctx.id()));
+    fn is_idle(&self) -> bool {
+        true
+    }
+    fn output(&self) -> Option<u64> {
+        self.heard_at
+    }
+}
+
+/// Gossip: every node floods the largest (randomized) token it has
+/// seen — exercises per-node RNG streams, multi-source traffic and
+/// repeated broadcasts.
+struct MaxGossip {
+    best: u64,
+    log: Vec<(u64, u64)>,
+}
+impl Protocol for MaxGossip {
+    type Msg = Word;
+    type Output = (u64, Vec<(u64, u64)>);
+    fn init(&mut self, ctx: &mut Context<'_, Word>) {
+        use rand::Rng;
+        self.best = ctx.rng().gen_range(0..1 << 48);
+        let token = self.best;
+        ctx.broadcast(Word(token));
+    }
+    fn step(&mut self, ctx: &mut Context<'_, Word>, inbox: &[(Port, Word)]) {
+        let mut improved = false;
+        for &(_, Word(w)) in inbox {
+            if w > self.best {
+                self.best = w;
+                improved = true;
             }
         }
-        fn step(&mut self, ctx: &mut Context<'_, Word>, inbox: &[(Port, Word)]) {
-            if !inbox.is_empty() && self.heard_at.is_none() {
-                self.heard_at = Some(ctx.round());
-                ctx.broadcast(Word(ctx.id()));
-            }
-        }
-        fn is_idle(&self) -> bool {
-            true
-        }
-        fn output(&self) -> Option<u64> {
-            self.heard_at
-        }
-    }
-
-    /// Gossip: every node floods the largest (randomized) token it has
-    /// seen — exercises per-node RNG streams, multi-source traffic and
-    /// repeated broadcasts.
-    struct MaxGossip {
-        best: u64,
-        log: Vec<(u64, u64)>,
-    }
-    impl Protocol for MaxGossip {
-        type Msg = Word;
-        type Output = (u64, Vec<(u64, u64)>);
-        fn init(&mut self, ctx: &mut Context<'_, Word>) {
-            use rand::Rng;
-            self.best = ctx.rng().gen_range(0..1 << 48);
+        if improved {
+            self.log.push((ctx.round(), self.best));
             let token = self.best;
             ctx.broadcast(Word(token));
         }
-        fn step(&mut self, ctx: &mut Context<'_, Word>, inbox: &[(Port, Word)]) {
-            let mut improved = false;
-            for &(_, Word(w)) in inbox {
-                if w > self.best {
-                    self.best = w;
-                    improved = true;
-                }
-            }
-            if improved {
-                self.log.push((ctx.round(), self.best));
-                let token = self.best;
-                ctx.broadcast(Word(token));
-            }
-        }
-        fn is_idle(&self) -> bool {
-            true
-        }
-        fn output(&self) -> (u64, Vec<(u64, u64)>) {
-            (self.best, self.log.clone())
-        }
     }
+    fn is_idle(&self) -> bool {
+        true
+    }
+    fn output(&self) -> (u64, Vec<(u64, u64)>) {
+        (self.best, self.log.clone())
+    }
+}
 
+/// The §2 reduction on the unified surface: `Engine::Async` (any
+/// `max_delay`, either synchronizer) must produce the flat engine's
+/// exact outputs — and the exact payload-side ledger, pulse for round —
+/// on gossip and flood protocols, for the same seed and budget.
+#[test]
+fn async_engine_matches_flat_on_gossip_and_flood() {
     const BUDGET: u64 = 24;
 
     fn check<P, F>(name: &str, g: &Graph, factory: F)
@@ -304,33 +304,36 @@ fn async_engine_matches_flat_on_gossip_and_flood() {
             .run_with(factory);
 
         for delay in delay_models() {
-            let (async_out, async_report) = Session::on(g)
-                .seed(17)
-                .engine(Engine::Async { delay })
-                .limits(RunLimits::rounds(BUDGET))
-                .run_with(factory);
-            assert_eq!(async_out, flat_out, "{name}, {delay:?}: outputs diverge");
+            for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+                let (async_out, async_report) = Session::on(g)
+                    .seed(17)
+                    .engine(Engine::Async { delay, sync })
+                    .limits(RunLimits::rounds(BUDGET))
+                    .run_with(factory);
+                assert_eq!(async_out, flat_out, "{name}, {delay:?}, {sync:?}: outputs diverge");
 
-            // The payload ledger matches pulse-for-round — under every
-            // delay model (delays reorder delivery, never traffic): the
-            // α engine executes the full budget, so its histogram may
-            // only extend the flat engine's (quiescent) one with empty
-            // pulses.
-            let fm = &flat_report.metrics;
-            let am = &async_report.metrics;
-            assert_eq!(am.messages, fm.messages, "{name}, {delay:?}");
-            assert_eq!(am.total_bits, fm.total_bits, "{name}, {delay:?}");
-            assert_eq!(am.max_message_bits, fm.max_message_bits, "{name}, {delay:?}");
-            let executed = fm.messages_per_round.len();
-            assert_eq!(
-                &am.messages_per_round[..executed],
-                &fm.messages_per_round[..],
-                "{name}, {delay:?}: per-round histogram diverges"
-            );
-            assert!(
-                am.messages_per_round[executed..].iter().all(|&m| m == 0),
-                "{name}, {delay:?}: trailing pulses must be empty"
-            );
+                // The payload ledger matches pulse-for-round — under
+                // every delay model and synchronizer (scheduling reorders
+                // delivery, never traffic): the asynchronous engine
+                // executes the full budget, so its histogram may only
+                // extend the flat engine's (quiescent) one with empty
+                // pulses.
+                let fm = &flat_report.metrics;
+                let am = &async_report.metrics;
+                assert_eq!(am.messages, fm.messages, "{name}, {delay:?}, {sync:?}");
+                assert_eq!(am.total_bits, fm.total_bits, "{name}, {delay:?}, {sync:?}");
+                assert_eq!(am.max_message_bits, fm.max_message_bits, "{name}, {delay:?}, {sync:?}");
+                let executed = fm.messages_per_round.len();
+                assert_eq!(
+                    &am.messages_per_round[..executed],
+                    &fm.messages_per_round[..],
+                    "{name}, {delay:?}, {sync:?}: per-round histogram diverges"
+                );
+                assert!(
+                    am.messages_per_round[executed..].iter().all(|&m| m == 0),
+                    "{name}, {delay:?}, {sync:?}: trailing pulses must be empty"
+                );
+            }
         }
     }
 
@@ -351,20 +354,20 @@ fn async_engine_is_deterministic_via_session() {
     // the real runs use; `dist_near_clique_under_alpha_matches_flat`
     // below covers the staged protocol itself.
     let plan = SamplePlan::draw(60, params.lambda, params.p, 7);
-    let run = || {
-        Session::on(&g)
-            .seed(7)
-            .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 9 } })
-            .limits(RunLimits::rounds(16))
-            .run_with(|e| Probe { sampled: plan.in_sample(0, e.index), seen: 0 })
-    };
-    let (a, ra) = run();
-    let (b, rb) = run();
-    assert_eq!(a, b);
-    assert_eq!(ra.metrics, rb.metrics);
-    assert_eq!(ra.overhead, rb.overhead);
-
-    use congest::{Context, Message, Port, Protocol};
+    for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+        let run = || {
+            Session::on(&g)
+                .seed(7)
+                .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 9 }, sync })
+                .limits(RunLimits::rounds(16))
+                .run_with(|e| Probe { sampled: plan.in_sample(0, e.index), seen: 0 })
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a, b, "{sync:?}");
+        assert_eq!(ra.metrics, rb.metrics, "{sync:?}");
+        assert_eq!(ra.overhead, rb.overhead, "{sync:?}");
+    }
 
     #[derive(Clone, Debug)]
     struct Ping;
@@ -430,25 +433,89 @@ fn dist_near_clique_under_alpha_matches_flat() {
             DelayModel::HeavyTailed { max_delay: 5 },
             DelayModel::Adversarial { max_delay: 5 },
         ] {
-            let alpha = run_near_clique_phased(&g, &params, seed, delay, &plan);
-            assert_eq!(alpha.labels, flat.labels, "{name}, {delay:?}: labels diverge");
-            assert_eq!(alpha.outputs, flat.outputs, "{name}, {delay:?}: outputs diverge");
+            for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+                let alpha = run_near_clique_phased(&g, &params, seed, delay, sync, &plan);
+                assert_eq!(alpha.labels, flat.labels, "{name}, {delay:?}, {sync:?}: labels");
+                assert_eq!(alpha.outputs, flat.outputs, "{name}, {delay:?}, {sync:?}: outputs");
+                assert_eq!(
+                    alpha.metrics, flat.metrics,
+                    "{name}, {delay:?}, {sync:?}: payload ledger diverges \
+                     (rounds/messages/bits/histogram)"
+                );
+                assert_eq!(
+                    alpha.termination, flat.termination,
+                    "{name}, {delay:?}, {sync:?}: termination diverges"
+                );
+                assert_eq!(
+                    alpha.phase_trace, flat.phase_trace,
+                    "{name}, {delay:?}, {sync:?}: phase entry rounds diverge"
+                );
+                assert_eq!(
+                    alpha.barrier_rounds, flat.barrier_rounds,
+                    "{name}, {delay:?}, {sync:?}: observed barriers diverge"
+                );
+            }
+        }
+    }
+}
+
+/// The synchronizer contract, as a grid: `SyncModel::Alpha` and
+/// `SyncModel::BatchedAlpha` are **bit-identical on outputs and the full
+/// payload ledger** across all four delay models and all five workload
+/// families, on both a deterministic flood and a randomized gossip —
+/// while the batched control plane pays strictly less than α's
+/// per-edge Ack/Safe flood.
+#[test]
+fn batched_alpha_equals_alpha_on_outputs_and_payload_grid() {
+    const BUDGET: u64 = 20;
+
+    fn grid<P, F>(kind: &str, g: &Graph, name: &str, factory: F)
+    where
+        P: Protocol,
+        P::Output: PartialEq + std::fmt::Debug,
+        F: Fn(&congest::Endpoint) -> P + Copy,
+    {
+        for delay in [
+            DelayModel::Uniform { max_delay: 6 },
+            DelayModel::PerLink { max_delay: 6 },
+            DelayModel::HeavyTailed { max_delay: 6 },
+            DelayModel::Adversarial { max_delay: 6 },
+        ] {
+            let run = |sync| {
+                Session::on(g)
+                    .seed(29)
+                    .engine(Engine::Async { delay, sync })
+                    .limits(RunLimits::rounds(BUDGET))
+                    .run_with(factory)
+            };
+            let (alpha_out, alpha) = run(SyncModel::Alpha);
+            let (batched_out, batched) = run(SyncModel::BatchedAlpha);
+            assert_eq!(alpha_out, batched_out, "{kind}, {name}, {delay:?}: outputs diverge");
             assert_eq!(
-                alpha.metrics, flat.metrics,
-                "{name}, {delay:?}: payload ledger diverges (rounds/messages/bits/histogram)"
+                alpha.metrics, batched.metrics,
+                "{kind}, {name}, {delay:?}: payload ledger diverges"
             );
-            assert_eq!(
-                alpha.termination, flat.termination,
-                "{name}, {delay:?}: termination diverges"
+            // What the synchronizer layer is for: the batched Safe waves
+            // undercut α's per-edge flood on every one of these
+            // workloads (all have 2m > n and mostly-sparse pulses).
+            assert!(
+                batched.overhead.control_messages < alpha.overhead.control_messages,
+                "{kind}, {name}, {delay:?}: batched {} vs alpha {} control messages",
+                batched.overhead.control_messages,
+                alpha.overhead.control_messages
             );
-            assert_eq!(
-                alpha.phase_trace, flat.phase_trace,
-                "{name}, {delay:?}: phase entry rounds diverge"
-            );
-            assert_eq!(
-                alpha.barrier_rounds, flat.barrier_rounds,
-                "{name}, {delay:?}: observed barriers diverge"
+            assert!(
+                batched.overhead.control_bits < alpha.overhead.control_bits,
+                "{kind}, {name}, {delay:?}: control bits must shrink too"
             );
         }
+    }
+
+    for (name, g) in workloads() {
+        grid("flood", &g, name, |e: &congest::Endpoint| Flood {
+            source: e.index == 0,
+            heard_at: None,
+        });
+        grid("gossip", &g, name, |_: &congest::Endpoint| MaxGossip { best: 0, log: Vec::new() });
     }
 }

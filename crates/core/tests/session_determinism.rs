@@ -11,7 +11,8 @@
 //! data-dependent sends.
 
 use congest::{
-    Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session, Termination,
+    Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session, SyncModel,
+    Termination,
 };
 use graphs::generators;
 use nearclique::{
@@ -155,6 +156,7 @@ proptest! {
             &params,
             run_seed,
             DelayModel::Uniform { max_delay: 3 },
+            SyncModel::Alpha,
             &plan,
         );
         prop_assert_eq!(&alpha.phase_trace, &sync.phase_trace);
@@ -194,10 +196,57 @@ proptest! {
             2 => DelayModel::HeavyTailed { max_delay },
             _ => DelayModel::Adversarial { max_delay },
         };
-        let alpha = run_near_clique_phased(&g, &params, run_seed, delay, &plan);
+        let alpha = run_near_clique_phased(&g, &params, run_seed, delay, SyncModel::Alpha, &plan);
         prop_assert_eq!(&alpha.labels, &sync.labels, "{:?}", delay);
         prop_assert_eq!(&alpha.metrics, &sync.metrics, "{:?}", delay);
         prop_assert_eq!(&alpha.phase_trace, &sync.phase_trace, "{:?}", delay);
         prop_assert_eq!(alpha.termination, Termination::Quiescent, "{:?}", delay);
+    }
+
+    /// The synchronizer-layer contract on random G(n,p): a
+    /// `BatchedAlpha` phased run — safety piggybacked on payloads, idle
+    /// edges cleared by coalesced Safe waves — reproduces the flat
+    /// engine's labels, full payload `Metrics` and phase trace bit for
+    /// bit, under every delay model and random bounds, while paying at
+    /// most α's control traffic.
+    #[test]
+    fn phased_batched_alpha_runs_match_flat(
+        n in 8usize..36,
+        edge_factor in 1usize..5,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+        model_pick in 0usize..4,
+        max_delay in 1u64..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let p = (edge_factor as f64) * 2.0 / n as f64;
+        let g = generators::gnp(n, p.min(0.6), &mut rng);
+        let params = NearCliqueParams::for_expected_sample(0.25, 4.0, n).expect("valid params");
+
+        let sync = run_near_clique_with(&g, &params, run_seed, RunOptions::threaded(1));
+        prop_assert_eq!(sync.termination, Termination::Quiescent);
+
+        let plan = near_clique_phase_plan(&g, &params, run_seed, 1_000_000);
+        let delay = match model_pick {
+            0 => DelayModel::Uniform { max_delay },
+            1 => DelayModel::PerLink { max_delay },
+            2 => DelayModel::HeavyTailed { max_delay },
+            _ => DelayModel::Adversarial { max_delay },
+        };
+        let batched =
+            run_near_clique_phased(&g, &params, run_seed, delay, SyncModel::BatchedAlpha, &plan);
+        prop_assert_eq!(&batched.labels, &sync.labels, "{:?}", delay);
+        prop_assert_eq!(&batched.metrics, &sync.metrics, "{:?}", delay);
+        prop_assert_eq!(&batched.phase_trace, &sync.phase_trace, "{:?}", delay);
+        prop_assert_eq!(batched.termination, Termination::Quiescent, "{:?}", delay);
+
+        let alpha = run_near_clique_phased(&g, &params, run_seed, delay, SyncModel::Alpha, &plan);
+        prop_assert!(
+            batched.overhead.control_messages <= alpha.overhead.control_messages,
+            "batched {} vs alpha {} control messages ({:?})",
+            batched.overhead.control_messages,
+            alpha.overhead.control_messages,
+            delay
+        );
     }
 }

@@ -60,6 +60,10 @@ struct Record {
     min_ns: f64,
     samples: usize,
     iters_per_sample: u64,
+    /// Extra numeric fields attached via [`BenchmarkGroup::annotate`],
+    /// written verbatim into the record's `BENCH_JSON` line (e.g. a
+    /// workload's control-message count next to its timing).
+    extra: Vec<(String, u64)>,
 }
 
 /// Passed to the closure given to [`BenchmarkGroup::bench_function`];
@@ -150,6 +154,18 @@ impl BenchmarkGroup<'_> {
     /// Finishes the group (printing happens per-record as it runs).
     pub fn finish(&mut self) {}
 
+    /// Attaches an extra numeric field to the most recently recorded
+    /// benchmark of this group; it is appended to that record's
+    /// `BENCH_JSON` line. Call right after the `bench_function` /
+    /// `bench_with_input` whose record it describes. (Shim extension —
+    /// the real criterion has no JSON side channel to annotate.)
+    pub fn annotate(&mut self, key: &str, value: u64) -> &mut Self {
+        if let Some(record) = self.criterion.records.last_mut() {
+            record.extra.push((key.to_string(), value));
+        }
+        self
+    }
+
     fn record(&mut self, id: &BenchmarkId, result: Option<(Vec<Duration>, u64)>) {
         let Some((mut durations, iters)) = result else {
             return;
@@ -167,6 +183,7 @@ impl BenchmarkGroup<'_> {
             min_ns,
             samples: durations.len(),
             iters_per_sample: iters,
+            extra: Vec::new(),
         };
         println!(
             "{:<40} mean {:>12}  median {:>12}  min {:>12}  ({} samples × {} iters)",
@@ -230,9 +247,11 @@ impl Criterion {
             return;
         };
         for r in &self.records {
+            let extra: String =
+                r.extra.iter().map(|(k, v)| format!(",\"{}\":{}", json_escape(k), v)).collect();
             let _ = writeln!(
                 f,
-                "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{}}}",
                 json_escape(&r.group),
                 json_escape(&r.id),
                 r.mean_ns,
@@ -240,6 +259,7 @@ impl Criterion {
                 r.min_ns,
                 r.samples,
                 r.iters_per_sample,
+                extra,
             );
         }
         eprintln!("wrote {} bench records to {path}", self.records.len());
@@ -285,6 +305,25 @@ mod tests {
         assert_eq!(c.records.len(), 2);
         assert_eq!(c.records[1].id, "42");
         assert!(c.records[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn annotate_attaches_to_the_latest_record() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(1);
+            g.bench_function("first", |b| b.iter(|| 1 + 1));
+            g.annotate("control_messages", 7);
+            g.bench_function("second", |b| b.iter(|| 2 + 2));
+            g.annotate("control_messages", 9).annotate("control_bits", 1024);
+            g.finish();
+        }
+        assert_eq!(c.records[0].extra, vec![("control_messages".to_string(), 7)]);
+        assert_eq!(
+            c.records[1].extra,
+            vec![("control_messages".to_string(), 9), ("control_bits".to_string(), 1024)]
+        );
     }
 
     #[test]

@@ -32,24 +32,28 @@
 //! // Outputs carry the paper's unconditional guarantee (Lemma 5.3).
 //! assert!(check_labels(&planted.graph, &run.labels, params.epsilon).is_ok());
 //!
-//! // Engine A/B is a one-line change: the frozen seed engine (or a
-//! // 4-shard flat run, or synchronizer α) through the same entry point.
-//! let legacy = run_near_clique_with(
-//!     &planted.graph, &params, 42, RunOptions::with_engine(Engine::Legacy),
+//! // Engine A/B is a one-line change: a 4-shard flat run (or, in test
+//! // builds, the frozen seed engine behind congest's `legacy-engine`
+//! // feature) through the same entry point.
+//! let sharded = run_near_clique_with(
+//!     &planted.graph, &params, 42, RunOptions::threaded(4),
 //! );
-//! assert_eq!(run.labels, legacy.labels);
-//! assert_eq!(run.metrics, legacy.metrics);
+//! assert_eq!(run.labels, sharded.labels);
+//! assert_eq!(run.metrics, sharded.metrics);
 //!
 //! // Custom protocols use Session directly — see `congest`'s docs. The
-//! // §2 asynchrony reduction is `.engine(Engine::Async { delay })` with
-//! // a pluggable `DelayModel` (uniform / per-link / heavy-tailed /
-//! // adversarial); staged protocols complete under synchronizer α with
-//! // a `PhasePlan` of §4.1 per-phase pulse budgets — run_near_clique_with
-//! // derives the schedule automatically:
+//! // §2 asynchrony reduction is `.engine(Engine::Async { delay, sync })`
+//! // with a pluggable `DelayModel` (uniform / per-link / heavy-tailed /
+//! // adversarial) and a pluggable synchronizer (`SyncModel`: classic α,
+//! // or the batched Safe-wave variant that cuts the control-plane tax);
+//! // staged protocols complete under a `PhasePlan` of §4.1 per-phase
+//! // pulse budgets — run_near_clique_with derives the schedule
+//! // automatically:
 //! let alpha = run_near_clique_with(
 //!     &planted.graph, &params, 42,
 //!     RunOptions::with_engine(Engine::Async {
 //!         delay: DelayModel::HeavyTailed { max_delay: 8 },
+//!         sync: SyncModel::BatchedAlpha,
 //!     }),
 //! );
 //! assert_eq!(run.labels, alpha.labels);
@@ -70,7 +74,7 @@ pub mod prelude {
     pub use baselines::{run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig};
     pub use congest::{
         DelayModel, Driver, Engine, Metrics, Mode, Observer, PhaseBudget, PhasePlan, RoundDelta,
-        RunLimits, RunReport, Session, Termination,
+        RunLimits, RunReport, Session, SyncModel, Termination,
     };
     pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
     pub use nearclique::{

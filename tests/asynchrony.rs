@@ -11,14 +11,19 @@
 //! invariant across all four delay models.
 
 use baselines::shingles::{Shingles, ShinglesConfig};
-use congest::{Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session};
+use congest::{
+    Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session, SyncModel,
+};
 use graphs::{generators, Graph, GraphBuilder};
 use near_clique_suite::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn uniform(max_delay: u64) -> Engine {
-    Engine::Async { delay: DelayModel::Uniform { max_delay } }
+    // The back-compat contracts below (golden ledger included) pin the
+    // *reference* synchronizer; BatchedAlpha has its own grid +
+    // property suites in `crates/core/tests/`.
+    Engine::Async { delay: DelayModel::Uniform { max_delay }, sync: SyncModel::Alpha }
 }
 
 #[test]
@@ -223,9 +228,10 @@ fn uniform_model_reproduces_the_pre_subsystem_ledger() {
 }
 
 /// Cross-model invariance: for the same seed and budget, the payload
-/// `Metrics` of a flood run are identical across all four `DelayModel`s —
-/// delays reorder *delivery*, never what the protocol pays — while
-/// virtual time (the one timing-sensitive observable) does vary.
+/// `Metrics` of a flood run are identical across all four `DelayModel`s
+/// **and both `SyncModel`s** — scheduling reorders *delivery*, never
+/// what the protocol pays — while virtual time (the one timing-sensitive
+/// observable) does vary across delay models.
 #[test]
 fn payload_ledger_is_invariant_across_delay_models() {
     for (name, g) in workloads() {
@@ -237,13 +243,15 @@ fn payload_ledger_is_invariant_across_delay_models() {
             DelayModel::HeavyTailed { max_delay: 6 },
             DelayModel::Adversarial { max_delay: 6 },
         ] {
-            let (out, report) = Session::on(&g)
-                .seed(23)
-                .engine(Engine::Async { delay })
-                .limits(RunLimits::rounds(24))
-                .run_with(flood_factory);
-            ledgers.push((out, report.metrics.clone()));
-            virtual_times.push(report.overhead.virtual_time);
+            for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+                let (out, report) = Session::on(&g)
+                    .seed(23)
+                    .engine(Engine::Async { delay, sync })
+                    .limits(RunLimits::rounds(24))
+                    .run_with(flood_factory);
+                ledgers.push((out, report.metrics.clone()));
+                virtual_times.push(report.overhead.virtual_time);
+            }
         }
         for pair in ledgers.windows(2) {
             assert_eq!(pair[0], pair[1], "{name}: outputs or payload ledger vary across models");
@@ -255,9 +263,10 @@ fn payload_ledger_is_invariant_across_delay_models() {
     }
 }
 
-/// End-to-end: the paper's own staged protocol under α, through the
-/// public `run_near_clique_with` entry point (the plan is derived
-/// internally per §4.1), equals the default flat-engine run.
+/// End-to-end: the paper's own staged protocol under both
+/// synchronizers, through the public `run_near_clique_with` entry point
+/// (the plan is derived internally per §4.1), equals the default
+/// flat-engine run — and the batched control plane undercuts α's.
 #[test]
 fn dist_near_clique_completes_under_alpha_via_run_options() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
@@ -265,14 +274,25 @@ fn dist_near_clique_completes_under_alpha_via_run_options() {
     let params = NearCliqueParams::for_expected_sample(0.25, 6.0, 120).unwrap();
 
     let sync = run_near_clique(&planted.graph, &params, 13);
-    let alpha = run_near_clique_with(
-        &planted.graph,
-        &params,
-        13,
-        RunOptions::with_engine(Engine::Async { delay: DelayModel::Adversarial { max_delay: 9 } }),
+    let mut control = Vec::new();
+    for model in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+        let alpha = run_near_clique_with(
+            &planted.graph,
+            &params,
+            13,
+            RunOptions::with_engine(Engine::Async {
+                delay: DelayModel::Adversarial { max_delay: 9 },
+                sync: model,
+            }),
+        );
+        assert_eq!(alpha.termination, Termination::Quiescent, "{model:?}");
+        assert_eq!(alpha.labels, sync.labels, "{model:?}");
+        assert_eq!(alpha.metrics, sync.metrics, "{model:?}");
+        assert_eq!(alpha.phase_trace, sync.phase_trace, "{model:?}");
+        control.push(alpha.overhead.control_messages);
+    }
+    assert!(
+        control[1] * 2 <= control[0],
+        "batched Safe waves must at least halve α's control traffic: {control:?}"
     );
-    assert_eq!(alpha.termination, Termination::Quiescent);
-    assert_eq!(alpha.labels, sync.labels);
-    assert_eq!(alpha.metrics, sync.metrics);
-    assert_eq!(alpha.phase_trace, sync.phase_trace);
 }
