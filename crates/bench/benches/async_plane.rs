@@ -41,8 +41,8 @@
 //! full local runs.
 
 use congest::{
-    Context, DelayModel, Driver, Engine, Message, Port, Protocol, RunLimits, Session, SyncModel,
-    SyncOverhead,
+    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
+    SyncModel, SyncOverhead,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphs::{generators, Graph};
@@ -100,7 +100,7 @@ const GOSSIP_PULSES: u64 = 30;
 fn run_gossip(g: &Graph, delay: DelayModel, sync: SyncModel) -> SyncOverhead {
     let mut driver = Session::on(g)
         .seed(3)
-        .engine(Engine::Async { delay, sync })
+        .engine(Engine::Async { delay, sync, fault: FaultModel::None })
         .limits(RunLimits::rounds(GOSSIP_PULSES))
         .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
     driver.reserve_rounds(GOSSIP_PULSES as usize + 2);
@@ -176,7 +176,8 @@ fn near_clique_alpha_at(c: &mut Criterion, n: usize, models: &[DelayModel], samp
             let overhead = std::cell::Cell::new(SyncOverhead::default());
             group.bench_with_input(BenchmarkId::from_parameter(&label), &g, |b, g| {
                 b.iter(|| {
-                    let run = run_near_clique_phased(g, &params, 7, delay, sync, &plan);
+                    let run =
+                        run_near_clique_phased(g, &params, 7, delay, sync, FaultModel::None, &plan);
                     overhead.set(run.overhead);
                     run.metrics.messages
                 });

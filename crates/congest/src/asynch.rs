@@ -76,8 +76,13 @@ use crate::network::{assign_ids, IdAssignment};
 use crate::plane::{PortQueues, Topology};
 use crate::protocol::{Context, Endpoint, OutboxHandle, Port, Protocol};
 use crate::rng::node_rng;
-use crate::sched::sync::{ControlPlane, Event, SyncDriver, SyncMsg, Synchronizer, ENVELOPE_BITS};
-use crate::sched::{DelayModel, DelaySampler, EventWheel, PhasePlan, SyncModel};
+use crate::sched::fault::FaultEvent;
+use crate::sched::sync::{
+    transmit, ControlPlane, Event, SyncDriver, SyncMsg, Synchronizer, ENVELOPE_BITS,
+};
+use crate::sched::{
+    DelayModel, DelaySampler, EventWheel, FaultModel, FaultPlane, PhasePlan, SyncModel,
+};
 use crate::session::{
     Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
 };
@@ -121,6 +126,9 @@ pub struct AsyncNetwork<P: Protocol> {
     ready: Vec<u32>,
     /// The compiled link-delay model (see [`crate::sched`]).
     delays: DelaySampler,
+    /// The compiled fault model plus the run's fault log and loss
+    /// accounting (see [`crate::sched::fault`]).
+    faults: FaultPlane,
     /// Absolute pulse target of the current drive.
     budget: u64,
     /// Pulses completed over all drives so far.
@@ -145,6 +153,7 @@ macro_rules! control_plane {
         ControlPlane {
             topo: &$self.topo,
             delays: &mut $self.delays,
+            faults: &mut $self.faults,
             events: &mut $self.events,
             overhead: &mut $self.overhead,
             ready: &mut $self.ready,
@@ -159,17 +168,22 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// so protocols observe identical endpoints and coin flips. Link
     /// delays are drawn from `delay` (seeded off `seed`; see
     /// [`crate::sched::DelayModel`]); pulse gating and control traffic
-    /// follow `sync` (see [`SyncModel`]).
+    /// follow `sync` (see [`SyncModel`]); the network breaks according
+    /// to `fault` (seeded off the same `seed`; see
+    /// [`crate::sched::FaultModel`] — `FaultModel::None` is the perfect
+    /// wire, bit-identical to an engine without the fault plane).
     ///
     /// # Panics
     ///
-    /// Panics if the delay model's `max_delay == 0`, on a hashed ID
-    /// collision, or if the graph exceeds the plane's `u32` port space.
+    /// Panics if the delay model's `max_delay == 0`, if the fault model
+    /// is malformed, on a hashed ID collision, or if the graph exceeds
+    /// the plane's `u32` port space.
     pub fn build_with<F>(
         graph: &Graph,
         seed: u64,
         delay: DelayModel,
         sync: SyncModel,
+        fault: FaultModel,
         ids: IdAssignment,
         mut factory: F,
     ) -> Self
@@ -195,10 +209,13 @@ impl<P: Protocol> AsyncNetwork<P> {
             .collect();
 
         let delays = DelaySampler::new(delay, seed, port_count);
+        let faults = FaultPlane::new(fault, seed, port_count, n, delays.compiled_bound());
         // The wheel spans the *compiled* bound: what the sampler can
         // actually draw for this plane, never more than the model's
-        // declared `max_delay` and tighter for the per-port models.
-        let events = EventWheel::new(delays.compiled_bound());
+        // declared `max_delay` and tighter for the per-port models —
+        // widened to the fault model's retransmission bound so parked
+        // resend timers always fit the horizon.
+        let events = EventWheel::new(delays.compiled_bound().max(faults.sampler.retry_bound()));
         Self {
             nodes,
             topo,
@@ -213,6 +230,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             // keeps the worklist allocation-free forever.
             ready: Vec::with_capacity(2 * n),
             delays,
+            faults,
             budget: 0,
             executed: 0,
             initialized: false,
@@ -241,6 +259,12 @@ impl<P: Protocol> AsyncNetwork<P> {
         self.sync.model()
     }
 
+    /// The configured fault model.
+    #[must_use]
+    pub fn fault_model(&self) -> FaultModel {
+        self.faults.model()
+    }
+
     /// Accumulated payload-side metrics.
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
@@ -260,13 +284,83 @@ impl<P: Protocol> AsyncNetwork<P> {
     }
 
     /// Schedules `msg` from node `from`'s local `port`, arriving after a
-    /// model-drawn delay keyed by the sending port's CSR slot. Routing
-    /// goes through the CSR table: one lookup yields the destination
-    /// node and its receiving port.
+    /// model-drawn delay keyed by the sending port's CSR slot — unless
+    /// the fault plane rules the attempt lost, in which case a
+    /// retransmission timer is parked instead (see
+    /// [`crate::sched::fault`]). Routing goes through the CSR table: one
+    /// lookup yields the destination node and its receiving port.
     fn send(&mut self, now: u64, from: usize, port: Port, msg: SyncMsg<P::Msg>) {
-        let (slot, to, back_port) = self.topo.resolve(from, port);
-        let at = now + self.delays.draw(slot);
-        self.events.schedule(at, Event { to, port: back_port, msg });
+        transmit(
+            &self.topo,
+            &mut self.delays,
+            &mut self.faults,
+            &mut self.events,
+            &mut self.overhead,
+            now,
+            from,
+            port,
+            msg,
+        );
+    }
+
+    /// Crash bookkeeping at node `v`'s entry into `pulse`: detects the
+    /// crash-onset and recovery transitions (each exactly once),
+    /// discards the node's queued outgoing payloads at onset, fires the
+    /// [`Protocol::on_peer_down`]/[`Protocol::on_peer_up`] hooks on live
+    /// neighbors, and reports whether the node is crashed for this
+    /// pulse.
+    fn fault_pulse_entry(&mut self, now: u64, v: usize, pulse: u64) -> bool {
+        let crashed = self.faults.sampler.crashed_at(v, pulse);
+        if crashed == self.faults.down[v] {
+            return crashed;
+        }
+        self.faults.down[v] = crashed;
+        if crashed {
+            self.faults.crash_seen = true;
+            self.faults.log.push(FaultEvent::NodeDown { node: v as u32, pulse });
+            // Fail-silent: whatever the protocol queued but had not yet
+            // transmitted dies with the host — each discard itemized in
+            // the fault log, so observers can account for every loss.
+            let base = self.topo.offsets[v];
+            for port in 0..self.nodes[v].endpoint.degree() {
+                while self.queues.pop(base + port as u32).is_some() {
+                    self.faults.lost += 1;
+                    self.overhead.dropped_messages += 1;
+                    self.faults.log.push(FaultEvent::Lost { node: v as u32, port, at: now });
+                }
+            }
+            self.notify_peers(v, true);
+        } else {
+            self.faults.log.push(FaultEvent::NodeUp { node: v as u32, pulse });
+            self.notify_peers(v, false);
+        }
+        crashed
+    }
+
+    /// Fires the peer-loss hook on each of `v`'s currently-live
+    /// neighbors, each in its own context at its own current pulse.
+    fn notify_peers(&mut self, v: usize, down: bool) {
+        for port in 0..self.nodes[v].endpoint.degree() {
+            let (_slot, to, back) = self.topo.resolve(v, port);
+            let to = to as usize;
+            // A crashed neighbor observes nothing.
+            if self.faults.sampler.crashed_at(to, self.nodes[to].pulse) {
+                continue;
+            }
+            let node = &mut self.nodes[to];
+            let base = self.topo.offsets[to];
+            let mut ctx = Context {
+                endpoint: &node.endpoint,
+                round: node.pulse,
+                outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+                rng: &mut node.rng,
+            };
+            if down {
+                node.protocol.on_peer_down(&mut ctx, back as usize);
+            } else {
+                node.protocol.on_peer_up(&mut ctx, back as usize);
+            }
+        }
     }
 
     /// Transition `node` into its next pulse: drain one application
@@ -280,7 +374,10 @@ impl<P: Protocol> AsyncNetwork<P> {
         let degree = self.nodes[v].endpoint.degree();
         if degree == 0 {
             while self.nodes[v].pulse <= self.budget {
-                self.execute_pulse(v);
+                let pulse = self.nodes[v].pulse;
+                if !self.fault_pulse_entry(now, v, pulse) {
+                    self.execute_pulse(v);
+                }
                 self.nodes[v].pulse += 1;
             }
             self.nodes[v].pulse = self.budget;
@@ -288,6 +385,11 @@ impl<P: Protocol> AsyncNetwork<P> {
             return;
         }
         let pulse = self.nodes[v].pulse;
+        // A node entering a crashed pulse discards its queued sends
+        // (inside `fault_pulse_entry`, at onset) and is silent below —
+        // every port reads idle, so neighbors' gates fill exactly as for
+        // an empty pulse and the synchronizer waves keep rolling.
+        let crashed = self.fault_pulse_entry(now, v, pulse);
         let base = self.topo.offsets[v];
         let mut sent = 0usize;
         for port in 0..degree {
@@ -301,6 +403,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             self.send(now, v, port, SyncMsg::Payload { pulse, msg });
             sent += 1;
         }
+        debug_assert!(!crashed || sent == 0, "a crashed node sends nothing");
         let mut cp = control_plane!(self, now);
         self.sync.on_pulse_begun(&mut cp, v, pulse, sent);
     }
@@ -310,6 +413,17 @@ impl<P: Protocol> AsyncNetwork<P> {
     fn execute_pulse(&mut self, v: usize) {
         let pulse = self.nodes[v].pulse;
         let parity = (pulse & 1) as usize;
+        if self.faults.sampler.crashed_at(v, pulse) {
+            // Fail-silent: payloads addressed to this pulse were already
+            // discarded at delivery, so the inbox is empty and the
+            // protocol does not step.
+            debug_assert_eq!(
+                self.inboxes.len((v * 2 + parity) as u32),
+                0,
+                "payloads for a crashed pulse are swallowed at delivery"
+            );
+            return;
+        }
         // Drain the pulse's rotating inbox into the scratch buffer and
         // canonicalize. CONGEST delivers at most one payload per port
         // per pulse, so port keys are unique and the unstable sort is
@@ -371,10 +485,31 @@ impl<P: Protocol> AsyncNetwork<P> {
     }
 
     fn handle(&mut self, now: u64, event: Event<P::Msg>) {
-        let Event { to, port, msg } = event;
-        let (to, port) = (to as usize, port as usize);
         self.overhead.virtual_time = self.overhead.virtual_time.max(now);
+        let (to, port, msg) = match event {
+            Event::Deliver { to, port, msg } => (to as usize, port as usize, msg),
+            Event::Resend { from, port, msg } => {
+                // A retransmission timer fired: the envelope re-enters
+                // the wire with fresh delay and fault draws.
+                self.send(now, from as usize, port as usize, msg);
+                return;
+            }
+        };
         match msg {
+            SyncMsg::Payload { pulse, msg: _ } if self.faults.sampler.crashed_at(to, pulse) => {
+                // The receiver is down for this pulse: the payload
+                // vanishes at the host — not metered, not staged; the
+                // loss is application-visible (degradation, not
+                // masking). The synchronizer still observes the arrival:
+                // the control plane survives the crash, which is what
+                // keeps the neighbors' gates filling and the waves
+                // self-healing.
+                self.faults.lost += 1;
+                self.overhead.dropped_messages += 1;
+                self.faults.log.push(FaultEvent::Lost { node: to as u32, port, at: now });
+                let mut cp = control_plane!(self, now);
+                self.sync.on_payload(&mut cp, to, port, pulse);
+            }
             SyncMsg::Payload { pulse, msg } => {
                 // A payload tagged r was drained by the sender on entering
                 // pulse r — exactly what the synchronous simulator
@@ -430,6 +565,14 @@ impl<P: Protocol> AsyncNetwork<P> {
         let round = self.executed;
         let mut resumed = false;
         for v in 0..self.nodes.len() {
+            if self.faults.down[v] {
+                // A crashed node takes no phase transition — and its
+                // silence must not keep the plan spinning pulse budgets:
+                // the run ends `Degraded` (see `run_phases`) instead of
+                // burning every remaining phase on a node that cannot
+                // answer.
+                continue;
+            }
             let node = &mut self.nodes[v];
             let base = self.topo.offsets[v];
             let mut ctx = Context {
@@ -462,7 +605,11 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// Termination is [`Termination::Quiescent`] when the retiring
     /// barrier finds every node finished, [`Termination::RoundLimit`]
     /// when the plan ended while the protocol still wanted to resume
-    /// (the plan under-budgeted the run).
+    /// (the plan under-budgeted the run) — and
+    /// [`Termination::Degraded`] as soon as any node crashed during the
+    /// run, whatever the barriers said: a crashed phase cannot quiesce
+    /// in the ordinary sense, and the report carries the count of
+    /// application payloads the crash cost.
     pub fn run_phases(&mut self, plan: &PhasePlan, obs: &mut dyn Observer) -> RunReport {
         self.reserve_rounds(plan.total_pulses() as usize);
         // Run `init` (and the entry into the first phase) before the
@@ -486,7 +633,13 @@ impl<P: Protocol> AsyncNetwork<P> {
         // Intermediate phases ran report-free; the run's metrics are
         // cloned into a report exactly once, here.
         RunReport {
-            termination: if live { Termination::RoundLimit } else { Termination::Quiescent },
+            termination: if self.faults.crash_seen {
+                Termination::Degraded { lost: self.faults.lost }
+            } else if live {
+                Termination::RoundLimit
+            } else {
+                Termination::Quiescent
+            },
             rounds: self.executed,
             metrics: self.metrics.clone(),
             overhead: self.overhead,
@@ -510,8 +663,8 @@ impl<P: Protocol> Driver for AsyncNetwork<P> {
     /// control traffic budget or not (a `Safe` flood per edge under
     /// [`SyncModel::Alpha`]; a coalesced wave per node under
     /// [`SyncModel::BatchedAlpha`]), so the default (1M-round) limits
-    /// are *executable* but enormous. Termination is always
-    /// `RoundLimit`.
+    /// are *executable* but enormous. Termination is `RoundLimit` —
+    /// or [`Termination::Degraded`] if any node crashed during the run.
     ///
     /// Pulses complete out of event order across nodes, so `obs`
     /// receives the per-pulse deltas in pulse order when the drive
@@ -519,7 +672,11 @@ impl<P: Protocol> Driver for AsyncNetwork<P> {
     fn drive(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
         self.drive_pulses(limits.max_rounds, obs);
         RunReport {
-            termination: Termination::RoundLimit,
+            termination: if self.faults.crash_seen {
+                Termination::Degraded { lost: self.faults.lost }
+            } else {
+                Termination::RoundLimit
+            },
             rounds: self.executed,
             metrics: self.metrics.clone(),
             overhead: self.overhead,
@@ -553,6 +710,18 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// pulses and streams their deltas to `obs`. Callers that drive in
     /// stages (phased runs) use this directly so the run's [`Metrics`]
     /// are cloned into a [`RunReport`] once, not once per stage.
+    /// Streams buffered fault events to the observer, in occurrence
+    /// order. The log is drained in place and reused — no steady-state
+    /// allocation once its capacity is warm.
+    fn flush_faults(&mut self, obs: &mut dyn Observer) {
+        if self.faults.log.is_empty() {
+            return;
+        }
+        for event in self.faults.log.drain(..) {
+            obs.on_fault(event);
+        }
+    }
+
     fn drive_pulses(&mut self, max_rounds: u64, obs: &mut dyn Observer) {
         let previous = self.executed;
         if !self.initialized {
@@ -595,9 +764,11 @@ impl<P: Protocol> AsyncNetwork<P> {
                 self.drain_ready(now);
             }
 
+            self.flush_faults(obs);
             while let Some((now, event)) = self.events.pop_next() {
                 self.handle(now, event);
                 self.drain_ready(now);
+                self.flush_faults(obs);
             }
             debug_assert_eq!(self.inboxes.queued(), 0, "all staged payloads were consumed");
             debug_assert!(
@@ -625,6 +796,7 @@ impl<P: Protocol> std::fmt::Debug for AsyncNetwork<P> {
             .field("nodes", &self.nodes.len())
             .field("delay", &self.delays.model())
             .field("sync", &self.sync.model())
+            .field("fault", &self.faults.model())
             .field("pulses", &self.executed)
             .finish_non_exhaustive()
     }
@@ -640,7 +812,11 @@ mod tests {
     const SYNC_MODELS: [SyncModel; 2] = [SyncModel::Alpha, SyncModel::BatchedAlpha];
 
     fn uniform(max_delay: u64) -> Engine {
-        Engine::Async { delay: DelayModel::Uniform { max_delay }, sync: SyncModel::Alpha }
+        Engine::Async {
+            delay: DelayModel::Uniform { max_delay },
+            sync: SyncModel::Alpha,
+            fault: FaultModel::None,
+        }
     }
 
     /// Flooding protocol identical to the synchronous test suite's.
@@ -709,7 +885,11 @@ mod tests {
             for sync in SYNC_MODELS {
                 let (async_out, report) = Session::on(&g)
                     .seed(11)
-                    .engine(Engine::Async { delay: DelayModel::Uniform { max_delay }, sync })
+                    .engine(Engine::Async {
+                        delay: DelayModel::Uniform { max_delay },
+                        sync,
+                        fault: FaultModel::None,
+                    })
                     .limits(RunLimits::rounds(40))
                     .run_with(make);
                 assert_eq!(async_out, sync_out, "max_delay = {max_delay}, {sync:?}");
@@ -743,7 +923,11 @@ mod tests {
         let run = |sync| {
             Session::on(&g)
                 .seed(9)
-                .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 5 }, sync })
+                .engine(Engine::Async {
+                    delay: DelayModel::Uniform { max_delay: 5 },
+                    sync,
+                    fault: FaultModel::None,
+                })
                 .limits(RunLimits::rounds(30))
                 .run_with(make)
         };
@@ -790,6 +974,7 @@ mod tests {
             .engine(Engine::Async {
                 delay: DelayModel::Uniform { max_delay: 3 },
                 sync: SyncModel::BatchedAlpha,
+                fault: FaultModel::None,
             })
             .limits(RunLimits::rounds(16))
             .run_with(|_| EchoAll);
@@ -807,7 +992,11 @@ mod tests {
         for sync in SYNC_MODELS {
             let (out, _) = Session::on(&g)
                 .seed(3)
-                .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 3 }, sync })
+                .engine(Engine::Async {
+                    delay: DelayModel::Uniform { max_delay: 3 },
+                    sync,
+                    fault: FaultModel::None,
+                })
                 .limits(RunLimits::rounds(5))
                 .run_with(make);
             assert_eq!(out[1], Some(1), "{sync:?}");
@@ -824,7 +1013,11 @@ mod tests {
             let run = |seed| {
                 Session::on(&g)
                     .seed(seed)
-                    .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 9 }, sync })
+                    .engine(Engine::Async {
+                        delay: DelayModel::Uniform { max_delay: 9 },
+                        sync,
+                        fault: FaultModel::None,
+                    })
                     .limits(RunLimits::rounds(30))
                     .run_with(make)
             };
@@ -844,6 +1037,7 @@ mod tests {
             4,
             DelayModel::Uniform { max_delay: 3 },
             SyncModel::Alpha,
+            FaultModel::None,
             IdAssignment::Hashed,
             make,
         );
@@ -870,6 +1064,7 @@ mod tests {
                     5,
                     DelayModel::Uniform { max_delay: 6 },
                     sync,
+                    FaultModel::None,
                     IdAssignment::Hashed,
                     make,
                 )
@@ -956,8 +1151,15 @@ mod tests {
             DelayModel::Adversarial { max_delay: 5 },
         ] {
             for sync in SYNC_MODELS {
-                let mut net =
-                    AsyncNetwork::build_with(&g, 8, delay, sync, IdAssignment::Hashed, make_staged);
+                let mut net = AsyncNetwork::build_with(
+                    &g,
+                    8,
+                    delay,
+                    sync,
+                    FaultModel::None,
+                    IdAssignment::Hashed,
+                    make_staged,
+                );
                 let report = net.run_phases(&plan, &mut ());
                 assert_eq!(net.outputs(), sync_out, "{delay:?}, {sync:?}");
                 assert_eq!(report.termination, Termination::Quiescent, "{delay:?}, {sync:?}");
@@ -983,6 +1185,7 @@ mod tests {
             2,
             DelayModel::Uniform { max_delay: 3 },
             SyncModel::Alpha,
+            FaultModel::None,
             IdAssignment::Hashed,
             make_staged,
         );

@@ -31,10 +31,13 @@
 //! heavy-tailed, adversarial-within-bound), per-phase [`PhasePlan`]
 //! pulse budgets (the paper's §4.1 staged execution) that let
 //! multi-phase protocols complete under a synchronizer via
-//! [`SessionDriver::run_phased`], and a pluggable synchronizer layer
+//! [`SessionDriver::run_phased`], a pluggable synchronizer layer
 //! ([`SyncModel`]): classic α, or the quiescence-aware `BatchedAlpha`
 //! whose control cost follows the active frontier instead of the edge
-//! count.
+//! count — and a seeded fault plane ([`FaultModel`]): per-send message
+//! loss and link flaps masked by deterministic retransmission, plus
+//! crash/recover churn under which surviving nodes re-converge and the
+//! run reports [`Termination::Degraded`] (see [`sched::fault`]).
 //!
 //! All three implement [`Driver`] (drive rounds → read outputs /
 //! metrics / termination), report through one [`RunReport`], and stream
@@ -44,7 +47,7 @@
 //! # Example: flooding, on all three engines
 //!
 //! ```
-//! use congest::{Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session};
+//! use congest::{Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session};
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
@@ -75,8 +78,8 @@
 //! for engine in [
 //!     Engine::Flat { shards: 1 },
 //!     Engine::Flat { shards: 2 },
-//!     Engine::Async { delay, sync: congest::SyncModel::Alpha },
-//!     Engine::Async { delay, sync: congest::SyncModel::BatchedAlpha },
+//!     Engine::Async { delay, sync: congest::SyncModel::Alpha, fault: FaultModel::None },
+//!     Engine::Async { delay, sync: congest::SyncModel::BatchedAlpha, fault: FaultModel::None },
 //! ] {
 //!     let (outputs, report) = Session::on(&g)
 //!         .seed(7)
@@ -110,7 +113,9 @@ pub use message::{bits_for_count, Message, ID_BITS, TAG_BITS};
 pub use metrics::Metrics;
 pub use network::{IdAssignment, Mode, Network, NetworkBuilder};
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
-pub use sched::{DelayModel, EventWheel, PhaseBudget, PhasePlan, SyncModel};
+pub use sched::{
+    DelayModel, EventWheel, FaultEvent, FaultModel, PhaseBudget, PhasePlan, SyncModel,
+};
 pub use session::{
     Driver, Engine, Observer, RoundDelta, RunLimits, RunReport, Session, SessionDriver,
     SyncOverhead, Termination,

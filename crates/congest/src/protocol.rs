@@ -269,6 +269,23 @@ pub trait Protocol: Send {
         false
     }
 
+    /// Churn hook: the neighbor behind local `port` crashed (see
+    /// [`FaultModel::Crash`](crate::FaultModel::Crash)). Until the
+    /// matching [`Protocol::on_peer_up`], nothing sent on `port` will be
+    /// delivered and nothing will arrive from it. Called at this node's
+    /// current round; messages sent from the hook queue normally.
+    /// Default: no reaction.
+    fn on_peer_down(&mut self, ctx: &mut Context<'_, Self::Msg>, port: Port) {
+        let _ = (ctx, port);
+    }
+
+    /// Churn hook: the crashed neighbor behind local `port` recovered —
+    /// with empty queues and whatever protocol state it had at the
+    /// crash. Default: no reaction.
+    fn on_peer_up(&mut self, ctx: &mut Context<'_, Self::Msg>, port: Port) {
+        let _ = (ctx, port);
+    }
+
     /// The node's final output.
     fn output(&self) -> Self::Output;
 }

@@ -24,6 +24,15 @@
 //!   quiescence. Budgets can be written by hand or derived from a
 //!   synchronous dry run's phase trace
 //!   ([`PhasePlan::from_trace`]).
+//! * [`FaultModel`] — what the network *breaks* ([`fault`]): seeded
+//!   per-send message loss ([`FaultModel::Drop`]), periodic per-port
+//!   outages ([`FaultModel::LinkFlap`]) — both **masked** by a
+//!   deterministic retransmit-on-timeout path so outputs and payload
+//!   metrics stay bit-identical to the fault-free run — and node churn
+//!   ([`FaultModel::Crash`]), under which surviving nodes re-converge
+//!   and the run reports
+//!   [`Termination::Degraded`](crate::Termination::Degraded). Every
+//!   fault schedule is replayable from `(seed, FaultModel)` alone.
 //! * [`SyncModel`] — the synchronizer itself ([`sync`]): the executor
 //!   core delegates pulse gating and all control traffic to a pluggable
 //!   `Synchronizer`. [`SyncModel::Alpha`] is Awerbuch's classic α
@@ -34,8 +43,9 @@
 //!   sparse pulses from `O(m)` to the active frontier.
 //!
 //! All knobs ride the unified [`crate::Session`] surface: the delay
-//! model and synchronizer go into `Engine::Async { delay, sync }`, the
-//! plan into [`crate::SessionDriver::run_phased`]. Payload-side
+//! model, synchronizer and fault model go into
+//! `Engine::Async { delay, sync, fault }`, the plan into
+//! [`crate::SessionDriver::run_phased`]. Payload-side
 //! [`crate::Metrics`] stay bit-identical to the synchronous engines'
 //! under **every** delay model and **every** synchronizer — scheduling
 //! reorders delivery, never traffic — which the cross-model tests in
@@ -48,12 +58,15 @@
 //! old delay heap — correct (see [`wheel`]).
 
 mod delay;
+pub mod fault;
 mod phase;
 pub mod sync;
 pub mod wheel;
 
 pub use delay::DelayModel;
 pub(crate) use delay::DelaySampler;
+pub(crate) use fault::FaultPlane;
+pub use fault::{FaultEvent, FaultModel};
 pub use phase::{PhaseBudget, PhasePlan};
 pub use sync::SyncModel;
 pub use wheel::EventWheel;

@@ -58,6 +58,7 @@
 use crate::message::TAG_BITS;
 use crate::plane::Topology;
 use crate::protocol::Port;
+use crate::sched::fault::{FaultEvent, FaultPlane};
 use crate::sched::{DelaySampler, EventWheel};
 use crate::session::SyncOverhead;
 
@@ -144,16 +145,69 @@ pub(crate) enum SyncMsg<M> {
     Ctrl(Ctrl),
 }
 
-/// One in-flight event on the timing wheel: the envelope plus its
-/// destination, resolved at send time by the CSR route table.
-pub(crate) struct Event<M> {
-    /// Destination node.
-    pub to: u32,
-    /// The destination node's local receiving port.
-    pub port: u32,
-    /// The envelope itself — carried in the wheel entry, not parked in a
-    /// side table.
-    pub msg: SyncMsg<M>,
+/// One in-flight event on the timing wheel.
+pub(crate) enum Event<M> {
+    /// An envelope in transit: destination resolved at send time by the
+    /// CSR route table, carried in the wheel entry rather than parked in
+    /// a side table.
+    Deliver {
+        /// Destination node.
+        to: u32,
+        /// The destination node's local receiving port.
+        port: u32,
+        /// The envelope itself.
+        msg: SyncMsg<M>,
+    },
+    /// A retransmission timer: the attempt to send `msg` out of `from`'s
+    /// local `port` was lost to a fault; when the timer fires the
+    /// envelope re-enters [`transmit`] (fresh delay draw, fresh fault
+    /// draw).
+    Resend {
+        /// The original sender.
+        from: u32,
+        /// The sender's local port.
+        port: u32,
+        /// The envelope to retransmit.
+        msg: SyncMsg<M>,
+    },
+}
+
+/// The one wire choke point of the asynchronous engine: every envelope —
+/// application payload or synchronizer control — leaves node `from`'s
+/// local `port` through here. The fault plane rules first: a lost
+/// attempt is metered (`SyncOverhead::retransmissions`,
+/// `SyncOverhead::dropped_messages`), logged as
+/// [`FaultEvent::Dropped`], and parked as an [`Event::Resend`] timer
+/// (the RTO under `Drop`, the next up-edge under `LinkFlap`); a clean
+/// attempt rides the wheel as an [`Event::Deliver`] after the delay
+/// model's draw, exactly as in the fault-free engine.
+// Parameters stay loose: both callers (the executor and `ControlPlane`)
+// borrow these field-by-field from different owning structs, so bundling
+// them would just force a second borrow-splitting layer.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn transmit<M>(
+    topo: &Topology,
+    delays: &mut DelaySampler,
+    faults: &mut FaultPlane,
+    events: &mut EventWheel<Event<M>>,
+    overhead: &mut SyncOverhead,
+    now: u64,
+    from: usize,
+    port: Port,
+    msg: SyncMsg<M>,
+) {
+    let (slot, to, back) = topo.resolve(from, port);
+    if faults.sampler.drops(slot, now) {
+        overhead.retransmissions += 1;
+        overhead.dropped_messages += 1;
+        faults.log.push(FaultEvent::Dropped { node: from as u32, port, at: now });
+        let at = now + faults.sampler.retry_wait(slot, now);
+        events.schedule(at, Event::Resend { from: from as u32, port: port as u32, msg });
+        return;
+    }
+    let at = now + delays.draw(slot);
+    events.schedule(at, Event::Deliver { to, port: back, msg });
 }
 
 /// The executor facilities a [`Synchronizer`] hook may use: route
@@ -166,6 +220,9 @@ pub(crate) struct Event<M> {
 pub(crate) struct ControlPlane<'a, M> {
     pub topo: &'a Topology,
     pub delays: &'a mut DelaySampler,
+    /// The fault plane: control envelopes ride the same faulty wire as
+    /// payloads, so `send_ctrl` consults it through [`transmit`].
+    pub faults: &'a mut FaultPlane,
     pub events: &'a mut EventWheel<Event<M>>,
     pub overhead: &'a mut SyncOverhead,
     /// Nodes whose pulse gate may have just completed; the executor
@@ -193,14 +250,24 @@ impl<M> ControlPlane<'_, M> {
     }
 
     /// Schedules `ctrl` from node `from`'s local `port`, delayed by the
-    /// sending port's model draw — the same wire payload envelopes ride.
-    /// Metering is separate ([`ControlPlane::meter_ctrl`]): α meters on
-    /// receipt, coalesced waves meter once at emission.
+    /// sending port's model draw — the same (faulty) wire payload
+    /// envelopes ride, so a dropped control envelope is retransmitted
+    /// like any payload. Metering is separate
+    /// ([`ControlPlane::meter_ctrl`]): α meters on receipt, coalesced
+    /// waves meter once at emission.
     #[inline]
     pub fn send_ctrl(&mut self, from: usize, port: Port, ctrl: Ctrl) {
-        let (slot, to, back) = self.topo.resolve(from, port);
-        let at = self.now + self.delays.draw(slot);
-        self.events.schedule(at, Event { to, port: back, msg: SyncMsg::Ctrl(ctrl) });
+        transmit(
+            self.topo,
+            self.delays,
+            self.faults,
+            self.events,
+            self.overhead,
+            self.now,
+            from,
+            port,
+            SyncMsg::Ctrl(ctrl),
+        );
     }
 
     /// Accounts `messages` control messages (and their envelopes) in

@@ -33,7 +33,10 @@
 //! # Example: one protocol, three engines
 //!
 //! ```
-//! use congest::{Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session, SyncModel};
+//! use congest::{
+//!     Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
+//!     SyncModel,
+//! };
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
@@ -62,10 +65,11 @@
 //! let factory = |e: &congest::Endpoint| Echo { seen: false, source: e.index == 0 };
 //! let delay = DelayModel::Uniform { max_delay: 7 };
 //! let mut flat = Vec::new();
+//! let fault = FaultModel::None;
 //! for engine in [
 //!     Engine::Flat { shards: 2 },
-//!     Engine::Async { delay, sync: SyncModel::Alpha },
-//!     Engine::Async { delay, sync: SyncModel::BatchedAlpha },
+//!     Engine::Async { delay, sync: SyncModel::Alpha, fault },
+//!     Engine::Async { delay, sync: SyncModel::BatchedAlpha, fault },
 //! ] {
 //!     let (outputs, report) = Session::on(&g)
 //!         .seed(7)
@@ -88,7 +92,7 @@ use crate::legacy::LegacyNetwork;
 use crate::metrics::Metrics;
 use crate::network::{IdAssignment, Mode, Network, NetworkBuilder};
 use crate::protocol::{Endpoint, Protocol, Round};
-use crate::sched::{DelayModel, PhasePlan, SyncModel};
+use crate::sched::{DelayModel, FaultEvent, FaultModel, PhasePlan, SyncModel};
 
 /// Which execution engine a [`Session`] drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,11 +132,20 @@ pub enum Engine {
     /// rule (the paper's §4.1 deterministic time bound). Staged
     /// protocols additionally take a per-phase [`PhasePlan`] through
     /// [`SessionDriver::run_phased`].
+    /// The fault plane composes with both knobs: `fault` breaks the wire
+    /// (seeded message loss, link flaps — masked by deterministic
+    /// retransmission) or the hosts (crash windows — surfaced as
+    /// [`Termination::Degraded`]); [`FaultModel::None`] is the perfect
+    /// network, bit-identical to the engine before the fault plane
+    /// existed. See [`crate::sched::fault`] for the
+    /// masking-vs-degradation contract.
     Async {
         /// The link-delay model (its `max_delay` must be ≥ 1).
         delay: DelayModel,
         /// The synchronizer gating pulses (default [`SyncModel::Alpha`]).
         sync: SyncModel,
+        /// What the network breaks (default [`FaultModel::None`]).
+        fault: FaultModel,
     },
 }
 
@@ -177,6 +190,16 @@ pub enum Termination {
     Quiescent,
     /// The [`RunLimits::max_rounds`] bound fired first.
     RoundLimit,
+    /// The run completed its budget, but nodes crashed along the way
+    /// ([`FaultModel::Crash`]): surviving nodes re-converged under the
+    /// self-healing synchronizer waves, and `lost` application payloads
+    /// (discarded send queues plus deliveries addressed to crashed
+    /// pulses) never reached a protocol. The fault schedule — and so
+    /// this report — is replayable from `(seed, FaultModel)` alone.
+    Degraded {
+        /// Application payloads lost to crashes.
+        lost: u64,
+    },
 }
 
 /// Synchronizer-α resource overhead. Identically zero for the
@@ -192,6 +215,15 @@ pub struct SyncOverhead {
     pub control_bits: u64,
     /// Largest event timestamp (virtual time at completion).
     pub virtual_time: u64,
+    /// Retransmissions scheduled after wire-level fault losses
+    /// ([`FaultModel::Drop`] / [`FaultModel::LinkFlap`]) — the price of
+    /// masking; zero on a perfect wire.
+    pub retransmissions: u64,
+    /// Send attempts lost to faults: wire-level drops (each matched by
+    /// one retransmission) plus application payloads lost to crashes
+    /// (`dropped_messages − retransmissions` is exactly the `lost` of
+    /// [`Termination::Degraded`]).
+    pub dropped_messages: u64,
 }
 
 impl SyncOverhead {
@@ -269,6 +301,15 @@ pub trait Observer {
     fn on_barrier(&mut self, round: Round) {
         let _ = round;
     }
+
+    /// Called when the fault plane acts: a send attempt lost on the wire
+    /// (and retransmitted), a payload swallowed by a crashed node, or a
+    /// node crashing / recovering (see [`FaultEvent`]). Only
+    /// [`Engine::Async`] with a non-[`FaultModel::None`] fault model
+    /// ever calls this; events arrive in occurrence order.
+    fn on_fault(&mut self, event: FaultEvent) {
+        let _ = event;
+    }
 }
 
 /// The no-op observer: `drive(limits, &mut ())` observes nothing.
@@ -290,6 +331,11 @@ impl Observer for Chain<'_> {
     fn on_barrier(&mut self, round: Round) {
         self.0.on_barrier(round);
         self.1.on_barrier(round);
+    }
+
+    fn on_fault(&mut self, event: FaultEvent) {
+        self.0.on_fault(event);
+        self.1.on_fault(event);
     }
 }
 
@@ -466,7 +512,7 @@ impl<'g> Session<'g> {
                  feature (the equivalence suites and the delivery_plane bench do), or use \
                  Engine::Flat — it is bit-identical on every workload"
             ),
-            Engine::Async { delay, sync } => {
+            Engine::Async { delay, sync, fault } => {
                 assert!(
                     self.mode == Mode::Congest,
                     "synchronizers model CONGEST pulses; Mode::Local is not executable on \
@@ -479,7 +525,7 @@ impl<'g> Session<'g> {
                      budget is the §4.1 termination rule"
                 );
                 EngineDriver::Async(AsyncNetwork::build_with(
-                    self.graph, self.seed, delay, sync, self.ids, factory,
+                    self.graph, self.seed, delay, sync, fault, self.ids, factory,
                 ))
             }
         };
@@ -538,9 +584,11 @@ impl<P: Protocol> SessionDriver<P> {
             EngineDriver::Flat(net) => Engine::Flat { shards: net.shard_count() },
             #[cfg(feature = "legacy-engine")]
             EngineDriver::Legacy(_) => Engine::Legacy,
-            EngineDriver::Async(net) => {
-                Engine::Async { delay: net.delay_model(), sync: net.sync_model() }
-            }
+            EngineDriver::Async(net) => Engine::Async {
+                delay: net.delay_model(),
+                sync: net.sync_model(),
+                fault: net.fault_model(),
+            },
         }
     }
 
@@ -719,8 +767,9 @@ mod tests {
         #[cfg(feature = "legacy-engine")]
         engines.push(Engine::Legacy);
         let delay = DelayModel::Uniform { max_delay };
-        engines.push(Engine::Async { delay, sync: SyncModel::Alpha });
-        engines.push(Engine::Async { delay, sync: SyncModel::BatchedAlpha });
+        let fault = FaultModel::None;
+        engines.push(Engine::Async { delay, sync: SyncModel::Alpha, fault });
+        engines.push(Engine::Async { delay, sync: SyncModel::BatchedAlpha, fault });
         engines
     }
 
@@ -756,6 +805,7 @@ mod tests {
             .engine(Engine::Async {
                 delay: DelayModel::Uniform { max_delay: 3 },
                 sync: SyncModel::Alpha,
+                fault: FaultModel::None,
             })
             .limits(RunLimits::rounds(6))
             .run_with(factory);

@@ -18,8 +18,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use congest::{
-    Context, DelayModel, Driver, Engine, Message, Mode, Port, Protocol, RunLimits, Session,
-    SyncModel, Termination,
+    Context, DelayModel, Driver, Engine, FaultModel, Message, Mode, Port, Protocol, RunLimits,
+    Session, SyncModel, Termination,
 };
 use graphs::GraphBuilder;
 
@@ -214,7 +214,7 @@ fn async_pulses_do_not_allocate() {
         for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
             let mut net = Session::on(&g)
                 .seed(5)
-                .engine(Engine::Async { delay, sync })
+                .engine(Engine::Async { delay, sync, fault: FaultModel::None })
                 .limits(RunLimits::rounds(1024))
                 .build_with(|_| Echo);
 
@@ -237,6 +237,56 @@ fn async_pulses_do_not_allocate() {
                 with_pulses,
                 wrapper,
                 "{delay:?}, {sync:?}: 256 steady-state pulses performed {} heap allocations",
+                with_pulses.saturating_sub(wrapper)
+            );
+        }
+    }
+}
+
+/// The fault plane's steady state is equally **zero-allocation**:
+/// per-send drop sampling is one splitmix64 step on a pre-seeded
+/// stream, link-flap schedules are compiled into per-port phase tables
+/// at build time (same pattern as the delay tables), retransmissions
+/// ride the same slab-backed wheel chunks as first sends, and the
+/// fault-event log drains into the observer every iteration without
+/// ever shrinking its warmed capacity. Once past the warm-up (which
+/// includes the crash/recover transition for [`FaultModel::Crash`]),
+/// hundreds of faulty pulses must allocate exactly as much as a
+/// zero-pulse drive, under every fault model × both synchronizers.
+#[test]
+fn faulty_pulses_do_not_allocate() {
+    let g = ring_with_chords(32);
+    for fault in [
+        FaultModel::Drop { p_millis: 100 },
+        FaultModel::LinkFlap { down_len: 3, up_len: 5 },
+        FaultModel::Crash { victims: 2, at_pulse: 8, recover_after: 16 },
+    ] {
+        for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+            let mut net = Session::on(&g)
+                .seed(5)
+                .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 4 }, sync, fault })
+                .limits(RunLimits::rounds(1024))
+                .build_with(|_| Echo);
+
+            // Warm-up: wheel buckets absorb the retransmit horizon, the
+            // fault log reaches its high-water mark, and the crash model
+            // plays out its one-time down/up transition.
+            net.reserve_rounds(1024);
+            net.drive(RunLimits::rounds(256), &mut ());
+
+            let before = allocations();
+            net.drive(RunLimits::rounds(0), &mut ());
+            let wrapper = allocations() - before;
+
+            let before = allocations();
+            net.drive(RunLimits::rounds(256), &mut ());
+            let with_pulses = allocations() - before;
+
+            assert_eq!(
+                with_pulses,
+                wrapper,
+                "{fault:?}, {sync:?}: 256 faulty steady-state pulses performed {} heap \
+                 allocations",
                 with_pulses.saturating_sub(wrapper)
             );
         }
@@ -279,6 +329,7 @@ fn batched_sparse_pulses_do_not_allocate() {
         .engine(Engine::Async {
             delay: DelayModel::Uniform { max_delay: 4 },
             sync: SyncModel::BatchedAlpha,
+            fault: FaultModel::None,
         })
         .limits(RunLimits::rounds(1024))
         .build_with(|_| Trickle);

@@ -8,8 +8,8 @@
 //! verification or cross-checking against the centralized reference.
 
 use congest::{
-    DelayModel, Driver, Engine, Metrics, Observer, PhasePlan, RoundDelta, RunLimits, Session,
-    SyncModel, Termination,
+    DelayModel, Driver, Engine, FaultModel, Metrics, Observer, PhasePlan, RoundDelta, RunLimits,
+    Session, SyncModel, Termination,
 };
 use graphs::{FixedBitSet, Graph};
 
@@ -180,9 +180,9 @@ pub fn run_near_clique_with(
     seed: u64,
     options: RunOptions,
 ) -> NearCliqueRun {
-    if let Engine::Async { delay, sync } = options.engine {
+    if let Engine::Async { delay, sync, fault } = options.engine {
         let plan = near_clique_phase_plan(g, params, seed, options.max_rounds);
-        return run_near_clique_phased(g, params, seed, delay, sync, &plan);
+        return run_near_clique_phased(g, params, seed, delay, sync, fault, &plan);
     }
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
     let mut driver = Session::on(g)
@@ -263,6 +263,14 @@ pub fn near_clique_phase_plan(
 /// still in flight, which `DistNearClique` — a phase-pure protocol —
 /// rejects with a panic. Both are faithful §4.1 failure modes: a
 /// mis-derived deterministic bound breaks the staged algorithm.
+///
+/// The `fault` model injects seeded message loss, link flaps or node
+/// crashes (see [`FaultModel`]). Under the masked models
+/// ([`FaultModel::Drop`], [`FaultModel::LinkFlap`]) retransmission hides
+/// every fault: labels, outputs and payload metrics still equal the
+/// synchronous run bit for bit, and only the reported `overhead` (and
+/// virtual time) grows. Under [`FaultModel::Crash`] the run degrades
+/// deterministically and reports [`Termination::Degraded`].
 #[must_use]
 pub fn run_near_clique_phased(
     g: &Graph,
@@ -270,12 +278,13 @@ pub fn run_near_clique_phased(
     seed: u64,
     delay: DelayModel,
     sync: SyncModel,
+    fault: FaultModel,
     phases: &PhasePlan,
 ) -> NearCliqueRun {
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
     let mut driver = Session::on(g)
         .seed(seed)
-        .engine(Engine::Async { delay, sync })
+        .engine(Engine::Async { delay, sync, fault })
         .limits(RunLimits::rounds(phases.total_pulses()))
         .build_with(|endpoint| {
             let flags = (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
@@ -392,6 +401,7 @@ mod tests {
             let options = RunOptions::with_engine(Engine::Async {
                 delay: DelayModel::HeavyTailed { max_delay: 6 },
                 sync: model,
+                fault: FaultModel::None,
             });
             let run = run_near_clique_with(&g, &params, 3, options);
             assert_eq!(run.termination, Termination::Quiescent, "{model:?}");
@@ -430,6 +440,7 @@ mod tests {
             9,
             DelayModel::Uniform { max_delay: 2 },
             SyncModel::Alpha,
+            FaultModel::None,
             &truncated,
         );
         assert_eq!(run.termination, Termination::RoundLimit);

@@ -17,7 +17,8 @@
 //! counterexample.
 
 use congest::{
-    Context, DelayModel, Engine, Message, Mode, Port, Protocol, RunLimits, Session, SyncModel,
+    Context, DelayModel, Engine, FaultModel, Message, Mode, Port, Protocol, RunLimits, Session,
+    SyncModel,
 };
 use graphs::{generators, Graph, GraphBuilder};
 use nearclique::{
@@ -307,7 +308,7 @@ fn async_engine_matches_flat_on_gossip_and_flood() {
             for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
                 let (async_out, async_report) = Session::on(g)
                     .seed(17)
-                    .engine(Engine::Async { delay, sync })
+                    .engine(Engine::Async { delay, sync, fault: FaultModel::None })
                     .limits(RunLimits::rounds(BUDGET))
                     .run_with(factory);
                 assert_eq!(async_out, flat_out, "{name}, {delay:?}, {sync:?}: outputs diverge");
@@ -358,7 +359,11 @@ fn async_engine_is_deterministic_via_session() {
         let run = || {
             Session::on(&g)
                 .seed(7)
-                .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 9 }, sync })
+                .engine(Engine::Async {
+                    delay: DelayModel::Uniform { max_delay: 9 },
+                    sync,
+                    fault: FaultModel::None,
+                })
                 .limits(RunLimits::rounds(16))
                 .run_with(|e| Probe { sampled: plan.in_sample(0, e.index), seen: 0 })
         };
@@ -434,7 +439,8 @@ fn dist_near_clique_under_alpha_matches_flat() {
             DelayModel::Adversarial { max_delay: 5 },
         ] {
             for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
-                let alpha = run_near_clique_phased(&g, &params, seed, delay, sync, &plan);
+                let alpha =
+                    run_near_clique_phased(&g, &params, seed, delay, sync, FaultModel::None, &plan);
                 assert_eq!(alpha.labels, flat.labels, "{name}, {delay:?}, {sync:?}: labels");
                 assert_eq!(alpha.outputs, flat.outputs, "{name}, {delay:?}, {sync:?}: outputs");
                 assert_eq!(
@@ -484,7 +490,7 @@ fn batched_alpha_equals_alpha_on_outputs_and_payload_grid() {
             let run = |sync| {
                 Session::on(g)
                     .seed(29)
-                    .engine(Engine::Async { delay, sync })
+                    .engine(Engine::Async { delay, sync, fault: FaultModel::None })
                     .limits(RunLimits::rounds(BUDGET))
                     .run_with(factory)
             };
@@ -517,5 +523,126 @@ fn batched_alpha_equals_alpha_on_outputs_and_payload_grid() {
             heard_at: None,
         });
         grid("gossip", &g, name, |_: &congest::Endpoint| MaxGossip { best: 0, log: Vec::new() });
+    }
+}
+
+/// The fault plane's **masking contract**, as a grid: under the masked
+/// fault models — seeded per-send loss ([`FaultModel::Drop`]) and
+/// periodic link outages ([`FaultModel::LinkFlap`]) — deterministic
+/// retransmission hides every fault from the protocol. Outputs and the
+/// payload-side ledger equal the fault-free flat run **bit for bit**
+/// across all four delay models, all five workload families and both
+/// synchronizers; only the reported overhead (retransmissions = dropped
+/// messages, and the virtual completion time) grows. Every assertion
+/// prints the `(seed, FaultModel)` pair, which alone replays the
+/// failing fault schedule.
+#[test]
+fn masked_faults_leave_outputs_and_payload_ledger_untouched() {
+    const BUDGET: u64 = 20;
+    const SEED: u64 = 29;
+
+    fn grid<P, F>(kind: &str, g: &Graph, name: &str, factory: F)
+    where
+        P: Protocol,
+        P::Output: PartialEq + std::fmt::Debug,
+        F: Fn(&congest::Endpoint) -> P + Copy,
+    {
+        let (flat_out, flat) = Session::on(g)
+            .seed(SEED)
+            .engine(Engine::Flat { shards: 2 })
+            .limits(RunLimits::rounds(BUDGET))
+            .run_with(factory);
+
+        for fault in
+            [FaultModel::Drop { p_millis: 60 }, FaultModel::LinkFlap { down_len: 2, up_len: 5 }]
+        {
+            for delay in [
+                DelayModel::Uniform { max_delay: 6 },
+                DelayModel::PerLink { max_delay: 6 },
+                DelayModel::HeavyTailed { max_delay: 6 },
+                DelayModel::Adversarial { max_delay: 6 },
+            ] {
+                for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+                    let (out, report) = Session::on(g)
+                        .seed(SEED)
+                        .engine(Engine::Async { delay, sync, fault })
+                        .limits(RunLimits::rounds(BUDGET))
+                        .run_with(factory);
+                    // `(seed, FaultModel)` replays the fault schedule.
+                    let ctx =
+                        format!("{kind}, {name}, {delay:?}, {sync:?}, seed {SEED}, {fault:?}");
+                    assert_eq!(out, flat_out, "{ctx}: outputs diverge");
+
+                    let fm = &flat.metrics;
+                    let am = &report.metrics;
+                    assert_eq!(am.messages, fm.messages, "{ctx}: payload message count");
+                    assert_eq!(am.total_bits, fm.total_bits, "{ctx}: payload bits");
+                    assert_eq!(am.max_message_bits, fm.max_message_bits, "{ctx}: width");
+                    let executed = fm.messages_per_round.len();
+                    assert_eq!(
+                        &am.messages_per_round[..executed],
+                        &fm.messages_per_round[..],
+                        "{ctx}: per-round payload histogram diverges"
+                    );
+                    assert!(
+                        am.messages_per_round[executed..].iter().all(|&m| m == 0),
+                        "{ctx}: trailing pulses must be empty"
+                    );
+
+                    // The faults were real — and all of them were masked
+                    // by retransmission, none lost.
+                    assert!(
+                        report.overhead.retransmissions > 0,
+                        "{ctx}: the schedule injected no faults"
+                    );
+                    assert_eq!(
+                        report.overhead.dropped_messages, report.overhead.retransmissions,
+                        "{ctx}: a masked model loses nothing (dropped = retransmitted)"
+                    );
+                }
+            }
+        }
+    }
+
+    for (name, g) in workloads() {
+        grid("flood", &g, name, |e: &congest::Endpoint| Flood {
+            source: e.index == 0,
+            heard_at: None,
+        });
+        grid("gossip", &g, name, |_: &congest::Endpoint| MaxGossip { best: 0, log: Vec::new() });
+    }
+}
+
+/// Masking holds for the staged protocol too: `run_near_clique_phased`
+/// under `Drop`/`LinkFlap` reproduces the synchronous labels, outputs,
+/// payload metrics and phase trace exactly, with the §4.1 schedule
+/// unchanged — the pulse budgets are virtual-time-free, so masked
+/// retransmission (which only stretches virtual time) cannot skew them.
+#[test]
+fn dist_near_clique_masks_drop_and_link_flap() {
+    let seed = 11;
+    let (_, g) = workloads().into_iter().find(|(n, _)| *n == "gnp").unwrap();
+    let params = test_params(g.node_count());
+    let flat = run_near_clique_with(&g, &params, seed, RunOptions::threaded(1));
+    let plan = near_clique_phase_plan(&g, &params, seed, 1_000_000);
+
+    let delay = DelayModel::HeavyTailed { max_delay: 5 };
+    for fault in
+        [FaultModel::Drop { p_millis: 60 }, FaultModel::LinkFlap { down_len: 2, up_len: 5 }]
+    {
+        for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+            let run = run_near_clique_phased(&g, &params, seed, delay, sync, fault, &plan);
+            let ctx = format!("gnp, {sync:?}, seed {seed}, {fault:?}");
+            assert_eq!(run.labels, flat.labels, "{ctx}: labels diverge");
+            assert_eq!(run.outputs, flat.outputs, "{ctx}: outputs diverge");
+            assert_eq!(run.metrics, flat.metrics, "{ctx}: payload ledger diverges");
+            assert_eq!(run.phase_trace, flat.phase_trace, "{ctx}: phase trace diverges");
+            assert_eq!(run.termination, flat.termination, "{ctx}: termination diverges");
+            assert!(run.overhead.retransmissions > 0, "{ctx}: no faults injected");
+            assert_eq!(
+                run.overhead.dropped_messages, run.overhead.retransmissions,
+                "{ctx}: masked faults lose nothing"
+            );
+        }
     }
 }

@@ -11,8 +11,8 @@
 //! data-dependent sends.
 
 use congest::{
-    Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session, SyncModel,
-    Termination,
+    Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
+    SyncModel, Termination,
 };
 use graphs::generators;
 use nearclique::{
@@ -157,6 +157,7 @@ proptest! {
             run_seed,
             DelayModel::Uniform { max_delay: 3 },
             SyncModel::Alpha,
+            FaultModel::None,
             &plan,
         );
         prop_assert_eq!(&alpha.phase_trace, &sync.phase_trace);
@@ -196,7 +197,15 @@ proptest! {
             2 => DelayModel::HeavyTailed { max_delay },
             _ => DelayModel::Adversarial { max_delay },
         };
-        let alpha = run_near_clique_phased(&g, &params, run_seed, delay, SyncModel::Alpha, &plan);
+        let alpha = run_near_clique_phased(
+            &g,
+            &params,
+            run_seed,
+            delay,
+            SyncModel::Alpha,
+            FaultModel::None,
+            &plan,
+        );
         prop_assert_eq!(&alpha.labels, &sync.labels, "{:?}", delay);
         prop_assert_eq!(&alpha.metrics, &sync.metrics, "{:?}", delay);
         prop_assert_eq!(&alpha.phase_trace, &sync.phase_trace, "{:?}", delay);
@@ -233,20 +242,105 @@ proptest! {
             2 => DelayModel::HeavyTailed { max_delay },
             _ => DelayModel::Adversarial { max_delay },
         };
-        let batched =
-            run_near_clique_phased(&g, &params, run_seed, delay, SyncModel::BatchedAlpha, &plan);
+        let batched = run_near_clique_phased(
+            &g,
+            &params,
+            run_seed,
+            delay,
+            SyncModel::BatchedAlpha,
+            FaultModel::None,
+            &plan,
+        );
         prop_assert_eq!(&batched.labels, &sync.labels, "{:?}", delay);
         prop_assert_eq!(&batched.metrics, &sync.metrics, "{:?}", delay);
         prop_assert_eq!(&batched.phase_trace, &sync.phase_trace, "{:?}", delay);
         prop_assert_eq!(batched.termination, Termination::Quiescent, "{:?}", delay);
 
-        let alpha = run_near_clique_phased(&g, &params, run_seed, delay, SyncModel::Alpha, &plan);
+        let alpha = run_near_clique_phased(
+            &g,
+            &params,
+            run_seed,
+            delay,
+            SyncModel::Alpha,
+            FaultModel::None,
+            &plan,
+        );
         prop_assert!(
             batched.overhead.control_messages <= alpha.overhead.control_messages,
             "batched {} vs alpha {} control messages ({:?})",
             batched.overhead.control_messages,
             alpha.overhead.control_messages,
             delay
+        );
+    }
+
+    /// The fault plane's masking contract on random G(n,p) graphs: a
+    /// phased `DistNearClique` run under seeded message loss (`Drop`)
+    /// or periodic link outages (`LinkFlap`) — with random fault
+    /// parameters, delay model, bound and synchronizer — reproduces the
+    /// synchronous engine's labels, full payload `Metrics` and phase
+    /// trace bit for bit, still quiescing; only the overhead grows,
+    /// with every drop accounted as exactly one retransmission. Every
+    /// assertion prints `(run_seed, FaultModel)`, which alone replays
+    /// the failing fault schedule.
+    #[test]
+    fn masked_faults_preserve_phased_runs_on_gnp(
+        n in 8usize..36,
+        edge_factor in 1usize..5,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+        model_pick in 0usize..4,
+        max_delay in 1u64..12,
+        sync_pick in 0usize..2,
+        fault_pick in 0usize..2,
+        p_millis in 1u32..150,
+        down_len in 1u64..4,
+        up_len in 2u64..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let p = (edge_factor as f64) * 2.0 / n as f64;
+        let g = generators::gnp(n, p.min(0.6), &mut rng);
+        let params = NearCliqueParams::for_expected_sample(0.25, 4.0, n).expect("valid params");
+
+        let sync = run_near_clique_with(&g, &params, run_seed, RunOptions::threaded(1));
+        prop_assert_eq!(sync.termination, Termination::Quiescent);
+
+        let plan = near_clique_phase_plan(&g, &params, run_seed, 1_000_000);
+        let delay = match model_pick {
+            0 => DelayModel::Uniform { max_delay },
+            1 => DelayModel::PerLink { max_delay },
+            2 => DelayModel::HeavyTailed { max_delay },
+            _ => DelayModel::Adversarial { max_delay },
+        };
+        let sync_model = if sync_pick == 0 { SyncModel::Alpha } else { SyncModel::BatchedAlpha };
+        let fault = if fault_pick == 0 {
+            FaultModel::Drop { p_millis }
+        } else {
+            FaultModel::LinkFlap { down_len, up_len }
+        };
+
+        let faulty =
+            run_near_clique_phased(&g, &params, run_seed, delay, sync_model, fault, &plan);
+        prop_assert_eq!(
+            &faulty.labels, &sync.labels,
+            "seed {}, {:?}, {:?}, {:?}: labels", run_seed, fault, delay, sync_model
+        );
+        prop_assert_eq!(
+            &faulty.metrics, &sync.metrics,
+            "seed {}, {:?}, {:?}, {:?}: payload ledger", run_seed, fault, delay, sync_model
+        );
+        prop_assert_eq!(
+            &faulty.phase_trace, &sync.phase_trace,
+            "seed {}, {:?}, {:?}, {:?}: phase trace", run_seed, fault, delay, sync_model
+        );
+        prop_assert_eq!(
+            faulty.termination, Termination::Quiescent,
+            "seed {}, {:?}, {:?}, {:?}: termination", run_seed, fault, delay, sync_model
+        );
+        prop_assert_eq!(
+            faulty.overhead.dropped_messages, faulty.overhead.retransmissions,
+            "seed {}, {:?}, {:?}, {:?}: masked faults lose nothing",
+            run_seed, fault, delay, sync_model
         );
     }
 }

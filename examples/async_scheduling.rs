@@ -59,7 +59,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let mut alpha_msgs = 0u64;
         for model in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
-            let alpha = run_near_clique_phased(&planted.graph, &params, seed, delay, model, &plan);
+            let alpha = run_near_clique_phased(
+                &planted.graph,
+                &params,
+                seed,
+                delay,
+                model,
+                FaultModel::None,
+                &plan,
+            );
 
             // The Awerbuch reduction, executed: same labels, same payload
             // ledger, pulse for round — under every delay schedule and

@@ -42,20 +42,25 @@
 //! assert_eq!(run.metrics, sharded.metrics);
 //!
 //! // Custom protocols use Session directly — see `congest`'s docs. The
-//! // §2 asynchrony reduction is `.engine(Engine::Async { delay, sync })`
-//! // with a pluggable `DelayModel` (uniform / per-link / heavy-tailed /
-//! // adversarial) and a pluggable synchronizer (`SyncModel`: classic α,
-//! // or the batched Safe-wave variant that cuts the control-plane tax);
-//! // staged protocols complete under a `PhasePlan` of §4.1 per-phase
-//! // pulse budgets — run_near_clique_with derives the schedule
-//! // automatically:
+//! // §2 asynchrony reduction is
+//! // `.engine(Engine::Async { delay, sync, fault })` with a pluggable
+//! // `DelayModel` (uniform / per-link / heavy-tailed / adversarial), a
+//! // pluggable synchronizer (`SyncModel`: classic α, or the batched
+//! // Safe-wave variant that cuts the control-plane tax), and a seeded
+//! // `FaultModel` (message loss and link flaps masked by deterministic
+//! // retransmission; node crashes that degrade the run); staged
+//! // protocols complete under a `PhasePlan` of §4.1 per-phase pulse
+//! // budgets — run_near_clique_with derives the schedule automatically:
 //! let alpha = run_near_clique_with(
 //!     &planted.graph, &params, 42,
 //!     RunOptions::with_engine(Engine::Async {
 //!         delay: DelayModel::HeavyTailed { max_delay: 8 },
 //!         sync: SyncModel::BatchedAlpha,
+//!         fault: FaultModel::Drop { p_millis: 20 },
 //!     }),
 //! );
+//! // Even with 2% of sends dropped on the wire, retransmission masks
+//! // every fault: outputs and payload metrics are bit-identical.
 //! assert_eq!(run.labels, alpha.labels);
 //! assert_eq!(run.metrics, alpha.metrics);
 //! # Ok::<(), nearclique::InvalidParams>(())
@@ -73,8 +78,8 @@ pub use proptester;
 pub mod prelude {
     pub use baselines::{run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig};
     pub use congest::{
-        DelayModel, Driver, Engine, Metrics, Mode, Observer, PhaseBudget, PhasePlan, RoundDelta,
-        RunLimits, RunReport, Session, SyncModel, Termination,
+        DelayModel, Driver, Engine, FaultEvent, FaultModel, Metrics, Mode, Observer, PhaseBudget,
+        PhasePlan, RoundDelta, RunLimits, RunReport, Session, SyncModel, Termination,
     };
     pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
     pub use nearclique::{

@@ -12,7 +12,7 @@
 
 use baselines::shingles::{Shingles, ShinglesConfig};
 use congest::{
-    Context, DelayModel, Engine, Message, Port, Protocol, RunLimits, Session, SyncModel,
+    Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session, SyncModel,
 };
 use graphs::{generators, Graph, GraphBuilder};
 use near_clique_suite::prelude::*;
@@ -22,8 +22,16 @@ use rand::SeedableRng;
 fn uniform(max_delay: u64) -> Engine {
     // The back-compat contracts below (golden ledger included) pin the
     // *reference* synchronizer; BatchedAlpha has its own grid +
-    // property suites in `crates/core/tests/`.
-    Engine::Async { delay: DelayModel::Uniform { max_delay }, sync: SyncModel::Alpha }
+    // property suites in `crates/core/tests/`. `FaultModel::None` is
+    // the explicit fault-plane row of the golden ledger: a fault-free
+    // engine must not perturb a single RNG draw (the None sampler
+    // advances no stream), so the pre-fault-plane numbers — virtual
+    // time included — must reproduce exactly.
+    Engine::Async {
+        delay: DelayModel::Uniform { max_delay },
+        sync: SyncModel::Alpha,
+        fault: FaultModel::None,
+    }
 }
 
 #[test]
@@ -224,6 +232,10 @@ fn uniform_model_reproduces_the_pre_subsystem_ledger() {
             report.overhead.virtual_time, expect.virtual_time,
             "{name}, max_delay {max_delay}: the uniform delay stream drifted"
         );
+        // The `FaultModel::None` row of the ledger: a fault-free fault
+        // plane drops nothing, retransmits nothing, loses nothing.
+        assert_eq!(report.overhead.retransmissions, 0, "{name}, {max_delay}");
+        assert_eq!(report.overhead.dropped_messages, 0, "{name}, {max_delay}");
     }
 }
 
@@ -246,7 +258,7 @@ fn payload_ledger_is_invariant_across_delay_models() {
             for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
                 let (out, report) = Session::on(&g)
                     .seed(23)
-                    .engine(Engine::Async { delay, sync })
+                    .engine(Engine::Async { delay, sync, fault: FaultModel::None })
                     .limits(RunLimits::rounds(24))
                     .run_with(flood_factory);
                 ledgers.push((out, report.metrics.clone()));
@@ -283,6 +295,7 @@ fn dist_near_clique_completes_under_alpha_via_run_options() {
             RunOptions::with_engine(Engine::Async {
                 delay: DelayModel::Adversarial { max_delay: 9 },
                 sync: model,
+                fault: FaultModel::None,
             }),
         );
         assert_eq!(alpha.termination, Termination::Quiescent, "{model:?}");

@@ -90,6 +90,9 @@ fn time_bound_wrapper_aborts_consistently() {
                 check_labels(&planted.graph, &run.labels, params.epsilon)
                     .unwrap_or_else(|e| panic!("budget {budget}: {e}"));
             }
+            Termination::Degraded { lost } => {
+                panic!("budget {budget}: fault-free run reported Degraded (lost {lost})")
+            }
         }
     }
 }
