@@ -1,0 +1,222 @@
+//! Explorer benches: what exhausting the schedule space costs.
+//!
+//! * **`flood`** — the interleaving explorer over a flood on the tiny
+//!   reference graphs (3-node path, triangle, 4-node star), one row per
+//!   [`SyncModel`] × `{None, Drop}`, at delay bound 2. What the rows
+//!   measure is the model checker's throughput: how fast the bounded
+//!   DFS walks, fingerprints and dedups the full distinct-state graph.
+//! * **`phased`** — a 2-phase `PhasePlan` exploration (the §4.1 staged
+//!   shape), both synchronizers: the cost of pushing every interleaving
+//!   through two quiescence barriers.
+//!
+//! Every row's `BENCH_JSON` record carries `states`, `schedules`,
+//! `deduped` and `violations` next to the timing — so a PR that grows
+//! the explored state space (or, worse, introduces a violation) shows
+//! up in the bench ledger, not just the test suite.
+//!
+//! Append machine-readable records with:
+//!
+//! ```text
+//! # from the repo root ($PWD: benches run with cwd = the bench package)
+//! BENCH_JSON=$PWD/BENCH_protocol.json cargo bench -p bench --bench explore_plane
+//! ```
+//!
+//! CI runs this bench in smoke mode (`EXPLORE_SMOKE=1`: one sample per
+//! row) purely to keep the explorer's full matrix — both synchronizers,
+//! faults, phases — exercised end to end; real records come from full
+//! local runs.
+
+use congest::{
+    Context, Explore, ExploreReport, FaultModel, Message, PhasePlan, Port, Protocol, SyncModel,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::{Graph, GraphBuilder};
+
+fn smoke() -> bool {
+    std::env::var("EXPLORE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+const SYNC_MODELS: [SyncModel; 2] = [SyncModel::Alpha, SyncModel::BatchedAlpha];
+
+const FAULTS: [(&str, FaultModel); 2] =
+    [("none", FaultModel::None), ("drop25pct", FaultModel::Drop { p_millis: 250 })];
+
+fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i);
+    }
+    b.build()
+}
+
+fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i);
+    }
+    b.build()
+}
+
+fn triangle() -> Graph {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(2, 0);
+    b.build()
+}
+
+#[derive(Clone, Debug, Hash)]
+struct Rumor;
+
+impl Message for Rumor {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+/// The canonical flood, explorer-compatible.
+#[derive(Clone, Debug, Hash)]
+struct Flood {
+    source: bool,
+    heard_at: Option<u64>,
+}
+
+impl Protocol for Flood {
+    type Msg = Rumor;
+    type Output = Option<u64>;
+
+    fn init(&mut self, ctx: &mut Context<'_, Rumor>) {
+        if self.source {
+            self.heard_at = Some(0);
+            ctx.broadcast(Rumor);
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Rumor>, inbox: &[(Port, Rumor)]) {
+        if !inbox.is_empty() && self.heard_at.is_none() {
+            self.heard_at = Some(ctx.round());
+            ctx.broadcast(Rumor);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.heard_at
+    }
+}
+
+/// Two broadcast waves separated by a quiescence barrier.
+#[derive(Clone, Debug, Hash)]
+struct Staged {
+    wave: u32,
+}
+
+#[derive(Clone, Debug, Hash)]
+struct Tagged(u32);
+
+impl Message for Tagged {
+    fn bit_size(&self) -> usize {
+        8
+    }
+}
+
+impl Protocol for Staged {
+    type Msg = Tagged;
+    type Output = u32;
+
+    fn init(&mut self, ctx: &mut Context<'_, Tagged>) {
+        ctx.broadcast(Tagged(0));
+    }
+
+    fn step(&mut self, _ctx: &mut Context<'_, Tagged>, inbox: &[(Port, Tagged)]) {
+        self.wave += inbox.len() as u32;
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn on_quiescent(&mut self, ctx: &mut Context<'_, Tagged>) -> bool {
+        ctx.broadcast(Tagged(1));
+        true
+    }
+
+    fn output(&self) -> u32 {
+        self.wave
+    }
+}
+
+fn annotate_report(group: &mut criterion::BenchmarkGroup<'_>, r: &ExploreReport) {
+    group.annotate("states", r.states);
+    group.annotate("schedules", r.schedules);
+    group.annotate("deduped", r.deduped);
+    group.annotate("violations", r.violations.len() as u64);
+}
+
+fn bench_flood(c: &mut Criterion) {
+    let graphs: [(&str, Graph); 3] =
+        [("path3", path(3)), ("triangle", triangle()), ("star4", star(4))];
+
+    let mut group = c.benchmark_group("explore_plane/flood");
+    group.sample_size(if smoke() { 1 } else { 10 });
+    for (gname, g) in &graphs {
+        for sync in SYNC_MODELS {
+            for (fname, fault) in FAULTS {
+                let label = format!("{gname}_{}_{fname}", sync.name());
+                let report = std::cell::RefCell::new(ExploreReport::default());
+                group.bench_with_input(BenchmarkId::from_parameter(&label), g, |b, g| {
+                    b.iter(|| {
+                        let r = Explore::on(g)
+                            .seed(5)
+                            .bound(2)
+                            .budget(1)
+                            .sync(sync)
+                            .fault(fault)
+                            .run_with(|e: &congest::Endpoint| Flood {
+                                source: e.index == 0,
+                                heard_at: None,
+                            });
+                        let states = r.states;
+                        *report.borrow_mut() = r;
+                        states
+                    });
+                });
+                annotate_report(&mut group, &report.borrow());
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_phased(c: &mut Criterion) {
+    let g = path(3);
+    let plan = PhasePlan::new().phase("wave0", 1).phase("wave1", 1);
+
+    let mut group = c.benchmark_group("explore_plane/phased");
+    group.sample_size(if smoke() { 1 } else { 10 });
+    for sync in SYNC_MODELS {
+        let label = sync.name();
+        let report = std::cell::RefCell::new(ExploreReport::default());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| {
+                let r = Explore::on(g)
+                    .seed(8)
+                    .bound(2)
+                    .plan(plan.clone())
+                    .sync(sync)
+                    .run_with(|_: &congest::Endpoint| Staged { wave: 0 });
+                let states = r.states;
+                *report.borrow_mut() = r;
+                states
+            });
+        });
+        annotate_report(&mut group, &report.borrow());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood, bench_phased);
+criterion_main!(benches);

@@ -81,12 +81,13 @@ use crate::sched::sync::{
     transmit, ControlPlane, Event, SyncDriver, SyncMsg, Synchronizer, ENVELOPE_BITS,
 };
 use crate::sched::{
-    DelayModel, DelaySampler, EventWheel, FaultModel, FaultPlane, PhasePlan, SyncModel,
+    DelayModel, DelaySource, EventWheel, FaultModel, FaultPlane, PhasePlan, SyncModel,
 };
 use crate::session::{
     Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
 };
 
+#[derive(Clone)]
 struct AsyncSlot<P: Protocol> {
     endpoint: Endpoint,
     protocol: P,
@@ -101,6 +102,11 @@ struct AsyncSlot<P: Protocol> {
 /// pluggable synchronizer over seeded link delays. Construct through
 /// [`crate::Session`] with [`Engine::Async`](crate::Engine::Async), or
 /// directly via [`AsyncNetwork::build_with`].
+///
+/// Clonable (for `P: Clone`) so the interleaving explorer
+/// ([`crate::explore`]) can fork the complete engine state at a choice
+/// point and walk every branch.
+#[derive(Clone)]
 pub struct AsyncNetwork<P: Protocol> {
     nodes: Vec<AsyncSlot<P>>,
     /// CSR route table shared with the synchronous engine.
@@ -124,8 +130,10 @@ pub struct AsyncNetwork<P: Protocol> {
     /// Nodes whose pulse gate an eager synchronizer signal completed,
     /// drained iteratively after every hook (reused; sized to `n`).
     ready: Vec<u32>,
-    /// The compiled link-delay model (see [`crate::sched`]).
-    delays: DelaySampler,
+    /// Where per-send delays come from: the compiled link-delay model in
+    /// a sampled run, or an explorer-scripted choice sequence (see
+    /// [`crate::sched`]).
+    delays: DelaySource,
     /// The compiled fault model plus the run's fault log and loss
     /// accounting (see [`crate::sched::fault`]).
     faults: FaultPlane,
@@ -208,7 +216,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             })
             .collect();
 
-        let delays = DelaySampler::new(delay, seed, port_count);
+        let delays = DelaySource::model(delay, seed, port_count);
         let faults = FaultPlane::new(fault, seed, port_count, n, delays.compiled_bound());
         // The wheel spans the *compiled* bound: what the sampler can
         // actually draw for this plane, never more than the model's
@@ -244,13 +252,13 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// The configured per-message delay bound.
     #[must_use]
     pub fn max_delay(&self) -> u64 {
-        self.delays.model().bound()
+        self.delays.delay_model().bound()
     }
 
     /// The configured link-delay model.
     #[must_use]
     pub fn delay_model(&self) -> DelayModel {
-        self.delays.model()
+        self.delays.delay_model()
     }
 
     /// The configured synchronizer.
@@ -790,11 +798,185 @@ impl<P: Protocol> AsyncNetwork<P> {
     }
 }
 
+/// Explorer hooks: the interleaving explorer ([`crate::explore`]) drives
+/// the engine one event at a time through these, forking the cloned
+/// state at every delay choice point. They mirror [`drive_pulses`]'s
+/// three sections exactly — entry sweep, event loop body, post-loop
+/// bookkeeping — so an explored branch passes through the same code a
+/// sampled run does; the only difference is who pulls the next event.
+///
+/// [`drive_pulses`]: AsyncNetwork::drive_pulses
+impl<P: Protocol> AsyncNetwork<P> {
+    /// The drive's entry: lazy `init`, budget arming, and the pulse-1
+    /// (or resume) sweep, up to but excluding the event loop. The fault
+    /// log is cleared instead of streamed — explored branches have no
+    /// observer, and a stale log would leak into the state fingerprint.
+    pub(crate) fn explore_begin(&mut self, max_rounds: u64) {
+        debug_assert!(max_rounds > 0, "an exploration segment needs a pulse budget");
+        if !self.initialized {
+            self.initialized = true;
+            for v in 0..self.nodes.len() {
+                let node = &mut self.nodes[v];
+                let base = self.topo.offsets[v];
+                let mut ctx = Context {
+                    endpoint: &node.endpoint,
+                    round: 0,
+                    outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+                    rng: &mut node.rng,
+                };
+                node.protocol.init(&mut ctx);
+            }
+        }
+        self.budget = self.executed.saturating_add(max_rounds);
+        if !self.started {
+            self.started = true;
+            for v in 0..self.nodes.len() {
+                self.begin_pulse(0, v);
+                self.try_execute(0, v);
+            }
+            self.drain_ready(0);
+        } else {
+            let now = self.overhead.virtual_time;
+            for v in 0..self.nodes.len() {
+                debug_assert!(self.nodes[v].done, "paused nodes sit at the budget");
+                self.nodes[v].done = false;
+                self.nodes[v].pulse += 1;
+                self.begin_pulse(now, v);
+                self.try_execute(now, v);
+            }
+            self.drain_ready(now);
+        }
+        self.faults.log.clear();
+    }
+
+    /// One event-loop iteration: pop the next event, handle it, drain
+    /// the ready cascade. Returns `false` when the wheel is empty (the
+    /// segment is over — completed if every node is done, deadlocked
+    /// otherwise).
+    pub(crate) fn explore_event(&mut self) -> bool {
+        let Some((now, event)) = self.events.pop_next() else {
+            return false;
+        };
+        self.handle(now, event);
+        self.drain_ready(now);
+        self.faults.log.clear();
+        true
+    }
+
+    /// The post-loop bookkeeping of a completed segment: commit the
+    /// budget as executed and rebuild the per-round history. Only valid
+    /// once every node is done ([`AsyncNetwork::explore_all_done`]) —
+    /// the explorer reports a deadlock instead of settling otherwise.
+    pub(crate) fn explore_settle(&mut self) {
+        debug_assert_eq!(self.inboxes.queued(), 0, "all staged payloads were consumed");
+        debug_assert!(
+            self.nodes.iter().all(|s| s.done),
+            "settling requires every node at the budget"
+        );
+        self.executed = self.budget;
+        self.per_pulse.resize(self.executed as usize, RoundDelta::default());
+        self.metrics.rounds = self.executed;
+        self.metrics.messages_per_round.clear();
+        self.metrics.messages_per_round.extend(self.per_pulse.iter().map(|d| d.messages));
+    }
+
+    /// The pulse node `v` currently waits to execute (1-based).
+    pub(crate) fn node_pulse(&self, v: usize) -> u64 {
+        self.nodes[v].pulse
+    }
+
+    /// Whether node `v` finished the current segment's pulse budget.
+    pub(crate) fn node_done(&self, v: usize) -> bool {
+        self.nodes[v].done
+    }
+
+    /// Whether every node finished the current segment's pulse budget.
+    pub(crate) fn explore_all_done(&self) -> bool {
+        self.nodes.iter().all(|s| s.done)
+    }
+
+    /// Events scheduled on the wheel and not yet delivered.
+    pub(crate) fn pending_events(&self) -> u64 {
+        self.events.pending()
+    }
+
+    /// Application payloads lost to faults so far.
+    pub(crate) fn lost(&self) -> u64 {
+        self.faults.lost
+    }
+
+    /// The engine's delay source, immutably (tape access).
+    pub(crate) fn delays(&self) -> &DelaySource {
+        &self.delays
+    }
+
+    /// The engine's delay source, mutably (the explorer scripts choice
+    /// assignments and enables recording through this).
+    pub(crate) fn delays_mut(&mut self) -> &mut DelaySource {
+        &mut self.delays
+    }
+
+    /// Feeds the engine's complete observable state into `h` — the
+    /// canonical fingerprint the explorer dedups converged branches on.
+    ///
+    /// Two states hash equal exactly when their futures are
+    /// indistinguishable, so the sweep is **time-shift invariant**: it
+    /// excludes absolute virtual time (`overhead.virtual_time`, the
+    /// wheel cursor — pending events hash at cursor-relative arrival
+    /// times) and everything that merely records the past (the delay
+    /// tape, the fault log). Everything else goes in: pulse counters,
+    /// protocol and RNG state, queued application messages, in-flight
+    /// events, staged inboxes, synchronizer gates, fault-plane state,
+    /// and the payload ledger.
+    ///
+    /// Sound for [`FaultModel::None`] and [`FaultModel::Drop`] only:
+    /// their fault streams are position-indexed, while `LinkFlap`'s drop
+    /// decisions read absolute time — the explorer rejects the rest.
+    pub(crate) fn explore_hash<H: std::hash::Hasher>(&self, h: &mut H)
+    where
+        P: std::hash::Hash,
+        P::Msg: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        self.executed.hash(h);
+        self.budget.hash(h);
+        for node in &self.nodes {
+            node.pulse.hash(h);
+            node.done.hash(h);
+            node.protocol.hash(h);
+            node.rng.hash(h);
+        }
+        for port in 0..self.queues.port_count() as u32 {
+            self.queues.len(port).hash(h);
+            self.queues.for_each(port, |msg| msg.hash(h));
+        }
+        self.events.for_each_pending(|rel, event| {
+            rel.hash(h);
+            event.hash(h);
+        });
+        for slot in 0..self.inboxes.port_count() as u32 {
+            self.inboxes.len(slot).hash(h);
+            self.inboxes.for_each(slot, |entry| entry.hash(h));
+        }
+        self.sync.hash(h);
+        self.faults.sampler.hash(h);
+        self.faults.down.hash(h);
+        self.faults.lost.hash(h);
+        self.faults.crash_seen.hash(h);
+        self.metrics.hash(h);
+        self.per_pulse.hash(h);
+        self.overhead.control_messages.hash(h);
+        self.overhead.control_bits.hash(h);
+        self.overhead.retransmissions.hash(h);
+        self.overhead.dropped_messages.hash(h);
+    }
+}
+
 impl<P: Protocol> std::fmt::Debug for AsyncNetwork<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AsyncNetwork")
             .field("nodes", &self.nodes.len())
-            .field("delay", &self.delays.model())
+            .field("delay", &self.delays.delay_model())
             .field("sync", &self.sync.model())
             .field("fault", &self.faults.model())
             .field("pulses", &self.executed)

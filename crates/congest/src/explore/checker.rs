@@ -1,0 +1,197 @@
+//! The pluggable invariant suite the explorer checks on every state of
+//! every schedule.
+//!
+//! An [`Invariant`] sees each explored state through the read-only
+//! [`ExploreState`] view — pulse counters, protocol state, the payload
+//! ledger, fault accounting — and returns `Err(detail)` to flag a
+//! violation; the explorer attaches the branch's replayable
+//! [`DelayTrace`](crate::explore::DelayTrace) and keeps going. Checks
+//! must be **path-stateless** (`&self` methods): the DFS forks state at
+//! every choice point, and a check that accumulated per-branch state
+//! would silently mix branches.
+//!
+//! Two invariants ship with the explorer and run by default:
+//!
+//! * [`PulseSkew`] — synchronizer α's ±1 guarantee: neighboring nodes'
+//!   pulse counters never differ by more than one, on *any* schedule.
+//! * [`MaskingIdentity`] — the fault plane's accounting identity:
+//!   `dropped_messages == retransmissions + lost` at every state (every
+//!   wire-level drop is matched by exactly one retransmission; the
+//!   difference is exactly the application payloads crashes cost).
+//!
+//! Deadlock-freedom and flat-engine equivalence are checked by the
+//! explorer core itself (they need the run's budget and reference run,
+//! not just the current state).
+
+use crate::asynch::AsyncNetwork;
+use crate::metrics::Metrics;
+use crate::protocol::{Endpoint, Protocol};
+use crate::session::{Driver, SyncOverhead};
+
+/// A read-only view of one explored engine state, handed to
+/// [`Invariant`] hooks.
+pub struct ExploreState<'a, P: Protocol> {
+    net: &'a AsyncNetwork<P>,
+}
+
+impl<'a, P: Protocol> ExploreState<'a, P> {
+    pub(crate) fn new(net: &'a AsyncNetwork<P>) -> Self {
+        Self { net }
+    }
+
+    /// Number of nodes in the network.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.net.node_count()
+    }
+
+    /// The pulse node `v` currently waits to execute (1-based).
+    #[must_use]
+    pub fn pulse(&self, v: usize) -> u64 {
+        self.net.node_pulse(v)
+    }
+
+    /// Whether node `v` finished the current segment's pulse budget.
+    #[must_use]
+    pub fn is_done(&self, v: usize) -> bool {
+        self.net.node_done(v)
+    }
+
+    /// Immutable per-node facts (index, ID, neighbor IDs).
+    #[must_use]
+    pub fn endpoint(&self, v: usize) -> &Endpoint {
+        self.net.endpoint(v)
+    }
+
+    /// Node `v`'s protocol state.
+    #[must_use]
+    pub fn protocol(&self, v: usize) -> &P {
+        self.net.protocol(v)
+    }
+
+    /// The payload-side ledger accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        self.net.metrics()
+    }
+
+    /// The synchronizer/fault overhead accumulated so far.
+    #[must_use]
+    pub fn overhead(&self) -> &SyncOverhead {
+        self.net.overhead()
+    }
+
+    /// Application payloads lost to faults so far.
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.net.lost()
+    }
+
+    /// Events in flight on the timing wheel.
+    #[must_use]
+    pub fn pending_events(&self) -> u64 {
+        self.net.pending_events()
+    }
+}
+
+/// A property checked on every explored state and/or at the end of every
+/// complete schedule. Implementations must be path-stateless — the
+/// explorer forks execution at every choice point and calls the same
+/// check instance on all branches.
+pub trait Invariant<P: Protocol> {
+    /// Stable label, used in [`Violation`](crate::explore::Violation)s.
+    fn name(&self) -> &'static str;
+
+    /// Checked after every explorer step (segment entry and each handled
+    /// event). Return `Err(detail)` to flag a violation.
+    ///
+    /// # Errors
+    ///
+    /// `Err` marks the state as violating; the explorer records it with
+    /// the branch's replayable trace and prunes the branch.
+    fn on_state(&self, state: &ExploreState<'_, P>) -> Result<(), String> {
+        let _ = state;
+        Ok(())
+    }
+
+    /// Checked once per complete schedule, after the final segment
+    /// settled (and, in phased mode, after its barrier).
+    ///
+    /// # Errors
+    ///
+    /// `Err` marks the completed schedule as violating.
+    fn on_schedule_end(&self, state: &ExploreState<'_, P>) -> Result<(), String> {
+        let _ = state;
+        Ok(())
+    }
+}
+
+/// Synchronizer α's ±1 pulse-skew guarantee, checked edge by edge: at no
+/// reachable state do two neighbors' pulse counters differ by more than
+/// one.
+pub struct PulseSkew {
+    edges: Vec<(usize, usize)>,
+}
+
+impl PulseSkew {
+    /// Builds the check over `graph`'s edge set.
+    #[must_use]
+    pub fn new(graph: &graphs::Graph) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..graph.node_count() {
+            for &v in graph.neighbors(u) {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Self { edges }
+    }
+}
+
+impl<P: Protocol> Invariant<P> for PulseSkew {
+    fn name(&self) -> &'static str {
+        "pulse_skew"
+    }
+
+    fn on_state(&self, state: &ExploreState<'_, P>) -> Result<(), String> {
+        for &(u, v) in &self.edges {
+            let (pu, pv) = (state.pulse(u), state.pulse(v));
+            if pu.abs_diff(pv) > 1 {
+                return Err(format!(
+                    "neighbors {u} (pulse {pu}) and {v} (pulse {pv}) drifted beyond ±1"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The fault plane's masking identity:
+/// `dropped_messages == retransmissions + lost` at every reachable
+/// state. Wire-level drops are always matched by a retransmission in the
+/// same step; whatever remains is exactly the application loss crashes
+/// cost.
+pub struct MaskingIdentity;
+
+impl<P: Protocol> Invariant<P> for MaskingIdentity {
+    fn name(&self) -> &'static str {
+        "masking_identity"
+    }
+
+    fn on_state(&self, state: &ExploreState<'_, P>) -> Result<(), String> {
+        let o = state.overhead();
+        let lost = state.lost();
+        if o.dropped_messages != o.retransmissions + lost {
+            return Err(format!(
+                "dropped {} != retransmissions {} + lost {lost}",
+                o.dropped_messages, o.retransmissions
+            ));
+        }
+        Ok(())
+    }
+
+    fn on_schedule_end(&self, state: &ExploreState<'_, P>) -> Result<(), String> {
+        <Self as Invariant<P>>::on_state(self, state)
+    }
+}

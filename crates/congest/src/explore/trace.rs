@@ -1,0 +1,245 @@
+//! Replayable delay traces: a counterexample you can commit.
+//!
+//! A [`DelayTrace`] is the positional record of every delay the engine
+//! drew over one run — the `i`-th entry is the `i`-th draw, whichever
+//! port it served. Feeding the same sequence back through
+//! [`DelayModel::Replay`] reproduces the run **bit for bit**: the engine
+//! is deterministic given its seed and its delay draws, so same draws in
+//! the same order mean the same execution, event for event.
+//!
+//! The explorer attaches a trace to every
+//! [`Violation`](crate::explore::Violation); [`DelayTrace::register`]
+//! turns it into an ordinary [`DelayModel`] accepted by
+//! [`Engine::Async`](crate::Engine::Async), so a failing exploration
+//! becomes a one-line regression test. The text form
+//! ([`DelayTrace::to_text`] / [`DelayTrace::from_text`]) is a trivial
+//! line format — header, bound, one delay per line — deliberately
+//! dependency-free so traces can live as committed fixture files.
+
+use crate::sched::{intern_trace, DelayModel};
+
+/// A recorded per-send delay assignment, replayable through
+/// [`DelayModel::Replay`]. Entries are in *draw order* (the order the
+/// engine requested delays), every entry lies in `1..=bound`, and draws
+/// past the end of the trace take the minimum delay 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayTrace {
+    bound: u64,
+    delays: Vec<u64>,
+}
+
+impl DelayTrace {
+    /// Builds a trace with the given declared `bound`.
+    ///
+    /// The bound must match the run that recorded the trace: the engine
+    /// sizes its timing wheel and the fault plane's retransmission
+    /// timeout (`2·bound + 1`) off it, so replaying at a different bound
+    /// would diverge under faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bound >= 1` and every delay lies in `1..=bound`.
+    #[must_use]
+    pub fn new(bound: u64, delays: Vec<u64>) -> Self {
+        assert!(bound >= 1, "delay trace: bound must be at least 1");
+        assert!(
+            delays.iter().all(|&d| (1..=bound).contains(&d)),
+            "delay trace: every delay must lie in 1..=bound"
+        );
+        Self { bound, delays }
+    }
+
+    /// The declared delay bound.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// The recorded draws, in draw order.
+    #[must_use]
+    pub fn delays(&self) -> &[u64] {
+        &self.delays
+    }
+
+    /// Interns the trace and returns the [`DelayModel::Replay`] that
+    /// replays it — pass this to [`Engine::Async`](crate::Engine::Async)
+    /// like any other delay model.
+    #[must_use]
+    pub fn register(&self) -> DelayModel {
+        DelayModel::Replay { trace: intern_trace(self.bound, &self.delays) }
+    }
+
+    /// Serializes the trace to its text form:
+    ///
+    /// ```text
+    /// delay-trace v1
+    /// bound 3
+    /// 2
+    /// 1
+    /// 3
+    /// ```
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(24 + self.delays.len() * 3);
+        out.push_str("delay-trace v1\n");
+        out.push_str(&format!("bound {}\n", self.bound));
+        for d in &self.delays {
+            out.push_str(&format!("{d}\n"));
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`DelayTrace::to_text`]. Blank
+    /// lines and lines starting with `#` are ignored after the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceParseError`] naming the offending line when the
+    /// header, the bound line, or any delay is malformed or out of range.
+    pub fn from_text(text: &str) -> Result<Self, TraceParseError> {
+        let mut lines = text.lines().enumerate();
+        let header = lines.next().map(|(_, l)| l.trim()).unwrap_or("");
+        if header != "delay-trace v1" {
+            return Err(TraceParseError::BadHeader { found: header.to_string() });
+        }
+        let (bound_line, bound_text) = lines.next().ok_or(TraceParseError::MissingBound)?;
+        let bound = bound_text
+            .trim()
+            .strip_prefix("bound ")
+            .and_then(|b| b.trim().parse::<u64>().ok())
+            .filter(|&b| b >= 1)
+            .ok_or(TraceParseError::BadBound { line: bound_line + 1 })?;
+        let mut delays = Vec::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let d = line.parse::<u64>().map_err(|_| TraceParseError::BadDelay { line: i + 1 })?;
+            if !(1..=bound).contains(&d) {
+                return Err(TraceParseError::OutOfRange { line: i + 1, delay: d, bound });
+            }
+            delays.push(d);
+        }
+        Ok(Self { bound, delays })
+    }
+}
+
+/// Why [`DelayTrace::from_text`] rejected its input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The first line was not the `delay-trace v1` header.
+    BadHeader {
+        /// What the first line actually said.
+        found: String,
+    },
+    /// The input ended before the `bound N` line.
+    MissingBound,
+    /// The second line was not `bound N` with `N >= 1`.
+    BadBound {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A delay line was not an unsigned integer.
+    BadDelay {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A delay fell outside `1..=bound`.
+    OutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending delay.
+        delay: u64,
+        /// The declared bound it violated.
+        bound: u64,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::BadHeader { found } => {
+                write!(f, "expected `delay-trace v1` header, found {found:?}")
+            }
+            TraceParseError::MissingBound => write!(f, "missing `bound N` line"),
+            TraceParseError::BadBound { line } => {
+                write!(f, "line {line}: expected `bound N` with N >= 1")
+            }
+            TraceParseError::BadDelay { line } => {
+                write!(f, "line {line}: expected an unsigned integer delay")
+            }
+            TraceParseError::OutOfRange { line, delay, bound } => {
+                write!(f, "line {line}: delay {delay} outside 1..={bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trips() {
+        let trace = DelayTrace::new(5, vec![3, 1, 5, 2, 1]);
+        let text = trace.to_text();
+        assert!(text.starts_with("delay-trace v1\nbound 5\n"));
+        let back = DelayTrace::from_text(&text).expect("own output parses");
+        assert_eq!(back, trace);
+        // Comments and blank lines are tolerated, as in a fixture file.
+        let annotated = "delay-trace v1\nbound 5\n# found by explore\n\n3\n1\n";
+        let parsed = DelayTrace::from_text(annotated).expect("annotated form parses");
+        assert_eq!(parsed, DelayTrace::new(5, vec![3, 1]));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = DelayTrace::new(2, Vec::new());
+        assert_eq!(DelayTrace::from_text(&trace.to_text()), Ok(trace));
+    }
+
+    #[test]
+    fn parse_errors_name_the_offense() {
+        assert_eq!(
+            DelayTrace::from_text("delay-log v9\nbound 2\n1\n"),
+            Err(TraceParseError::BadHeader { found: "delay-log v9".to_string() })
+        );
+        assert_eq!(DelayTrace::from_text("delay-trace v1\n"), Err(TraceParseError::MissingBound));
+        assert_eq!(
+            DelayTrace::from_text("delay-trace v1\nbound zero\n"),
+            Err(TraceParseError::BadBound { line: 2 })
+        );
+        assert_eq!(
+            DelayTrace::from_text("delay-trace v1\nbound 0\n"),
+            Err(TraceParseError::BadBound { line: 2 })
+        );
+        assert_eq!(
+            DelayTrace::from_text("delay-trace v1\nbound 3\n2\nx\n"),
+            Err(TraceParseError::BadDelay { line: 4 })
+        );
+        assert_eq!(
+            DelayTrace::from_text("delay-trace v1\nbound 3\n2\n7\n"),
+            Err(TraceParseError::OutOfRange { line: 4, delay: 7, bound: 3 })
+        );
+        let err = TraceParseError::OutOfRange { line: 4, delay: 7, bound: 3 };
+        assert!(err.to_string().contains("delay 7 outside 1..=3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "every delay must lie in 1..=bound")]
+    fn constructor_rejects_out_of_bound_delays() {
+        let _ = DelayTrace::new(2, vec![1, 3]);
+    }
+
+    #[test]
+    fn registers_as_a_replay_model() {
+        let trace = DelayTrace::new(4, vec![2, 4, 1]);
+        let model = trace.register();
+        assert_eq!(model.name(), "replay");
+        assert_eq!(model.bound(), 4);
+        assert_eq!(trace.register(), model, "identical traces intern identically");
+    }
+}

@@ -95,6 +95,7 @@
 #![warn(clippy::all)]
 
 pub mod asynch;
+pub mod explore;
 #[cfg(feature = "legacy-engine")]
 pub mod legacy;
 pub mod message;
@@ -107,6 +108,7 @@ pub mod sched;
 pub mod session;
 
 pub use asynch::AsyncNetwork;
+pub use explore::{DelayTrace, Explore, ExploreReport, Violation};
 #[cfg(feature = "legacy-engine")]
 pub use legacy::LegacyNetwork;
 pub use message::{bits_for_count, Message, ID_BITS, TAG_BITS};
@@ -114,7 +116,7 @@ pub use metrics::Metrics;
 pub use network::{IdAssignment, Mode, Network, NetworkBuilder};
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
 pub use sched::{
-    DelayModel, EventWheel, FaultEvent, FaultModel, PhaseBudget, PhasePlan, SyncModel,
+    DelayModel, EventWheel, FaultEvent, FaultModel, PhaseBudget, PhasePlan, SyncModel, TraceHandle,
 };
 pub use session::{
     Driver, Engine, Observer, RoundDelta, RunLimits, RunReport, Session, SessionDriver,

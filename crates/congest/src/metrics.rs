@@ -7,7 +7,7 @@
 //! through it.
 
 /// Counters accumulated over one network run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Metrics {
     /// Rounds actually executed.
     pub rounds: u64,

@@ -68,7 +68,7 @@ pub(crate) struct Route {
 }
 
 /// Flattened CSR topology of the network, shared read-only by all shards.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Topology {
     /// Port-range offsets per node, length `n + 1`; `offsets[n]` is the
     /// total number of directed ports (2m).
@@ -149,7 +149,7 @@ impl PortQ {
 }
 
 /// A pooled block of queue slots.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Chunk<M> {
     slots: [Option<M>; CHUNK],
     next: u32,
@@ -206,7 +206,7 @@ impl Delta {
 /// this machinery for structures that queue things other than
 /// application messages (the timing wheel's in-flight envelopes and the
 /// rotating per-pulse inboxes — see [`crate::sched::EventWheel`]).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct PortQueues<M> {
     /// Queue state per local port.
     ports: Vec<PortQ>,
@@ -300,6 +300,34 @@ impl<M> PortQueues<M> {
             self.active[p as usize / 64] |= 1u64 << (p % 64);
         }
         self.queued += 1;
+    }
+
+    /// Visits port `p`'s queued messages in FIFO order **without**
+    /// draining them, walking the chunk chain from the head cursor. The
+    /// interleaving explorer's state fingerprint hashes queue contents
+    /// through this — destructive iteration would perturb the very state
+    /// being identified.
+    pub fn for_each(&self, p: u32, mut f: impl FnMut(&M)) {
+        let q = self.ports[p as usize];
+        let mut chunk = q.head;
+        let mut off = q.head_off as usize;
+        let mut remaining = q.len;
+        while remaining > 0 {
+            let c = &self.chunks[chunk as usize];
+            let msg = c.slots[off].as_ref().expect("queue cursor spans filled slots");
+            f(msg);
+            remaining -= 1;
+            off += 1;
+            if off == CHUNK && remaining > 0 {
+                chunk = c.next;
+                off = 0;
+            }
+        }
+    }
+
+    /// Number of ports in the set.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
     }
 
     /// Dequeues from local port `p`, recycling exhausted chunks.

@@ -6,6 +6,8 @@
 //! allocates, keeping the executor's steady state allocation-free on the
 //! sampler side.
 
+use std::sync::{Mutex, OnceLock};
+
 use crate::rng::splitmix64;
 
 /// Stream salt of the shared delay-draw state. This constant predates the
@@ -54,6 +56,67 @@ pub enum DelayModel {
         /// Delay of every slow port (≥ 1); fast ports take 1.
         max_delay: u64,
     },
+    /// Replays a recorded per-send delay assignment: the `i`-th delay
+    /// draw of the run returns the trace's `i`-th entry, and draws past
+    /// the end return 1. This is how a schedule found by the
+    /// interleaving explorer (`crate::explore`) — or recorded from any
+    /// sampled run — reproduces **bit for bit** through the ordinary
+    /// `Engine::Async` path: same draws in the same order mean the same
+    /// execution. Traces are interned in a process-global registry so
+    /// the model stays `Copy` (engine-config sized); build one via
+    /// [`DelayTrace::register`](crate::explore::DelayTrace::register).
+    Replay {
+        /// Handle of the interned trace.
+        trace: TraceHandle,
+    },
+}
+
+/// An opaque handle into the process-global registry of interned replay
+/// traces (see [`DelayModel::Replay`]). Obtained from
+/// [`DelayTrace::register`](crate::explore::DelayTrace::register);
+/// meaningless across processes — commit the trace's text form, not the
+/// handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceHandle(u32);
+
+/// One interned replay trace: the declared bound and per-draw delays.
+type InternedTrace = (u64, Box<[u64]>);
+
+/// Interned replay traces. The table only ever grows (traces are tiny
+/// and test-sized); identical registrations are deduplicated.
+static REPLAY_TRACES: OnceLock<Mutex<Vec<InternedTrace>>> = OnceLock::new();
+
+fn replay_table() -> &'static Mutex<Vec<InternedTrace>> {
+    REPLAY_TRACES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Interns `(bound, delays)` and returns its handle.
+///
+/// # Panics
+///
+/// Panics unless `bound >= 1` and every delay lies in `1..=bound`.
+pub(crate) fn intern_trace(bound: u64, delays: &[u64]) -> TraceHandle {
+    assert!(bound >= 1, "replay: bound must be at least 1");
+    assert!(
+        delays.iter().all(|&d| (1..=bound).contains(&d)),
+        "replay: every delay must lie in 1..=bound"
+    );
+    let mut table = replay_table().lock().expect("replay trace registry poisoned");
+    if let Some(i) = table.iter().position(|(b, d)| *b == bound && **d == *delays) {
+        return TraceHandle(i as u32);
+    }
+    table.push((bound, delays.into()));
+    TraceHandle((table.len() - 1) as u32)
+}
+
+/// The declared bound of an interned trace.
+fn trace_bound(handle: TraceHandle) -> u64 {
+    replay_table().lock().expect("replay trace registry poisoned")[handle.0 as usize].0
+}
+
+/// The delay vector of an interned trace.
+pub(crate) fn trace_delays(handle: TraceHandle) -> Vec<u64> {
+    replay_table().lock().expect("replay trace registry poisoned")[handle.0 as usize].1.to_vec()
 }
 
 impl DelayModel {
@@ -65,6 +128,7 @@ impl DelayModel {
             | DelayModel::PerLink { max_delay }
             | DelayModel::HeavyTailed { max_delay }
             | DelayModel::Adversarial { max_delay } => max_delay,
+            DelayModel::Replay { trace } => trace_bound(trace),
         }
     }
 
@@ -76,6 +140,7 @@ impl DelayModel {
             DelayModel::PerLink { .. } => "per_link",
             DelayModel::HeavyTailed { .. } => "heavy_tailed",
             DelayModel::Adversarial { .. } => "adversarial",
+            DelayModel::Replay { .. } => "replay",
         }
     }
 
@@ -99,10 +164,12 @@ impl Default for DelayModel {
 #[derive(Clone, Debug)]
 pub(crate) struct DelaySampler {
     model: DelayModel,
-    /// Shared splitmix64 stream advanced by the randomized models.
+    /// Shared splitmix64 stream advanced by the randomized models — and
+    /// the draw cursor of `Replay`.
     state: u64,
     /// Per-directed-port table: the port's delay bound (`PerLink`) or its
-    /// fixed delay (`Adversarial`). Empty for the port-blind models.
+    /// fixed delay (`Adversarial`) — and the full per-draw delay vector
+    /// of `Replay`. Empty for the port-blind models.
     per_port: Vec<u64>,
 }
 
@@ -114,8 +181,16 @@ impl DelaySampler {
     /// Panics if the model's `max_delay` is 0.
     pub fn new(model: DelayModel, seed: u64, port_count: usize) -> Self {
         model.validate();
+        if let DelayModel::Replay { trace } = model {
+            // The interned delay vector rides the per-port table and
+            // `state` doubles as the replay cursor; the seed plays no
+            // part — a replayed schedule is the whole point.
+            return Self { model, state: 0, per_port: trace_delays(trace) };
+        }
         let per_port = match model {
-            DelayModel::Uniform { .. } | DelayModel::HeavyTailed { .. } => Vec::new(),
+            DelayModel::Uniform { .. }
+            | DelayModel::HeavyTailed { .. }
+            | DelayModel::Replay { .. } => Vec::new(),
             DelayModel::PerLink { max_delay } => (0..port_count)
                 .map(|slot| {
                     1 + splitmix64(splitmix64(seed ^ PER_LINK_SALT).wrapping_add(slot as u64))
@@ -156,6 +231,11 @@ impl DelaySampler {
             DelayModel::PerLink { .. } | DelayModel::Adversarial { .. } => {
                 self.per_port.iter().copied().max().unwrap_or(1)
             }
+            // The *declared* bound, not the realized maximum: a replay
+            // of a run recorded at bound `B` must size its wheel (and
+            // the fault plane's RTO, which is `2·bound + 1`) exactly as
+            // the original did, or retransmission timing diverges.
+            DelayModel::Replay { trace } => trace_bound(trace),
         }
     }
 
@@ -184,7 +264,143 @@ impl DelaySampler {
                 raw.clamp(1, max_delay)
             }
             DelayModel::Adversarial { .. } => self.per_port[slot],
+            DelayModel::Replay { .. } => {
+                let i = self.state as usize;
+                self.state += 1;
+                // Draws past the recorded trace take the minimum delay:
+                // a counterexample prefix finishes its run determin-
+                // istically without having to script the tail.
+                self.per_port.get(i).copied().unwrap_or(1)
+            }
         }
+    }
+}
+
+/// Where the asynchronous executor's per-send delays come from: the
+/// compiled [`DelayModel`] sampler for ordinary runs, or an explicit
+/// per-step choice script supplied by the interleaving explorer
+/// (`crate::explore`), which branches on every draw within the bound.
+///
+/// Optionally records every realized draw onto a tape — the raw material
+/// of a replayable `DelayTrace`. The sampled path with recording off is
+/// **bit-identical** to calling the sampler directly, which is what
+/// keeps the pre-explorer test surface (golden ledger, equivalence and
+/// determinism suites, alloc probes) untouched by this refactor.
+#[derive(Clone, Debug)]
+pub(crate) struct DelaySource {
+    kind: SourceKind,
+    /// Realized draws in draw order, when recording is enabled.
+    tape: Option<Vec<u64>>,
+}
+
+#[derive(Clone, Debug)]
+enum SourceKind {
+    Model(DelaySampler),
+    Script(ScriptCursor),
+}
+
+/// The explorer's choice feed: one step's choice vector plus cursors.
+#[derive(Clone, Debug)]
+struct ScriptCursor {
+    /// Choices of the current step; draws beyond the vector take 1.
+    choices: Vec<u64>,
+    cursor: usize,
+    /// Envelope bound: every choice lies in `1..=bound`.
+    bound: u64,
+    /// Draws taken since the last [`DelaySource::begin_step`].
+    draws: u64,
+}
+
+impl DelaySource {
+    /// A source backed by the compiled `model` sampler (ordinary runs).
+    pub fn model(model: DelayModel, seed: u64, port_count: usize) -> Self {
+        Self { kind: SourceKind::Model(DelaySampler::new(model, seed, port_count)), tape: None }
+    }
+
+    /// A source fed by explorer choice scripts, bounded by `bound`, with
+    /// recording on (the tape of the current branch *is* its trace).
+    pub fn script(bound: u64) -> Self {
+        assert!(bound >= 1, "script: bound must be at least 1");
+        Self {
+            kind: SourceKind::Script(ScriptCursor {
+                choices: Vec::new(),
+                cursor: 0,
+                bound,
+                draws: 0,
+            }),
+            tape: Some(Vec::new()),
+        }
+    }
+
+    /// Enables draw recording (idempotent; keeps an existing tape).
+    pub fn record(&mut self) {
+        if self.tape.is_none() {
+            self.tape = Some(Vec::new());
+        }
+    }
+
+    /// The realized draws recorded so far (empty unless recording).
+    pub fn tape(&self) -> &[u64] {
+        self.tape.as_deref().unwrap_or(&[])
+    }
+
+    /// The model this source presents to engine accessors. A script
+    /// source reports a nominal `Uniform` at its bound — the envelope
+    /// the explorer branches within.
+    pub fn delay_model(&self) -> DelayModel {
+        match &self.kind {
+            SourceKind::Model(s) => s.model(),
+            SourceKind::Script(c) => DelayModel::Uniform { max_delay: c.bound },
+        }
+    }
+
+    /// The largest delay this source can return (sizes the wheel).
+    pub fn compiled_bound(&self) -> u64 {
+        match &self.kind {
+            SourceKind::Model(s) => s.compiled_bound(),
+            SourceKind::Script(c) => c.bound,
+        }
+    }
+
+    /// Loads `choices` as the next step's script and resets the per-step
+    /// draw counter. Explorer (script) sources only.
+    pub fn begin_step(&mut self, choices: &[u64]) {
+        match &mut self.kind {
+            SourceKind::Script(c) => {
+                c.choices.clear();
+                c.choices.extend_from_slice(choices);
+                c.cursor = 0;
+                c.draws = 0;
+            }
+            SourceKind::Model(_) => unreachable!("begin_step on a sampled delay source"),
+        }
+    }
+
+    /// Draws taken since the last [`DelaySource::begin_step`].
+    pub fn step_draws(&self) -> u64 {
+        match &self.kind {
+            SourceKind::Script(c) => c.draws,
+            SourceKind::Model(_) => 0,
+        }
+    }
+
+    /// Draws the delay for one message leaving through CSR `slot`.
+    #[inline]
+    pub fn draw(&mut self, slot: usize) -> u64 {
+        let d = match &mut self.kind {
+            SourceKind::Model(s) => s.draw(slot),
+            SourceKind::Script(c) => {
+                c.draws += 1;
+                let d = if c.cursor < c.choices.len() { c.choices[c.cursor] } else { 1 };
+                c.cursor += 1;
+                debug_assert!((1..=c.bound).contains(&d), "scripted delay outside the bound");
+                d
+            }
+        };
+        if let Some(tape) = &mut self.tape {
+            tape.push(d);
+        }
+        d
     }
 }
 
@@ -286,6 +502,75 @@ mod tests {
                 assert_eq!(seen_max, bound, "{model:?}");
             }
         }
+    }
+
+    #[test]
+    fn replay_returns_the_trace_then_pads_with_one() {
+        let model = DelayModel::Replay { trace: intern_trace(5, &[3, 1, 5, 2]) };
+        assert_eq!(model.name(), "replay");
+        assert_eq!(model.bound(), 5);
+        let mut s = DelaySampler::new(model, 999, 8);
+        assert_eq!(s.compiled_bound(), 5, "replay keeps the declared bound (RTO/wheel sizing)");
+        // The slot argument is irrelevant: replay is a positional stream.
+        let got: Vec<u64> = (0..7).map(|i| s.draw((i * 3) % 8)).collect();
+        assert_eq!(got, vec![3, 1, 5, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn identical_traces_intern_to_the_same_handle() {
+        let a = intern_trace(4, &[2, 2, 1]);
+        let b = intern_trace(4, &[2, 2, 1]);
+        let c = intern_trace(4, &[2, 2, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(DelayModel::Replay { trace: a }, DelayModel::Replay { trace: b });
+    }
+
+    #[test]
+    #[should_panic(expected = "every delay must lie in 1..=bound")]
+    fn out_of_bound_trace_is_rejected() {
+        intern_trace(2, &[1, 3]);
+    }
+
+    #[test]
+    fn sampled_source_is_bit_identical_to_the_raw_sampler() {
+        // The DelaySource wrapper must be invisible to sampled runs.
+        for model in [
+            DelayModel::Uniform { max_delay: 7 },
+            DelayModel::PerLink { max_delay: 7 },
+            DelayModel::HeavyTailed { max_delay: 7 },
+            DelayModel::Adversarial { max_delay: 7 },
+        ] {
+            let mut raw = DelaySampler::new(model, 13, 8);
+            let mut src = DelaySource::model(model, 13, 8);
+            assert_eq!(src.compiled_bound(), raw.compiled_bound());
+            assert_eq!(src.delay_model(), model);
+            for i in 0..500 {
+                assert_eq!(src.draw(i % 8), raw.draw(i % 8), "{model:?}");
+            }
+            assert!(src.tape().is_empty(), "recording is off by default");
+        }
+    }
+
+    #[test]
+    fn script_source_feeds_choices_counts_draws_and_tapes() {
+        let mut src = DelaySource::script(3);
+        assert_eq!(src.compiled_bound(), 3);
+        src.begin_step(&[2, 3]);
+        assert_eq!(src.draw(0), 2);
+        assert_eq!(src.draw(5), 3);
+        assert_eq!(src.draw(1), 1, "draws beyond the script pad with 1");
+        assert_eq!(src.step_draws(), 3);
+        src.begin_step(&[]);
+        assert_eq!(src.draw(2), 1);
+        assert_eq!(src.step_draws(), 1);
+        assert_eq!(src.tape(), &[2, 3, 1, 1], "the tape spans steps — it is the branch's trace");
+        // A cloned source extends its own tape from the shared prefix.
+        let mut fork = src.clone();
+        fork.begin_step(&[3]);
+        assert_eq!(fork.draw(0), 3);
+        assert_eq!(fork.tape(), &[2, 3, 1, 1, 3]);
+        assert_eq!(src.tape(), &[2, 3, 1, 1]);
     }
 
     #[test]

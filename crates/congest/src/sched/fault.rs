@@ -71,7 +71,7 @@ const CRASH_VICTIM_SALT: u64 = 0x0C2A_54ED;
 /// run. All models are seeded off the session's master seed: the fault
 /// schedule is a deterministic function of `(seed, FaultModel)` alone,
 /// so every failing run is replayable from those two values.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum FaultModel {
     /// A perfect network — bit-identical to an engine without the fault
     /// plane (pinned by the golden ledger in `tests/asynchrony.rs`).
@@ -199,7 +199,7 @@ pub enum FaultEvent {
 /// The runtime form of a [`FaultModel`]: the shared drop-coin state plus
 /// per-port and per-node tables, compiled once at engine build. All
 /// sampling is allocation-free.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub(crate) struct FaultSampler {
     model: FaultModel,
     /// Shared splitmix64 stream advanced per send attempt by `Drop`.
@@ -337,7 +337,7 @@ impl FaultSampler {
 /// borrowed into the synchronizer's
 /// [`ControlPlane`](crate::sched::sync::ControlPlane) so control
 /// envelopes ride the same faulty wire as payloads.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct FaultPlane {
     pub sampler: FaultSampler,
     /// Fault events buffered since the last observer flush (reused —

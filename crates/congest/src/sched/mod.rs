@@ -63,8 +63,8 @@ mod phase;
 pub mod sync;
 pub mod wheel;
 
-pub use delay::DelayModel;
-pub(crate) use delay::DelaySampler;
+pub(crate) use delay::{intern_trace, DelaySource};
+pub use delay::{DelayModel, TraceHandle};
 pub(crate) use fault::FaultPlane;
 pub use fault::{FaultEvent, FaultModel};
 pub use phase::{PhaseBudget, PhasePlan};

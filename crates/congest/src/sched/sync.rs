@@ -59,7 +59,7 @@ use crate::message::TAG_BITS;
 use crate::plane::Topology;
 use crate::protocol::Port;
 use crate::sched::fault::{FaultEvent, FaultPlane};
-use crate::sched::{DelaySampler, EventWheel};
+use crate::sched::{DelaySource, EventWheel};
 use crate::session::SyncOverhead;
 
 /// Bits reserved for the pulse tag on every synchronizer envelope.
@@ -120,7 +120,7 @@ impl SyncModel {
 /// Control-message kinds a synchronizer may put on the wire. Their
 /// meaning belongs to the synchronizer that sent them; the executor only
 /// routes them.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub(crate) enum CtrlKind {
     /// Receipt acknowledgment for one payload (α).
     Ack,
@@ -129,7 +129,7 @@ pub(crate) enum CtrlKind {
 }
 
 /// One control envelope: kind plus the pulse it talks about.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Hash)]
 pub(crate) struct Ctrl {
     pub kind: CtrlKind,
     pub pulse: u64,
@@ -137,7 +137,7 @@ pub(crate) struct Ctrl {
 
 /// What travels on the asynchronous wire: an application payload wrapped
 /// with its pulse tag, or a synchronizer control envelope.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub(crate) enum SyncMsg<M> {
     /// An application message to be consumed at `pulse`.
     Payload { pulse: u64, msg: M },
@@ -146,6 +146,7 @@ pub(crate) enum SyncMsg<M> {
 }
 
 /// One in-flight event on the timing wheel.
+#[derive(Clone, Debug, Hash)]
 pub(crate) enum Event<M> {
     /// An envelope in transit: destination resolved at send time by the
     /// CSR route table, carried in the wheel entry rather than parked in
@@ -188,7 +189,7 @@ pub(crate) enum Event<M> {
 #[inline]
 pub(crate) fn transmit<M>(
     topo: &Topology,
-    delays: &mut DelaySampler,
+    delays: &mut DelaySource,
     faults: &mut FaultPlane,
     events: &mut EventWheel<Event<M>>,
     overhead: &mut SyncOverhead,
@@ -219,7 +220,7 @@ pub(crate) fn transmit<M>(
 /// hook call, so the synchronizer state itself stays a plain `&mut`.
 pub(crate) struct ControlPlane<'a, M> {
     pub topo: &'a Topology,
-    pub delays: &'a mut DelaySampler,
+    pub delays: &'a mut DelaySource,
     /// The fault plane: control envelopes ride the same faulty wire as
     /// payloads, so `send_ctrl` consults it through [`transmit`].
     pub faults: &'a mut FaultPlane,
@@ -357,7 +358,7 @@ pub(crate) trait Synchronizer {
 /// the golden-ledger test in `tests/asynchrony.rs` pins the whole
 /// observable surface (outputs, payload ledger, `SyncOverhead` including
 /// `virtual_time`) bit for bit.
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 pub(crate) struct Alpha {
     /// Unacknowledged payloads of the current pulse's send phase.
     pending_acks: Vec<usize>,
@@ -471,7 +472,7 @@ impl Synchronizer for Alpha {
 /// outputs and payload metrics stay bit-identical to the synchronous
 /// engines — pinned by the grid and property tests in
 /// `crates/core/tests/`.
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 pub(crate) struct BatchedAlpha {
     /// Whether the node has entered (sent the tokens of) its current
     /// pulse — gates execution during the entry sweep, when eager waves
@@ -557,7 +558,7 @@ impl Synchronizer for BatchedAlpha {
 
 /// The engine-held synchronizer: static dispatch over the implemented
 /// disciplines, constructed from the public [`SyncModel`] knob.
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 pub(crate) enum SyncDriver {
     Alpha(Alpha),
     Batched(BatchedAlpha),

@@ -54,7 +54,7 @@ const MAX_HORIZON: u64 = 1 << 24;
 /// cursor and at most `max_delay` ahead of it; [`EventWheel::pop_next`]
 /// returns them in `(time, insertion order)` order — bit-identical to a
 /// min-heap keyed by `(time, global sequence number)`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EventWheel<T> {
     /// One chunked FIFO per bucket; bucket `b` holds the events arriving
     /// at times `≡ b (mod horizon)`.
@@ -118,6 +118,23 @@ impl<T> EventWheel<T> {
             self.cursor + self.horizon - 1
         );
         self.buckets.push((at % self.horizon) as u32, item);
+    }
+
+    /// Visits every pending event in delivery order — ascending arrival
+    /// time, FIFO within a time — **without** draining the wheel,
+    /// passing each event's arrival time *relative to the cursor*.
+    /// Relative times make the sweep time-shift invariant, which is what
+    /// lets the interleaving explorer's state fingerprint identify
+    /// states that differ only by when (in absolute virtual time) they
+    /// were reached.
+    pub(crate) fn for_each_pending(&self, mut f: impl FnMut(u64, &T)) {
+        // Pending arrivals lie in `[cursor, cursor + horizon)`: schedule
+        // requires `at > cursor` at insert time, but the cursor may have
+        // advanced onto a bucket since.
+        for rel in 0..self.horizon {
+            let bucket = ((self.cursor + rel) % self.horizon) as u32;
+            self.buckets.for_each(bucket, |item| f(rel, item));
+        }
     }
 
     /// Pops the next event in `(time, insertion order)` order, advancing

@@ -259,7 +259,7 @@ impl RunReport {
 }
 
 /// Per-round payload-delivery aggregates streamed to [`Observer`]s.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct RoundDelta {
     /// Payload messages delivered this round.
     pub messages: u64,

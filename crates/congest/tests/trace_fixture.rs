@@ -1,0 +1,130 @@
+//! A committed `DelayTrace` fixture replayed through the production
+//! engine: the regression-test workflow the interleaving explorer's
+//! violations are designed for.
+//!
+//! The fixture in `fixtures/slow_finish_path3.trace` was produced by an
+//! exploration of a flood on a 3-node path (`Explore` with seed 11,
+//! bound 2, two pulses) whose mutant invariant flagged the slowest
+//! schedule. Loading it from disk and replaying it via
+//! `DelayModel::Replay` must reproduce that exact execution — outputs
+//! and the virtual completion time — on every run, on every machine.
+
+use congest::{
+    Context, DelayTrace, Engine, Explore, FaultModel, Message, Port, Protocol, RunLimits, Session,
+    SyncModel,
+};
+use graphs::GraphBuilder;
+
+#[derive(Clone, Debug, Hash)]
+struct Rumor;
+impl Message for Rumor {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+#[derive(Clone, Debug, Hash)]
+struct Flood {
+    source: bool,
+    heard_at: Option<u64>,
+}
+
+impl Protocol for Flood {
+    type Msg = Rumor;
+    type Output = Option<u64>;
+    fn init(&mut self, ctx: &mut Context<'_, Rumor>) {
+        if self.source {
+            self.heard_at = Some(0);
+            ctx.broadcast(Rumor);
+        }
+    }
+    fn step(&mut self, ctx: &mut Context<'_, Rumor>, inbox: &[(Port, Rumor)]) {
+        if !inbox.is_empty() && self.heard_at.is_none() {
+            self.heard_at = Some(ctx.round());
+            ctx.broadcast(Rumor);
+        }
+    }
+    fn is_idle(&self) -> bool {
+        true
+    }
+    fn output(&self) -> Option<u64> {
+        self.heard_at
+    }
+}
+
+fn make_flood(e: &congest::Endpoint) -> Flood {
+    Flood { source: e.index == 0, heard_at: None }
+}
+
+fn path3() -> graphs::Graph {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.build()
+}
+
+const FIXTURE: &str = include_str!("fixtures/slow_finish_path3.trace");
+
+/// The committed trace parses (comments and all) and replays bit for
+/// bit: same outputs and the fixture's recorded virtual time, twice
+/// over.
+#[test]
+fn committed_trace_replays_bit_for_bit() {
+    let trace = DelayTrace::from_text(FIXTURE).expect("the committed fixture parses");
+    assert_eq!(trace.bound(), 2);
+    assert!(trace.delays().iter().all(|&d| d == 1));
+
+    let g = path3();
+    let run = || {
+        Session::on(&g)
+            .seed(11)
+            .engine(Engine::Async {
+                delay: trace.register(),
+                sync: SyncModel::Alpha,
+                fault: FaultModel::None,
+            })
+            .limits(RunLimits::rounds(2))
+            .run_with(make_flood)
+    };
+    let (out_a, rep_a) = run();
+    let (out_b, rep_b) = run();
+    assert_eq!(out_a, out_b, "replay must be deterministic");
+    assert_eq!(rep_a.metrics, rep_b.metrics);
+    assert_eq!(rep_a.overhead, rep_b.overhead);
+    assert_eq!(out_a, vec![Some(0), Some(1), Some(2)]);
+    assert_eq!(rep_a.overhead.virtual_time, 6, "the fixture's recorded completion time");
+}
+
+/// The fixture stays honest: re-running the exploration that produced
+/// it still flags a schedule whose trace matches the committed delays.
+#[test]
+fn exploration_still_reproduces_the_committed_counterexample() {
+    use congest::explore::{ExploreState, Invariant};
+
+    struct SlowFinish;
+    impl Invariant<Flood> for SlowFinish {
+        fn name(&self) -> &'static str {
+            "slow_finish"
+        }
+        fn on_schedule_end(&self, state: &ExploreState<'_, Flood>) -> Result<(), String> {
+            let vt = state.overhead().virtual_time;
+            if vt >= 5 {
+                Err(format!("virtual_time={vt}"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    let g = path3();
+    let report = Explore::on(&g)
+        .seed(11)
+        .bound(2)
+        .budget(2)
+        .run_checked(make_flood, vec![Box::new(SlowFinish)]);
+    let committed = DelayTrace::from_text(FIXTURE).expect("fixture parses");
+    assert!(
+        report.violations.iter().any(|v| v.trace == committed),
+        "the committed counterexample must still be among the flagged traces"
+    );
+}

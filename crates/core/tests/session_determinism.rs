@@ -343,4 +343,82 @@ proptest! {
             run_seed, fault, delay, sync_model
         );
     }
+
+    /// The record/replay bridge between sampled runs and the
+    /// interleaving explorer's trace format: recording the realized
+    /// delay draws of a *sampled* asynchronous run (any delay model,
+    /// either synchronizer, masked faults included) as a `DelayTrace`,
+    /// round-tripping it through its committable text form, and
+    /// replaying it through the ordinary `Engine::Async` via
+    /// `DelayModel::Replay` reproduces the run **bit for bit** —
+    /// per-node outputs, the full payload `Metrics`, and the
+    /// `SyncOverhead` ledger (virtual completion time included).
+    #[test]
+    fn recorded_async_runs_replay_bit_identically(
+        n in 4usize..12,
+        edge_factor in 1usize..4,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+        model_pick in 0usize..4,
+        max_delay in 1u64..8,
+        sync_pick in 0usize..2,
+        fault_pick in 0usize..3,
+        p_millis in 1u32..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let p = (edge_factor as f64) * 2.0 / n as f64;
+        let g = generators::gnp(n, p.min(0.6), &mut rng);
+
+        let delay = match model_pick {
+            0 => DelayModel::Uniform { max_delay },
+            1 => DelayModel::PerLink { max_delay },
+            2 => DelayModel::HeavyTailed { max_delay },
+            _ => DelayModel::Adversarial { max_delay },
+        };
+        let sync_model = if sync_pick == 0 { SyncModel::Alpha } else { SyncModel::BatchedAlpha };
+        let fault = match fault_pick {
+            0 => FaultModel::None,
+            1 => FaultModel::Drop { p_millis },
+            _ => FaultModel::LinkFlap { down_len: 2, up_len: 5 },
+        };
+        let make = |_: &congest::Endpoint| RandomGossip { bursts_left: 2, acc: 0 };
+
+        let (outputs, report, trace) = congest::explore::record_run(
+            &g,
+            run_seed,
+            delay,
+            sync_model,
+            fault,
+            RunLimits::rounds(12),
+            make,
+        );
+
+        // Round-trip through the committable text form first: the
+        // replayed model is exactly what a regression fixture would
+        // load from disk.
+        let reloaded = congest::DelayTrace::from_text(&trace.to_text())
+            .expect("recorded traces serialize losslessly");
+        prop_assert_eq!(&reloaded, &trace);
+
+        let (re_out, re_report) = Session::on(&g)
+            .seed(run_seed)
+            .engine(Engine::Async { delay: reloaded.register(), sync: sync_model, fault })
+            .limits(RunLimits::rounds(12))
+            .run_with(make);
+        prop_assert_eq!(
+            &re_out, &outputs,
+            "seed {}, {:?}, {:?}, {:?}: replayed outputs", run_seed, delay, sync_model, fault
+        );
+        prop_assert_eq!(
+            &re_report.metrics, &report.metrics,
+            "seed {}, {:?}, {:?}, {:?}: replayed payload ledger",
+            run_seed, delay, sync_model, fault
+        );
+        prop_assert_eq!(
+            &re_report.overhead, &report.overhead,
+            "seed {}, {:?}, {:?}, {:?}: replayed sync overhead",
+            run_seed, delay, sync_model, fault
+        );
+        prop_assert_eq!(re_report.termination, report.termination);
+    }
 }

@@ -188,7 +188,7 @@ pub mod rngs {
     /// The workspace's standard generator: xoshiro256++ (Blackman &
     /// Vigna), seeded via SplitMix64. Deterministic, 2²⁵⁶−1 period,
     /// passes BigCrush; not cryptographically secure.
-    #[derive(Clone, Debug, PartialEq, Eq)]
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
     pub struct StdRng {
         s: [u64; 4],
     }
