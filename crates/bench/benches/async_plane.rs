@@ -41,8 +41,8 @@
 //! full local runs.
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
-    SyncModel, SyncOverhead,
+    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits,
+    RunProfile, Session, SyncModel, SyncOverhead, TraceConfig,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphs::{generators, Graph};
@@ -108,6 +108,21 @@ fn run_gossip(g: &Graph, delay: DelayModel, sync: SyncModel) -> SyncOverhead {
     report.overhead
 }
 
+/// One extra *un-timed* traced run per row: the run is deterministic, so
+/// the streaming profile (wheel/queue high-water marks) describes the
+/// timed iterations exactly — without a recorder ever running inside
+/// them, which would shift the long-tracked `min_ns` series.
+fn gossip_profile(g: &Graph, delay: DelayModel, sync: SyncModel) -> RunProfile {
+    let mut driver = Session::on(g)
+        .seed(3)
+        .engine(Engine::Async { delay, sync, fault: FaultModel::None })
+        .limits(RunLimits::rounds(GOSSIP_PULSES))
+        .trace(TraceConfig::profile_only())
+        .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
+    driver.reserve_rounds(GOSSIP_PULSES as usize + 2);
+    driver.run().profile.expect("traced run attaches a profile")
+}
+
 fn bench_gossip_models(c: &mut Criterion) {
     let n = if smoke() { 160 } else { 1000 };
     let g = generators::gnp(n, 8.0 / n as f64, &mut StdRng::seed_from_u64(11));
@@ -135,6 +150,9 @@ fn bench_gossip_models(c: &mut Criterion) {
             });
             group.annotate("control_messages", overhead.get().control_messages);
             group.annotate("control_bits", overhead.get().control_bits);
+            let profile = gossip_profile(&g, delay, sync);
+            group.annotate("max_wheel_occupancy", profile.max_wheel_occupancy);
+            group.annotate("max_queue_depth", profile.max_queue_depth);
         }
     }
     group.finish();

@@ -28,8 +28,8 @@
 //! come from full local runs.
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
-    SyncModel, SyncOverhead,
+    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits,
+    RunProfile, Session, SyncModel, SyncOverhead, TraceConfig,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphs::{generators, Graph};
@@ -102,6 +102,20 @@ fn run_gossip(g: &Graph, sync: SyncModel, fault: FaultModel) -> SyncOverhead {
     report.overhead
 }
 
+/// One extra *un-timed* traced run per row (deterministic, so the
+/// profile describes the timed iterations exactly) — keeps the recorder
+/// out of the timed loop so the `min_ns` series stays comparable.
+fn gossip_profile(g: &Graph, sync: SyncModel, fault: FaultModel) -> RunProfile {
+    let mut driver = Session::on(g)
+        .seed(3)
+        .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 8 }, sync, fault })
+        .limits(RunLimits::rounds(GOSSIP_PULSES))
+        .trace(TraceConfig::profile_only())
+        .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
+    driver.reserve_rounds(GOSSIP_PULSES as usize + 2);
+    driver.run().profile.expect("traced run attaches a profile")
+}
+
 fn bench_gossip_drop(c: &mut Criterion) {
     let n = if smoke() { 160 } else { 1000 };
     let g = generators::gnp(n, 8.0 / n as f64, &mut StdRng::seed_from_u64(11));
@@ -123,6 +137,9 @@ fn bench_gossip_drop(c: &mut Criterion) {
             });
             group.annotate("retransmissions", overhead.get().retransmissions);
             group.annotate("dropped_messages", overhead.get().dropped_messages);
+            let profile = gossip_profile(&g, sync, fault);
+            group.annotate("max_wheel_occupancy", profile.max_wheel_occupancy);
+            group.annotate("max_queue_depth", profile.max_queue_depth);
         }
     }
     group.finish();

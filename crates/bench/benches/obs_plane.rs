@@ -1,0 +1,147 @@
+//! Observability-plane benches: what recording costs.
+//!
+//! * **`gossip_recorder`** — the same sustained gossip workload as
+//!   `async_plane/gossip_models`, one row per recorder configuration:
+//!   `off` (no recorder installed — the null-check-only baseline every
+//!   untraced run pays), `profile_only` (streaming aggregation, no
+//!   timeline ring), and `ring` (full event ring at the default
+//!   capacity). Comparing `min_ns` across the rows *is* the recorder's
+//!   overhead measurement; the `records` annotation on the traced rows
+//!   says how many events that cost bought.
+//! * **`flat_recorder`** — the flat synchronous plane with and without
+//!   a recorder: the per-round `Round` event is the only hot-path site
+//!   there, so this row pins the disabled-recorder cost at its floor.
+//!
+//! Append machine-readable records with:
+//!
+//! ```text
+//! # from the repo root ($PWD: benches run with cwd = the bench package)
+//! BENCH_JSON=$PWD/BENCH_protocol.json cargo bench -p bench --bench obs_plane
+//! ```
+//!
+//! CI runs this bench in smoke mode (`OBS_SMOKE=1`: n shrinks to 160,
+//! one sample) purely to keep the recording hot path exercised end to
+//! end; real records come from full local runs.
+
+use congest::{
+    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
+    SyncModel, TraceConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphs::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smoke() -> bool {
+    std::env::var("OBS_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// A counter message: representative `O(log n)` width.
+#[derive(Clone, Debug)]
+struct Word {
+    _payload: u64,
+}
+
+impl Message for Word {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+/// Sustained traffic: every node broadcasts every pulse until `rounds`.
+struct Gossip {
+    rounds: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = Word;
+    type Output = ();
+
+    fn init(&mut self, ctx: &mut Context<'_, Word>) {
+        ctx.broadcast(Word { _payload: 0 });
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Word>, inbox: &[(Port, Word)]) {
+        let _ = inbox;
+        if ctx.round() < self.rounds {
+            ctx.broadcast(Word { _payload: ctx.round() });
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn output(&self) {}
+}
+
+const GOSSIP_PULSES: u64 = 30;
+
+/// The recorder grid: no recorder, streaming profile only, full ring.
+const RECORDERS: [(&str, Option<TraceConfig>); 3] = [
+    ("off", None),
+    ("profile_only", Some(TraceConfig { capacity: 0 })),
+    ("ring", Some(TraceConfig { capacity: 1 << 16 })),
+];
+
+fn run_gossip(g: &Graph, engine: Engine, trace: Option<TraceConfig>) -> u64 {
+    let mut session =
+        Session::on(g).seed(3).engine(engine).limits(RunLimits::rounds(GOSSIP_PULSES));
+    if let Some(cfg) = trace {
+        session = session.trace(cfg);
+    }
+    let mut driver = session.build_with(|_| Gossip { rounds: GOSSIP_PULSES });
+    driver.reserve_rounds(GOSSIP_PULSES as usize + 2);
+    let report = driver.run();
+    report.profile.map_or(0, |p| p.records)
+}
+
+fn bench_gossip_recorder(c: &mut Criterion) {
+    let n = if smoke() { 160 } else { 1000 };
+    let g = generators::gnp(n, 8.0 / n as f64, &mut StdRng::seed_from_u64(11));
+    let engine = Engine::Async {
+        delay: DelayModel::Uniform { max_delay: 8 },
+        sync: SyncModel::BatchedAlpha,
+        fault: FaultModel::None,
+    };
+
+    let mut group = c.benchmark_group("obs_plane/gossip_recorder");
+    group.sample_size(if smoke() { 1 } else { 10 });
+    for (name, trace) in RECORDERS {
+        // Deterministic per row — captured from the timed iterations.
+        let records = std::cell::Cell::new(0u64);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let r = run_gossip(g, engine, trace);
+                records.set(r);
+                r
+            });
+        });
+        group.annotate("records", records.get());
+    }
+    group.finish();
+}
+
+fn bench_flat_recorder(c: &mut Criterion) {
+    let n = if smoke() { 160 } else { 1000 };
+    let g = generators::gnp(n, 8.0 / n as f64, &mut StdRng::seed_from_u64(11));
+    let engine = Engine::Flat { shards: 1 };
+
+    let mut group = c.benchmark_group("obs_plane/flat_recorder");
+    group.sample_size(if smoke() { 1 } else { 10 });
+    for (name, trace) in RECORDERS {
+        let records = std::cell::Cell::new(0u64);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let r = run_gossip(g, engine, trace);
+                records.set(r);
+                r
+            });
+        });
+        group.annotate("records", records.get());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip_recorder, bench_flat_recorder);
+criterion_main!(benches);

@@ -73,6 +73,7 @@ use rand::rngs::StdRng;
 use crate::message::Message;
 use crate::metrics::Metrics;
 use crate::network::{assign_ids, IdAssignment};
+use crate::obs::{emit, MetricsMode, RunProfile, SinkSlot, TraceConfig, TraceEvent, TraceSink};
 use crate::plane::{PortQueues, Topology};
 use crate::protocol::{Context, Endpoint, OutboxHandle, Port, Protocol};
 use crate::rng::node_rng;
@@ -150,8 +151,19 @@ pub struct AsyncNetwork<P: Protocol> {
     metrics: Metrics,
     overhead: SyncOverhead,
     /// Per-pulse payload deltas, replayed to observers in pulse order
-    /// when a drive completes.
+    /// when a drive completes. Left empty under
+    /// [`MetricsMode::Streaming`].
     per_pulse: Vec<RoundDelta>,
+    /// The observability sink (absent unless the session installed
+    /// one). Recording is a pure observation: it never draws
+    /// randomness, meters traffic, or reorders events, so outputs,
+    /// metrics and overhead are bit-identical with or without it.
+    /// Excluded from [`AsyncNetwork::explore_hash`] — a trace is a
+    /// record of the past, not observable future state.
+    rec: SinkSlot,
+    /// Whether per-pulse metrics history is kept ([`MetricsMode::Full`])
+    /// or only O(1) running aggregates ([`MetricsMode::Streaming`]).
+    metrics_mode: MetricsMode,
 }
 
 /// Builds the per-hook [`ControlPlane`] view over disjoint executor
@@ -166,6 +178,7 @@ macro_rules! control_plane {
             overhead: &mut $self.overhead,
             ready: &mut $self.ready,
             now: $now,
+            rec: &mut $self.rec,
         }
     };
 }
@@ -246,7 +259,32 @@ impl<P: Protocol> AsyncNetwork<P> {
             metrics: Metrics::default(),
             overhead: SyncOverhead::default(),
             per_pulse: Vec::new(),
+            rec: None,
+            metrics_mode: MetricsMode::Full,
         }
+    }
+
+    /// Installs the session's observability configuration: an optional
+    /// trace sink (preallocated here, once — recording is allocation-
+    /// free thereafter) and the metrics mode. Must be called before the
+    /// first drive.
+    pub(crate) fn configure_obs(&mut self, trace: Option<TraceConfig>, mode: MetricsMode) {
+        self.rec = trace.map(|cfg| Box::new(TraceSink::new(cfg, self.nodes.len() as u32)));
+        self.metrics_mode = mode;
+    }
+
+    /// The installed trace sink, if tracing is enabled.
+    pub(crate) fn trace_sink(&self) -> Option<&TraceSink> {
+        self.rec.as_deref()
+    }
+
+    /// Flushes the sink's trailing aggregation window, folds in the
+    /// wheel / queue high-water marks, and returns the run's profile —
+    /// `None` when tracing is off.
+    fn snapshot_profile(&mut self) -> Option<RunProfile> {
+        let wheel_hw = self.events.high_water();
+        let queue_hw = self.inboxes.high_water().max(self.queues.high_water());
+        self.rec.as_deref_mut().map(|sink| sink.finish(wheel_hw, queue_hw))
     }
 
     /// The configured per-message delay bound.
@@ -384,7 +422,12 @@ impl<P: Protocol> AsyncNetwork<P> {
             while self.nodes[v].pulse <= self.budget {
                 let pulse = self.nodes[v].pulse;
                 if !self.fault_pulse_entry(now, v, pulse) {
-                    self.execute_pulse(v);
+                    let batch = self.execute_pulse(v);
+                    emit(
+                        &mut self.rec,
+                        now,
+                        TraceEvent::PulseExec { node: v as u32, pulse, batch },
+                    );
                 }
                 self.nodes[v].pulse += 1;
             }
@@ -412,13 +455,19 @@ impl<P: Protocol> AsyncNetwork<P> {
             sent += 1;
         }
         debug_assert!(!crashed || sent == 0, "a crashed node sends nothing");
+        emit(
+            &mut self.rec,
+            now,
+            TraceEvent::PulseBegin { node: v as u32, pulse, sent: sent as u32 },
+        );
         let mut cp = control_plane!(self, now);
         self.sync.on_pulse_begun(&mut cp, v, pulse, sent);
     }
 
     /// Steps node `v`'s protocol on its current pulse's inbox, with its
-    /// context wired into the flat queues.
-    fn execute_pulse(&mut self, v: usize) {
+    /// context wired into the flat queues. Returns the delivery batch
+    /// size (how many payloads the protocol stepped on).
+    fn execute_pulse(&mut self, v: usize) -> u32 {
         let pulse = self.nodes[v].pulse;
         let parity = (pulse & 1) as usize;
         if self.faults.sampler.crashed_at(v, pulse) {
@@ -430,7 +479,7 @@ impl<P: Protocol> AsyncNetwork<P> {
                 0,
                 "payloads for a crashed pulse are swallowed at delivery"
             );
-            return;
+            return 0;
         }
         // Drain the pulse's rotating inbox into the scratch buffer and
         // canonicalize. CONGEST delivers at most one payload per port
@@ -455,6 +504,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             rng: &mut node.rng,
         };
         node.protocol.step(&mut ctx, &self.inbox_buf);
+        self.inbox_buf.len() as u32
     }
 
     /// Executes node `v`'s pulses for as long as the synchronizer grants
@@ -472,7 +522,8 @@ impl<P: Protocol> AsyncNetwork<P> {
             if !self.sync.ready(v, pulse, degree) {
                 return;
             }
-            self.execute_pulse(v);
+            let batch = self.execute_pulse(v);
+            emit(&mut self.rec, now, TraceEvent::PulseExec { node: v as u32, pulse, batch });
             self.sync.on_executed(v, pulse);
             if pulse >= self.budget {
                 self.nodes[v].done = true;
@@ -499,6 +550,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             Event::Resend { from, port, msg } => {
                 // A retransmission timer fired: the envelope re-enters
                 // the wire with fresh delay and fault draws.
+                emit(&mut self.rec, now, TraceEvent::Retransmit { node: from, port });
                 self.send(now, from as usize, port as usize, msg);
                 return;
             }
@@ -530,11 +582,18 @@ impl<P: Protocol> AsyncNetwork<P> {
                 let bits = msg.bit_size();
                 self.metrics.record_payload(bits);
                 self.overhead.control_bits += ENVELOPE_BITS as u64;
-                let idx = (pulse - 1) as usize;
-                if self.per_pulse.len() <= idx {
-                    self.per_pulse.resize(idx + 1, RoundDelta::default());
+                if self.metrics_mode == MetricsMode::Full {
+                    let idx = (pulse - 1) as usize;
+                    if self.per_pulse.len() <= idx {
+                        self.per_pulse.resize(idx + 1, RoundDelta::default());
+                    }
+                    self.per_pulse[idx].record(bits);
                 }
-                self.per_pulse[idx].record(bits);
+                emit(
+                    &mut self.rec,
+                    now,
+                    TraceEvent::Payload { node: to as u32, pulse, bits: bits as u32 },
+                );
                 // Pulse skew is at most one under every synchronizer
                 // here: a payload can only arrive while its receiver
                 // waits on `pulse` or `pulse - 1`, so the parity-indexed
@@ -624,10 +683,15 @@ impl<P: Protocol> AsyncNetwork<P> {
         // first transition barrier, exactly like the synchronous loop.
         self.drive_pulses(0, obs);
         let mut live = true;
-        for phase in plan.phases() {
+        for (index, phase) in plan.phases().iter().enumerate() {
             if phase.pulses > 0 {
                 self.drive_pulses(phase.pulses, obs);
             }
+            emit(
+                &mut self.rec,
+                self.overhead.virtual_time,
+                TraceEvent::Phase { index: index as u32, budget: phase.pulses },
+            );
             live = self.barrier(obs);
             if !live {
                 break;
@@ -651,6 +715,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             rounds: self.executed,
             metrics: self.metrics.clone(),
             overhead: self.overhead,
+            profile: self.snapshot_profile(),
         }
     }
 }
@@ -688,6 +753,7 @@ impl<P: Protocol> Driver for AsyncNetwork<P> {
             rounds: self.executed,
             metrics: self.metrics.clone(),
             overhead: self.overhead,
+            profile: self.snapshot_profile(),
         }
     }
 
@@ -725,7 +791,9 @@ impl<P: Protocol> AsyncNetwork<P> {
         if self.faults.log.is_empty() {
             return;
         }
+        let at = self.overhead.virtual_time;
         for event in self.faults.log.drain(..) {
+            emit(&mut self.rec, at, event.trace_event());
             obs.on_fault(event);
         }
     }
@@ -775,6 +843,9 @@ impl<P: Protocol> AsyncNetwork<P> {
             self.flush_faults(obs);
             while let Some((now, event)) = self.events.pop_next() {
                 self.handle(now, event);
+                if let Some(sink) = self.rec.as_deref_mut() {
+                    sink.sample_wheel(self.events.pending());
+                }
                 self.drain_ready(now);
                 self.flush_faults(obs);
             }
@@ -784,16 +855,22 @@ impl<P: Protocol> AsyncNetwork<P> {
                 "all nodes must finish their pulse budget"
             );
             self.executed = self.budget;
-            self.per_pulse.resize(self.executed as usize, RoundDelta::default());
-            // Rebuild the per-round history from the single per-pulse
-            // ledger, so it cannot drift from what observers saw.
             self.metrics.rounds = self.executed;
-            self.metrics.messages_per_round.clear();
-            self.metrics.messages_per_round.extend(self.per_pulse.iter().map(|d| d.messages));
+            if self.metrics_mode == MetricsMode::Full {
+                self.per_pulse.resize(self.executed as usize, RoundDelta::default());
+                // Rebuild the per-round history from the single per-pulse
+                // ledger, so it cannot drift from what observers saw.
+                self.metrics.messages_per_round.clear();
+                self.metrics.messages_per_round.extend(self.per_pulse.iter().map(|d| d.messages));
+            }
         }
 
-        for pulse in previous + 1..=self.executed {
-            obs.on_round(pulse, &self.per_pulse[(pulse - 1) as usize]);
+        // Streaming mode keeps no per-pulse ledger, so there is nothing
+        // to replay: observers see barriers and faults only.
+        if self.metrics_mode == MetricsMode::Full {
+            for pulse in previous + 1..=self.executed {
+                obs.on_round(pulse, &self.per_pulse[(pulse - 1) as usize]);
+            }
         }
     }
 }

@@ -43,6 +43,11 @@
 //! metrics / termination), report through one [`RunReport`], and stream
 //! to [`Observer`]s. Per-node outputs — and the payload-side
 //! [`Metrics`] — are bit-identical across engines for the same seed.
+//! The observability plane ([`obs`]) adds a zero-allocation recording
+//! layer on top: [`Session::trace`] installs a ring-buffer
+//! [`TraceSink`] that captures typed per-pulse events, aggregates a
+//! streaming [`RunProfile`], and exports deterministic JSONL / Chrome
+//! trace-event timelines — without perturbing a single recorded bit.
 //!
 //! # Example: flooding, on all three engines
 //!
@@ -101,6 +106,7 @@ pub mod legacy;
 pub mod message;
 pub mod metrics;
 pub mod network;
+pub mod obs;
 mod plane;
 pub mod protocol;
 pub mod rng;
@@ -114,6 +120,10 @@ pub use legacy::LegacyNetwork;
 pub use message::{bits_for_count, Message, ID_BITS, TAG_BITS};
 pub use metrics::Metrics;
 pub use network::{IdAssignment, Mode, Network, NetworkBuilder};
+pub use obs::{
+    CtrlTag, Hist, MetricsMode, Recorder, RunProfile, TraceConfig, TraceEvent, TraceRecord,
+    TraceSink,
+};
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
 pub use sched::{
     DelayModel, EventWheel, FaultEvent, FaultModel, PhaseBudget, PhasePlan, SyncModel, TraceHandle,

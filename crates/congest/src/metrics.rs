@@ -17,7 +17,11 @@ pub struct Metrics {
     pub total_bits: u64,
     /// Width of the widest single message delivered.
     pub max_message_bits: usize,
-    /// Messages delivered per round (index 0 = round 1).
+    /// Messages delivered per round (index 0 = round 1). Empty under
+    /// [`MetricsMode::Streaming`](crate::MetricsMode::Streaming), which
+    /// keeps only the O(1) scalar aggregates — per-round distributions
+    /// then live in the run's
+    /// [`RunProfile`](crate::RunProfile) instead.
     pub messages_per_round: Vec<u64>,
     /// Number of quiescence barriers taken (phase transitions granted by
     /// [`crate::Protocol::on_quiescent`]).
@@ -58,6 +62,14 @@ impl Metrics {
         self.messages_per_round.push(0);
     }
 
+    /// Opens a new round without extending the per-round history — the
+    /// [`MetricsMode::Streaming`](crate::MetricsMode::Streaming) path.
+    /// Scalar totals keep accumulating (the per-message folds guard on
+    /// an open history window), memory stays O(1) in the round count.
+    pub(crate) fn begin_round_bounded(&mut self) {
+        self.rounds += 1;
+    }
+
     /// Records one delivered payload's scalar aggregates without opening
     /// a [`Metrics::begin_round`] window. The asynchronous engine
     /// completes pulses out of event order, so it meters scalars here
@@ -85,7 +97,10 @@ impl Metrics {
         }
     }
 
-    /// Peak messages in any single round.
+    /// Peak messages in any single round. Reads the per-round history,
+    /// so it reports 0 under
+    /// [`MetricsMode::Streaming`](crate::MetricsMode::Streaming) — use
+    /// the run profile's pulse-occupancy maximum there.
     #[must_use]
     pub fn peak_messages_per_round(&self) -> u64 {
         self.messages_per_round.iter().copied().max().unwrap_or(0)
@@ -110,6 +125,22 @@ mod tests {
         assert_eq!(m.max_message_bits, 20);
         assert_eq!(m.messages_per_round, vec![2, 1]);
         assert_eq!(m.peak_messages_per_round(), 2);
+        assert!((m.mean_messages_per_round() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_rounds_keep_totals_without_history() {
+        let mut m = Metrics::default();
+        m.begin_round_bounded();
+        m.absorb_delivery(2, 30, 20);
+        m.begin_round_bounded();
+        m.absorb_delivery(1, 5, 5);
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.total_bits, 35);
+        assert_eq!(m.max_message_bits, 20);
+        assert!(m.messages_per_round.is_empty(), "streaming keeps no history");
+        assert_eq!(m.peak_messages_per_round(), 0);
         assert!((m.mean_messages_per_round() - 1.5).abs() < 1e-12);
     }
 

@@ -60,6 +60,7 @@ use rand::rngs::StdRng;
 
 use crate::message::Message;
 use crate::metrics::Metrics;
+use crate::obs::{emit, MetricsMode, RunProfile, SinkSlot, TraceConfig, TraceEvent, TraceSink};
 use crate::plane::{Entry, Shard, Topology};
 use crate::protocol::{Context, Endpoint, OutboxHandle, Protocol, Round};
 use crate::rng::{node_rng, splitmix64};
@@ -208,6 +209,8 @@ impl NetworkBuilder {
             metrics: Metrics::default(),
             round: 0,
             initialized: false,
+            rec: None,
+            metrics_mode: MetricsMode::Full,
         }
     }
 }
@@ -244,6 +247,14 @@ pub struct Network<P: Protocol> {
     metrics: Metrics,
     round: Round,
     initialized: bool,
+    /// The observability sink (absent unless the session installed
+    /// one): one [`TraceEvent::Round`] record per executed round, on
+    /// the control thread only. Pure observation — never perturbs the
+    /// round loop.
+    rec: SinkSlot,
+    /// Whether per-round metrics history is kept ([`MetricsMode::Full`])
+    /// or only O(1) running aggregates ([`MetricsMode::Streaming`]).
+    metrics_mode: MetricsMode,
 }
 
 impl<P: Protocol> Network<P> {
@@ -298,6 +309,28 @@ impl<P: Protocol> Network<P> {
         self.shards.iter().map(Shard::queued).sum()
     }
 
+    /// Installs the session's observability configuration: an optional
+    /// trace sink (preallocated here, once) and the metrics mode. Must
+    /// be called before the first round.
+    pub(crate) fn configure_obs(&mut self, trace: Option<TraceConfig>, mode: MetricsMode) {
+        self.rec = trace.map(|cfg| Box::new(TraceSink::new(cfg, self.nodes.len() as u32)));
+        self.metrics_mode = mode;
+    }
+
+    /// The installed trace sink, if tracing is enabled.
+    pub(crate) fn trace_sink(&self) -> Option<&TraceSink> {
+        self.rec.as_deref()
+    }
+
+    /// Flushes the sink's trailing window, folds in the plane's queue
+    /// high-water mark, and returns the run's profile — `None` when
+    /// tracing is off. The synchronous engine has no event wheel, so
+    /// its wheel mark is 0.
+    fn snapshot_profile(&mut self) -> Option<RunProfile> {
+        let queue_hw = self.shards.iter().map(|s| s.queues.high_water()).max().unwrap_or(0);
+        self.rec.as_deref_mut().map(|sink| sink.finish(0, queue_hw))
+    }
+
     /// Runs until quiescence or the round limit. May be called again after
     /// a `RoundLimit` stop to continue the same execution with a larger
     /// budget.
@@ -337,6 +370,11 @@ impl<P: Protocol> Network<P> {
             }
             let delta = self.execute_round();
             executed += 1;
+            emit(
+                &mut self.rec,
+                self.round,
+                TraceEvent::Round { round: self.round, messages: delta.messages, bits: delta.bits },
+            );
             obs.on_round(self.round, &delta);
         };
 
@@ -345,6 +383,7 @@ impl<P: Protocol> Network<P> {
             rounds: self.metrics.rounds,
             metrics: self.metrics.clone(),
             overhead: SyncOverhead::default(),
+            profile: self.snapshot_profile(),
         }
     }
 
@@ -384,7 +423,10 @@ impl<P: Protocol> Network<P> {
 
     fn execute_round(&mut self) -> RoundDelta {
         self.round += 1;
-        self.metrics.begin_round();
+        match self.metrics_mode {
+            MetricsMode::Full => self.metrics.begin_round(),
+            MetricsMode::Streaming => self.metrics.begin_round_bounded(),
+        }
 
         let s_count = self.shards.len();
         let congest = self.mode == Mode::Congest;

@@ -219,6 +219,9 @@ pub(crate) struct PortQueues<M> {
     active: Vec<u64>,
     /// Total messages queued across the set (O(1) quiescence checks).
     queued: u64,
+    /// Most messages ever queued at once — the occupancy high-water
+    /// mark, surfaced to the observability plane.
+    high_water: u64,
 }
 
 impl<M> PortQueues<M> {
@@ -230,6 +233,7 @@ impl<M> PortQueues<M> {
             free_head: NIL,
             active: vec![0u64; port_count.div_ceil(64)],
             queued: 0,
+            high_water: 0,
         }
     }
 
@@ -237,6 +241,12 @@ impl<M> PortQueues<M> {
     #[inline]
     pub fn queued(&self) -> u64 {
         self.queued
+    }
+
+    /// Most messages ever queued at once over the set's lifetime.
+    #[inline]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
     }
 
     /// Messages queued on local port `p`.
@@ -300,6 +310,7 @@ impl<M> PortQueues<M> {
             self.active[p as usize / 64] |= 1u64 << (p % 64);
         }
         self.queued += 1;
+        self.high_water = self.high_water.max(self.queued);
     }
 
     /// Visits port `p`'s queued messages in FIFO order **without**

@@ -196,6 +196,15 @@ pub enum FaultEvent {
     },
 }
 
+impl FaultEvent {
+    /// This fault as an observability-plane record
+    /// ([`crate::obs::TraceEvent::Fault`]): the engine emits one per
+    /// logged fault when it streams the log to observers.
+    pub(crate) fn trace_event(self) -> crate::obs::TraceEvent {
+        crate::obs::TraceEvent::Fault(self)
+    }
+}
+
 /// The runtime form of a [`FaultModel`]: the shared drop-coin state plus
 /// per-port and per-node tables, compiled once at engine build. All
 /// sampling is allocation-free.

@@ -56,6 +56,7 @@
 //! a pulse executes only after its whole inbox has arrived.
 
 use crate::message::TAG_BITS;
+use crate::obs::{emit, CtrlTag, SinkSlot, TraceEvent};
 use crate::plane::Topology;
 use crate::protocol::Port;
 use crate::sched::fault::{FaultEvent, FaultPlane};
@@ -126,6 +127,16 @@ pub(crate) enum CtrlKind {
     Ack,
     /// "This edge (or this node) is clear for the tagged pulse."
     Safe,
+}
+
+impl CtrlKind {
+    /// The public trace tag for this kind.
+    fn tag(self) -> CtrlTag {
+        match self {
+            CtrlKind::Ack => CtrlTag::Ack,
+            CtrlKind::Safe => CtrlTag::Safe,
+        }
+    }
 }
 
 /// One control envelope: kind plus the pulse it talks about.
@@ -234,6 +245,10 @@ pub(crate) struct ControlPlane<'a, M> {
     pub ready: &'a mut Vec<u32>,
     /// Current virtual time; scheduled envelopes depart now.
     pub now: u64,
+    /// The observability sink (absent unless the session installed one):
+    /// control-plane sends and coalesced waves are recorded here. Pure
+    /// observation — recording never perturbs the run.
+    pub rec: &'a mut SinkSlot,
 }
 
 impl<M> ControlPlane<'_, M> {
@@ -268,6 +283,16 @@ impl<M> ControlPlane<'_, M> {
             from,
             port,
             SyncMsg::Ctrl(ctrl),
+        );
+        emit(
+            self.rec,
+            self.now,
+            TraceEvent::Ctrl {
+                node: from as u32,
+                kind: ctrl.kind.tag(),
+                pulse: ctrl.pulse,
+                bits: ENVELOPE_BITS as u32,
+            },
         );
     }
 
@@ -523,8 +548,12 @@ impl Synchronizer for BatchedAlpha {
             // The node's coalesced Safe wave: one announcement covers
             // every idle port this pulse.
             cp.meter_ctrl(1);
+            emit(
+                cp.rec,
+                cp.now,
+                TraceEvent::SafeWave { node: v as u32, pulse, bits: ENVELOPE_BITS as u32 },
+            );
         }
-        let _ = pulse;
     }
 
     fn on_payload<M>(&mut self, cp: &mut ControlPlane<'_, M>, v: usize, _port: Port, pulse: u64) {

@@ -64,6 +64,9 @@ pub struct EventWheel<T> {
     /// Current virtual time: the arrival time of the most recently
     /// popped event (0 before any pop).
     cursor: u64,
+    /// Most events ever pending at once — the run's occupancy
+    /// high-water mark, surfaced to the observability plane.
+    high_water: u64,
 }
 
 impl<T> EventWheel<T> {
@@ -83,7 +86,7 @@ impl<T> EventWheel<T> {
              buckets (memory grows with the delay bound)"
         );
         let horizon = max_delay + 1;
-        Self { buckets: PortQueues::new(horizon as usize), horizon, cursor: 0 }
+        Self { buckets: PortQueues::new(horizon as usize), horizon, cursor: 0, high_water: 0 }
     }
 
     /// Number of buckets (`max_delay + 1`).
@@ -104,6 +107,12 @@ impl<T> EventWheel<T> {
         self.buckets.queued()
     }
 
+    /// Most events ever pending at once over the wheel's lifetime.
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
     /// Schedules `item` to arrive at absolute time `at`.
     ///
     /// `at` must lie in `(cursor, cursor + max_delay]` — guaranteed by
@@ -118,6 +127,7 @@ impl<T> EventWheel<T> {
             self.cursor + self.horizon - 1
         );
         self.buckets.push((at % self.horizon) as u32, item);
+        self.high_water = self.high_water.max(self.buckets.queued());
     }
 
     /// Visits every pending event in delivery order — ascending arrival
@@ -178,6 +188,7 @@ mod tests {
         assert_eq!(got, vec![(1, 10), (2, 20), (3, 30), (3, 31)]);
         assert_eq!(w.cursor(), 3);
         assert!(w.pop_next().is_none());
+        assert_eq!(w.high_water(), 4, "all four events were pending at once");
     }
 
     #[test]

@@ -23,7 +23,24 @@
 //!   across engines for the same seed), and the synchronizer's
 //!   [`SyncOverhead`] (zero for the synchronous engines).
 //! * [`Observer`] streams per-round [`RoundDelta`]s and quiescence
-//!   barriers (phase transitions) while the run executes.
+//!   barriers (phase transitions) while the run executes. Observers are
+//!   the *user-facing* streaming hook: boxed trait objects fed
+//!   round-granular aggregates, free to allocate and do arbitrary work.
+//!   The engine-facing counterpart is the [`crate::obs`] recording
+//!   plane — [`Session::trace`] installs a preallocated
+//!   [`crate::TraceSink`] *inside* the engine hot paths, which captures
+//!   typed event-granular records (pulse begins, control sends, Safe
+//!   waves, retransmits, faults) with zero steady-state allocation and
+//!   zero cost when absent. Use an [`Observer`] to react to a run as it
+//!   executes; use [`Session::trace`] to profile or export a timeline
+//!   of *how* the engine executed it ([`RunReport::profile`],
+//!   [`SessionDriver::trace_sink`]).
+//! * [`Session::metrics`] picks the [`crate::MetricsMode`]: the default
+//!   [`crate::MetricsMode::Full`] keeps the O(rounds)
+//!   `messages_per_round` history, while
+//!   [`crate::MetricsMode::Streaming`] keeps only O(1) running
+//!   aggregates (per-round distributions then live in the run's
+//!   [`crate::RunProfile`]).
 //!
 //! All engines share the determinism contract pinned by
 //! `crates/core/tests/engine_equivalence.rs`: for a given seed, per-node
@@ -91,6 +108,7 @@ use crate::asynch::AsyncNetwork;
 use crate::legacy::LegacyNetwork;
 use crate::metrics::Metrics;
 use crate::network::{IdAssignment, Mode, Network, NetworkBuilder};
+use crate::obs::{MetricsMode, RunProfile, TraceConfig, TraceSink};
 use crate::protocol::{Endpoint, Protocol, Round};
 use crate::sched::{DelayModel, FaultEvent, FaultModel, PhasePlan, SyncModel};
 
@@ -248,6 +266,10 @@ pub struct RunReport {
     pub metrics: Metrics,
     /// Synchronizer control-plane overhead (zero for synchronous runs).
     pub overhead: SyncOverhead,
+    /// Streaming run profile (histograms, high-water marks, event
+    /// counters) — `Some` only when the session installed a recorder
+    /// via [`Session::trace`]. See [`RunProfile`].
+    pub profile: Option<RunProfile>,
 }
 
 impl RunReport {
@@ -411,6 +433,8 @@ pub struct Session<'g> {
     /// [`Engine::Async`] insists on an explicit budget.
     limits: Option<RunLimits>,
     observer: Option<Box<dyn Observer>>,
+    trace: Option<TraceConfig>,
+    metrics_mode: MetricsMode,
 }
 
 impl<'g> Session<'g> {
@@ -425,6 +449,8 @@ impl<'g> Session<'g> {
             engine: Engine::default(),
             limits: None,
             observer: None,
+            trace: None,
+            metrics_mode: MetricsMode::Full,
         }
     }
 
@@ -477,6 +503,31 @@ impl<'g> Session<'g> {
         self
     }
 
+    /// Installs an in-engine recorder ([`TraceSink`]): the engine emits
+    /// typed [`crate::TraceEvent`]s from its hot paths into a ring
+    /// buffer preallocated to `config.capacity` records and folds them
+    /// into a streaming [`RunProfile`]. Recording is purely
+    /// observational — outputs, [`Metrics`] and [`SyncOverhead`] stay
+    /// bit-identical to an untraced run — and allocation-free in steady
+    /// state. The profile is attached to every [`RunReport`]; the
+    /// timeline is exportable via [`SessionDriver::trace_sink`].
+    #[must_use]
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
+    /// Selects how much per-round history [`Metrics`] retains — the
+    /// default [`MetricsMode::Full`] keeps the O(rounds)
+    /// `messages_per_round` vector, [`MetricsMode::Streaming`] keeps
+    /// only O(1) running aggregates (and skips per-round observer
+    /// replay on [`Engine::Async`]).
+    #[must_use]
+    pub fn metrics(mut self, mode: MetricsMode) -> Self {
+        self.metrics_mode = mode;
+        self
+    }
+
     /// Builds the selected engine's driver, creating each node's
     /// protocol via `factory` (called with the node's [`Endpoint`]).
     ///
@@ -494,14 +545,16 @@ impl<'g> Session<'g> {
         F: FnMut(&Endpoint) -> P,
     {
         let inner = match self.engine {
-            Engine::Flat { shards } => EngineDriver::Flat(
-                NetworkBuilder::new()
+            Engine::Flat { shards } => {
+                let mut net = NetworkBuilder::new()
                     .mode(self.mode)
                     .seed(self.seed)
                     .ids(self.ids)
                     .parallel(shards)
-                    .build_with(self.graph, factory),
-            ),
+                    .build_with(self.graph, factory);
+                net.configure_obs(self.trace, self.metrics_mode);
+                EngineDriver::Flat(net)
+            }
             #[cfg(feature = "legacy-engine")]
             Engine::Legacy => EngineDriver::Legacy(LegacyNetwork::build_with(
                 self.graph, self.mode, self.seed, self.ids, factory,
@@ -524,9 +577,11 @@ impl<'g> Session<'g> {
                      Session::limits(RunLimits::rounds(b)) — pulses never quiesce, the \
                      budget is the §4.1 termination rule"
                 );
-                EngineDriver::Async(AsyncNetwork::build_with(
+                let mut net = AsyncNetwork::build_with(
                     self.graph, self.seed, delay, sync, fault, self.ids, factory,
-                ))
+                );
+                net.configure_obs(self.trace, self.metrics_mode);
+                EngineDriver::Async(net)
             }
         };
         SessionDriver { inner, limits: self.limits.unwrap_or_default(), observer: self.observer }
@@ -589,6 +644,21 @@ impl<P: Protocol> SessionDriver<P> {
                 sync: net.sync_model(),
                 fault: net.fault_model(),
             },
+        }
+    }
+
+    /// The engine's installed [`TraceSink`], if [`Session::trace`] was
+    /// called — read it after a run to export the captured timeline
+    /// ([`TraceSink::to_jsonl`], [`TraceSink::to_chrome_json`]) or
+    /// inspect the streaming profile. `None` when no recorder was
+    /// installed (the legacy fixture never records).
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        match &self.inner {
+            EngineDriver::Flat(net) => net.trace_sink(),
+            #[cfg(feature = "legacy-engine")]
+            EngineDriver::Legacy(_) => None,
+            EngineDriver::Async(net) => net.trace_sink(),
         }
     }
 

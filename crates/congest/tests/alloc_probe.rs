@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use congest::{
     Context, DelayModel, Driver, Engine, FaultModel, Message, Mode, Port, Protocol, RunLimits,
-    Session, SyncModel, Termination,
+    Session, SyncModel, Termination, TraceConfig,
 };
 use graphs::GraphBuilder;
 
@@ -290,6 +290,63 @@ fn faulty_pulses_do_not_allocate() {
                 with_pulses.saturating_sub(wrapper)
             );
         }
+    }
+}
+
+/// Recording does not break the zero-allocation contract: with a ring
+/// [`congest::TraceSink`] installed via [`Session::trace`], steady-state
+/// pulses (and flat rounds) must still allocate exactly as much as a
+/// zero-round drive. The ring is preallocated at build time and
+/// overwrites in place once full; the streaming profile is fixed-size
+/// arrays and scalars, so even the per-drive profile snapshot cloned
+/// into the `RunReport` stays off the heap.
+#[test]
+fn traced_pulses_do_not_allocate() {
+    let g = ring_with_chords(32);
+    let engines = [
+        Engine::Flat { shards: 1 },
+        Engine::Async {
+            delay: DelayModel::Uniform { max_delay: 4 },
+            sync: SyncModel::Alpha,
+            fault: FaultModel::None,
+        },
+        Engine::Async {
+            delay: DelayModel::Uniform { max_delay: 4 },
+            sync: SyncModel::BatchedAlpha,
+            fault: FaultModel::None,
+        },
+    ];
+    for engine in engines {
+        let mut net = Session::on(&g)
+            .seed(5)
+            .engine(engine)
+            .limits(RunLimits::rounds(1024))
+            .trace(TraceConfig::events(1 << 12))
+            .build_with(|_| Echo);
+
+        // Warm-up long enough that the trace ring wraps and every pool
+        // reaches its high-water mark.
+        net.reserve_rounds(1024);
+        net.drive(RunLimits::rounds(256), &mut ());
+        assert!(
+            net.trace_sink().is_some_and(|s| s.profile().records > 0),
+            "{engine:?}: the recorder must have been active during warm-up"
+        );
+
+        let before = allocations();
+        net.drive(RunLimits::rounds(0), &mut ());
+        let wrapper = allocations() - before;
+
+        let before = allocations();
+        net.drive(RunLimits::rounds(256), &mut ());
+        let with_pulses = allocations() - before;
+
+        assert_eq!(
+            with_pulses,
+            wrapper,
+            "{engine:?}: 256 traced steady-state rounds performed {} heap allocations",
+            with_pulses.saturating_sub(wrapper)
+        );
     }
 }
 

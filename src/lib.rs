@@ -78,8 +78,9 @@ pub use proptester;
 pub mod prelude {
     pub use baselines::{run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig};
     pub use congest::{
-        DelayModel, Driver, Engine, FaultEvent, FaultModel, Metrics, Mode, Observer, PhaseBudget,
-        PhasePlan, RoundDelta, RunLimits, RunReport, Session, SyncModel, Termination,
+        DelayModel, Driver, Engine, FaultEvent, FaultModel, Metrics, MetricsMode, Mode, Observer,
+        PhaseBudget, PhasePlan, RoundDelta, RunLimits, RunProfile, RunReport, Session, SyncModel,
+        Termination, TraceConfig, TraceSink,
     };
     pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
     pub use nearclique::{
