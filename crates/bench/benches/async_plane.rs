@@ -41,8 +41,8 @@
 //! full local runs.
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits,
-    RunProfile, Session, SyncModel, SyncOverhead, TraceConfig,
+    ChurnModel, Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol,
+    RunLimits, RunProfile, Session, SyncModel, SyncOverhead, TraceConfig,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphs::{generators, Graph};
@@ -100,7 +100,7 @@ const GOSSIP_PULSES: u64 = 30;
 fn run_gossip(g: &Graph, delay: DelayModel, sync: SyncModel) -> SyncOverhead {
     let mut driver = Session::on(g)
         .seed(3)
-        .engine(Engine::Async { delay, sync, fault: FaultModel::None })
+        .engine(Engine::Async { delay, sync, fault: FaultModel::None, churn: ChurnModel::None })
         .limits(RunLimits::rounds(GOSSIP_PULSES))
         .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
     driver.reserve_rounds(GOSSIP_PULSES as usize + 2);
@@ -115,7 +115,7 @@ fn run_gossip(g: &Graph, delay: DelayModel, sync: SyncModel) -> SyncOverhead {
 fn gossip_profile(g: &Graph, delay: DelayModel, sync: SyncModel) -> RunProfile {
     let mut driver = Session::on(g)
         .seed(3)
-        .engine(Engine::Async { delay, sync, fault: FaultModel::None })
+        .engine(Engine::Async { delay, sync, fault: FaultModel::None, churn: ChurnModel::None })
         .limits(RunLimits::rounds(GOSSIP_PULSES))
         .trace(TraceConfig::profile_only())
         .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
@@ -194,8 +194,16 @@ fn near_clique_alpha_at(c: &mut Criterion, n: usize, models: &[DelayModel], samp
             let overhead = std::cell::Cell::new(SyncOverhead::default());
             group.bench_with_input(BenchmarkId::from_parameter(&label), &g, |b, g| {
                 b.iter(|| {
-                    let run =
-                        run_near_clique_phased(g, &params, 7, delay, sync, FaultModel::None, &plan);
+                    let run = run_near_clique_phased(
+                        g,
+                        &params,
+                        7,
+                        delay,
+                        sync,
+                        FaultModel::None,
+                        ChurnModel::None,
+                        &plan,
+                    );
                     overhead.set(run.overhead);
                     run.metrics.messages
                 });

@@ -28,8 +28,8 @@
 //! come from full local runs.
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits,
-    RunProfile, Session, SyncModel, SyncOverhead, TraceConfig,
+    ChurnModel, Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol,
+    RunLimits, RunProfile, Session, SyncModel, SyncOverhead, TraceConfig,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphs::{generators, Graph};
@@ -94,7 +94,12 @@ const GOSSIP_PULSES: u64 = 30;
 fn run_gossip(g: &Graph, sync: SyncModel, fault: FaultModel) -> SyncOverhead {
     let mut driver = Session::on(g)
         .seed(3)
-        .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 8 }, sync, fault })
+        .engine(Engine::Async {
+            delay: DelayModel::Uniform { max_delay: 8 },
+            sync,
+            fault,
+            churn: ChurnModel::None,
+        })
         .limits(RunLimits::rounds(GOSSIP_PULSES))
         .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
     driver.reserve_rounds(GOSSIP_PULSES as usize + 2);
@@ -108,7 +113,12 @@ fn run_gossip(g: &Graph, sync: SyncModel, fault: FaultModel) -> SyncOverhead {
 fn gossip_profile(g: &Graph, sync: SyncModel, fault: FaultModel) -> RunProfile {
     let mut driver = Session::on(g)
         .seed(3)
-        .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 8 }, sync, fault })
+        .engine(Engine::Async {
+            delay: DelayModel::Uniform { max_delay: 8 },
+            sync,
+            fault,
+            churn: ChurnModel::None,
+        })
         .limits(RunLimits::rounds(GOSSIP_PULSES))
         .trace(TraceConfig::profile_only())
         .build_with(|_| Gossip { rounds: GOSSIP_PULSES });
@@ -166,7 +176,16 @@ fn bench_near_clique_drop(c: &mut Criterion) {
             let overhead = std::cell::Cell::new(SyncOverhead::default());
             group.bench_with_input(BenchmarkId::from_parameter(&label), &g, |b, g| {
                 b.iter(|| {
-                    let run = run_near_clique_phased(g, &params, 7, delay, sync, fault, &plan);
+                    let run = run_near_clique_phased(
+                        g,
+                        &params,
+                        7,
+                        delay,
+                        sync,
+                        fault,
+                        ChurnModel::None,
+                        &plan,
+                    );
                     overhead.set(run.overhead);
                     run.metrics.messages
                 });

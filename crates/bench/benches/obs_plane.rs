@@ -24,8 +24,8 @@
 //! end; real records come from full local runs.
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
-    SyncModel, TraceConfig,
+    ChurnModel, Context, DelayModel, Driver, Engine, FaultModel, Message, Port, Protocol,
+    RunLimits, Session, SyncModel, TraceConfig,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphs::{generators, Graph};
@@ -103,6 +103,7 @@ fn bench_gossip_recorder(c: &mut Criterion) {
         delay: DelayModel::Uniform { max_delay: 8 },
         sync: SyncModel::BatchedAlpha,
         fault: FaultModel::None,
+        churn: ChurnModel::None,
     };
 
     let mut group = c.benchmark_group("obs_plane/gossip_recorder");

@@ -82,7 +82,8 @@ use crate::sched::sync::{
     transmit, ControlPlane, Event, SyncDriver, SyncMsg, Synchronizer, ENVELOPE_BITS,
 };
 use crate::sched::{
-    DelayModel, DelaySource, EventWheel, FaultModel, FaultPlane, PhasePlan, SyncModel,
+    ChurnEvent, ChurnModel, ChurnPlane, ChurnPolicy, DelayModel, DelaySource, EpochInfo,
+    EventWheel, FaultModel, FaultPlane, PhasePlan, SyncModel,
 };
 use crate::session::{
     Driver, Observer, RoundDelta, RunLimits, RunReport, SyncOverhead, Termination,
@@ -138,6 +139,10 @@ pub struct AsyncNetwork<P: Protocol> {
     /// The compiled fault model plus the run's fault log and loss
     /// accounting (see [`crate::sched::fault`]).
     faults: FaultPlane,
+    /// The compiled churn model plus the epoch-versioned membership
+    /// overlay, the run's churn log and the per-epoch timeline (see
+    /// [`crate::sched::churn`]).
+    churn: ChurnPlane,
     /// Absolute pulse target of the current drive.
     budget: u64,
     /// Pulses completed over all drives so far.
@@ -192,19 +197,25 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// follow `sync` (see [`SyncModel`]); the network breaks according
     /// to `fault` (seeded off the same `seed`; see
     /// [`crate::sched::FaultModel`] — `FaultModel::None` is the perfect
-    /// wire, bit-identical to an engine without the fault plane).
+    /// wire, bit-identical to an engine without the fault plane); and
+    /// the member set evolves according to `churn` (seeded off the same
+    /// `seed`; see [`crate::sched::churn`] — [`ChurnModel::None`] is the
+    /// fixed member set, bit-identical to an engine without the churn
+    /// plane).
     ///
     /// # Panics
     ///
-    /// Panics if the delay model's `max_delay == 0`, if the fault model
-    /// is malformed, on a hashed ID collision, or if the graph exceeds
-    /// the plane's `u32` port space.
+    /// Panics if the delay model's `max_delay == 0`, if the fault or
+    /// churn model is malformed, on a hashed ID collision, or if the
+    /// graph exceeds the plane's `u32` port space.
+    #[allow(clippy::too_many_arguments)]
     pub fn build_with<F>(
         graph: &Graph,
         seed: u64,
         delay: DelayModel,
         sync: SyncModel,
         fault: FaultModel,
+        churn: ChurnModel,
         ids: IdAssignment,
         mut factory: F,
     ) -> Self
@@ -231,6 +242,7 @@ impl<P: Protocol> AsyncNetwork<P> {
 
         let delays = DelaySource::model(delay, seed, port_count);
         let faults = FaultPlane::new(fault, seed, port_count, n, delays.compiled_bound());
+        let churn = ChurnPlane::new(churn, seed, &topo, n);
         // The wheel spans the *compiled* bound: what the sampler can
         // actually draw for this plane, never more than the model's
         // declared `max_delay` and tighter for the per-port models —
@@ -252,6 +264,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             ready: Vec::with_capacity(2 * n),
             delays,
             faults,
+            churn,
             budget: 0,
             executed: 0,
             initialized: false,
@@ -309,6 +322,12 @@ impl<P: Protocol> AsyncNetwork<P> {
     #[must_use]
     pub fn fault_model(&self) -> FaultModel {
         self.faults.model()
+    }
+
+    /// The configured churn model.
+    #[must_use]
+    pub fn churn_model(&self) -> ChurnModel {
+        self.churn.model()
     }
 
     /// Accumulated payload-side metrics.
@@ -409,6 +428,119 @@ impl<P: Protocol> AsyncNetwork<P> {
         }
     }
 
+    /// Membership bookkeeping at node `v`'s entry into `pulse`: detects
+    /// the scheduled join/leave transition (each exactly once, opening a
+    /// new epoch), applies the [`EpochTopology`](crate::sched::churn)
+    /// overlay in place, retires a leaver's queued payloads itemized,
+    /// fires [`Protocol::on_join`]/[`Protocol::on_leave`] on present
+    /// peers (and the [`ChurnPolicy::Restart`] re-init), and reports
+    /// whether the node is outside the member set for this pulse.
+    fn churn_pulse_entry(&mut self, now: u64, v: usize, pulse: u64) -> bool {
+        let absent = self.churn.sampler.absent_at(v, pulse);
+        if absent != self.churn.overlay.present[v] {
+            // Steady state: the overlay already agrees with the sampled
+            // membership — no transition at this pulse.
+            return absent;
+        }
+        self.churn.overlay.apply(&self.topo, v, !absent);
+        let epoch = self.churn.overlay.epoch;
+        self.overhead.epochs += 1;
+        if absent {
+            self.overhead.leaves += 1;
+            self.churn.log.push(ChurnEvent::Leave { node: v as u32, pulse, epoch });
+            // A graceful leave retires whatever the protocol queued but
+            // had not yet transmitted — each payload itemized in the
+            // churn log, never silently dropped.
+            let base = self.topo.offsets[v];
+            for port in 0..self.nodes[v].endpoint.degree() {
+                while self.queues.pop(base + port as u32).is_some() {
+                    self.overhead.retired_messages += 1;
+                    self.churn.retire(v as u32, port, now);
+                }
+            }
+        } else {
+            debug_assert_eq!(
+                self.churn.sampler.join_pulse(v),
+                pulse,
+                "a join transition fires exactly at the scheduled pulse"
+            );
+            self.overhead.joins += 1;
+            self.churn.log.push(ChurnEvent::Join { node: v as u32, pulse, epoch });
+            // The joiner's protocol initializes at the joining pulse;
+            // whatever it queues drains in this same pulse entry, right
+            // after this hook returns.
+            let node = &mut self.nodes[v];
+            let base = self.topo.offsets[v];
+            let mut ctx = Context {
+                endpoint: &node.endpoint,
+                round: pulse,
+                outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+                rng: &mut node.rng,
+            };
+            node.protocol.init(&mut ctx);
+        }
+        self.churn.timeline.push(EpochInfo { epoch, pulse, members: self.churn.overlay.members });
+        self.notify_members(v, absent);
+        if self.churn.model().policy() == ChurnPolicy::Restart {
+            self.restart_epoch(v);
+        }
+        absent
+    }
+
+    /// Fires the membership handoff hook on each of `v`'s present,
+    /// uncrashed neighbors, each in its own context at its own current
+    /// pulse.
+    fn notify_members(&mut self, v: usize, left: bool) {
+        for port in 0..self.nodes[v].endpoint.degree() {
+            let (_slot, to, back) = self.topo.resolve(v, port);
+            let to = to as usize;
+            // A node outside the member set (or down) observes nothing.
+            if !self.churn.overlay.present[to]
+                || self.faults.sampler.crashed_at(to, self.nodes[to].pulse)
+            {
+                continue;
+            }
+            let node = &mut self.nodes[to];
+            let base = self.topo.offsets[to];
+            let mut ctx = Context {
+                endpoint: &node.endpoint,
+                round: node.pulse,
+                outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+                rng: &mut node.rng,
+            };
+            if left {
+                node.protocol.on_leave(&mut ctx, back as usize);
+            } else {
+                node.protocol.on_join(&mut ctx, back as usize);
+            }
+        }
+    }
+
+    /// [`ChurnPolicy::Restart`]: re-runs [`Protocol::init`] on every
+    /// present, uncrashed node at its current pulse, so epoch-restart
+    /// protocols rebuild their state against the new member set. The
+    /// node whose event opened the epoch is skipped — a joiner was just
+    /// initialized, a leaver is absent.
+    fn restart_epoch(&mut self, skip: usize) {
+        for w in 0..self.nodes.len() {
+            if w == skip
+                || !self.churn.overlay.present[w]
+                || self.faults.sampler.crashed_at(w, self.nodes[w].pulse)
+            {
+                continue;
+            }
+            let node = &mut self.nodes[w];
+            let base = self.topo.offsets[w];
+            let mut ctx = Context {
+                endpoint: &node.endpoint,
+                round: node.pulse,
+                outbox: OutboxHandle::Flat { queues: &mut self.queues, base },
+                rng: &mut node.rng,
+            };
+            node.protocol.init(&mut ctx);
+        }
+    }
+
     /// Transition `node` into its next pulse: drain one application
     /// message per port from the flat queues (CONGEST pipelining) and
     /// send the payloads, reporting each idle port — and then the whole
@@ -421,7 +553,9 @@ impl<P: Protocol> AsyncNetwork<P> {
         if degree == 0 {
             while self.nodes[v].pulse <= self.budget {
                 let pulse = self.nodes[v].pulse;
-                if !self.fault_pulse_entry(now, v, pulse) {
+                let absent = self.churn_pulse_entry(now, v, pulse);
+                let crashed = self.fault_pulse_entry(now, v, pulse);
+                if !absent && !crashed {
                     let batch = self.execute_pulse(v);
                     emit(
                         &mut self.rec,
@@ -436,15 +570,29 @@ impl<P: Protocol> AsyncNetwork<P> {
             return;
         }
         let pulse = self.nodes[v].pulse;
-        // A node entering a crashed pulse discards its queued sends
-        // (inside `fault_pulse_entry`, at onset) and is silent below —
-        // every port reads idle, so neighbors' gates fill exactly as for
-        // an empty pulse and the synchronizer waves keep rolling.
+        // Membership first: a scheduled join initializes the protocol
+        // (its sends drain below, in this same entry), a scheduled leave
+        // retires the queued payloads before the crash sweep looks at
+        // them. A node entering an absent or crashed pulse is silent
+        // below — every port reads idle, so neighbors' gates fill
+        // exactly as for an empty pulse and the synchronizer waves keep
+        // rolling across the epoch boundary.
+        let absent = self.churn_pulse_entry(now, v, pulse);
         let crashed = self.fault_pulse_entry(now, v, pulse);
         let base = self.topo.offsets[v];
         let mut sent = 0usize;
         for port in 0..degree {
             let p = base + port as u32;
+            // A retired port carries no payloads: whatever the protocol
+            // queued toward an absent peer is retired itemized, and the
+            // port reads idle to the synchronizer — the control plane
+            // spans the static topology.
+            if !self.churn.overlay.port_live[p as usize] {
+                while self.queues.pop(p).is_some() {
+                    self.overhead.retired_messages += 1;
+                    self.churn.retire(v as u32, port, now);
+                }
+            }
             if self.queues.len(p) == 0 {
                 let mut cp = control_plane!(self, now);
                 self.sync.on_idle_port(&mut cp, v, port, pulse);
@@ -455,6 +603,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             sent += 1;
         }
         debug_assert!(!crashed || sent == 0, "a crashed node sends nothing");
+        debug_assert!(!absent || sent == 0, "an absent node sends nothing");
         emit(
             &mut self.rec,
             now,
@@ -478,6 +627,17 @@ impl<P: Protocol> AsyncNetwork<P> {
                 self.inboxes.len((v * 2 + parity) as u32),
                 0,
                 "payloads for a crashed pulse are swallowed at delivery"
+            );
+            return 0;
+        }
+        if self.churn.sampler.absent_at(v, pulse) {
+            // Outside the member set: payloads addressed to this pulse
+            // were retired at delivery, so the inbox is empty and the
+            // protocol does not step.
+            debug_assert_eq!(
+                self.inboxes.len((v * 2 + parity) as u32),
+                0,
+                "payloads for an absent pulse are retired at delivery"
             );
             return 0;
         }
@@ -556,6 +716,18 @@ impl<P: Protocol> AsyncNetwork<P> {
             }
         };
         match msg {
+            SyncMsg::Payload { pulse, msg: _ } if self.churn.sampler.absent_at(to, pulse) => {
+                // The receiver is outside the member set for this pulse:
+                // the payload is retired at delivery — itemized in the
+                // churn log, not metered, not staged. The synchronizer
+                // still observes the arrival: the control plane spans
+                // the static topology, which is what keeps neighbors'
+                // gates filling across the epoch boundary.
+                self.overhead.retired_messages += 1;
+                self.churn.retire(to as u32, port, now);
+                let mut cp = control_plane!(self, now);
+                self.sync.on_payload(&mut cp, to, port, pulse);
+            }
             SyncMsg::Payload { pulse, msg: _ } if self.faults.sampler.crashed_at(to, pulse) => {
                 // The receiver is down for this pulse: the payload
                 // vanishes at the host — not metered, not staged; the
@@ -640,6 +812,12 @@ impl<P: Protocol> AsyncNetwork<P> {
                 // answer.
                 continue;
             }
+            if !self.churn.overlay.present[v] {
+                // A node outside the member set takes no phase
+                // transition either — but unlike a crash this is
+                // planned reconfiguration, so the run is not degraded.
+                continue;
+            }
             let node = &mut self.nodes[v];
             let base = self.topo.offsets[v];
             let mut ctx = Context {
@@ -715,6 +893,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             rounds: self.executed,
             metrics: self.metrics.clone(),
             overhead: self.overhead,
+            epochs: self.churn.timeline.clone(),
             profile: self.snapshot_profile(),
         }
     }
@@ -753,6 +932,7 @@ impl<P: Protocol> Driver for AsyncNetwork<P> {
             rounds: self.executed,
             metrics: self.metrics.clone(),
             overhead: self.overhead,
+            epochs: self.churn.timeline.clone(),
             profile: self.snapshot_profile(),
         }
     }
@@ -798,6 +978,28 @@ impl<P: Protocol> AsyncNetwork<P> {
         }
     }
 
+    /// Streams buffered churn events to the observer, in occurrence
+    /// order; each epoch boundary additionally emits the
+    /// [`TraceEvent::Epoch`] record carrying the post-event member
+    /// count. The log is drained in place and reused, like the fault
+    /// log.
+    fn flush_churn(&mut self, obs: &mut dyn Observer) {
+        if self.churn.log.is_empty() {
+            return;
+        }
+        let at = self.overhead.virtual_time;
+        for i in 0..self.churn.log.len() {
+            let event = self.churn.log[i];
+            emit(&mut self.rec, at, event.trace_event());
+            if let ChurnEvent::Join { epoch, .. } | ChurnEvent::Leave { epoch, .. } = event {
+                let members = self.churn.timeline[(epoch - 1) as usize].members;
+                emit(&mut self.rec, at, TraceEvent::Epoch { epoch, members });
+            }
+            obs.on_churn(event);
+        }
+        self.churn.log.clear();
+    }
+
     fn drive_pulses(&mut self, max_rounds: u64, obs: &mut dyn Observer) {
         let previous = self.executed;
         if !self.initialized {
@@ -805,6 +1007,11 @@ impl<P: Protocol> AsyncNetwork<P> {
             // outputs at budget 0 match the synchronous engines'.
             self.initialized = true;
             for v in 0..self.nodes.len() {
+                if !self.churn.overlay.present[v] {
+                    // A scheduled late joiner initializes at its joining
+                    // pulse, not here.
+                    continue;
+                }
                 let node = &mut self.nodes[v];
                 let base = self.topo.offsets[v];
                 let mut ctx = Context {
@@ -841,6 +1048,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             }
 
             self.flush_faults(obs);
+            self.flush_churn(obs);
             while let Some((now, event)) = self.events.pop_next() {
                 self.handle(now, event);
                 if let Some(sink) = self.rec.as_deref_mut() {
@@ -848,6 +1056,7 @@ impl<P: Protocol> AsyncNetwork<P> {
                 }
                 self.drain_ready(now);
                 self.flush_faults(obs);
+                self.flush_churn(obs);
             }
             debug_assert_eq!(self.inboxes.queued(), 0, "all staged payloads were consumed");
             debug_assert!(
@@ -893,6 +1102,11 @@ impl<P: Protocol> AsyncNetwork<P> {
         if !self.initialized {
             self.initialized = true;
             for v in 0..self.nodes.len() {
+                if !self.churn.overlay.present[v] {
+                    // A scheduled late joiner initializes at its joining
+                    // pulse, not here.
+                    continue;
+                }
                 let node = &mut self.nodes[v];
                 let base = self.topo.offsets[v];
                 let mut ctx = Context {
@@ -924,6 +1138,7 @@ impl<P: Protocol> AsyncNetwork<P> {
             self.drain_ready(now);
         }
         self.faults.log.clear();
+        self.churn.log.clear();
     }
 
     /// One event-loop iteration: pop the next event, handle it, drain
@@ -937,6 +1152,7 @@ impl<P: Protocol> AsyncNetwork<P> {
         self.handle(now, event);
         self.drain_ready(now);
         self.faults.log.clear();
+        self.churn.log.clear();
         true
     }
 
@@ -1009,6 +1225,10 @@ impl<P: Protocol> AsyncNetwork<P> {
     /// Sound for [`FaultModel::None`] and [`FaultModel::Drop`] only:
     /// their fault streams are position-indexed, while `LinkFlap`'s drop
     /// decisions read absolute time — the explorer rejects the rest.
+    /// Churn state is deliberately not hashed: the explorer rejects
+    /// every model but [`ChurnModel::None`] (membership schedules are
+    /// pulse-indexed, like `Crash`), and under `None` the overlay,
+    /// log and timeline are constant for the whole run.
     pub(crate) fn explore_hash<H: std::hash::Hasher>(&self, h: &mut H)
     where
         P: std::hash::Hash,
@@ -1056,6 +1276,7 @@ impl<P: Protocol> std::fmt::Debug for AsyncNetwork<P> {
             .field("delay", &self.delays.delay_model())
             .field("sync", &self.sync.model())
             .field("fault", &self.faults.model())
+            .field("churn", &self.churn.model())
             .field("pulses", &self.executed)
             .finish_non_exhaustive()
     }
@@ -1075,6 +1296,7 @@ mod tests {
             delay: DelayModel::Uniform { max_delay },
             sync: SyncModel::Alpha,
             fault: FaultModel::None,
+            churn: ChurnModel::None,
         }
     }
 
@@ -1148,6 +1370,7 @@ mod tests {
                         delay: DelayModel::Uniform { max_delay },
                         sync,
                         fault: FaultModel::None,
+                        churn: ChurnModel::None,
                     })
                     .limits(RunLimits::rounds(40))
                     .run_with(make);
@@ -1186,6 +1409,7 @@ mod tests {
                     delay: DelayModel::Uniform { max_delay: 5 },
                     sync,
                     fault: FaultModel::None,
+                    churn: ChurnModel::None,
                 })
                 .limits(RunLimits::rounds(30))
                 .run_with(make)
@@ -1234,6 +1458,7 @@ mod tests {
                 delay: DelayModel::Uniform { max_delay: 3 },
                 sync: SyncModel::BatchedAlpha,
                 fault: FaultModel::None,
+                churn: ChurnModel::None,
             })
             .limits(RunLimits::rounds(16))
             .run_with(|_| EchoAll);
@@ -1255,6 +1480,7 @@ mod tests {
                     delay: DelayModel::Uniform { max_delay: 3 },
                     sync,
                     fault: FaultModel::None,
+                    churn: ChurnModel::None,
                 })
                 .limits(RunLimits::rounds(5))
                 .run_with(make);
@@ -1276,6 +1502,7 @@ mod tests {
                         delay: DelayModel::Uniform { max_delay: 9 },
                         sync,
                         fault: FaultModel::None,
+                        churn: ChurnModel::None,
                     })
                     .limits(RunLimits::rounds(30))
                     .run_with(make)
@@ -1297,6 +1524,7 @@ mod tests {
             DelayModel::Uniform { max_delay: 3 },
             SyncModel::Alpha,
             FaultModel::None,
+            ChurnModel::None,
             IdAssignment::Hashed,
             make,
         );
@@ -1324,6 +1552,7 @@ mod tests {
                     DelayModel::Uniform { max_delay: 6 },
                     sync,
                     FaultModel::None,
+                    ChurnModel::None,
                     IdAssignment::Hashed,
                     make,
                 )
@@ -1416,6 +1645,7 @@ mod tests {
                     delay,
                     sync,
                     FaultModel::None,
+                    ChurnModel::None,
                     IdAssignment::Hashed,
                     make_staged,
                 );
@@ -1445,6 +1675,7 @@ mod tests {
             DelayModel::Uniform { max_delay: 3 },
             SyncModel::Alpha,
             FaultModel::None,
+            ChurnModel::None,
             IdAssignment::Hashed,
             make_staged,
         );

@@ -102,7 +102,7 @@ use graphs::Graph;
 use crate::asynch::AsyncNetwork;
 use crate::network::IdAssignment;
 use crate::protocol::{Endpoint, Protocol};
-use crate::sched::{DelayModel, DelaySource, FaultModel, PhasePlan, SyncModel};
+use crate::sched::{ChurnModel, DelayModel, DelaySource, FaultModel, PhasePlan, SyncModel};
 use crate::session::{Driver, RunLimits, RunReport, Session};
 
 pub use checker::{ExploreState, Invariant, MaskingIdentity, PulseSkew};
@@ -121,6 +121,7 @@ pub struct Explore<'g> {
     bound: u64,
     sync: SyncModel,
     fault: FaultModel,
+    churn: ChurnModel,
     budget: u64,
     plan: Option<PhasePlan>,
     limit_schedules: u64,
@@ -141,6 +142,7 @@ impl<'g> Explore<'g> {
             bound: 1,
             sync: SyncModel::Alpha,
             fault: FaultModel::None,
+            churn: ChurnModel::None,
             budget: 1,
             plan: None,
             limit_schedules: 1_000_000,
@@ -181,6 +183,18 @@ impl<'g> Explore<'g> {
     #[must_use]
     pub fn fault(mut self, fault: FaultModel) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// How the member set changes. Only [`ChurnModel::None`] is
+    /// explorable: membership schedules are pulse-indexed (like
+    /// [`FaultModel::Crash`]), which breaks the fingerprint sweep's
+    /// time-shift invariance. The setter exists so a scenario struct can
+    /// be passed through verbatim — [`Explore::run_with`] panics on
+    /// anything but `None`.
+    #[must_use]
+    pub fn churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = churn;
         self
     }
 
@@ -290,6 +304,11 @@ impl<'g> Explore<'g> {
             "explore: only FaultModel::None and FaultModel::Drop are explorable \
              (time-indexed fault streams break fingerprint time-shift invariance)"
         );
+        assert!(
+            self.churn.is_none(),
+            "explore: only ChurnModel::None is explorable (pulse-indexed membership \
+             schedules break fingerprint time-shift invariance)"
+        );
         let segments: Vec<u64> = match &self.plan {
             Some(plan) => plan.phases().iter().map(|p| p.pulses).collect(),
             None => vec![self.budget],
@@ -317,6 +336,7 @@ impl<'g> Explore<'g> {
             DelayModel::Uniform { max_delay: self.bound },
             self.sync,
             self.fault,
+            ChurnModel::None,
             IdAssignment::Hashed,
             factory,
         );
@@ -373,8 +393,16 @@ where
     P: Protocol,
     F: FnMut(&Endpoint) -> P,
 {
-    let mut net: AsyncNetwork<P> =
-        AsyncNetwork::build_with(graph, seed, delay, sync, fault, IdAssignment::Hashed, factory);
+    let mut net: AsyncNetwork<P> = AsyncNetwork::build_with(
+        graph,
+        seed,
+        delay,
+        sync,
+        fault,
+        ChurnModel::None,
+        IdAssignment::Hashed,
+        factory,
+    );
     net.delays_mut().record();
     let report = net.drive(limits, &mut ());
     // The trace's bound is the *compiled* bound: replay sizes its wheel
@@ -792,6 +820,7 @@ mod tests {
                     delay: trace.register(),
                     sync: SyncModel::Alpha,
                     fault: FaultModel::None,
+                    churn: ChurnModel::None,
                 })
                 .limits(RunLimits::rounds(2))
                 .run_with(make_flood)
@@ -851,6 +880,7 @@ mod tests {
                 DelayModel::Uniform { max_delay: 2 },
                 SyncModel::Alpha,
                 FaultModel::None,
+                ChurnModel::None,
                 IdAssignment::Hashed,
                 make_flood,
             );
@@ -881,6 +911,7 @@ mod tests {
             DelayModel::Uniform { max_delay: 2 },
             SyncModel::Alpha,
             FaultModel::None,
+            ChurnModel::None,
             IdAssignment::Hashed,
             |e: &Endpoint| Flood { is_source: e.index == 1, heard_at: None, forwarded: false },
         );
@@ -937,6 +968,7 @@ mod tests {
                         delay: trace.register(),
                         sync: SyncModel::Alpha,
                         fault,
+                        churn: ChurnModel::None,
                     })
                     .limits(RunLimits::rounds(3))
                     .run_with(make_flood);
@@ -996,6 +1028,20 @@ mod tests {
     fn time_indexed_fault_models_are_rejected() {
         let _ = Explore::on(&path(3))
             .fault(FaultModel::LinkFlap { down_len: 2, up_len: 6 })
+            .run_with(make_flood);
+    }
+
+    #[test]
+    #[should_panic(expected = "only ChurnModel::None is explorable")]
+    fn churn_models_are_rejected() {
+        use crate::sched::ChurnPolicy;
+        let _ = Explore::on(&path(3))
+            .churn(ChurnModel::Join {
+                joiners: 1,
+                at_pulse: 1,
+                spacing: 0,
+                policy: ChurnPolicy::Continue,
+            })
             .run_with(make_flood);
     }
 }

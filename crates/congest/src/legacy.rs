@@ -188,6 +188,7 @@ impl<P: Protocol> LegacyNetwork<P> {
             rounds: self.metrics.rounds,
             metrics: self.metrics.clone(),
             overhead: SyncOverhead::default(),
+            epochs: Vec::new(),
             profile: None,
         }
     }

@@ -34,10 +34,15 @@
 //! [`SessionDriver::run_phased`], a pluggable synchronizer layer
 //! ([`SyncModel`]): classic α, or the quiescence-aware `BatchedAlpha`
 //! whose control cost follows the active frontier instead of the edge
-//! count — and a seeded fault plane ([`FaultModel`]): per-send message
+//! count — a seeded fault plane ([`FaultModel`]): per-send message
 //! loss and link flaps masked by deterministic retransmission, plus
 //! crash/recover churn under which surviving nodes re-converge and the
-//! run reports [`Termination::Degraded`] (see [`sched::fault`]).
+//! run reports [`Termination::Degraded`] (see [`sched::fault`]) — and a
+//! seeded membership churn plane ([`ChurnModel`]): epoch-versioned
+//! join/leave over the static topology, with itemized retirement of
+//! in-flight payloads, [`Protocol::on_join`]/[`Protocol::on_leave`]
+//! handoff hooks, and an opt-in epoch-restart policy (see
+//! [`sched::churn`]).
 //!
 //! All three implement [`Driver`] (drive rounds → read outputs /
 //! metrics / termination), report through one [`RunReport`], and stream
@@ -52,7 +57,10 @@
 //! # Example: flooding, on all three engines
 //!
 //! ```
-//! use congest::{Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session};
+//! use congest::{
+//!     ChurnModel, Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits,
+//!     Session,
+//! };
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
@@ -83,8 +91,18 @@
 //! for engine in [
 //!     Engine::Flat { shards: 1 },
 //!     Engine::Flat { shards: 2 },
-//!     Engine::Async { delay, sync: congest::SyncModel::Alpha, fault: FaultModel::None },
-//!     Engine::Async { delay, sync: congest::SyncModel::BatchedAlpha, fault: FaultModel::None },
+//!     Engine::Async {
+//!         delay,
+//!         sync: congest::SyncModel::Alpha,
+//!         fault: FaultModel::None,
+//!         churn: ChurnModel::None,
+//!     },
+//!     Engine::Async {
+//!         delay,
+//!         sync: congest::SyncModel::BatchedAlpha,
+//!         fault: FaultModel::None,
+//!         churn: ChurnModel::None,
+//!     },
 //! ] {
 //!     let (outputs, report) = Session::on(&g)
 //!         .seed(7)
@@ -126,7 +144,8 @@ pub use obs::{
 };
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
 pub use sched::{
-    DelayModel, EventWheel, FaultEvent, FaultModel, PhaseBudget, PhasePlan, SyncModel, TraceHandle,
+    ChurnEvent, ChurnModel, ChurnPolicy, DelayModel, EpochInfo, EventWheel, FaultEvent, FaultModel,
+    PhaseBudget, PhasePlan, SyncModel, TraceHandle,
 };
 pub use session::{
     Driver, Engine, Observer, RoundDelta, RunLimits, RunReport, Session, SessionDriver,

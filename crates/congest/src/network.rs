@@ -383,6 +383,7 @@ impl<P: Protocol> Network<P> {
             rounds: self.metrics.rounds,
             metrics: self.metrics.clone(),
             overhead: SyncOverhead::default(),
+            epochs: Vec::new(),
             profile: self.snapshot_profile(),
         }
     }

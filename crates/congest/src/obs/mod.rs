@@ -184,6 +184,43 @@ pub enum TraceEvent {
     },
     /// A fault was injected (or a masked loss surfaced).
     Fault(FaultEvent),
+    /// A node joined the member set (membership churn), opening a new
+    /// epoch.
+    Join {
+        /// The joining node.
+        node: u32,
+        /// The pulse the node joined on entering.
+        pulse: u64,
+        /// The epoch the join opened (1-based).
+        epoch: u64,
+    },
+    /// A node left the member set (membership churn), opening a new
+    /// epoch.
+    Leave {
+        /// The leaving node.
+        node: u32,
+        /// The pulse the node left on entering.
+        pulse: u64,
+        /// The epoch the leave opened (1-based).
+        epoch: u64,
+    },
+    /// An epoch boundary was crossed: the member count after the
+    /// membership event that opened it.
+    Epoch {
+        /// The epoch just opened (1-based).
+        epoch: u64,
+        /// Present members after the event.
+        members: u32,
+    },
+    /// An application payload was retired by a membership change —
+    /// drained from a retired port or swallowed at delivery to an
+    /// absent node.
+    Retired {
+        /// The node whose port the payload was retired at.
+        node: u32,
+        /// The node-local port.
+        port: u32,
+    },
     /// A phase boundary was crossed (`run_phased`).
     Phase {
         /// Zero-based index of the phase that just completed.
@@ -353,6 +390,9 @@ pub struct RunProfile {
     pub retransmits: u64,
     /// Fault events injected or surfaced.
     pub faults: u64,
+    /// Membership churn records (joins, leaves, epoch boundaries and
+    /// retired payloads).
+    pub churn: u64,
     /// High-water mark of the event wheel (scheduled, not yet popped).
     pub max_wheel_occupancy: u64,
     /// High-water mark of the inbox/port queues.
@@ -548,6 +588,10 @@ impl TraceSink {
             }
             TraceEvent::Retransmit { .. } => self.profile.retransmits += 1,
             TraceEvent::Fault(_) => self.profile.faults += 1,
+            TraceEvent::Join { .. }
+            | TraceEvent::Leave { .. }
+            | TraceEvent::Epoch { .. }
+            | TraceEvent::Retired { .. } => self.profile.churn += 1,
             TraceEvent::Phase { .. } => {}
             TraceEvent::Round { round, messages, bits } => {
                 self.advance_frontier(round);
@@ -622,6 +666,20 @@ fn jsonl_line(out: &mut String, r: &TraceRecord) {
                 write!(out, "{{\"at\":{at},\"ev\":\"node_up\",\"node\":{node},\"pulse\":{pulse}}}")
             }
         },
+        TraceEvent::Join { node, pulse, epoch } => write!(
+            out,
+            "{{\"at\":{at},\"ev\":\"join\",\"node\":{node},\"pulse\":{pulse},\"epoch\":{epoch}}}"
+        ),
+        TraceEvent::Leave { node, pulse, epoch } => write!(
+            out,
+            "{{\"at\":{at},\"ev\":\"leave\",\"node\":{node},\"pulse\":{pulse},\"epoch\":{epoch}}}"
+        ),
+        TraceEvent::Epoch { epoch, members } => {
+            write!(out, "{{\"at\":{at},\"ev\":\"epoch\",\"epoch\":{epoch},\"members\":{members}}}")
+        }
+        TraceEvent::Retired { node, port } => {
+            write!(out, "{{\"at\":{at},\"ev\":\"retired\",\"node\":{node},\"port\":{port}}}")
+        }
         TraceEvent::Phase { index, budget } => {
             write!(out, "{{\"at\":{at},\"ev\":\"phase\",\"index\":{index},\"budget\":{budget}}}")
         }
@@ -639,11 +697,15 @@ fn chrome_tid(ev: &TraceEvent) -> u32 {
     match *ev {
         TraceEvent::PulseBegin { node, .. }
         | TraceEvent::PulseExec { node, .. }
-        | TraceEvent::Payload { node, .. } => node + 1,
+        | TraceEvent::Payload { node, .. }
+        | TraceEvent::Join { node, .. }
+        | TraceEvent::Leave { node, .. }
+        | TraceEvent::Retired { node, .. } => node + 1,
         TraceEvent::Ctrl { .. }
         | TraceEvent::SafeWave { .. }
         | TraceEvent::Retransmit { .. }
         | TraceEvent::Fault(_)
+        | TraceEvent::Epoch { .. }
         | TraceEvent::Phase { .. }
         | TraceEvent::Round { .. } => 0,
     }
@@ -699,6 +761,18 @@ fn chrome_args(ev: &TraceEvent) -> (&'static str, String) {
                 ("node_up", format!("\"node\":{node},\"pulse\":{pulse}"))
             }
         },
+        TraceEvent::Join { node, pulse, epoch } => {
+            ("join", format!("\"node\":{node},\"pulse\":{pulse},\"epoch\":{epoch}"))
+        }
+        TraceEvent::Leave { node, pulse, epoch } => {
+            ("leave", format!("\"node\":{node},\"pulse\":{pulse},\"epoch\":{epoch}"))
+        }
+        TraceEvent::Epoch { epoch, members } => {
+            ("epoch", format!("\"epoch\":{epoch},\"members\":{members}"))
+        }
+        TraceEvent::Retired { node, port } => {
+            ("retired", format!("\"node\":{node},\"port\":{port}"))
+        }
         TraceEvent::Phase { index, budget } => {
             ("phase", format!("\"index\":{index},\"budget\":{budget}"))
         }

@@ -286,6 +286,26 @@ pub trait Protocol: Send {
         let _ = (ctx, port);
     }
 
+    /// Membership handoff hook: the neighbor behind local `port` joined
+    /// the member set (see [`ChurnModel`](crate::ChurnModel)), opening a
+    /// new epoch. The joiner's own protocol was initialized at its
+    /// joining pulse; from now on, payloads sent on `port` are
+    /// delivered. Called at this node's current pulse; messages sent
+    /// from the hook queue normally. Default: no reaction.
+    fn on_join(&mut self, ctx: &mut Context<'_, Self::Msg>, port: Port) {
+        let _ = (ctx, port);
+    }
+
+    /// Membership handoff hook: the neighbor behind local `port` left
+    /// the member set gracefully, opening a new epoch. Its queued and
+    /// in-flight payloads are retired (each itemized as
+    /// [`ChurnEvent::Retired`](crate::ChurnEvent::Retired)); nothing
+    /// sent on `port` will be delivered anymore. Called at this node's
+    /// current pulse. Default: no reaction.
+    fn on_leave(&mut self, ctx: &mut Context<'_, Self::Msg>, port: Port) {
+        let _ = (ctx, port);
+    }
+
     /// The node's final output.
     fn output(&self) -> Self::Output;
 }

@@ -1,0 +1,668 @@
+//! Membership churn for the asynchronous engine: epoch-versioned
+//! join/leave over the immutable CSR topology.
+//!
+//! A [`ChurnModel`] is a *pure description* (`Copy`, engine-config
+//! sized) of how the member set changes mid-run: late joiners, graceful
+//! leavers, or both. Like a [`FaultModel`](crate::FaultModel), the
+//! engine compiles it once at build into an allocation-free sampler
+//! (`ChurnSampler`) — the complete membership schedule is a seeded,
+//! deterministic function of `(seed, ChurnModel)` alone, so **any churn
+//! schedule is replayable from the pair alone**: no trace files, no
+//! recorded randomness.
+//!
+//! # Epochs and the membership overlay
+//!
+//! Every membership event — one node joining or leaving — opens a new
+//! **epoch**. The engine tracks membership in an `EpochTopology`
+//! overlay over the immutable CSR route table: per-node presence flags,
+//! per-directed-port application liveness, and live degrees, all
+//! pre-reserved at build for the model's compiled maximum membership so
+//! steady-state pulses stay zero-alloc. At each epoch boundary the
+//! overlay materializes or retires the affected ports in place; the
+//! epoch index, the event, and the resulting member count are itemized
+//! to observers ([`ChurnEvent`]) and the trace stream.
+//!
+//! # Why the synchronizer survives reconfiguration
+//!
+//! The synchronizer substrate deliberately spans the **static** port
+//! space: an absent node's control plane keeps ticking (it enters
+//! pulses, its edges still carry `Ack`/`Safe`/token waves — exactly as
+//! a crashed node's does, see [`crate::sched::fault`]), while its
+//! application layer is silent. Gate thresholds are evaluated live at
+//! every check, so the per-edge token sets re-derive at each epoch
+//! boundary *by construction*: the control-wave structure is
+//! epoch-invariant and α's ±1 pulse-skew invariant holds across any
+//! reconfiguration — no gate ever wedges, joins and leaves cannot
+//! deadlock the run.
+//!
+//! What changes at an epoch boundary is the application plane:
+//!
+//! * a **leave** retires the node's ports — its queued outgoing
+//!   payloads are drained and itemized ([`ChurnEvent::Retired`], never
+//!   silently dropped), in-flight payloads to or from it are retired at
+//!   delivery, live peers observe
+//!   [`Protocol::on_leave`](crate::Protocol::on_leave);
+//! * a **join** materializes the node's ports toward present peers —
+//!   the joiner's protocol is initialized at the joining pulse, and
+//!   live peers observe [`Protocol::on_join`](crate::Protocol::on_join).
+//!
+//! # Handoff policy
+//!
+//! [`ChurnPolicy`] selects what the *surviving* protocols do at an
+//! epoch boundary: under the default [`ChurnPolicy::Continue`] they
+//! keep their state (the self-stabilizing contract — the hooks are the
+//! only signal), while [`ChurnPolicy::Restart`] re-runs
+//! [`Protocol::init`](crate::Protocol::init) on every present node so
+//! epoch-restart protocols rebuild from scratch each epoch.
+
+use crate::plane::Topology;
+use crate::protocol::Port;
+use crate::rng::splitmix64;
+
+/// Stream salt of the seeded joiner/leaver pick of [`ChurnModel`].
+const CHURN_PICK_SALT: u64 = 0x0C42_B1E5;
+
+/// What the surviving protocols do when an epoch opens (a member joined
+/// or left).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ChurnPolicy {
+    /// Protocols keep their state across epochs; the
+    /// [`Protocol::on_join`](crate::Protocol::on_join) /
+    /// [`Protocol::on_leave`](crate::Protocol::on_leave) hooks are the
+    /// only signal. The self-stabilizing contract, and the default.
+    #[default]
+    Continue,
+    /// Epoch-restart: [`Protocol::init`](crate::Protocol::init) is
+    /// re-run on every present node at each epoch boundary (at the
+    /// node's current pulse), so the protocol rebuilds its state from
+    /// scratch against the new member set.
+    Restart,
+}
+
+impl ChurnPolicy {
+    /// Short stable label (bench records, diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChurnPolicy::Continue => "continue",
+            ChurnPolicy::Restart => "restart",
+        }
+    }
+}
+
+/// How the member set changes during an
+/// [`Engine::Async`](crate::Engine) run. All models are seeded off the
+/// session's master seed: the membership schedule is a deterministic
+/// function of `(seed, ChurnModel)` alone, so every churned run is
+/// replayable from those two values.
+///
+/// Events are **pulse-indexed** (like
+/// [`FaultModel::Crash`](crate::FaultModel::Crash)): each scheduled
+/// node joins or leaves on entering the scheduled pulse. The
+/// interleaving explorer rejects every model but [`ChurnModel::None`]
+/// for exactly that reason — a time-indexed schedule breaks the
+/// fingerprint sweep's time-shift invariance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ChurnModel {
+    /// A fixed member set — bit-identical to an engine without the
+    /// churn plane (pinned by the golden ledger in
+    /// `tests/asynchrony.rs`); advances no RNG stream.
+    #[default]
+    None,
+    /// Staggered late joins: a seeded set of `joiners` distinct nodes
+    /// starts outside the member set and joins one by one, joiner `i`
+    /// at pulse `at_pulse + i·spacing`.
+    Join {
+        /// How many distinct nodes join late (seeded pick; clamped to
+        /// `n`). Must be ≥ 1.
+        joiners: u32,
+        /// Pulse of the first join (1-based, ≥ 1).
+        at_pulse: u64,
+        /// Pulses between consecutive joins (`0` = all in one pulse).
+        spacing: u64,
+        /// What surviving protocols do at each epoch boundary.
+        policy: ChurnPolicy,
+    },
+    /// Staggered graceful leaves: a seeded set of `leavers` distinct
+    /// nodes leaves one by one, leaver `i` at pulse
+    /// `at_pulse + i·spacing`. Leaves are permanent.
+    Leave {
+        /// How many distinct nodes leave (seeded pick; clamped to `n`).
+        /// Must be ≥ 1.
+        leavers: u32,
+        /// Pulse of the first leave (1-based, ≥ 1).
+        at_pulse: u64,
+        /// Pulses between consecutive leaves (`0` = all in one pulse).
+        spacing: u64,
+        /// What surviving protocols do at each epoch boundary.
+        policy: ChurnPolicy,
+    },
+    /// Joins then leaves: `joiners` late joiners arrive first (joiner
+    /// `i` at `at_pulse + i·spacing`), then `leavers` distinct
+    /// initially-present nodes leave (leaver `j` at
+    /// `at_pulse + (joiners + j)·spacing`). The two seeded sets are
+    /// disjoint.
+    Mixed {
+        /// How many distinct nodes join late (seeded pick; clamped to
+        /// `n`). Must be ≥ 1.
+        joiners: u32,
+        /// How many distinct initially-present nodes leave (seeded
+        /// pick, disjoint from the joiners; clamped to `n - joiners`).
+        /// Must be ≥ 1.
+        leavers: u32,
+        /// Pulse of the first membership event (1-based, ≥ 1).
+        at_pulse: u64,
+        /// Pulses between consecutive events (`0` = all in one pulse).
+        spacing: u64,
+        /// What surviving protocols do at each epoch boundary.
+        policy: ChurnPolicy,
+    },
+}
+
+impl ChurnModel {
+    /// Short stable label (bench records, diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChurnModel::None => "none",
+            ChurnModel::Join { .. } => "join",
+            ChurnModel::Leave { .. } => "leave",
+            ChurnModel::Mixed { .. } => "mixed",
+        }
+    }
+
+    /// `true` for the fixed-membership model.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        matches!(self, ChurnModel::None)
+    }
+
+    /// The configured handoff policy ([`ChurnPolicy::Continue`] for
+    /// [`ChurnModel::None`]).
+    #[must_use]
+    pub fn policy(&self) -> ChurnPolicy {
+        match *self {
+            ChurnModel::None => ChurnPolicy::Continue,
+            ChurnModel::Join { policy, .. }
+            | ChurnModel::Leave { policy, .. }
+            | ChurnModel::Mixed { policy, .. } => policy,
+        }
+    }
+
+    /// Panics unless the model is well-formed.
+    pub(crate) fn validate(&self) {
+        match *self {
+            ChurnModel::None => {}
+            ChurnModel::Join { joiners, at_pulse, .. } => {
+                assert!(joiners >= 1, "join: joiners must be at least 1");
+                assert!(at_pulse >= 1, "churn: at_pulse is 1-based and must be at least 1");
+            }
+            ChurnModel::Leave { leavers, at_pulse, .. } => {
+                assert!(leavers >= 1, "leave: leavers must be at least 1");
+                assert!(at_pulse >= 1, "churn: at_pulse is 1-based and must be at least 1");
+            }
+            ChurnModel::Mixed { joiners, leavers, at_pulse, .. } => {
+                assert!(joiners >= 1, "mixed: joiners must be at least 1");
+                assert!(leavers >= 1, "mixed: leavers must be at least 1");
+                assert!(at_pulse >= 1, "churn: at_pulse is 1-based and must be at least 1");
+            }
+        }
+    }
+}
+
+/// One observable membership event, streamed to
+/// [`Observer::on_churn`](crate::Observer::on_churn) as the run
+/// executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// `node` joined the member set on entering `pulse`, opening
+    /// `epoch`; its protocol was initialized at that pulse.
+    Join {
+        /// The joining node.
+        node: u32,
+        /// The pulse the node joined on entering.
+        pulse: u64,
+        /// The epoch the join opened (1-based).
+        epoch: u64,
+    },
+    /// `node` left the member set on entering `pulse`, opening `epoch`;
+    /// its ports were retired and its queued payloads itemized as
+    /// [`ChurnEvent::Retired`].
+    Leave {
+        /// The leaving node.
+        node: u32,
+        /// The pulse the node left on entering.
+        pulse: u64,
+        /// The epoch the leave opened (1-based).
+        epoch: u64,
+    },
+    /// An application payload was retired by a membership change at
+    /// virtual time `at` — drained from a retired port's queue or
+    /// swallowed at delivery to/from an absent node. Never silent: one
+    /// event per retired payload.
+    Retired {
+        /// The node whose port the payload was retired at.
+        node: u32,
+        /// The node's local port.
+        port: Port,
+        /// Virtual time of the retirement.
+        at: u64,
+    },
+}
+
+impl ChurnEvent {
+    /// This membership event as an observability-plane record: the
+    /// engine emits one per logged event when it streams the churn log
+    /// to observers (epoch boundaries additionally emit
+    /// [`crate::obs::TraceEvent::Epoch`], which carries the member
+    /// count).
+    pub(crate) fn trace_event(self) -> crate::obs::TraceEvent {
+        match self {
+            ChurnEvent::Join { node, pulse, epoch } => {
+                crate::obs::TraceEvent::Join { node, pulse, epoch }
+            }
+            ChurnEvent::Leave { node, pulse, epoch } => {
+                crate::obs::TraceEvent::Leave { node, pulse, epoch }
+            }
+            ChurnEvent::Retired { node, port, at: _ } => {
+                crate::obs::TraceEvent::Retired { node, port: port as u32 }
+            }
+        }
+    }
+}
+
+/// One epoch-boundary snapshot: which membership event opened the epoch
+/// and the member count after it. [`RunReport::epochs`](crate::RunReport)
+/// carries the full per-epoch timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// The epoch index (1-based; epoch 0 is the initial member set).
+    pub epoch: u64,
+    /// The pulse whose entry opened the epoch.
+    pub pulse: u64,
+    /// Present members after the event.
+    pub members: u32,
+}
+
+/// The runtime form of a [`ChurnModel`]: the per-node join/leave pulse
+/// schedule, compiled once at engine build. All queries are pure and
+/// allocation-free — the schedule never changes after compilation.
+#[derive(Clone, Debug, Hash)]
+pub(crate) struct ChurnSampler {
+    model: ChurnModel,
+    /// Per-node pulse at which the node joins (`1` = present from the
+    /// start).
+    join_at: Vec<u64>,
+    /// Per-node pulse at which the node leaves (`u64::MAX` = never).
+    leave_at: Vec<u64>,
+    /// Compiled event count: scheduled joins + leaves.
+    events: u32,
+}
+
+impl ChurnSampler {
+    /// Compiles `model` for a plane of `node_count` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is malformed (see [`ChurnModel::validate`]).
+    pub fn new(model: ChurnModel, seed: u64, node_count: usize) -> Self {
+        model.validate();
+        let mut join_at = vec![1u64; node_count];
+        let mut leave_at = vec![u64::MAX; node_count];
+        let mut events = 0u32;
+        let (joiners, leavers, at_pulse, spacing) = match model {
+            ChurnModel::None => (0, 0, 1, 0),
+            ChurnModel::Join { joiners, at_pulse, spacing, .. } => (joiners, 0, at_pulse, spacing),
+            ChurnModel::Leave { leavers, at_pulse, spacing, .. } => (0, leavers, at_pulse, spacing),
+            ChurnModel::Mixed { joiners, leavers, at_pulse, spacing, .. } => {
+                (joiners, leavers, at_pulse, spacing)
+            }
+        };
+        if joiners > 0 || leavers > 0 {
+            let joins = (joiners as usize).min(node_count);
+            let leaves = (leavers as usize).min(node_count - joins);
+            let mut picked = vec![false; node_count];
+            let mut state = splitmix64(seed ^ CHURN_PICK_SALT);
+            let mut pick = |picked: &mut Vec<bool>| loop {
+                state = splitmix64(state);
+                let v = (state % node_count.max(1) as u64) as usize;
+                if !picked[v] {
+                    picked[v] = true;
+                    return v;
+                }
+            };
+            for i in 0..joins {
+                let v = pick(&mut picked);
+                join_at[v] = at_pulse + i as u64 * spacing;
+                events += 1;
+            }
+            for j in 0..leaves {
+                let v = pick(&mut picked);
+                leave_at[v] = at_pulse + (joins + j) as u64 * spacing;
+                events += 1;
+            }
+        }
+        Self { model, join_at, leave_at, events }
+    }
+
+    /// The compiled model.
+    pub fn model(&self) -> ChurnModel {
+        self.model
+    }
+
+    /// Whether node `v` is outside the member set for pulse `pulse`
+    /// (pure — the membership schedule is fixed at build).
+    #[inline]
+    pub fn absent_at(&self, v: usize, pulse: u64) -> bool {
+        pulse < self.join_at[v] || pulse >= self.leave_at[v]
+    }
+
+    /// The pulse node `v` joins at (`1` = present from the start).
+    pub fn join_pulse(&self, v: usize) -> u64 {
+        self.join_at[v]
+    }
+
+    /// Total scheduled membership events (joins + leaves): the number
+    /// of epochs a long-enough run opens.
+    pub fn scheduled_events(&self) -> u32 {
+        self.events
+    }
+}
+
+/// The epoch-versioned membership overlay over the immutable CSR
+/// [`Topology`]: presence flags, per-directed-port application
+/// liveness, and live degrees. Fully pre-reserved at build — epoch
+/// transitions mutate in place, steady-state pulses only read.
+#[derive(Clone, Debug)]
+pub(crate) struct EpochTopology {
+    /// Per-node membership flag (transition detection: flipped exactly
+    /// once per scheduled event, at the node's pulse entry).
+    pub present: Vec<bool>,
+    /// Per-directed-CSR-slot application liveness: a port is live iff
+    /// both endpoints are present. Retired ports carry no payloads
+    /// (the synchronizer substrate still spans them).
+    pub port_live: Vec<bool>,
+    /// Per-node count of live incident ports.
+    pub live_degree: Vec<u32>,
+    /// The current epoch (0 = the initial member set).
+    pub epoch: u64,
+    /// Present members.
+    pub members: u32,
+}
+
+impl EpochTopology {
+    /// Builds the initial overlay: joiners scheduled after pulse 1
+    /// start absent, everyone else present, port liveness derived from
+    /// the CSR table.
+    fn new(sampler: &ChurnSampler, topo: &Topology, node_count: usize) -> Self {
+        let port_count = topo.offsets[node_count] as usize;
+        let present: Vec<bool> = (0..node_count).map(|v| !sampler.absent_at(v, 1)).collect();
+        let members = present.iter().filter(|&&p| p).count() as u32;
+        let mut overlay = Self {
+            present,
+            port_live: vec![false; port_count],
+            live_degree: vec![0; node_count],
+            epoch: 0,
+            members,
+        };
+        for v in 0..node_count {
+            if !overlay.present[v] {
+                continue;
+            }
+            let base = topo.offsets[v];
+            let degree = (topo.offsets[v + 1] - base) as usize;
+            for port in 0..degree {
+                let (_slot, to, _back) = topo.resolve(v, port);
+                if overlay.present[to as usize] {
+                    overlay.port_live[(base + port as u32) as usize] = true;
+                    overlay.live_degree[v] += 1;
+                }
+            }
+        }
+        overlay
+    }
+
+    /// Applies one membership event in place: flips `v`'s presence,
+    /// materializes or retires its incident ports (both directions),
+    /// adjusts live degrees and the member count, and opens the next
+    /// epoch. Allocation-free.
+    pub fn apply(&mut self, topo: &Topology, v: usize, present: bool) {
+        debug_assert_ne!(self.present[v], present, "membership events fire exactly once");
+        self.present[v] = present;
+        self.members = if present { self.members + 1 } else { self.members - 1 };
+        self.epoch += 1;
+        let base = topo.offsets[v];
+        let degree = (topo.offsets[v + 1] - base) as usize;
+        for port in 0..degree {
+            let (slot, to, back) = topo.resolve(v, port);
+            let to = to as usize;
+            if !self.present[to] {
+                continue;
+            }
+            let peer_slot = (topo.offsets[to] + back) as usize;
+            self.port_live[slot] = present;
+            self.port_live[peer_slot] = present;
+            if present {
+                self.live_degree[v] += 1;
+                self.live_degree[to] += 1;
+            } else {
+                self.live_degree[v] -= 1;
+                self.live_degree[to] -= 1;
+            }
+        }
+        if !present {
+            debug_assert_eq!(self.live_degree[v], 0, "a retired node keeps no live ports");
+        }
+    }
+}
+
+/// The executor-side churn state: the compiled sampler, the membership
+/// overlay, the run's churn log, and the per-epoch timeline. Owned by
+/// the asynchronous engine.
+#[derive(Clone, Debug)]
+pub(crate) struct ChurnPlane {
+    pub sampler: ChurnSampler,
+    /// The epoch-versioned membership overlay.
+    pub overlay: EpochTopology,
+    /// Churn events buffered since the last observer flush (reused —
+    /// drained every event-loop iteration).
+    pub log: Vec<ChurnEvent>,
+    /// Per-epoch membership timeline, pre-reserved at build for the
+    /// model's compiled event count — cloned into
+    /// [`RunReport::epochs`](crate::RunReport) when a drive completes.
+    /// (The scalar churn counters live in
+    /// [`SyncOverhead`](crate::SyncOverhead).)
+    pub timeline: Vec<EpochInfo>,
+}
+
+impl ChurnPlane {
+    pub fn new(model: ChurnModel, seed: u64, topo: &Topology, node_count: usize) -> Self {
+        let sampler = ChurnSampler::new(model, seed, node_count);
+        let overlay = EpochTopology::new(&sampler, topo, node_count);
+        let port_count = topo.offsets[node_count] as usize;
+        // Sized for the worst burst between two observer flushes: one
+        // membership event per node plus a retirement per directed
+        // port (a leaving node's full queue sweep rides one flush) —
+        // zero when churn is off, so the fixed-membership engine
+        // carries no log at all.
+        let log_cap = if model.is_none() { 0 } else { node_count + 2 * port_count };
+        let events = sampler.scheduled_events() as usize;
+        Self {
+            sampler,
+            overlay,
+            log: Vec::with_capacity(log_cap),
+            timeline: Vec::with_capacity(events),
+        }
+    }
+
+    /// The compiled model.
+    pub fn model(&self) -> ChurnModel {
+        self.sampler.model()
+    }
+
+    /// Logs one retired payload at `node`'s local `port` (the caller
+    /// bumps [`SyncOverhead::retired_messages`](crate::SyncOverhead)).
+    pub fn retire(&mut self, node: u32, port: Port, at: u64) {
+        self.log.push(ChurnEvent::Retired { node, port, at });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::Graph;
+
+    fn sampler(model: ChurnModel, seed: u64, n: usize) -> ChurnSampler {
+        ChurnSampler::new(model, seed, n)
+    }
+
+    #[test]
+    fn default_model_is_none_and_names_are_stable() {
+        assert_eq!(ChurnModel::default(), ChurnModel::None);
+        assert!(ChurnModel::None.is_none());
+        assert_eq!(ChurnModel::None.name(), "none");
+        let policy = ChurnPolicy::default();
+        assert_eq!(policy, ChurnPolicy::Continue);
+        assert_eq!(policy.name(), "continue");
+        assert_eq!(ChurnPolicy::Restart.name(), "restart");
+        assert_eq!(ChurnModel::Join { joiners: 1, at_pulse: 2, spacing: 0, policy }.name(), "join");
+        assert_eq!(
+            ChurnModel::Leave { leavers: 1, at_pulse: 2, spacing: 0, policy }.name(),
+            "leave"
+        );
+        let mixed = ChurnModel::Mixed { joiners: 1, leavers: 1, at_pulse: 2, spacing: 3, policy };
+        assert_eq!(mixed.name(), "mixed");
+        assert_eq!(mixed.policy(), ChurnPolicy::Continue);
+    }
+
+    #[test]
+    fn none_schedules_nothing_and_everyone_is_always_present() {
+        let s = sampler(ChurnModel::None, 7, 6);
+        assert_eq!(s.scheduled_events(), 0);
+        for v in 0..6 {
+            assert_eq!(s.join_pulse(v), 1);
+            assert!(!s.absent_at(v, 1));
+            assert!(!s.absent_at(v, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn join_staggers_the_seeded_joiners_and_replays_from_seed_and_model() {
+        let model =
+            ChurnModel::Join { joiners: 3, at_pulse: 4, spacing: 2, policy: ChurnPolicy::Continue };
+        let s = sampler(model, 9, 10);
+        let joiners: Vec<usize> = (0..10).filter(|&v| s.absent_at(v, 1)).collect();
+        assert_eq!(joiners.len(), 3);
+        let mut pulses: Vec<u64> = joiners.iter().map(|&v| s.join_pulse(v)).collect();
+        pulses.sort_unstable();
+        assert_eq!(pulses, vec![4, 6, 8], "joins stagger at at_pulse + i·spacing");
+        for &v in &joiners {
+            let p = s.join_pulse(v);
+            assert!(s.absent_at(v, p - 1));
+            assert!(!s.absent_at(v, p), "a joiner is present from its join pulse on");
+            assert!(!s.absent_at(v, p + 100));
+        }
+        let t = sampler(model, 9, 10);
+        assert!((0..10).all(|v| s.join_pulse(v) == t.join_pulse(v)));
+        assert_eq!(s.scheduled_events(), 3);
+    }
+
+    #[test]
+    fn leave_is_permanent_and_clamps_to_n() {
+        let model = ChurnModel::Leave {
+            leavers: 99,
+            at_pulse: 3,
+            spacing: 1,
+            policy: ChurnPolicy::Continue,
+        };
+        let s = sampler(model, 5, 4);
+        assert_eq!(s.scheduled_events(), 4, "leavers clamp to n");
+        for v in 0..4 {
+            assert!(!s.absent_at(v, 1), "leavers start present");
+            assert!(s.absent_at(v, 3 + 3), "everyone is gone after the last leave");
+            assert!(s.absent_at(v, 1_000_000), "leaves are permanent");
+        }
+    }
+
+    #[test]
+    fn mixed_picks_disjoint_joiner_and_leaver_sets() {
+        let model = ChurnModel::Mixed {
+            joiners: 3,
+            leavers: 4,
+            at_pulse: 5,
+            spacing: 1,
+            policy: ChurnPolicy::Restart,
+        };
+        let s = sampler(model, 11, 12);
+        let joiners: Vec<usize> = (0..12).filter(|&v| s.join_pulse(v) > 1).collect();
+        let leavers: Vec<usize> = (0..12).filter(|&v| s.absent_at(v, 1_000_000)).collect();
+        assert_eq!(joiners.len(), 3);
+        assert_eq!(leavers.len(), 4);
+        assert!(joiners.iter().all(|v| !leavers.contains(v)), "sets must be disjoint");
+        // Joins first, then leaves.
+        let max_join = joiners.iter().map(|&v| s.join_pulse(v)).max().unwrap();
+        let min_leave =
+            leavers.iter().map(|&v| (1..100).find(|&p| s.absent_at(v, p)).unwrap()).min().unwrap();
+        assert!(max_join < min_leave, "mixed schedules joins before leaves");
+        assert_eq!(s.scheduled_events(), 7);
+        assert_eq!(model.policy(), ChurnPolicy::Restart);
+    }
+
+    #[test]
+    fn overlay_applies_joins_and_leaves_in_place() {
+        let g = Graph::complete(4);
+        let topo = Topology::build(&g, 4, 1);
+        let model =
+            ChurnModel::Join { joiners: 1, at_pulse: 3, spacing: 0, policy: ChurnPolicy::Continue };
+        let mut plane = ChurnPlane::new(model, 13, &topo, 4);
+        let joiner = (0..4).find(|&v| plane.sampler.absent_at(v, 1)).unwrap();
+        assert_eq!(plane.overlay.members, 3);
+        assert_eq!(plane.overlay.epoch, 0);
+        assert_eq!(plane.overlay.live_degree[joiner], 0);
+        for v in 0..4 {
+            if v != joiner {
+                assert_eq!(plane.overlay.live_degree[v], 2, "present peers see each other only");
+            }
+        }
+        plane.overlay.apply(&topo, joiner, true);
+        assert_eq!(plane.overlay.members, 4);
+        assert_eq!(plane.overlay.epoch, 1);
+        assert!(plane.overlay.port_live.iter().all(|&l| l), "a full clique is fully live");
+        assert!((0..4).all(|v| plane.overlay.live_degree[v] == 3));
+        plane.overlay.apply(&topo, joiner, false);
+        assert_eq!(plane.overlay.members, 3);
+        assert_eq!(plane.overlay.epoch, 2);
+        assert_eq!(plane.overlay.live_degree[joiner], 0);
+    }
+
+    #[test]
+    fn none_plane_reserves_no_log() {
+        let g = Graph::complete(3);
+        let topo = Topology::build(&g, 3, 1);
+        let plane = ChurnPlane::new(ChurnModel::None, 1, &topo, 3);
+        assert_eq!(plane.log.capacity(), 0);
+        assert_eq!(plane.timeline.capacity(), 0);
+        assert_eq!(plane.overlay.members, 3);
+        assert!(plane.overlay.port_live.iter().all(|&l| l));
+    }
+
+    #[test]
+    #[should_panic(expected = "at_pulse is 1-based")]
+    fn zero_at_pulse_is_rejected() {
+        ChurnSampler::new(
+            ChurnModel::Join { joiners: 1, at_pulse: 0, spacing: 1, policy: ChurnPolicy::Continue },
+            0,
+            4,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "joiners must be at least 1")]
+    fn zero_joiners_is_rejected() {
+        ChurnSampler::new(
+            ChurnModel::Join { joiners: 0, at_pulse: 1, spacing: 1, policy: ChurnPolicy::Continue },
+            0,
+            4,
+        );
+    }
+}

@@ -33,6 +33,18 @@
 //!   and the run reports
 //!   [`Termination::Degraded`](crate::Termination::Degraded). Every
 //!   fault schedule is replayable from `(seed, FaultModel)` alone.
+//! * [`ChurnModel`] — how the *member set* changes ([`churn`]): seeded
+//!   staggered joins ([`ChurnModel::Join`]), graceful leaves
+//!   ([`ChurnModel::Leave`]), or both ([`ChurnModel::Mixed`]). Each
+//!   membership event opens a new **epoch**: the engine's
+//!   epoch-versioned overlay retires or materializes the affected CSR
+//!   ports in place, every retired in-flight payload is itemized
+//!   ([`churn::ChurnEvent::Retired`]), live peers observe
+//!   [`Protocol::on_join`](crate::Protocol::on_join) /
+//!   [`Protocol::on_leave`](crate::Protocol::on_leave), and
+//!   [`churn::ChurnPolicy`] selects whether protocols continue
+//!   (self-stabilizing) or restart from `init` each epoch. Every churn
+//!   schedule is replayable from `(seed, ChurnModel)` alone.
 //! * [`SyncModel`] — the synchronizer itself ([`sync`]): the executor
 //!   core delegates pulse gating and all control traffic to a pluggable
 //!   `Synchronizer`. [`SyncModel::Alpha`] is Awerbuch's classic α
@@ -43,8 +55,8 @@
 //!   sparse pulses from `O(m)` to the active frontier.
 //!
 //! All knobs ride the unified [`crate::Session`] surface: the delay
-//! model, synchronizer and fault model go into
-//! `Engine::Async { delay, sync, fault }`, the plan into
+//! model, synchronizer, fault model and churn model go into
+//! `Engine::Async { delay, sync, fault, churn }`, the plan into
 //! [`crate::SessionDriver::run_phased`]. Payload-side
 //! [`crate::Metrics`] stay bit-identical to the synchronous engines'
 //! under **every** delay model and **every** synchronizer — scheduling
@@ -57,12 +69,15 @@
 //! the O(1), zero-steady-state-allocation replacement for the engine's
 //! old delay heap — correct (see [`wheel`]).
 
+pub mod churn;
 mod delay;
 pub mod fault;
 mod phase;
 pub mod sync;
 pub mod wheel;
 
+pub(crate) use churn::ChurnPlane;
+pub use churn::{ChurnEvent, ChurnModel, ChurnPolicy, EpochInfo};
 pub(crate) use delay::{intern_trace, DelaySource};
 pub use delay::{DelayModel, TraceHandle};
 pub(crate) use fault::FaultPlane;

@@ -51,8 +51,8 @@
 //!
 //! ```
 //! use congest::{
-//!     Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
-//!     SyncModel,
+//!     ChurnModel, Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits,
+//!     Session, SyncModel,
 //! };
 //!
 //! #[derive(Clone, Debug)]
@@ -83,10 +83,11 @@
 //! let delay = DelayModel::Uniform { max_delay: 7 };
 //! let mut flat = Vec::new();
 //! let fault = FaultModel::None;
+//! let churn = ChurnModel::None;
 //! for engine in [
 //!     Engine::Flat { shards: 2 },
-//!     Engine::Async { delay, sync: SyncModel::Alpha, fault },
-//!     Engine::Async { delay, sync: SyncModel::BatchedAlpha, fault },
+//!     Engine::Async { delay, sync: SyncModel::Alpha, fault, churn },
+//!     Engine::Async { delay, sync: SyncModel::BatchedAlpha, fault, churn },
 //! ] {
 //!     let (outputs, report) = Session::on(&g)
 //!         .seed(7)
@@ -110,7 +111,9 @@ use crate::metrics::Metrics;
 use crate::network::{IdAssignment, Mode, Network, NetworkBuilder};
 use crate::obs::{MetricsMode, RunProfile, TraceConfig, TraceSink};
 use crate::protocol::{Endpoint, Protocol, Round};
-use crate::sched::{DelayModel, FaultEvent, FaultModel, PhasePlan, SyncModel};
+use crate::sched::{
+    ChurnEvent, ChurnModel, DelayModel, EpochInfo, FaultEvent, FaultModel, PhasePlan, SyncModel,
+};
 
 /// Which execution engine a [`Session`] drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -157,6 +160,20 @@ pub enum Engine {
     /// network, bit-identical to the engine before the fault plane
     /// existed. See [`crate::sched::fault`] for the
     /// masking-vs-degradation contract.
+    ///
+    /// The churn plane is the fourth seeded axis: `churn` schedules
+    /// membership events (staggered joins, graceful leaves, or both —
+    /// see [`crate::sched::churn`]), each opening a new epoch in which
+    /// the engine's membership overlay retires or materializes the
+    /// affected ports in place, retired in-flight payloads are itemized
+    /// to observers, and protocols take their
+    /// [`Protocol::on_join`] /
+    /// [`Protocol::on_leave`] handoff hooks
+    /// (or restart from `init`, under
+    /// [`ChurnPolicy::Restart`](crate::ChurnPolicy::Restart)).
+    /// [`ChurnModel::None`] is the fixed member set, bit-identical to
+    /// the engine before the churn plane existed and advancing no RNG
+    /// stream.
     Async {
         /// The link-delay model (its `max_delay` must be ≥ 1).
         delay: DelayModel,
@@ -164,6 +181,8 @@ pub enum Engine {
         sync: SyncModel,
         /// What the network breaks (default [`FaultModel::None`]).
         fault: FaultModel,
+        /// How the member set changes (default [`ChurnModel::None`]).
+        churn: ChurnModel,
     },
 }
 
@@ -242,6 +261,19 @@ pub struct SyncOverhead {
     /// (`dropped_messages − retransmissions` is exactly the `lost` of
     /// [`Termination::Degraded`]).
     pub dropped_messages: u64,
+    /// Epochs opened by membership events ([`ChurnModel`]); zero for a
+    /// fixed member set. The per-epoch membership timeline is in
+    /// [`RunReport::epochs`].
+    pub epochs: u64,
+    /// Nodes that joined the member set mid-run.
+    pub joins: u64,
+    /// Nodes that left the member set mid-run.
+    pub leaves: u64,
+    /// Application payloads retired by membership changes (drained from
+    /// retired ports or swallowed in flight), each itemized as a
+    /// [`ChurnEvent::Retired`]. Disjoint from `dropped_messages`: churn
+    /// retirement is planned reconfiguration, not a fault.
+    pub retired_messages: u64,
 }
 
 impl SyncOverhead {
@@ -266,6 +298,10 @@ pub struct RunReport {
     pub metrics: Metrics,
     /// Synchronizer control-plane overhead (zero for synchronous runs).
     pub overhead: SyncOverhead,
+    /// Per-epoch membership timeline: one [`EpochInfo`] per membership
+    /// event, in occurrence order. Empty for a fixed member set and for
+    /// the synchronous engines.
+    pub epochs: Vec<EpochInfo>,
     /// Streaming run profile (histograms, high-water marks, event
     /// counters) — `Some` only when the session installed a recorder
     /// via [`Session::trace`]. See [`RunProfile`].
@@ -332,6 +368,15 @@ pub trait Observer {
     fn on_fault(&mut self, event: FaultEvent) {
         let _ = event;
     }
+
+    /// Called when the churn plane acts: a node joining or leaving the
+    /// member set, or a payload retired by a membership change (see
+    /// [`ChurnEvent`]). Only [`Engine::Async`] with a
+    /// non-[`ChurnModel::None`] churn model ever calls this; events
+    /// arrive in occurrence order.
+    fn on_churn(&mut self, event: ChurnEvent) {
+        let _ = event;
+    }
 }
 
 /// The no-op observer: `drive(limits, &mut ())` observes nothing.
@@ -358,6 +403,11 @@ impl Observer for Chain<'_> {
     fn on_fault(&mut self, event: FaultEvent) {
         self.0.on_fault(event);
         self.1.on_fault(event);
+    }
+
+    fn on_churn(&mut self, event: ChurnEvent) {
+        self.0.on_churn(event);
+        self.1.on_churn(event);
     }
 }
 
@@ -565,7 +615,7 @@ impl<'g> Session<'g> {
                  feature (the equivalence suites and the delivery_plane bench do), or use \
                  Engine::Flat — it is bit-identical on every workload"
             ),
-            Engine::Async { delay, sync, fault } => {
+            Engine::Async { delay, sync, fault, churn } => {
                 assert!(
                     self.mode == Mode::Congest,
                     "synchronizers model CONGEST pulses; Mode::Local is not executable on \
@@ -578,7 +628,7 @@ impl<'g> Session<'g> {
                      budget is the §4.1 termination rule"
                 );
                 let mut net = AsyncNetwork::build_with(
-                    self.graph, self.seed, delay, sync, fault, self.ids, factory,
+                    self.graph, self.seed, delay, sync, fault, churn, self.ids, factory,
                 );
                 net.configure_obs(self.trace, self.metrics_mode);
                 EngineDriver::Async(net)
@@ -643,6 +693,7 @@ impl<P: Protocol> SessionDriver<P> {
                 delay: net.delay_model(),
                 sync: net.sync_model(),
                 fault: net.fault_model(),
+                churn: net.churn_model(),
             },
         }
     }
@@ -838,8 +889,9 @@ mod tests {
         engines.push(Engine::Legacy);
         let delay = DelayModel::Uniform { max_delay };
         let fault = FaultModel::None;
-        engines.push(Engine::Async { delay, sync: SyncModel::Alpha, fault });
-        engines.push(Engine::Async { delay, sync: SyncModel::BatchedAlpha, fault });
+        let churn = ChurnModel::None;
+        engines.push(Engine::Async { delay, sync: SyncModel::Alpha, fault, churn });
+        engines.push(Engine::Async { delay, sync: SyncModel::BatchedAlpha, fault, churn });
         engines
     }
 
@@ -876,6 +928,7 @@ mod tests {
                 delay: DelayModel::Uniform { max_delay: 3 },
                 sync: SyncModel::Alpha,
                 fault: FaultModel::None,
+                churn: ChurnModel::None,
             })
             .limits(RunLimits::rounds(6))
             .run_with(factory);

@@ -18,8 +18,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultModel, Message, Mode, Port, Protocol, RunLimits,
-    Session, SyncModel, Termination, TraceConfig,
+    ChurnModel, Context, DelayModel, Driver, Engine, FaultModel, Message, Mode, Port, Protocol,
+    RunLimits, Session, SyncModel, Termination, TraceConfig,
 };
 use graphs::GraphBuilder;
 
@@ -214,7 +214,12 @@ fn async_pulses_do_not_allocate() {
         for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
             let mut net = Session::on(&g)
                 .seed(5)
-                .engine(Engine::Async { delay, sync, fault: FaultModel::None })
+                .engine(Engine::Async {
+                    delay,
+                    sync,
+                    fault: FaultModel::None,
+                    churn: ChurnModel::None,
+                })
                 .limits(RunLimits::rounds(1024))
                 .build_with(|_| Echo);
 
@@ -264,7 +269,12 @@ fn faulty_pulses_do_not_allocate() {
         for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
             let mut net = Session::on(&g)
                 .seed(5)
-                .engine(Engine::Async { delay: DelayModel::Uniform { max_delay: 4 }, sync, fault })
+                .engine(Engine::Async {
+                    delay: DelayModel::Uniform { max_delay: 4 },
+                    sync,
+                    fault,
+                    churn: ChurnModel::None,
+                })
                 .limits(RunLimits::rounds(1024))
                 .build_with(|_| Echo);
 
@@ -293,6 +303,68 @@ fn faulty_pulses_do_not_allocate() {
     }
 }
 
+/// The churn plane's steady state is equally **zero-allocation**: the
+/// membership schedule is compiled into per-node join/leave pulse
+/// tables at build time, the [`congest::ChurnModel`] overlay
+/// (presence flags, per-port liveness, live degrees) is fully
+/// pre-reserved and epoch transitions mutate it in place, the churn log
+/// drains into the observer every iteration without shrinking its
+/// warmed capacity, and the per-epoch timeline is capacity-reserved for
+/// the model's compiled event count. With **every membership
+/// transition placed inside the warm-up drive** (so the zero-pulse and
+/// measured drives clone an identical epoch timeline into their
+/// reports), hundreds of churned steady-state pulses must allocate
+/// exactly as much as a zero-pulse drive, under every churn model ×
+/// both synchronizers.
+#[test]
+fn churned_pulses_do_not_allocate() {
+    let g = ring_with_chords(32);
+    let policy = congest::ChurnPolicy::Continue;
+    for churn in [
+        ChurnModel::Join { joiners: 3, at_pulse: 8, spacing: 8, policy },
+        ChurnModel::Leave { leavers: 3, at_pulse: 8, spacing: 8, policy },
+        ChurnModel::Mixed { joiners: 2, leavers: 2, at_pulse: 8, spacing: 8, policy },
+    ] {
+        for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+            let mut net = Session::on(&g)
+                .seed(5)
+                .engine(Engine::Async {
+                    delay: DelayModel::Uniform { max_delay: 4 },
+                    sync,
+                    fault: FaultModel::None,
+                    churn,
+                })
+                .limits(RunLimits::rounds(1024))
+                .build_with(|_| Echo);
+
+            // Warm-up: every scheduled join and leave fires (the last
+            // membership event lands by pulse 32 ≪ 256), the churn log
+            // reaches its high-water mark, and the epoch timeline is
+            // complete — so both measured drives below snapshot the
+            // same epochs into their reports.
+            net.reserve_rounds(1024);
+            let report = net.drive(RunLimits::rounds(256), &mut ());
+            assert!(report.overhead.epochs > 0, "{churn:?}: warm-up must play out the churn");
+
+            let before = allocations();
+            net.drive(RunLimits::rounds(0), &mut ());
+            let wrapper = allocations() - before;
+
+            let before = allocations();
+            net.drive(RunLimits::rounds(256), &mut ());
+            let with_pulses = allocations() - before;
+
+            assert_eq!(
+                with_pulses,
+                wrapper,
+                "{churn:?}, {sync:?}: 256 churned steady-state pulses performed {} heap \
+                 allocations",
+                with_pulses.saturating_sub(wrapper)
+            );
+        }
+    }
+}
+
 /// Recording does not break the zero-allocation contract: with a ring
 /// [`congest::TraceSink`] installed via [`Session::trace`], steady-state
 /// pulses (and flat rounds) must still allocate exactly as much as a
@@ -309,11 +381,13 @@ fn traced_pulses_do_not_allocate() {
             delay: DelayModel::Uniform { max_delay: 4 },
             sync: SyncModel::Alpha,
             fault: FaultModel::None,
+            churn: ChurnModel::None,
         },
         Engine::Async {
             delay: DelayModel::Uniform { max_delay: 4 },
             sync: SyncModel::BatchedAlpha,
             fault: FaultModel::None,
+            churn: ChurnModel::None,
         },
     ];
     for engine in engines {
@@ -387,6 +461,7 @@ fn batched_sparse_pulses_do_not_allocate() {
             delay: DelayModel::Uniform { max_delay: 4 },
             sync: SyncModel::BatchedAlpha,
             fault: FaultModel::None,
+            churn: ChurnModel::None,
         })
         .limits(RunLimits::rounds(1024))
         .build_with(|_| Trickle);

@@ -10,8 +10,8 @@
 use std::collections::BTreeSet;
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultEvent, FaultModel, Message, Port, Protocol,
-    RoundDelta, RunLimits, Session, SyncModel, Termination,
+    ChurnModel, Context, DelayModel, Driver, Engine, FaultEvent, FaultModel, Message, Port,
+    Protocol, RoundDelta, RunLimits, Session, SyncModel, Termination,
 };
 use graphs::{Graph, GraphBuilder};
 
@@ -96,6 +96,7 @@ fn run(fault: FaultModel) -> (Vec<(u64, usize, usize)>, congest::RunReport, Vec<
             delay: DelayModel::PerLink { max_delay: 3 },
             sync: SyncModel::Alpha,
             fault,
+            churn: ChurnModel::None,
         })
         .limits(RunLimits::rounds(24))
         .build_with(|_| Beacon { best: 0, downs: Vec::new(), ups: Vec::new() });

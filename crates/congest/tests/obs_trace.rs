@@ -12,8 +12,8 @@
 //!    no per-round history.
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultModel, Message, MetricsMode, Port, Protocol,
-    RunLimits, RunReport, Session, SessionDriver, SyncModel, TraceConfig,
+    ChurnModel, Context, DelayModel, Driver, Engine, FaultModel, Message, MetricsMode, Port,
+    Protocol, RunLimits, RunReport, Session, SessionDriver, SyncModel, TraceConfig,
 };
 use graphs::GraphBuilder;
 
@@ -76,8 +76,18 @@ fn engines_under_test() -> Vec<Engine> {
     let delay = DelayModel::Uniform { max_delay: 4 };
     let mut engines = vec![Engine::Flat { shards: 1 }, Engine::Flat { shards: 3 }];
     for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
-        engines.push(Engine::Async { delay, sync, fault: FaultModel::None });
-        engines.push(Engine::Async { delay, sync, fault: FaultModel::Drop { p_millis: 120 } });
+        engines.push(Engine::Async {
+            delay,
+            sync,
+            fault: FaultModel::None,
+            churn: ChurnModel::None,
+        });
+        engines.push(Engine::Async {
+            delay,
+            sync,
+            fault: FaultModel::Drop { p_millis: 120 },
+            churn: ChurnModel::None,
+        });
     }
     engines
 }
@@ -164,7 +174,8 @@ fn timelines_are_chronological() {
 fn profile_totals_match_the_meters() {
     let delay = DelayModel::Uniform { max_delay: 4 };
     for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
-        let engine = Engine::Async { delay, sync, fault: FaultModel::None };
+        let engine =
+            Engine::Async { delay, sync, fault: FaultModel::None, churn: ChurnModel::None };
         let (_, report, _) = traced_run(engine, Some(TraceConfig::default()));
         let profile = report.profile.expect("traced run attaches a profile");
         assert!(profile.records > 0);
@@ -199,6 +210,7 @@ fn faults_surface_in_the_profile() {
         delay: DelayModel::Uniform { max_delay: 4 },
         sync: SyncModel::Alpha,
         fault: FaultModel::Drop { p_millis: 150 },
+        churn: ChurnModel::None,
     };
     let (_, report, _) = traced_run(engine, Some(TraceConfig::default()));
     let profile = report.profile.expect("profile attached");
@@ -215,6 +227,7 @@ fn profile_only_config_keeps_no_timeline() {
         delay: DelayModel::Uniform { max_delay: 3 },
         sync: SyncModel::BatchedAlpha,
         fault: FaultModel::None,
+        churn: ChurnModel::None,
     };
     let (_, report, driver) = traced_run(engine, Some(TraceConfig::profile_only()));
     let sink = driver.trace_sink().expect("recorder installed");

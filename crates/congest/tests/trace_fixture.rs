@@ -10,8 +10,8 @@
 //! and the virtual completion time — on every run, on every machine.
 
 use congest::{
-    Context, DelayTrace, Engine, Explore, FaultModel, Message, Port, Protocol, RunLimits, Session,
-    SyncModel,
+    ChurnModel, Context, DelayTrace, Engine, Explore, FaultModel, Message, Port, Protocol,
+    RunLimits, Session, SyncModel,
 };
 use graphs::GraphBuilder;
 
@@ -82,6 +82,7 @@ fn committed_trace_replays_bit_for_bit() {
                 delay: trace.register(),
                 sync: SyncModel::Alpha,
                 fault: FaultModel::None,
+                churn: ChurnModel::None,
             })
             .limits(RunLimits::rounds(2))
             .run_with(make_flood)

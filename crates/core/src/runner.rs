@@ -8,8 +8,8 @@
 //! verification or cross-checking against the centralized reference.
 
 use congest::{
-    DelayModel, Driver, Engine, FaultModel, Metrics, Observer, PhasePlan, RoundDelta, RunLimits,
-    Session, SyncModel, Termination,
+    ChurnModel, DelayModel, Driver, Engine, FaultModel, Metrics, Observer, PhasePlan, RoundDelta,
+    RunLimits, Session, SyncModel, Termination,
 };
 use graphs::{FixedBitSet, Graph};
 
@@ -180,9 +180,9 @@ pub fn run_near_clique_with(
     seed: u64,
     options: RunOptions,
 ) -> NearCliqueRun {
-    if let Engine::Async { delay, sync, fault } = options.engine {
+    if let Engine::Async { delay, sync, fault, churn } = options.engine {
         let plan = near_clique_phase_plan(g, params, seed, options.max_rounds);
-        return run_near_clique_phased(g, params, seed, delay, sync, fault, &plan);
+        return run_near_clique_phased(g, params, seed, delay, sync, fault, churn, &plan);
     }
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
     let mut driver = Session::on(g)
@@ -271,7 +271,13 @@ pub fn near_clique_phase_plan(
 /// synchronous run bit for bit, and only the reported `overhead` (and
 /// virtual time) grows. Under [`FaultModel::Crash`] the run degrades
 /// deterministically and reports [`Termination::Degraded`].
+///
+/// The `churn` model evolves the member set mid-run (seeded joins and
+/// graceful leaves opening epochs; see [`ChurnModel`]).
+/// [`ChurnModel::None`] is the fixed member set, bit-identical to the
+/// pre-churn engine.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn run_near_clique_phased(
     g: &Graph,
     params: &NearCliqueParams,
@@ -279,12 +285,13 @@ pub fn run_near_clique_phased(
     delay: DelayModel,
     sync: SyncModel,
     fault: FaultModel,
+    churn: ChurnModel,
     phases: &PhasePlan,
 ) -> NearCliqueRun {
     let plan = SamplePlan::draw(g.node_count(), params.lambda, params.p, seed);
     let mut driver = Session::on(g)
         .seed(seed)
-        .engine(Engine::Async { delay, sync, fault })
+        .engine(Engine::Async { delay, sync, fault, churn })
         .limits(RunLimits::rounds(phases.total_pulses()))
         .build_with(|endpoint| {
             let flags = (0..params.lambda).map(|v| plan.in_sample(v, endpoint.index)).collect();
@@ -402,6 +409,7 @@ mod tests {
                 delay: DelayModel::HeavyTailed { max_delay: 6 },
                 sync: model,
                 fault: FaultModel::None,
+                churn: ChurnModel::None,
             });
             let run = run_near_clique_with(&g, &params, 3, options);
             assert_eq!(run.termination, Termination::Quiescent, "{model:?}");
@@ -441,6 +449,7 @@ mod tests {
             DelayModel::Uniform { max_delay: 2 },
             SyncModel::Alpha,
             FaultModel::None,
+            ChurnModel::None,
             &truncated,
         );
         assert_eq!(run.termination, Termination::RoundLimit);

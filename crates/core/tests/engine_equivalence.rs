@@ -17,8 +17,8 @@
 //! counterexample.
 
 use congest::{
-    Context, DelayModel, Engine, FaultModel, Message, Mode, Port, Protocol, RunLimits, Session,
-    SyncModel,
+    ChurnModel, Context, DelayModel, Engine, FaultModel, Message, Mode, Port, Protocol, RunLimits,
+    Session, SyncModel,
 };
 use graphs::{generators, Graph, GraphBuilder};
 use nearclique::{
@@ -308,7 +308,12 @@ fn async_engine_matches_flat_on_gossip_and_flood() {
             for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
                 let (async_out, async_report) = Session::on(g)
                     .seed(17)
-                    .engine(Engine::Async { delay, sync, fault: FaultModel::None })
+                    .engine(Engine::Async {
+                        delay,
+                        sync,
+                        fault: FaultModel::None,
+                        churn: ChurnModel::None,
+                    })
                     .limits(RunLimits::rounds(BUDGET))
                     .run_with(factory);
                 assert_eq!(async_out, flat_out, "{name}, {delay:?}, {sync:?}: outputs diverge");
@@ -363,6 +368,7 @@ fn async_engine_is_deterministic_via_session() {
                     delay: DelayModel::Uniform { max_delay: 9 },
                     sync,
                     fault: FaultModel::None,
+                    churn: ChurnModel::None,
                 })
                 .limits(RunLimits::rounds(16))
                 .run_with(|e| Probe { sampled: plan.in_sample(0, e.index), seen: 0 })
@@ -439,8 +445,16 @@ fn dist_near_clique_under_alpha_matches_flat() {
             DelayModel::Adversarial { max_delay: 5 },
         ] {
             for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
-                let alpha =
-                    run_near_clique_phased(&g, &params, seed, delay, sync, FaultModel::None, &plan);
+                let alpha = run_near_clique_phased(
+                    &g,
+                    &params,
+                    seed,
+                    delay,
+                    sync,
+                    FaultModel::None,
+                    ChurnModel::None,
+                    &plan,
+                );
                 assert_eq!(alpha.labels, flat.labels, "{name}, {delay:?}, {sync:?}: labels");
                 assert_eq!(alpha.outputs, flat.outputs, "{name}, {delay:?}, {sync:?}: outputs");
                 assert_eq!(
@@ -490,7 +504,12 @@ fn batched_alpha_equals_alpha_on_outputs_and_payload_grid() {
             let run = |sync| {
                 Session::on(g)
                     .seed(29)
-                    .engine(Engine::Async { delay, sync, fault: FaultModel::None })
+                    .engine(Engine::Async {
+                        delay,
+                        sync,
+                        fault: FaultModel::None,
+                        churn: ChurnModel::None,
+                    })
                     .limits(RunLimits::rounds(BUDGET))
                     .run_with(factory)
             };
@@ -565,7 +584,7 @@ fn masked_faults_leave_outputs_and_payload_ledger_untouched() {
                 for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
                     let (out, report) = Session::on(g)
                         .seed(SEED)
-                        .engine(Engine::Async { delay, sync, fault })
+                        .engine(Engine::Async { delay, sync, fault, churn: ChurnModel::None })
                         .limits(RunLimits::rounds(BUDGET))
                         .run_with(factory);
                     // `(seed, FaultModel)` replays the fault schedule.
@@ -631,7 +650,16 @@ fn dist_near_clique_masks_drop_and_link_flap() {
         [FaultModel::Drop { p_millis: 60 }, FaultModel::LinkFlap { down_len: 2, up_len: 5 }]
     {
         for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
-            let run = run_near_clique_phased(&g, &params, seed, delay, sync, fault, &plan);
+            let run = run_near_clique_phased(
+                &g,
+                &params,
+                seed,
+                delay,
+                sync,
+                fault,
+                ChurnModel::None,
+                &plan,
+            );
             let ctx = format!("gnp, {sync:?}, seed {seed}, {fault:?}");
             assert_eq!(run.labels, flat.labels, "{ctx}: labels diverge");
             assert_eq!(run.outputs, flat.outputs, "{ctx}: outputs diverge");

@@ -11,8 +11,8 @@
 //! data-dependent sends.
 
 use congest::{
-    Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session,
-    SyncModel, Termination,
+    ChurnModel, ChurnPolicy, Context, DelayModel, Engine, FaultModel, Message, Port, Protocol,
+    RunLimits, Session, SyncModel, Termination,
 };
 use graphs::generators;
 use nearclique::{
@@ -158,6 +158,7 @@ proptest! {
             DelayModel::Uniform { max_delay: 3 },
             SyncModel::Alpha,
             FaultModel::None,
+            ChurnModel::None,
             &plan,
         );
         prop_assert_eq!(&alpha.phase_trace, &sync.phase_trace);
@@ -204,6 +205,7 @@ proptest! {
             delay,
             SyncModel::Alpha,
             FaultModel::None,
+            ChurnModel::None,
             &plan,
         );
         prop_assert_eq!(&alpha.labels, &sync.labels, "{:?}", delay);
@@ -249,6 +251,7 @@ proptest! {
             delay,
             SyncModel::BatchedAlpha,
             FaultModel::None,
+            ChurnModel::None,
             &plan,
         );
         prop_assert_eq!(&batched.labels, &sync.labels, "{:?}", delay);
@@ -263,6 +266,7 @@ proptest! {
             delay,
             SyncModel::Alpha,
             FaultModel::None,
+            ChurnModel::None,
             &plan,
         );
         prop_assert!(
@@ -320,7 +324,7 @@ proptest! {
         };
 
         let faulty =
-            run_near_clique_phased(&g, &params, run_seed, delay, sync_model, fault, &plan);
+            run_near_clique_phased(&g, &params, run_seed, delay, sync_model, fault, ChurnModel::None, &plan);
         prop_assert_eq!(
             &faulty.labels, &sync.labels,
             "seed {}, {:?}, {:?}, {:?}: labels", run_seed, fault, delay, sync_model
@@ -402,7 +406,7 @@ proptest! {
 
         let (re_out, re_report) = Session::on(&g)
             .seed(run_seed)
-            .engine(Engine::Async { delay: reloaded.register(), sync: sync_model, fault })
+            .engine(Engine::Async { delay: reloaded.register(), sync: sync_model, fault, churn: ChurnModel::None })
             .limits(RunLimits::rounds(12))
             .run_with(make);
         prop_assert_eq!(
@@ -420,5 +424,80 @@ proptest! {
             run_seed, delay, sync_model, fault
         );
         prop_assert_eq!(re_report.termination, report.termination);
+    }
+
+    /// The churn plane's determinism contract on random G(n,p): a
+    /// churned run — staggered joins, graceful leaves, or both, under
+    /// either handoff policy — is a pure function of
+    /// `(seed, ChurnModel)`. Under **every** delay model and **both**
+    /// synchronizers, replaying the same pair reproduces per-node
+    /// outputs, the payload `Metrics`, the `SyncOverhead` ledger (churn
+    /// counters included) and the per-epoch membership timeline **bit
+    /// for bit**.
+    #[test]
+    fn churned_runs_replay_bit_for_bit_on_gnp(
+        n in 8usize..28,
+        edge_factor in 1usize..5,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+        churn_pick in 0usize..3,
+        movers in 1u32..4,
+        at_pulse in 1u64..8,
+        spacing in 0u64..3,
+        restart in proptest::bool::ANY,
+        max_delay in 1u64..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let p = (edge_factor as f64) * 2.0 / n as f64;
+        let g = generators::gnp(n, p.min(0.6), &mut rng);
+        let policy = if restart { ChurnPolicy::Restart } else { ChurnPolicy::Continue };
+        let churn = match churn_pick {
+            0 => ChurnModel::Join { joiners: movers, at_pulse, spacing, policy },
+            1 => ChurnModel::Leave { leavers: movers, at_pulse, spacing, policy },
+            _ => ChurnModel::Mixed { joiners: movers, leavers: movers, at_pulse, spacing, policy },
+        };
+        for delay in [
+            DelayModel::Uniform { max_delay },
+            DelayModel::PerLink { max_delay },
+            DelayModel::HeavyTailed { max_delay },
+            DelayModel::Adversarial { max_delay },
+        ] {
+            for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
+                let run = || {
+                    Session::on(&g)
+                        .seed(run_seed)
+                        .engine(Engine::Async { delay, sync, fault: FaultModel::None, churn })
+                        .limits(RunLimits::rounds(24))
+                        .run_with(|_| RandomGossip { bursts_left: 2, acc: 0 })
+                };
+                let (out_a, rep_a) = run();
+                let (out_b, rep_b) = run();
+                prop_assert_eq!(
+                    &out_a, &out_b,
+                    "seed {}, {:?}, {:?}, {:?}: churned outputs", run_seed, churn, delay, sync
+                );
+                prop_assert_eq!(
+                    &rep_a.metrics, &rep_b.metrics,
+                    "seed {}, {:?}, {:?}, {:?}: churned payload ledger",
+                    run_seed, churn, delay, sync
+                );
+                prop_assert_eq!(
+                    &rep_a.overhead, &rep_b.overhead,
+                    "seed {}, {:?}, {:?}, {:?}: churned sync overhead",
+                    run_seed, churn, delay, sync
+                );
+                prop_assert_eq!(
+                    &rep_a.epochs, &rep_b.epochs,
+                    "seed {}, {:?}, {:?}, {:?}: epoch timeline",
+                    run_seed, churn, delay, sync
+                );
+                prop_assert_eq!(rep_a.termination, rep_b.termination);
+                prop_assert_eq!(
+                    rep_a.overhead.epochs,
+                    rep_a.overhead.joins + rep_a.overhead.leaves,
+                    "every epoch is opened by exactly one membership event"
+                );
+            }
+        }
     }
 }

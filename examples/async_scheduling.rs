@@ -66,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 delay,
                 model,
                 FaultModel::None,
+                ChurnModel::None,
                 &plan,
             );
 

@@ -30,8 +30,8 @@
 
 use congest::explore::{ExploreState, Invariant};
 use congest::{
-    Context, DelayTrace, Engine, Explore, FaultModel, Message, Port, Protocol, RunLimits, Session,
-    SyncModel,
+    ChurnModel, Context, DelayTrace, Engine, Explore, FaultModel, Message, Port, Protocol,
+    RunLimits, Session, SyncModel,
 };
 use graphs::GraphBuilder;
 
@@ -193,6 +193,7 @@ fn main() {
                 delay: trace.register(),
                 sync: SyncModel::Alpha,
                 fault: FaultModel::None,
+                churn: ChurnModel::None,
             })
             .limits(RunLimits::rounds(2))
             .run_with(make_flood)

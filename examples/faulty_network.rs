@@ -14,17 +14,25 @@
 //!    run honestly reports `Termination::Degraded` with the number of
 //!    payloads lost, and with recovery the victims rejoin and converge.
 //!
-//! Every fault schedule is a pure function of `(seed, FaultModel)`:
-//! re-running this example reproduces every number below, drop for
-//! drop.
+//! 4. and, on top of the fault-free schedule, real **membership
+//!    churn** (`ChurnModel::Mixed`): three staggered late joins plus
+//!    one graceful leave, each opening an epoch — the per-epoch
+//!    membership timeline, the `on_join`/`on_leave` handoff transitions
+//!    observed by live peers, and the itemized retirement of the
+//!    leaver's in-flight payloads are all printed.
+//!
+//! Every fault schedule is a pure function of `(seed, FaultModel)`, and
+//! every membership schedule of `(seed, ChurnModel)`: re-running this
+//! example reproduces every number below, drop for drop and epoch for
+//! epoch.
 //!
 //! ```text
 //! cargo run --release --example faulty_network
 //! ```
 
 use congest::{
-    Context, DelayModel, Driver, Engine, FaultEvent, FaultModel, Message, Port, Protocol,
-    RoundDelta, RunLimits, Session, SyncModel, Termination,
+    ChurnEvent, ChurnModel, ChurnPolicy, Context, DelayModel, Driver, Engine, FaultEvent,
+    FaultModel, Message, Port, Protocol, RoundDelta, RunLimits, Session, SyncModel, Termination,
 };
 use near_clique_suite::prelude::generators;
 use rand::SeedableRng;
@@ -102,6 +110,67 @@ impl congest::Observer for FaultLog {
     }
 }
 
+/// The Beacon with membership handoff: same gossip, plus the
+/// `on_join`/`on_leave` hooks counting the epoch transitions this
+/// node's ports went through.
+struct HandoffBeacon {
+    best: u64,
+    joins: usize,
+    leaves: usize,
+}
+
+impl Protocol for HandoffBeacon {
+    type Msg = Word;
+    type Output = (u64, usize, usize);
+
+    fn init(&mut self, ctx: &mut Context<'_, Word>) {
+        self.best = self.best.max(ctx.id());
+        ctx.broadcast(Word(self.best));
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Word>, inbox: &[(Port, Word)]) {
+        for &(_, Word(w)) in inbox {
+            self.best = self.best.max(w);
+        }
+        let token = self.best;
+        ctx.broadcast(Word(token));
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn on_join(&mut self, _ctx: &mut Context<'_, Word>, _port: Port) {
+        self.joins += 1;
+    }
+
+    fn on_leave(&mut self, _ctx: &mut Context<'_, Word>, _port: Port) {
+        self.leaves += 1;
+    }
+
+    fn output(&self) -> (u64, usize, usize) {
+        (self.best, self.joins, self.leaves)
+    }
+}
+
+/// Streams the churn log: epoch boundaries and retired payloads.
+#[derive(Default)]
+struct ChurnLog {
+    boundaries: Vec<ChurnEvent>,
+    retired: u64,
+}
+
+impl congest::Observer for ChurnLog {
+    fn on_round(&mut self, _round: u64, _delta: &RoundDelta) {}
+
+    fn on_churn(&mut self, event: ChurnEvent) {
+        match event {
+            ChurnEvent::Join { .. } | ChurnEvent::Leave { .. } => self.boundaries.push(event),
+            ChurnEvent::Retired { .. } => self.retired += 1,
+        }
+    }
+}
+
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let g = generators::gnp(200, 0.04, &mut rng);
@@ -134,6 +203,7 @@ fn main() {
                 delay: DelayModel::PerLink { max_delay: 4 },
                 sync: SyncModel::BatchedAlpha,
                 fault,
+                churn: ChurnModel::None,
             })
             .limits(RunLimits::rounds(budget))
             .build_with(|_| Beacon { best: 0, peer_downs: 0, peer_ups: 0 });
@@ -191,5 +261,68 @@ fn main() {
         "\nmasked faults (drop, flap) leave every output bit-identical — only \
          retransmissions and virtual time grow; crashes degrade the run, and the report \
          says by exactly how much"
+    );
+
+    // ── The churn plane: membership itself changes mid-run. ──────────
+    // Three seeded nodes start *outside* the member set and join one by
+    // one; later, one member leaves gracefully. Every event opens an
+    // epoch over the same static topology.
+    let churn = ChurnModel::Mixed {
+        joiners: 3,
+        leavers: 1,
+        at_pulse: 8,
+        spacing: 6,
+        policy: ChurnPolicy::Continue,
+    };
+    let mut driver = Session::on(&g)
+        .seed(seed)
+        .engine(Engine::Async {
+            delay: DelayModel::PerLink { max_delay: 4 },
+            sync: SyncModel::BatchedAlpha,
+            fault: FaultModel::None,
+            churn,
+        })
+        .limits(RunLimits::rounds(budget))
+        .build_with(|_| HandoffBeacon { best: 0, joins: 0, leaves: 0 });
+    let mut churn_log = ChurnLog::default();
+    let report = driver.drive(RunLimits::rounds(budget), &mut churn_log);
+    let outputs = driver.outputs();
+
+    println!(
+        "\nmembership churn on the same schedule: three staggered joins, one graceful \
+         leave ({churn:?})\n"
+    );
+    for (event, info) in churn_log.boundaries.iter().zip(&report.epochs) {
+        let transition = match event {
+            ChurnEvent::Join { node, pulse, .. } => {
+                format!("node {node:>3} joins  @ pulse {pulse}")
+            }
+            ChurnEvent::Leave { node, pulse, .. } => {
+                format!("node {node:>3} leaves @ pulse {pulse}")
+            }
+            ChurnEvent::Retired { .. } => unreachable!("boundaries hold joins/leaves only"),
+        };
+        println!("  epoch {:>2}: {transition:<28} -> {} members", info.epoch, info.members);
+    }
+    let (hook_joins, hook_leaves) =
+        outputs.iter().fold((0, 0), |(j, l), &(_, joins, leaves)| (j + joins, l + leaves));
+    println!(
+        "\n  {} epochs ({} joins, {} leaves); peers observed {hook_joins} on_join and \
+         {hook_leaves} on_leave handoffs; {} in-flight payloads retired (each itemized)",
+        report.overhead.epochs,
+        report.overhead.joins,
+        report.overhead.leaves,
+        report.overhead.retired_messages,
+    );
+    assert_eq!(report.overhead.epochs, 4, "3 joins + 1 leave open 4 epochs");
+    assert_eq!(churn_log.retired, report.overhead.retired_messages, "retirement is itemized");
+    assert!(
+        !matches!(report.termination, Termination::Degraded { .. }),
+        "graceful churn never degrades the run"
+    );
+    println!(
+        "\nchurn is graceful reconfiguration, not failure: the synchronizer's pulse \
+         structure spans every epoch, and the member set after the last epoch converged \
+         on one beacon value"
     );
 }

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sample = SamplePlan::draw(planted.graph.node_count(), params.lambda, params.p, seed);
         let mut driver = Session::on(&planted.graph)
             .seed(seed)
-            .engine(Engine::Async { delay, sync, fault: FaultModel::None })
+            .engine(Engine::Async { delay, sync, fault: FaultModel::None, churn: ChurnModel::None })
             .limits(RunLimits::rounds(plan.total_pulses()))
             .trace(TraceConfig::events(1 << 16))
             .build_with(|endpoint| {

@@ -43,20 +43,23 @@
 //!
 //! // Custom protocols use Session directly — see `congest`'s docs. The
 //! // §2 asynchrony reduction is
-//! // `.engine(Engine::Async { delay, sync, fault })` with a pluggable
-//! // `DelayModel` (uniform / per-link / heavy-tailed / adversarial), a
-//! // pluggable synchronizer (`SyncModel`: classic α, or the batched
-//! // Safe-wave variant that cuts the control-plane tax), and a seeded
-//! // `FaultModel` (message loss and link flaps masked by deterministic
-//! // retransmission; node crashes that degrade the run); staged
-//! // protocols complete under a `PhasePlan` of §4.1 per-phase pulse
-//! // budgets — run_near_clique_with derives the schedule automatically:
+//! // `.engine(Engine::Async { delay, sync, fault, churn })` with a
+//! // pluggable `DelayModel` (uniform / per-link / heavy-tailed /
+//! // adversarial), a pluggable synchronizer (`SyncModel`: classic α, or
+//! // the batched Safe-wave variant that cuts the control-plane tax), a
+//! // seeded `FaultModel` (message loss and link flaps masked by
+//! // deterministic retransmission; node crashes that degrade the run),
+//! // and a seeded `ChurnModel` (epoch-versioned membership join/leave);
+//! // staged protocols complete under a `PhasePlan` of §4.1 per-phase
+//! // pulse budgets — run_near_clique_with derives the schedule
+//! // automatically:
 //! let alpha = run_near_clique_with(
 //!     &planted.graph, &params, 42,
 //!     RunOptions::with_engine(Engine::Async {
 //!         delay: DelayModel::HeavyTailed { max_delay: 8 },
 //!         sync: SyncModel::BatchedAlpha,
 //!         fault: FaultModel::Drop { p_millis: 20 },
+//!         churn: ChurnModel::None,
 //!     }),
 //! );
 //! // Even with 2% of sends dropped on the wire, retransmission masks
@@ -78,9 +81,9 @@ pub use proptester;
 pub mod prelude {
     pub use baselines::{run_neighbors_neighbors, run_shingles, NearCliqueFinder, ShinglesConfig};
     pub use congest::{
-        DelayModel, Driver, Engine, FaultEvent, FaultModel, Metrics, MetricsMode, Mode, Observer,
-        PhaseBudget, PhasePlan, RoundDelta, RunLimits, RunProfile, RunReport, Session, SyncModel,
-        Termination, TraceConfig, TraceSink,
+        ChurnEvent, ChurnModel, ChurnPolicy, DelayModel, Driver, Engine, EpochInfo, FaultEvent,
+        FaultModel, Metrics, MetricsMode, Mode, Observer, PhaseBudget, PhasePlan, RoundDelta,
+        RunLimits, RunProfile, RunReport, Session, SyncModel, Termination, TraceConfig, TraceSink,
     };
     pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
     pub use nearclique::{

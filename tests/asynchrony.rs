@@ -12,7 +12,8 @@
 
 use baselines::shingles::{Shingles, ShinglesConfig};
 use congest::{
-    Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits, Session, SyncModel,
+    ChurnModel, Context, DelayModel, Engine, FaultModel, Message, Port, Protocol, RunLimits,
+    Session, SyncModel,
 };
 use graphs::{generators, Graph, GraphBuilder};
 use near_clique_suite::prelude::*;
@@ -31,6 +32,7 @@ fn uniform(max_delay: u64) -> Engine {
         delay: DelayModel::Uniform { max_delay },
         sync: SyncModel::Alpha,
         fault: FaultModel::None,
+        churn: ChurnModel::None,
     }
 }
 
@@ -258,7 +260,12 @@ fn payload_ledger_is_invariant_across_delay_models() {
             for sync in [SyncModel::Alpha, SyncModel::BatchedAlpha] {
                 let (out, report) = Session::on(&g)
                     .seed(23)
-                    .engine(Engine::Async { delay, sync, fault: FaultModel::None })
+                    .engine(Engine::Async {
+                        delay,
+                        sync,
+                        fault: FaultModel::None,
+                        churn: ChurnModel::None,
+                    })
                     .limits(RunLimits::rounds(24))
                     .run_with(flood_factory);
                 ledgers.push((out, report.metrics.clone()));
@@ -296,6 +303,7 @@ fn dist_near_clique_completes_under_alpha_via_run_options() {
                 delay: DelayModel::Adversarial { max_delay: 9 },
                 sync: model,
                 fault: FaultModel::None,
+                churn: ChurnModel::None,
             }),
         );
         assert_eq!(alpha.termination, Termination::Quiescent, "{model:?}");
