@@ -1,0 +1,308 @@
+//! The million-node scale tier: streamed vs materialized construction
+//! and full CONGEST runs at n = 10⁵ and 10⁶, with peak-RSS accounting.
+//!
+//! Every row is executed in a **child process** (the bench re-executes
+//! itself with `XL_ROLE`/`XL_N` set): peak RSS is read from the child's
+//! own `VmHWM` watermark, so one row's allocator page retention can
+//! never mask or inflate another row's peak. The parent times the child
+//! run (spawn overhead included — irrelevant at these run lengths) and
+//! copies the child's measurements into the `BENCH_JSON` record:
+//!
+//! * `peak_rss_kb` — the child's resident-set high-water mark over the
+//!   measured region, baseline (binary + startup) subtracted.
+//! * `bytes_per_directed_port` — that peak divided by the instance's
+//!   directed port count (2m), the scale tier's budget unit.
+//!
+//! Rows (group `delivery_plane_xl`):
+//!
+//! * `build_materialized/1e5` — the before-path: drain the edge stream
+//!   into a `GraphBuilder` via the dup-tolerant `add_edge` (the
+//!   sort+dedup build every caller paid before the streaming path
+//!   existed), then compile the `Topology` from the graph. Peak covers
+//!   edge list + graph + route table coexisting.
+//! * `build_streamed/1e5` — `Topology::from_edge_stream`: two counted
+//!   passes, peak is the final CSR plus one `u32` cursor per node. The
+//!   acceptance bar: ≤ 50% of the materialized row.
+//! * `flood_streamed/*`, `gossip_streamed/*` — full engine runs built
+//!   via `Session::on_stream` under `MetricsMode::Streaming`, 1-bit
+//!   messages, at n = 10⁵ and n = 10⁶ (expected degree 16).
+//!
+//! `DELIVERY_XL_SMOKE=1` shrinks everything to n = 2·10⁴, skips the 10⁶
+//! rows, and **panics** if the streamed build's `peak_rss_kb` exceeds a
+//! pinned ceiling — the CI regression gate for O(1)-peak construction.
+//!
+//! ```text
+//! BENCH_JSON=$PWD/BENCH_protocol.json cargo bench -p bench --bench delivery_plane_xl
+//! ```
+
+use congest::{
+    Context, Engine, Message, MetricsMode, Port, Protocol, RunLimits, Session, Topology,
+};
+use criterion::{rss, BenchmarkId, Criterion};
+use graphs::generators::GnpStream;
+use graphs::{EdgeStream, GraphBuilder};
+
+/// Expected average degree of every instance (`p = DEGREE / (n - 1)`).
+const DEGREE: f64 = 16.0;
+const SEED: u64 = 2009;
+
+/// One-bit message: the flood/gossip payload, so queue-slab and entry
+/// memory is dominated by the plane itself rather than payload width.
+#[derive(Clone, Debug)]
+struct Bit;
+
+impl Message for Bit {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+/// Flood from node 0: hear once, forward once (BFS wavefront).
+struct Flood {
+    is_source: bool,
+    heard: bool,
+}
+
+impl Protocol for Flood {
+    type Msg = Bit;
+    type Output = bool;
+
+    fn init(&mut self, ctx: &mut Context<'_, Bit>) {
+        if self.is_source {
+            self.heard = true;
+            ctx.broadcast(Bit);
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Bit>, inbox: &[(Port, Bit)]) {
+        if !inbox.is_empty() && !self.heard {
+            self.heard = true;
+            ctx.broadcast(Bit);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn output(&self) -> bool {
+        self.heard
+    }
+}
+
+/// Sustained traffic: every node broadcasts every round until `rounds`.
+struct Gossip {
+    rounds: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = Bit;
+    type Output = ();
+
+    fn init(&mut self, ctx: &mut Context<'_, Bit>) {
+        ctx.broadcast(Bit);
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, Bit>, inbox: &[(Port, Bit)]) {
+        let _ = inbox;
+        if ctx.round() < self.rounds {
+            ctx.broadcast(Bit);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn output(&self) {}
+}
+
+const GOSSIP_ROUNDS: u64 = 8;
+
+fn stream_for(n: usize) -> GnpStream {
+    GnpStream::new(n, DEGREE / (n - 1) as f64, SEED)
+}
+
+/// What a child role reports back on stdout, one `key value` per line.
+#[derive(Default, Clone, Copy)]
+struct RoleReport {
+    peak_rss_kb: u64,
+    ports: u64,
+    rounds: u64,
+    messages: u64,
+    total_bits: u64,
+}
+
+fn run_role(role: &str, n: usize) -> RoleReport {
+    let mut rep = RoleReport::default();
+    // Fresh process: the watermark reset makes `peak_kb` measure only
+    // the region below.
+    let reset = rss::reset_peak();
+    let base = rss::current_kb().unwrap_or(0);
+    match role {
+        "build_materialized" => {
+            // The pre-streaming path: edge list → sort+dedup build →
+            // graph-walking topology compile. Edge Vec, Graph and CSR
+            // route table all coexist at the peak.
+            let mut s = stream_for(n);
+            let mut b = GraphBuilder::new(n);
+            s.reset();
+            while let Some((u, v)) = s.next_edge() {
+                b.add_edge(u, v);
+            }
+            let g = b.build();
+            let topo = Topology::from_graph(&g, 1);
+            rep.ports = topo.port_count() as u64;
+        }
+        "build_streamed" => {
+            let mut s = stream_for(n);
+            let topo = Topology::from_edge_stream(&mut s, 1);
+            rep.ports = topo.port_count() as u64;
+        }
+        "flood_streamed" | "gossip_streamed" => {
+            let mut s = stream_for(n);
+            let session = Session::on_stream(&mut s)
+                .seed(SEED)
+                .engine(Engine::Flat { shards: 1 })
+                .metrics(MetricsMode::Streaming);
+            let report = if role == "flood_streamed" {
+                let mut driver = session
+                    .limits(RunLimits::rounds(200))
+                    .build_with(|e| Flood { is_source: e.index == 0, heard: false });
+                driver.run()
+            } else {
+                let mut driver = session
+                    .limits(RunLimits::rounds(GOSSIP_ROUNDS + 2))
+                    .build_with(|_| Gossip { rounds: GOSSIP_ROUNDS });
+                driver.run()
+            };
+            rep.rounds = report.rounds;
+            rep.messages = report.metrics.messages;
+            rep.total_bits = report.metrics.total_bits;
+        }
+        other => panic!("unknown XL_ROLE {other}"),
+    }
+    let peak = rss::peak_kb().unwrap_or(0);
+    rep.peak_rss_kb = if reset { peak.saturating_sub(base) } else { 0 };
+    rep
+}
+
+/// Re-executes this bench binary as the named role and parses its report.
+fn spawn_role(role: &str, n: usize) -> RoleReport {
+    let exe = std::env::current_exe().expect("bench executable path");
+    let out = std::process::Command::new(exe)
+        .env("XL_ROLE", role)
+        .env("XL_N", n.to_string())
+        .output()
+        .expect("spawn XL role child");
+    assert!(out.status.success(), "role {role} failed: {}", String::from_utf8_lossy(&out.stderr));
+    let mut rep = RoleReport::default();
+    for line in String::from_utf8_lossy(&out.stdout).lines() {
+        let mut it = line.split_whitespace();
+        let (Some(key), Some(value)) = (it.next(), it.next()) else { continue };
+        let Ok(value) = value.parse::<u64>() else { continue };
+        match key {
+            "peak_rss_kb" => rep.peak_rss_kb = value,
+            "ports" => rep.ports = value,
+            "rounds" => rep.rounds = value,
+            "messages" => rep.messages = value,
+            "total_bits" => rep.total_bits = value,
+            _ => {}
+        }
+    }
+    rep
+}
+
+/// Directed port count of the instance, for rows whose child measures a
+/// run (the build rows report it themselves).
+fn port_count(n: usize) -> u64 {
+    let mut s = stream_for(n);
+    s.reset();
+    2 * std::iter::from_fn(|| s.next_edge()).count() as u64
+}
+
+fn annotate(group: &mut criterion::BenchmarkGroup<'_>, rep: &RoleReport, ports: u64) {
+    group.annotate("peak_rss_kb", rep.peak_rss_kb);
+    if let Some(per_port) = (rep.peak_rss_kb * 1024).checked_div(ports) {
+        group.annotate("bytes_per_directed_port", per_port);
+    }
+    if rep.rounds > 0 {
+        group.annotate("rounds", rep.rounds);
+        group.annotate("messages", rep.messages);
+        group.annotate("total_bits", rep.total_bits);
+    }
+}
+
+/// Smoke ceiling for the streamed build at n = 2·10⁴ (m ≈ 1.6·10⁵):
+/// final arrays are ≈ 4.1 MB, so 6 MB flags any O(m) transient while
+/// tolerating allocator slack.
+const SMOKE_STREAM_BUILD_CEILING_KB: u64 = 6 * 1024;
+
+fn bench_xl(c: &mut Criterion) {
+    let smoke = std::env::var("DELIVERY_XL_SMOKE").is_ok_and(|v| v == "1");
+    let n_cmp = if smoke { 20_000 } else { 100_000 };
+
+    let mut group = c.benchmark_group("delivery_plane_xl");
+    group.sample_size(1);
+
+    // Build-path comparison rows first (the before/after pair the ≤ 50%
+    // acceptance bar reads).
+    let mut cmp_peaks = [0u64; 2];
+    for (i, role) in ["build_materialized", "build_streamed"].iter().enumerate() {
+        let mut rep = RoleReport::default();
+        group.bench_function(BenchmarkId::new(role, n_cmp), |b| {
+            b.iter(|| rep = spawn_role(role, n_cmp));
+        });
+        annotate(&mut group, &rep, rep.ports);
+        cmp_peaks[i] = rep.peak_rss_kb;
+    }
+    println!(
+        "# build peak RSS at n = {n_cmp}: materialized {} kB, streamed {} kB ({:.0}%)",
+        cmp_peaks[0],
+        cmp_peaks[1],
+        100.0 * cmp_peaks[1] as f64 / cmp_peaks[0].max(1) as f64,
+    );
+    if smoke {
+        assert!(
+            cmp_peaks[1] > 0 && cmp_peaks[1] <= SMOKE_STREAM_BUILD_CEILING_KB,
+            "streamed build peak {} kB exceeds the {} kB smoke ceiling",
+            cmp_peaks[1],
+            SMOKE_STREAM_BUILD_CEILING_KB,
+        );
+    }
+
+    // Full runs, n = 10⁵ rows before the 10⁶ rows.
+    let run_sizes: &[usize] = if smoke { &[20_000] } else { &[100_000, 1_000_000] };
+    for &n in run_sizes {
+        let ports = port_count(n);
+        for role in ["flood_streamed", "gossip_streamed"] {
+            let mut rep = RoleReport::default();
+            group.bench_function(BenchmarkId::new(role, n), |b| {
+                b.iter(|| rep = spawn_role(role, n));
+            });
+            annotate(&mut group, &rep, ports);
+            if role == "flood_streamed" {
+                assert!(rep.rounds > 0 && rep.rounds < 200, "flood must complete, not hit budget");
+            }
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    // Child mode: run the requested role, report, exit — never recurse
+    // into the bench driver.
+    if let Ok(role) = std::env::var("XL_ROLE") {
+        let n: usize = std::env::var("XL_N").expect("XL_N").parse().expect("XL_N numeric");
+        let rep = run_role(&role, n);
+        println!("peak_rss_kb {}", rep.peak_rss_kb);
+        println!("ports {}", rep.ports);
+        println!("rounds {}", rep.rounds);
+        println!("messages {}", rep.messages);
+        println!("total_bits {}", rep.total_bits);
+        return;
+    }
+    let mut c = Criterion::default().configure_from_args();
+    bench_xl(&mut c);
+    c.final_summary();
+}

@@ -230,11 +230,8 @@ impl<P: Protocol> AsyncNetwork<P> {
 
         let nodes: Vec<AsyncSlot<P>> = (0..n)
             .map(|u| {
-                let endpoint = Endpoint {
-                    index: u,
-                    id: ids[u],
-                    neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
-                };
+                let endpoint =
+                    Endpoint::new(u, ids[u], graph.neighbors(u).iter().map(|&v| ids[v]).collect());
                 let protocol = factory(&endpoint);
                 AsyncSlot { endpoint, protocol, rng: node_rng(seed, u), pulse: 1, done: false }
             })

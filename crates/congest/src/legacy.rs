@@ -108,11 +108,8 @@ impl<P: Protocol> LegacyNetwork<P> {
 
         let nodes: Vec<LegacySlot<P>> = (0..n)
             .map(|u| {
-                let endpoint = Endpoint {
-                    index: u,
-                    id: ids[u],
-                    neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
-                };
+                let endpoint =
+                    Endpoint::new(u, ids[u], graph.neighbors(u).iter().map(|&v| ids[v]).collect());
                 let protocol = factory(&endpoint);
                 let outbox = Outbox::new(endpoint.degree());
                 let rng = node_rng(seed, u);

@@ -142,6 +142,7 @@ pub use obs::{
     CtrlTag, Hist, MetricsMode, Recorder, RunProfile, TraceConfig, TraceEvent, TraceRecord,
     TraceSink,
 };
+pub use plane::Topology;
 pub use protocol::{Context, Endpoint, Outbox, Port, Protocol, Round};
 pub use sched::{
     ChurnEvent, ChurnModel, ChurnPolicy, DelayModel, EpochInfo, EventWheel, FaultEvent, FaultModel,

@@ -53,9 +53,9 @@
 //! (set `BENCH_JSON=BENCH_protocol.json` to append machine-readable
 //! records).
 
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 
-use graphs::Graph;
+use graphs::{EdgeStream, Graph};
 use rand::rngs::StdRng;
 
 use crate::message::Message;
@@ -92,10 +92,17 @@ pub enum IdAssignment {
     Hashed,
 }
 
-struct NodeSlot<P: Protocol> {
-    endpoint: Endpoint,
-    protocol: P,
-    rng: StdRng,
+/// Borrowed per-shard windows into the engine's node arrays.
+///
+/// Node state is stored structure-of-arrays: endpoints, protocols and
+/// RNG streams live in three parallel `Vec`s rather than one `Vec` of
+/// structs, so the step loop touches only the arrays it needs (protocol
+/// state and RNGs are hot; endpoint headers are read-only) and each
+/// worker thread takes three disjoint slices instead of one.
+struct NodeSlices<'a, P: Protocol> {
+    endpoints: &'a [Endpoint],
+    protocols: &'a mut [P],
+    rngs: &'a mut [StdRng],
 }
 
 /// Configures and constructs a [`Network`] — the flat engine's
@@ -164,17 +171,52 @@ impl NetworkBuilder {
     /// Panics if hashed ID assignment produces a collision (probability
     /// ≈ n²/2⁶⁴; retry with another seed) or if the graph exceeds the
     /// plane's `u32` port space.
-    pub fn build_with<P, F>(self, graph: &Graph, mut factory: F) -> Network<P>
+    pub fn build_with<P, F>(self, graph: &Graph, factory: F) -> Network<P>
     where
         P: Protocol,
         F: FnMut(&Endpoint) -> P,
     {
         let n = graph.node_count();
-        let ids = assign_ids(self.ids, self.seed, n);
+        let chunk = n.div_ceil(self.threads);
+        let topo = Topology::build(graph, chunk, self.threads);
+        self.finish(topo, chunk, factory)
+    }
 
+    /// Builds the network directly from a restartable [`EdgeStream`] —
+    /// the scale-tier path: the CSR route table is constructed in two
+    /// counted passes over the stream and neighbor identifiers are read
+    /// back out of it, so no [`Graph`] (and no intermediate edge list)
+    /// is ever allocated. For the same instance the result is
+    /// bit-identical to [`NetworkBuilder::build_with`] on the
+    /// materialized graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics on hashed ID collision, if the stream exceeds the plane's
+    /// `u32` port space, or if the stream violates the [`EdgeStream`]
+    /// contract (sorted, unique, replayable).
+    pub fn build_from_stream<P, F>(self, stream: &mut dyn EdgeStream, factory: F) -> Network<P>
+    where
+        P: Protocol,
+        F: FnMut(&Endpoint) -> P,
+    {
+        let n = stream.node_count();
+        let chunk = n.div_ceil(self.threads);
+        let topo = Topology::build_from_stream(stream, chunk, self.threads);
+        self.finish(topo, chunk, factory)
+    }
+
+    /// Shared tail of both build paths: shards, transfer cells, and the
+    /// structure-of-arrays node state, with every node's neighbor ids
+    /// carved out of one shared arena in CSR slot order.
+    fn finish<P, F>(self, topo: Topology, chunk: usize, mut factory: F) -> Network<P>
+    where
+        P: Protocol,
+        F: FnMut(&Endpoint) -> P,
+    {
+        let n = topo.node_count();
+        let ids = assign_ids(self.ids, self.seed, n);
         let s_count = self.threads;
-        let chunk = n.div_ceil(s_count);
-        let topo = Topology::build(graph, chunk, s_count);
 
         let shards: Vec<Shard<P::Msg>> = (0..s_count)
             .map(|t| {
@@ -186,22 +228,28 @@ impl NetworkBuilder {
         let transfer: Vec<Mutex<Vec<Entry<P::Msg>>>> =
             (0..s_count * s_count).map(|_| Mutex::new(Vec::new())).collect();
 
-        let nodes: Vec<NodeSlot<P>> = (0..n)
-            .map(|u| {
-                let endpoint = Endpoint {
-                    index: u,
-                    id: ids[u],
-                    neighbor_ids: graph.neighbors(u).iter().map(|&v| ids[v]).collect(),
-                };
-                let protocol = factory(&endpoint);
-                let rng = node_rng(self.seed, u);
-                NodeSlot { endpoint, protocol, rng }
-            })
-            .collect();
+        // One allocation holds all 2m neighbor ids; the route table
+        // already lists each slot's destination node in CSR order, so
+        // this works identically for the graph and stream paths.
+        let arena: Arc<[u64]> =
+            topo.route.iter().map(|r| ids[r.dest_node as usize]).collect::<Vec<u64>>().into();
+
+        let mut endpoints = Vec::with_capacity(n);
+        let mut protocols = Vec::with_capacity(n);
+        let mut rngs = Vec::with_capacity(n);
+        for (u, &id) in ids.iter().enumerate().take(n) {
+            let endpoint =
+                Endpoint::from_arena(u, id, arena.clone(), topo.offsets[u], topo.offsets[u + 1]);
+            protocols.push(factory(&endpoint));
+            endpoints.push(endpoint);
+            rngs.push(node_rng(self.seed, u));
+        }
 
         Network {
             mode: self.mode,
-            nodes,
+            endpoints,
+            protocols,
+            rngs,
             shards,
             transfer,
             topo,
@@ -234,7 +282,12 @@ pub(crate) fn assign_ids(ids: IdAssignment, seed: u64, n: usize) -> Vec<u64> {
 /// A synchronous network executing one [`Protocol`] instance per node.
 pub struct Network<P: Protocol> {
     mode: Mode,
-    nodes: Vec<NodeSlot<P>>,
+    /// Per-node read-only facts (parallel to `protocols` / `rngs`).
+    endpoints: Vec<Endpoint>,
+    /// Per-node protocol state machines.
+    protocols: Vec<P>,
+    /// Per-node private RNG streams.
+    rngs: Vec<StdRng>,
     /// Per-thread queue shards (the flat plane); `shards.len()` is the
     /// configured thread count.
     shards: Vec<Shard<P::Msg>>,
@@ -261,7 +314,7 @@ impl<P: Protocol> Network<P> {
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.endpoints.len()
     }
 
     /// Read access to node `index`'s protocol state.
@@ -271,7 +324,7 @@ impl<P: Protocol> Network<P> {
     /// Panics if `index` is out of range.
     #[must_use]
     pub fn protocol(&self, index: usize) -> &P {
-        &self.nodes[index].protocol
+        &self.protocols[index]
     }
 
     /// The endpoint facts of node `index`.
@@ -281,7 +334,7 @@ impl<P: Protocol> Network<P> {
     /// Panics if `index` is out of range.
     #[must_use]
     pub fn endpoint(&self, index: usize) -> &Endpoint {
-        &self.nodes[index].endpoint
+        &self.endpoints[index]
     }
 
     /// Accumulated metrics.
@@ -293,7 +346,7 @@ impl<P: Protocol> Network<P> {
     /// Collects every node's output, indexed by node.
     #[must_use]
     pub fn outputs(&self) -> Vec<P::Output> {
-        self.nodes.iter().map(|s| s.protocol.output()).collect()
+        self.protocols.iter().map(Protocol::output).collect()
     }
 
     /// Pre-reserves the per-round metrics history for `rounds` rounds, so
@@ -313,7 +366,7 @@ impl<P: Protocol> Network<P> {
     /// trace sink (preallocated here, once) and the metrics mode. Must
     /// be called before the first round.
     pub(crate) fn configure_obs(&mut self, trace: Option<TraceConfig>, mode: MetricsMode) {
-        self.rec = trace.map(|cfg| Box::new(TraceSink::new(cfg, self.nodes.len() as u32)));
+        self.rec = trace.map(|cfg| Box::new(TraceSink::new(cfg, self.endpoints.len() as u32)));
         self.metrics_mode = mode;
     }
 
@@ -344,7 +397,7 @@ impl<P: Protocol> Network<P> {
     pub fn run_observed(&mut self, limits: RunLimits, obs: &mut dyn Observer) -> RunReport {
         if !self.initialized {
             self.initialized = true;
-            for v in 0..self.nodes.len() {
+            for v in 0..self.endpoints.len() {
                 self.with_node_ctx(v, 0, |p, ctx| p.init(ctx));
             }
         }
@@ -355,7 +408,7 @@ impl<P: Protocol> Network<P> {
                 // Offer the barrier; count it only if someone resumes.
                 let mut resumed = false;
                 let round = self.round;
-                for v in 0..self.nodes.len() {
+                for v in 0..self.endpoints.len() {
                     resumed |= self.with_node_ctx(v, round, |p, ctx| p.on_quiescent(ctx));
                 }
                 if !resumed && self.all_outboxes_empty() {
@@ -404,14 +457,13 @@ impl<P: Protocol> Network<P> {
         let t = self.shard_of(v);
         let shard = &mut self.shards[t];
         let base = self.topo.offsets[v] - shard.port_lo;
-        let slot = &mut self.nodes[v];
         let mut ctx = Context {
-            endpoint: &slot.endpoint,
+            endpoint: &self.endpoints[v],
             round,
             outbox: OutboxHandle::Flat { queues: &mut shard.queues, base },
-            rng: &mut slot.rng,
+            rng: &mut self.rngs[v],
         };
-        f(&mut slot.protocol, &mut ctx)
+        f(&mut self.protocols[v], &mut ctx)
     }
 
     fn all_outboxes_empty(&self) -> bool {
@@ -419,7 +471,7 @@ impl<P: Protocol> Network<P> {
     }
 
     fn is_quiescent(&self) -> bool {
-        self.all_outboxes_empty() && self.nodes.iter().all(|s| s.protocol.is_idle())
+        self.all_outboxes_empty() && self.protocols.iter().all(Protocol::is_idle)
     }
 
     fn execute_round(&mut self) -> RoundDelta {
@@ -440,32 +492,51 @@ impl<P: Protocol> Network<P> {
             // bucket store (no transfer round trip), then step.
             let shard = &mut self.shards[0];
             shard.deliver_direct(topo, congest);
-            step_shard(shard, &mut self.nodes, topo, round);
-        } else if self.nodes.len() < 2 * s_count {
+            let nodes = NodeSlices {
+                endpoints: &self.endpoints,
+                protocols: &mut self.protocols,
+                rngs: &mut self.rngs,
+            };
+            step_shard(shard, nodes, topo, round);
+        } else if self.endpoints.len() < 2 * s_count {
             // Sequential fallback at tiny n: same phases, in order.
             for t in 0..s_count {
                 phase_deliver(&mut self.shards[t], topo, transfer, congest, s_count, t);
             }
-            let mut nodes_rest = &mut self.nodes[..];
+            let mut ep_rest = &self.endpoints[..];
+            let mut pr_rest = &mut self.protocols[..];
+            let mut rng_rest = &mut self.rngs[..];
             for (t, shard) in self.shards.iter_mut().enumerate() {
                 let take = shard.node_hi - shard.node_lo;
-                let (nodes_chunk, nr) = nodes_rest.split_at_mut(take);
-                nodes_rest = nr;
-                phase_bucket_step(shard, nodes_chunk, topo, transfer, round, s_count, t);
+                let (endpoints, er) = ep_rest.split_at(take);
+                ep_rest = er;
+                let (protocols, pr) = pr_rest.split_at_mut(take);
+                pr_rest = pr;
+                let (rngs, rr) = rng_rest.split_at_mut(take);
+                rng_rest = rr;
+                let nodes = NodeSlices { endpoints, protocols, rngs };
+                phase_bucket_step(shard, nodes, topo, transfer, round, s_count, t);
             }
         } else {
             let barrier = Barrier::new(s_count);
             let barrier = &barrier;
             std::thread::scope(|scope| {
-                let mut nodes_rest = &mut self.nodes[..];
+                let mut ep_rest = &self.endpoints[..];
+                let mut pr_rest = &mut self.protocols[..];
+                let mut rng_rest = &mut self.rngs[..];
                 for (t, shard) in self.shards.iter_mut().enumerate() {
                     let take = shard.node_hi - shard.node_lo;
-                    let (nodes_chunk, nr) = nodes_rest.split_at_mut(take);
-                    nodes_rest = nr;
+                    let (endpoints, er) = ep_rest.split_at(take);
+                    ep_rest = er;
+                    let (protocols, pr) = pr_rest.split_at_mut(take);
+                    pr_rest = pr;
+                    let (rngs, rr) = rng_rest.split_at_mut(take);
+                    rng_rest = rr;
+                    let nodes = NodeSlices { endpoints, protocols, rngs };
                     scope.spawn(move || {
                         phase_deliver(shard, topo, transfer, congest, s_count, t);
                         barrier.wait();
-                        phase_bucket_step(shard, nodes_chunk, topo, transfer, round, s_count, t);
+                        phase_bucket_step(shard, nodes, topo, transfer, round, s_count, t);
                     });
                 }
             });
@@ -542,7 +613,7 @@ fn phase_deliver<M: Message>(
 /// node of the shard directly on its bucket slice.
 fn phase_bucket_step<P: Protocol>(
     shard: &mut Shard<P::Msg>,
-    nodes: &mut [NodeSlot<P>],
+    nodes: NodeSlices<'_, P>,
     topo: &Topology,
     transfer: &[Mutex<Vec<Entry<P::Msg>>>],
     round: Round,
@@ -563,7 +634,7 @@ fn phase_bucket_step<P: Protocol>(
 /// borrowed while each context pushes into the queues.
 fn step_shard<P: Protocol>(
     shard: &mut Shard<P::Msg>,
-    nodes: &mut [NodeSlot<P>],
+    nodes: NodeSlices<'_, P>,
     topo: &Topology,
     round: Round,
 ) {
@@ -572,23 +643,23 @@ fn step_shard<P: Protocol>(
     let queues = &mut shard.queues;
     let bucket = &shard.bucket;
     let starts = &shard.starts;
-    for (i, slot) in nodes.iter_mut().enumerate() {
+    for (i, protocol) in nodes.protocols.iter_mut().enumerate() {
         let base = topo.offsets[node_lo + i] - port_lo;
         let inbox = &bucket[starts[i] as usize..starts[i + 1] as usize];
         let mut ctx = Context {
-            endpoint: &slot.endpoint,
+            endpoint: &nodes.endpoints[i],
             round,
             outbox: OutboxHandle::Flat { queues: &mut *queues, base },
-            rng: &mut slot.rng,
+            rng: &mut nodes.rngs[i],
         };
-        slot.protocol.step(&mut ctx, inbox);
+        protocol.step(&mut ctx, inbox);
     }
 }
 
 impl<P: Protocol> std::fmt::Debug for Network<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.endpoints.len())
             .field("mode", &self.mode)
             .field("round", &self.round)
             .field("shards", &self.shards.len())
@@ -789,6 +860,30 @@ mod tests {
     }
 
     #[test]
+    fn stream_build_matches_graph_build() {
+        use graphs::generators::VecEdgeStream;
+        let g = path_graph(8);
+        let factory =
+            |e: &Endpoint| Flood { is_source: e.index == 2, heard_at: None, forwarded: false };
+        let mut from_graph = NetworkBuilder::new().seed(5).parallel(2).build_with(&g, factory);
+        let mut stream = VecEdgeStream::from_graph(&g);
+        let mut from_stream =
+            NetworkBuilder::new().seed(5).parallel(2).build_from_stream(&mut stream, factory);
+        for v in 0..8 {
+            assert_eq!(from_graph.endpoint(v).id, from_stream.endpoint(v).id);
+            assert_eq!(
+                from_graph.endpoint(v).neighbor_ids(),
+                from_stream.endpoint(v).neighbor_ids()
+            );
+        }
+        let a = from_graph.run(RunLimits::default());
+        let b = from_stream.run(RunLimits::default());
+        assert_eq!(from_graph.outputs(), from_stream.outputs());
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+        assert_eq!(a.metrics.total_bits, b.metrics.total_bits);
+    }
+
+    #[test]
     fn hashed_ids_are_distinct_and_stable() {
         let g = path_graph(50);
         let net = NetworkBuilder::new().seed(3).build_with(&g, |e| Flood {
@@ -821,7 +916,7 @@ mod tests {
             assert_eq!(net.endpoint(v).id, v as u64);
         }
         // Neighbor IDs visible per the KT1 knowledge model.
-        assert_eq!(net.endpoint(1).neighbor_ids, vec![0, 2]);
+        assert_eq!(net.endpoint(1).neighbor_ids(), &[0, 2][..]);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! bucket contents depend only on (receiver, port, train index), never on
 //! which shard produced a message or in which order buffers drained.
 
-use graphs::Graph;
+use graphs::{EdgeStream, Graph};
 
 use crate::message::Message;
 use crate::protocol::Port;
@@ -68,24 +68,87 @@ pub(crate) struct Route {
 }
 
 /// Flattened CSR topology of the network, shared read-only by all shards.
+///
+/// Exactly two arrays: `n + 1` port-range offsets and one 12-byte
+/// `Route` record per directed port. This is the entire per-topology
+/// routing state of the flat engine — [`Topology::heap_bytes`] reports
+/// its size, and the scale tier budgets against it.
+///
+/// Constructed either from a materialized [`Graph`]
+/// ([`Topology::from_graph`]) or directly from a restartable
+/// [`EdgeStream`] ([`Topology::from_edge_stream`]) without ever holding
+/// an intermediate edge list.
 #[derive(Clone, Debug)]
-pub(crate) struct Topology {
+pub struct Topology {
     /// Port-range offsets per node, length `n + 1`; `offsets[n]` is the
     /// total number of directed ports (2m).
-    pub offsets: Box<[u32]>,
+    pub(crate) offsets: Box<[u32]>,
     /// Routing record per directed port, indexed by sender slot.
-    pub route: Box<[Route]>,
+    pub(crate) route: Box<[Route]>,
 }
 
 impl Topology {
-    /// Builds the flat tables for `graph` sharded into `shards` node
-    /// ranges of `chunk` nodes each.
+    /// Builds the flat tables for `graph`, sharded into `shards` node
+    /// ranges (each spanning `ceil(n / shards)` consecutive nodes — the
+    /// same split [`crate::NetworkBuilder::parallel`] uses).
     ///
     /// # Panics
     ///
     /// Panics if the graph has ≥ `u32::MAX` directed edges or `shards`
     /// exceeds `u16::MAX`.
-    pub fn build(graph: &Graph, chunk: usize, shards: usize) -> Self {
+    #[must_use]
+    pub fn from_graph(graph: &Graph, shards: usize) -> Self {
+        let chunk = graph.node_count().div_ceil(shards.max(1)).max(1);
+        Self::build(graph, chunk, shards)
+    }
+
+    /// Builds the flat tables directly from a restartable [`EdgeStream`],
+    /// sharded like [`Topology::from_graph`], in two counted passes:
+    /// degree counting, an in-place prefix sum, then a placement pass
+    /// that writes both directions of every edge straight into the final
+    /// route array. Peak memory is the final CSR plus one `u32` cursor
+    /// per node — no intermediate edge list, no `Graph`.
+    ///
+    /// For the same instance this is bit-identical to
+    /// [`Topology::from_graph`] on the materialized graph: a
+    /// lexicographically sorted stream delivers each node's neighbors in
+    /// increasing order, which is exactly the CSR slot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream yields ≥ `u32::MAX` directed edges, `shards`
+    /// exceeds `u16::MAX`, or the stream violates its contract (edges
+    /// not strictly sorted / out of range, or the replay pass disagrees
+    /// with the counting pass).
+    #[must_use]
+    pub fn from_edge_stream(stream: &mut dyn EdgeStream, shards: usize) -> Self {
+        let chunk = stream.node_count().div_ceil(shards.max(1)).max(1);
+        Self::build_from_stream(stream, chunk, shards)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed ports (2m).
+    #[must_use]
+    pub fn port_count(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Heap bytes held by the routing tables: `4(n + 1)` for the offsets
+    /// plus 12 per directed port.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.route.len() * std::mem::size_of::<Route>()
+    }
+
+    /// [`Topology::from_graph`] with an explicit shard span (the engine
+    /// passes its own `chunk` so topology and node sharding agree).
+    pub(crate) fn build(graph: &Graph, chunk: usize, shards: usize) -> Self {
         let n = graph.node_count();
         assert!(shards <= u16::MAX as usize, "shard count {shards} exceeds u16 range");
         let total: usize = (0..n).map(|u| graph.degree(u)).sum();
@@ -113,6 +176,70 @@ impl Topology {
                 };
             }
         }
+        Self { offsets: offsets.into_boxed_slice(), route: route.into_boxed_slice() }
+    }
+
+    /// [`Topology::from_edge_stream`] with an explicit shard span.
+    pub(crate) fn build_from_stream(
+        stream: &mut dyn EdgeStream,
+        chunk: usize,
+        shards: usize,
+    ) -> Self {
+        let n = stream.node_count();
+        assert!(shards <= u16::MAX as usize, "shard count {shards} exceeds u16 range");
+
+        // Pass 1: count degrees into offsets[w + 1]. The sortedness
+        // assert doubles as a uniqueness check (strictly increasing pairs
+        // cannot repeat), so no dedup structure is ever needed.
+        let mut offsets = vec![0u32; n + 1];
+        stream.reset();
+        let mut prev: Option<(usize, usize)> = None;
+        let mut total: u64 = 0;
+        while let Some((u, v)) = stream.next_edge() {
+            assert!(u < v && v < n, "stream edge ({u}, {v}) must satisfy u < v < n = {n}");
+            assert!(prev < Some((u, v)), "edge stream must be strictly lexicographically sorted");
+            prev = Some((u, v));
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+            total += 2;
+        }
+        assert!(
+            total < u64::from(u32::MAX),
+            "stream has {total} directed edges; flat plane is limited to u32 slots"
+        );
+        for w in 0..n {
+            offsets[w + 1] += offsets[w];
+        }
+
+        // Pass 2: replay the stream and place both directions of each
+        // edge at its node's next free slot. Sorted replay hands every
+        // node its neighbors in increasing order, so slot assignment —
+        // and each record's back-pointing `dest_slot` — lands exactly
+        // where `build`'s binary search would put it.
+        let mut route = vec![Route::default(); total as usize];
+        let mut cursor = vec![0u32; n];
+        stream.reset();
+        let mut placed: u64 = 0;
+        while let Some((u, v)) = stream.next_edge() {
+            let slot_u = offsets[u] + cursor[u];
+            cursor[u] += 1;
+            let slot_v = offsets[v] + cursor[v];
+            cursor[v] += 1;
+            debug_assert!(slot_u < offsets[u + 1] && slot_v < offsets[v + 1]);
+            route[slot_u as usize] = Route {
+                dest_slot: slot_v,
+                dest_node: v as u32,
+                dest_shard: v.checked_div(chunk).unwrap_or(0) as u16,
+            };
+            route[slot_v as usize] = Route {
+                dest_slot: slot_u,
+                dest_node: u as u32,
+                dest_shard: u.checked_div(chunk).unwrap_or(0) as u16,
+            };
+            placed += 2;
+        }
+        assert_eq!(placed, total, "edge stream must replay identically on its second pass");
+
         Self { offsets: offsets.into_boxed_slice(), route: route.into_boxed_slice() }
     }
 
@@ -725,6 +852,66 @@ mod tests {
         assert_eq!(dest_nodes, vec![1, 0, 2, 1]);
         // chunk = 2: nodes 0..2 in shard 0, node 2 in shard 1.
         assert_eq!(dest_shards, vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn stream_build_matches_graph_build() {
+        use graphs::generators::{GnpStream, VecEdgeStream};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        fn assert_same(a: &Topology, b: &Topology) {
+            assert_eq!(a.offsets, b.offsets);
+            assert_eq!(a.route.len(), b.route.len());
+            for (x, y) in a.route.iter().zip(b.route.iter()) {
+                assert_eq!(
+                    (x.dest_slot, x.dest_node, x.dest_shard),
+                    (y.dest_slot, y.dest_node, y.dest_shard)
+                );
+            }
+        }
+
+        // The hand-checked 3-node path, on the uneven 2-shard split.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        let mut s = VecEdgeStream::from_graph(&g);
+        assert_same(&Topology::build(&g, 2, 2), &Topology::build_from_stream(&mut s, 2, 2));
+
+        // A random instance, via the public constructors (same chunk rule).
+        let (n, p, seed) = (80, 0.1, 9u64);
+        let g = graphs::generators::gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        let mut s = GnpStream::new(n, p, seed);
+        for shards in [1, 3] {
+            assert_same(
+                &Topology::from_graph(&g, shards),
+                &Topology::from_edge_stream(&mut s, shards),
+            );
+        }
+        assert_eq!(Topology::from_graph(&g, 1).heap_bytes(), 4 * (n + 1) + 12 * 2 * g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly lexicographically sorted")]
+    fn stream_build_rejects_unsorted_replay() {
+        struct Unsorted(usize);
+        impl EdgeStream for Unsorted {
+            fn node_count(&self) -> usize {
+                3
+            }
+            fn reset(&mut self) {
+                self.0 = 0;
+            }
+            fn next_edge(&mut self) -> Option<(usize, usize)> {
+                self.0 += 1;
+                match self.0 {
+                    1 => Some((1, 2)),
+                    2 => Some((0, 1)),
+                    _ => None,
+                }
+            }
+        }
+        let _ = Topology::build_from_stream(&mut Unsorted(0), 3, 1);
     }
 
     #[test]

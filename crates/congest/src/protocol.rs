@@ -37,6 +37,13 @@ pub type Port = usize;
 pub type Round = u64;
 
 /// Immutable per-node facts available to the protocol.
+///
+/// Neighbor identifiers live in a shared arena: the flat engine builds
+/// **one** allocation holding all `2m` neighbor ids and hands every
+/// endpoint a `(lo, hi)` window into it, so per-node footprint is a
+/// fixed-size header rather than `n` separate heap vectors. Standalone
+/// endpoints (tests, the event-driven and legacy engines) get a
+/// degenerate single-node arena via [`Endpoint::new`].
 #[derive(Clone, Debug)]
 pub struct Endpoint {
     /// Dense node index in the underlying graph. Exposed for the harness
@@ -44,21 +51,56 @@ pub struct Endpoint {
     pub index: usize,
     /// The node's unique identifier (the `O(log n)`-bit ID of the model).
     pub id: u64,
-    /// Identifier of the neighbor across each port.
-    pub neighbor_ids: Vec<u64>,
+    /// Neighbor-id arena shared with the other endpoints of the engine.
+    arena: std::sync::Arc<[u64]>,
+    /// This node's window within the arena: ports `0..degree` map to
+    /// `arena[lo..hi]`.
+    lo: u32,
+    hi: u32,
 }
 
 impl Endpoint {
+    /// Builds a standalone endpoint owning its own neighbor-id storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree exceeds `u32::MAX` (beyond the engines' port
+    /// space anyway).
+    #[must_use]
+    pub fn new(index: usize, id: u64, neighbor_ids: Vec<u64>) -> Self {
+        let hi = u32::try_from(neighbor_ids.len()).expect("degree exceeds u32 port space");
+        Self { index, id, arena: neighbor_ids.into(), lo: 0, hi }
+    }
+
+    /// Builds an endpoint viewing `arena[lo..hi]` — the flat engine's
+    /// shared-allocation path.
+    pub(crate) fn from_arena(
+        index: usize,
+        id: u64,
+        arena: std::sync::Arc<[u64]>,
+        lo: u32,
+        hi: u32,
+    ) -> Self {
+        debug_assert!(lo <= hi && (hi as usize) <= arena.len());
+        Self { index, id, arena, lo, hi }
+    }
+
+    /// Identifier of the neighbor across each port, indexed by port.
+    #[must_use]
+    pub fn neighbor_ids(&self) -> &[u64] {
+        &self.arena[self.lo as usize..self.hi as usize]
+    }
+
     /// Degree of the node.
     #[must_use]
     pub fn degree(&self) -> usize {
-        self.neighbor_ids.len()
+        (self.hi - self.lo) as usize
     }
 
     /// The port leading to the neighbor with identifier `id`, if any.
     #[must_use]
     pub fn port_of(&self, id: u64) -> Option<Port> {
-        self.neighbor_ids.iter().position(|&x| x == id)
+        self.neighbor_ids().iter().position(|&x| x == id)
     }
 }
 
@@ -199,7 +241,7 @@ impl<M: Message> Context<'_, M> {
     /// Panics if `port >= degree`.
     #[must_use]
     pub fn neighbor_id(&self, port: Port) -> u64 {
-        self.endpoint.neighbor_ids[port]
+        self.endpoint.neighbor_ids()[port]
     }
 
     /// The port leading to neighbor `id`, if `id` is a neighbor.
@@ -317,7 +359,7 @@ mod tests {
     use crate::rng::node_rng;
 
     fn endpoint() -> Endpoint {
-        Endpoint { index: 0, id: 42, neighbor_ids: vec![7, 9, 11] }
+        Endpoint::new(0, 42, vec![7, 9, 11])
     }
 
     #[test]

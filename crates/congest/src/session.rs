@@ -102,7 +102,7 @@
 //! assert!(flat.windows(2).all(|w| w[0] == w[1]));
 //! ```
 
-use graphs::Graph;
+use graphs::{EdgeStream, Graph};
 
 use crate::asynch::AsyncNetwork;
 #[cfg(feature = "legacy-engine")]
@@ -473,7 +473,7 @@ pub trait Driver {
 /// [`Session::run_with`] additionally drives it to the configured
 /// limits.
 pub struct Session<'g> {
-    graph: &'g Graph,
+    source: Source<'g>,
     seed: u64,
     mode: Mode,
     ids: IdAssignment,
@@ -487,12 +487,54 @@ pub struct Session<'g> {
     metrics_mode: MetricsMode,
 }
 
+/// What a [`Session`] builds its topology from.
+enum Source<'g> {
+    /// A materialized graph — every engine accepts this.
+    Graph(&'g Graph),
+    /// A restartable edge stream ([`Engine::Flat`] only): the scale-tier
+    /// path, which constructs the CSR route table directly from the
+    /// stream and never allocates a `Graph` or an edge list.
+    Stream(&'g mut dyn EdgeStream),
+}
+
+/// Unwraps the graph the engines that need one run over, with a pointer
+/// at the flat engine when the session was built on a stream.
+fn require_graph<'g>(source: Source<'g>, engine: &str) -> &'g Graph {
+    match source {
+        Source::Graph(graph) => graph,
+        Source::Stream(_) => panic!(
+            "{engine} executes over a materialized graph; Session::on_stream drives \
+             Engine::Flat only — materialize the stream first \
+             (graphs::generators::materialize) or switch to Engine::Flat"
+        ),
+    }
+}
+
 impl<'g> Session<'g> {
     /// Starts configuring a run over `graph`.
     #[must_use]
     pub fn on(graph: &'g Graph) -> Self {
+        Self::from_source(Source::Graph(graph))
+    }
+
+    /// Starts configuring a run over a restartable [`EdgeStream`] —
+    /// topology construction streams straight into the flat engine's CSR
+    /// route table, so no `Graph` (and no edge list) is ever
+    /// materialized. This is the million-node path: peak memory is the
+    /// engine's final arrays, not the instance. For the same stream and
+    /// seed the run is bit-identical to [`Session::on`] with the
+    /// materialized graph.
+    ///
+    /// Only [`Engine::Flat`] can execute directly from a stream;
+    /// building another engine from a streamed session panics.
+    #[must_use]
+    pub fn on_stream(stream: &'g mut dyn EdgeStream) -> Self {
+        Self::from_source(Source::Stream(stream))
+    }
+
+    fn from_source(source: Source<'g>) -> Self {
         Self {
-            graph,
+            source,
             seed: 0,
             mode: Mode::Congest,
             ids: IdAssignment::Hashed,
@@ -596,18 +638,25 @@ impl<'g> Session<'g> {
     {
         let inner = match self.engine {
             Engine::Flat { shards } => {
-                let mut net = NetworkBuilder::new()
+                let builder = NetworkBuilder::new()
                     .mode(self.mode)
                     .seed(self.seed)
                     .ids(self.ids)
-                    .parallel(shards)
-                    .build_with(self.graph, factory);
+                    .parallel(shards);
+                let mut net = match self.source {
+                    Source::Graph(graph) => builder.build_with(graph, factory),
+                    Source::Stream(stream) => builder.build_from_stream(stream, factory),
+                };
                 net.configure_obs(self.trace, self.metrics_mode);
                 EngineDriver::Flat(net)
             }
             #[cfg(feature = "legacy-engine")]
             Engine::Legacy => EngineDriver::Legacy(LegacyNetwork::build_with(
-                self.graph, self.mode, self.seed, self.ids, factory,
+                require_graph(self.source, "Engine::Legacy"),
+                self.mode,
+                self.seed,
+                self.ids,
+                factory,
             )),
             #[cfg(not(feature = "legacy-engine"))]
             Engine::Legacy => panic!(
@@ -627,8 +676,9 @@ impl<'g> Session<'g> {
                      Session::limits(RunLimits::rounds(b)) — pulses never quiesce, the \
                      budget is the §4.1 termination rule"
                 );
+                let graph = require_graph(self.source, "Engine::Async");
                 let mut net = AsyncNetwork::build_with(
-                    self.graph, self.seed, delay, sync, fault, churn, self.ids, factory,
+                    graph, self.seed, delay, sync, fault, churn, self.ids, factory,
                 );
                 net.configure_obs(self.trace, self.metrics_mode);
                 EngineDriver::Async(net)
@@ -652,8 +702,12 @@ impl<'g> Session<'g> {
 
 impl std::fmt::Debug for Session<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nodes = match &self.source {
+            Source::Graph(graph) => graph.node_count(),
+            Source::Stream(stream) => stream.node_count(),
+        };
         f.debug_struct("Session")
-            .field("nodes", &self.graph.node_count())
+            .field("nodes", &nodes)
             .field("seed", &self.seed)
             .field("mode", &self.mode)
             .field("engine", &self.engine)

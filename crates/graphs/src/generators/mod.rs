@@ -12,16 +12,22 @@
 //! * [`communities`] — synthetic stand-ins for the paper's motivating Web
 //!   workloads (tightly-knit communities, bursty blog events), since no
 //!   real crawl ships with ground truth.
+//! * [`stream`] — streaming, restartable [`EdgeStream`] variants of the
+//!   random and planted families for scale-tier instances that must never
+//!   materialize an edge list.
 //!
-//! All generators are deterministic given an RNG, and return the planted
-//! structure alongside the graph so experiments can score recovery.
+//! All generators are deterministic given an RNG (streams: given a seed),
+//! and return the planted structure alongside the graph so experiments can
+//! score recovery.
 
 pub mod communities;
 pub mod counterexample;
 pub mod planted;
 pub mod random;
+pub mod stream;
 
 pub use communities::{blog_burst, caveman, overlapping_communities, BlogBurst, CommunityGraph};
 pub use counterexample::{barbell_with_path, shingles_counterexample, Barbell, ShinglesGraph};
 pub use planted::{planted_clique, planted_near_clique, Planted};
 pub use random::gnp;
+pub use stream::{materialize, EdgeStream, GnpStream, PlantedNearCliqueStream, VecEdgeStream};

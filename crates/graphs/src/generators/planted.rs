@@ -118,8 +118,11 @@ pub fn planted_near_clique<R: Rng + ?Sized>(
     let deletions = (epsilon * internal.len() as f64).floor() as usize;
     internal.truncate(internal.len() - deletions);
 
+    // Internal and background edges are each emitted at most once and the
+    // two families are disjoint, so the builder can take the sort-free
+    // unique-edge path.
     let mut b = GraphBuilder::new(n);
-    b.extend_edges(internal.iter().copied());
+    b.extend_unique_edges(internal.iter().copied());
 
     // Background noise over pairs not internal to the planted set.
     if background_p > 0.0 {
@@ -129,7 +132,7 @@ pub fn planted_near_clique<R: Rng + ?Sized>(
                     continue;
                 }
                 if rng.gen_bool(background_p) {
-                    b.add_edge(u, v);
+                    b.add_unique_edge(u, v);
                 }
             }
         }

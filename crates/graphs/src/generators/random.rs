@@ -2,6 +2,7 @@
 
 use rand::Rng;
 
+use crate::generators::stream::PairSampler;
 use crate::graph::{Graph, GraphBuilder};
 
 /// Samples `G(n, p)`: every unordered pair becomes an edge independently
@@ -25,24 +26,17 @@ use crate::graph::{Graph, GraphBuilder};
 #[must_use]
 pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
-    let mut b = GraphBuilder::new(n);
     if p >= 1.0 {
         return Graph::complete(n);
     }
+    let mut b = GraphBuilder::new(n);
     if p > 0.0 {
-        // Geometric skipping: O(m) expected time instead of O(n^2).
-        let log_q = (1.0 - p).ln();
-        let total_pairs = n * n.saturating_sub(1) / 2;
-        let mut idx: i64 = -1;
-        loop {
-            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let skip = (u.ln() / log_q).floor() as i64 + 1;
-            idx += skip.max(1);
-            if idx as usize >= total_pairs {
-                break;
-            }
-            let (a, bn) = pair_from_index(idx as usize, n);
-            b.add_edge(a, bn);
+        // Geometric skipping: O(m) expected time instead of O(n^2). The
+        // sampler emits each pair at most once, in lexicographic order, so
+        // the builder can take the sort-free unique-edge path.
+        let mut sampler = PairSampler::new(n, p);
+        while let Some((a, bn)) = sampler.next_pair(rng) {
+            b.add_unique_edge(a, bn);
         }
     }
     b.build()
@@ -51,6 +45,7 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// Maps a linear index in `0..n(n-1)/2` to the corresponding unordered pair
 /// `(u, v)` with `u < v`, enumerating pairs row by row:
 /// `(0,1), (0,2), …, (0,n−1), (1,2), …`.
+#[cfg(test)]
 fn pair_from_index(mut idx: usize, n: usize) -> (usize, usize) {
     let mut u = 0usize;
     loop {
@@ -99,6 +94,30 @@ mod tests {
         // 4 standard deviations of slack.
         let sd = (expected * (1.0 - p)).sqrt();
         assert!((got - expected).abs() < 4.0 * sd, "got {got}, expected {expected} ± {sd}");
+    }
+
+    #[test]
+    fn gnp_matches_reference_skip_sampler() {
+        // Pins gnp (now on the incremental PairSampler) to the original
+        // non-incremental decode: same draws, same edges, same order.
+        let n = 57;
+        let p = 0.23;
+        let g = gnp(n, p, &mut StdRng::seed_from_u64(13));
+        let mut rng = StdRng::seed_from_u64(13);
+        let log_q = (1.0 - p).ln();
+        let total = n * (n - 1) / 2;
+        let mut idx: i64 = -1;
+        let mut edges = Vec::new();
+        loop {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = (u.ln() / log_q).floor() as i64 + 1;
+            idx += skip.max(1);
+            if idx as usize >= total {
+                break;
+            }
+            edges.push(pair_from_index(idx as usize, n));
+        }
+        assert_eq!(g.edges().collect::<Vec<_>>(), edges);
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Streaming, restartable edge generators for scale-tier instances.
+//!
+//! At n = 10⁶ the materialized generators are memory-bound before the
+//! delivery plane ever sees a message: [`GraphBuilder`] buffers every
+//! undirected edge in a `Vec<(usize, usize)>` (16 B each) just so the
+//! final CSR arrays can be counted and placed. The [`EdgeStream`] trait
+//! replaces the buffer with a *replayable* generator: a seeded stream can
+//! be reset and traversed twice — once to count degrees, once to place
+//! routes — so a consumer's working memory is proportional to its output
+//! artifact, never to the stream.
+//!
+//! The contract every implementation obeys:
+//!
+//! * **Deterministic & restartable** — after [`EdgeStream::reset`], the
+//!   stream replays exactly the same edge sequence.
+//! * **Sorted & unique** — edges come as `(u, v)` with `u < v`, in
+//!   strictly increasing lexicographic order, each pair at most once.
+//!   Consumers (e.g. the congest plane's CSR builder) rely on this to
+//!   place both directions of each edge in one pass.
+//!
+//! [`GnpStream`] and [`PlantedNearCliqueStream`] mirror the materialized
+//! [`gnp`](super::random::gnp) / [`planted_near_clique`](super::planted::planted_near_clique)
+//! generators draw for draw: the same seed produces exactly the same edge
+//! set (pinned by `tests/stream_equivalence.rs`).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::bitset::FixedBitSet;
+use crate::graph::{Graph, GraphBuilder};
+
+/// A seeded, deterministic, restartable stream of undirected edges.
+///
+/// See the [module docs](self) for the ordering contract. Implementations
+/// hold `O(1)` (or output-proportional) state instead of an edge list, so
+/// million-node instances can be compiled straight into the delivery
+/// plane's CSR tables without ever materializing a [`Graph`].
+pub trait EdgeStream {
+    /// Number of nodes in the generated graph.
+    fn node_count(&self) -> usize;
+
+    /// Expected number of edges, when cheaply known — a pre-allocation
+    /// hint only, not a promise.
+    fn edge_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Rewinds the stream to the beginning; the subsequent sequence of
+    /// [`next_edge`](Self::next_edge) results is identical to the first
+    /// pass.
+    fn reset(&mut self);
+
+    /// The next edge `(u, v)` with `u < v`, strictly after all previously
+    /// returned pairs in lexicographic order; `None` once exhausted.
+    fn next_edge(&mut self) -> Option<(usize, usize)>;
+}
+
+/// Geometric skip-sampler over the linearized pair space `0..n(n-1)/2`.
+///
+/// Shared core of [`gnp`](super::random::gnp) and [`GnpStream`]: one `f64`
+/// draw per emitted pair (plus one terminating draw), with an incremental
+/// row cursor so decoding a full pass costs `O(n + m)` total instead of
+/// `O(n · m)`.
+pub(crate) struct PairSampler {
+    n: usize,
+    log_q: f64,
+    total: usize,
+    idx: i64,
+    /// Current row `u` and the linear index of its first pair `(u, u+1)`.
+    u: usize,
+    row_start: usize,
+    done: bool,
+}
+
+impl PairSampler {
+    pub(crate) fn new(n: usize, p: f64) -> Self {
+        debug_assert!(p > 0.0 && p < 1.0);
+        Self {
+            n,
+            log_q: (1.0 - p).ln(),
+            total: n * n.saturating_sub(1) / 2,
+            idx: -1,
+            u: 0,
+            row_start: 0,
+            done: false,
+        }
+    }
+
+    pub(crate) fn next_pair<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<(usize, usize)> {
+        if self.done {
+            return None;
+        }
+        let draw: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (draw.ln() / self.log_q).floor() as i64 + 1;
+        self.idx += skip.max(1);
+        if self.idx as usize >= self.total {
+            self.done = true;
+            return None;
+        }
+        let idx = self.idx as usize;
+        while idx - self.row_start >= self.n - 1 - self.u {
+            self.row_start += self.n - 1 - self.u;
+            self.u += 1;
+        }
+        Some((self.u, self.u + 1 + idx - self.row_start))
+    }
+}
+
+enum GnpState {
+    /// `p == 0` (or `n < 2`): no edges, no draws.
+    Empty,
+    /// `p >= 1`: every pair, enumerated without consuming the RNG.
+    Complete { u: usize, v: usize },
+    /// `0 < p < 1`: geometric skip-sampling, one draw per edge.
+    Sample { sampler: PairSampler, rng: StdRng },
+}
+
+/// Streaming `G(n, p)`: the edge sequence of
+/// [`gnp`](super::random::gnp) seeded with `StdRng::seed_from_u64(seed)`,
+/// without the edge `Vec`.
+///
+/// State is `O(1)`; a full pass costs `O(m)` RNG draws and `O(n + m)`
+/// decode work.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::generators::{EdgeStream, GnpStream};
+///
+/// let mut s = GnpStream::new(100, 0.05, 7);
+/// let first_pass: Vec<_> = std::iter::from_fn(|| s.next_edge()).collect();
+/// s.reset();
+/// let second_pass: Vec<_> = std::iter::from_fn(|| s.next_edge()).collect();
+/// assert_eq!(first_pass, second_pass);
+/// ```
+///
+/// # Panics
+///
+/// [`GnpStream::new`] panics if `p` is not in `[0, 1]`.
+pub struct GnpStream {
+    n: usize,
+    p: f64,
+    seed: u64,
+    state: GnpState,
+}
+
+impl GnpStream {
+    /// Creates the stream; equivalent to
+    /// `gnp(n, p, &mut StdRng::seed_from_u64(seed))` edge for edge.
+    #[must_use]
+    pub fn new(n: usize, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        let mut s = Self { n, p, seed, state: GnpState::Empty };
+        s.reset();
+        s
+    }
+}
+
+impl EdgeStream for GnpStream {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn edge_hint(&self) -> Option<usize> {
+        let total = self.n * self.n.saturating_sub(1) / 2;
+        Some((self.p * total as f64).ceil() as usize)
+    }
+
+    fn reset(&mut self) {
+        self.state = if self.n < 2 || self.p <= 0.0 {
+            GnpState::Empty
+        } else if self.p >= 1.0 {
+            GnpState::Complete { u: 0, v: 1 }
+        } else {
+            GnpState::Sample {
+                sampler: PairSampler::new(self.n, self.p),
+                rng: StdRng::seed_from_u64(self.seed),
+            }
+        };
+    }
+
+    fn next_edge(&mut self) -> Option<(usize, usize)> {
+        match &mut self.state {
+            GnpState::Empty => None,
+            GnpState::Complete { u, v } => {
+                if *v >= self.n {
+                    return None;
+                }
+                let pair = (*u, *v);
+                *v += 1;
+                if *v >= self.n {
+                    *u += 1;
+                    *v = *u + 1;
+                }
+                Some(pair)
+            }
+            GnpState::Sample { sampler, rng } => sampler.next_pair(rng),
+        }
+    }
+}
+
+/// Streaming planted ε-near clique: the edge set of
+/// [`planted_near_clique`](super::planted::planted_near_clique) seeded with
+/// `StdRng::seed_from_u64(seed)`, emitted in lexicographic order.
+///
+/// The RNG is consumed in exactly the materialized generator's order: the
+/// member shuffle and internal-edge deletion happen at
+/// [`reset`](EdgeStream::reset), one
+/// `gen_bool` per non-internal pair during emission. Working state is the
+/// planted structure itself — `O(n / 64 + k²)` for the member bitset and
+/// surviving internal edges — independent of the `O(n² · p)` background.
+///
+/// # Panics
+///
+/// [`PlantedNearCliqueStream::new`] panics under the same conditions as
+/// the materialized generator (`k > n`, `epsilon ∉ [0, 1]`,
+/// `background_p ∉ [0, 1]`).
+pub struct PlantedNearCliqueStream {
+    n: usize,
+    k: usize,
+    epsilon: f64,
+    background_p: f64,
+    seed: u64,
+    rng: StdRng,
+    dense_set: FixedBitSet,
+    /// Surviving internal edges, sorted lexicographically.
+    internal: Vec<(usize, usize)>,
+    ptr: usize,
+    /// Next candidate pair of the background walk (`u < v`).
+    u: usize,
+    v: usize,
+}
+
+impl PlantedNearCliqueStream {
+    /// Creates the stream; same planted set and edge set as
+    /// `planted_near_clique(n, k, epsilon, background_p,
+    /// &mut StdRng::seed_from_u64(seed))`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, epsilon: f64, background_p: f64, seed: u64) -> Self {
+        assert!(k <= n, "planted size k = {k} exceeds n = {n}");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1], got {epsilon}");
+        assert!((0.0..=1.0).contains(&background_p), "background_p must be in [0, 1]");
+        let mut s = Self {
+            n,
+            k,
+            epsilon,
+            background_p,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            dense_set: FixedBitSet::new(0),
+            internal: Vec::new(),
+            ptr: 0,
+            u: 0,
+            v: 1,
+        };
+        s.reset();
+        s
+    }
+
+    /// The planted dense set `D` (ground truth), capacity `n`.
+    #[must_use]
+    pub fn dense_set(&self) -> &FixedBitSet {
+        &self.dense_set
+    }
+
+    /// The ε for which `D` was planted (0.0 for an exact clique).
+    #[must_use]
+    pub fn planted_epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn advance(&mut self) {
+        self.v += 1;
+        if self.v >= self.n {
+            self.u += 1;
+            self.v = self.u + 1;
+        }
+    }
+}
+
+impl EdgeStream for PlantedNearCliqueStream {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn edge_hint(&self) -> Option<usize> {
+        let total = self.n * self.n.saturating_sub(1) / 2;
+        let clique = self.k * self.k.saturating_sub(1) / 2;
+        Some(self.internal.len() + (self.background_p * (total - clique) as f64).ceil() as usize)
+    }
+
+    fn reset(&mut self) {
+        // Replay the materialized generator's setup draws exactly:
+        // member shuffle, then internal-edge shuffle + truncation.
+        self.rng = StdRng::seed_from_u64(self.seed);
+        let mut ids: Vec<usize> = (0..self.n).collect();
+        ids.shuffle(&mut self.rng);
+        let mut members = ids[..self.k].to_vec();
+        members.sort_unstable();
+        self.dense_set = FixedBitSet::from_iter_with_capacity(self.n, members.iter().copied());
+
+        let mut internal: Vec<(usize, usize)> =
+            Vec::with_capacity(self.k * (self.k.saturating_sub(1)) / 2);
+        for i in 0..self.k {
+            for j in (i + 1)..self.k {
+                internal.push((members[i], members[j]));
+            }
+        }
+        internal.shuffle(&mut self.rng);
+        let deletions = (self.epsilon * internal.len() as f64).floor() as usize;
+        internal.truncate(internal.len() - deletions);
+        // Sorting happens after all setup draws, so it does not perturb the
+        // RNG stream; it turns the survivors into a mergeable run.
+        internal.sort_unstable();
+        self.internal = internal;
+        self.ptr = 0;
+        self.u = 0;
+        self.v = 1;
+    }
+
+    fn next_edge(&mut self) -> Option<(usize, usize)> {
+        if self.background_p <= 0.0 {
+            // The materialized generator skips the background loop entirely
+            // (no draws); emit just the surviving internal run.
+            let edge = self.internal.get(self.ptr).copied();
+            self.ptr += edge.is_some() as usize;
+            return edge;
+        }
+        while self.u + 1 < self.n {
+            let pair = (self.u, self.v);
+            if self.dense_set.contains(pair.0) && self.dense_set.contains(pair.1) {
+                // Internal pair: survived (emit, no draw) or deleted (skip,
+                // no draw) — matching the materialized `continue`.
+                let survived = self.internal.get(self.ptr) == Some(&pair);
+                self.advance();
+                if survived {
+                    self.ptr += 1;
+                    return Some(pair);
+                }
+            } else {
+                let hit = self.rng.gen_bool(self.background_p);
+                self.advance();
+                if hit {
+                    return Some(pair);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// An [`EdgeStream`] over an explicit pre-sorted edge list.
+///
+/// The adapter for consumers that want the streaming build path on an
+/// edge set they already hold (tests, hand-built instances, replays).
+///
+/// # Panics
+///
+/// [`VecEdgeStream::new`] panics unless every edge satisfies `u < v < n`
+/// and the list is strictly lexicographically increasing (which also rules
+/// out duplicates).
+pub struct VecEdgeStream {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    pos: usize,
+}
+
+impl VecEdgeStream {
+    /// Wraps a strictly sorted `u < v` edge list on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            assert!(u < v && v < n, "edge ({u},{v}) violates u < v < n = {n}");
+            if i > 0 {
+                assert!(edges[i - 1] < (u, v), "edge list must be strictly sorted");
+            }
+        }
+        Self { n, edges, pos: 0 }
+    }
+
+    /// Streams the edges of an existing [`Graph`] (CSR order is already
+    /// lexicographic).
+    #[must_use]
+    pub fn from_graph(graph: &Graph) -> Self {
+        Self { n: graph.node_count(), edges: graph.edges().collect(), pos: 0 }
+    }
+}
+
+impl EdgeStream for VecEdgeStream {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn edge_hint(&self) -> Option<usize> {
+        Some(self.edges.len())
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next_edge(&mut self) -> Option<(usize, usize)> {
+        let edge = self.edges.get(self.pos).copied();
+        self.pos += edge.is_some() as usize;
+        edge
+    }
+}
+
+/// Collects a stream into a materialized [`Graph`] (resetting it first).
+///
+/// Mostly for tests and analyses that need adjacency: the point of a
+/// stream is that the delivery plane does *not* need this.
+#[must_use]
+pub fn materialize(stream: &mut dyn EdgeStream) -> Graph {
+    let mut b = GraphBuilder::new(stream.node_count());
+    stream.reset();
+    while let Some((u, v)) = stream.next_edge() {
+        b.add_unique_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(stream: &mut dyn EdgeStream) -> Vec<(usize, usize)> {
+        std::iter::from_fn(|| stream.next_edge()).collect()
+    }
+
+    #[test]
+    fn gnp_stream_is_sorted_unique_and_restartable() {
+        let mut s = GnpStream::new(200, 0.05, 11);
+        let first = drain(&mut s);
+        assert!(first.windows(2).all(|w| w[0] < w[1]), "strictly sorted");
+        assert!(first.iter().all(|&(u, v)| u < v && v < 200));
+        s.reset();
+        assert_eq!(drain(&mut s), first);
+    }
+
+    #[test]
+    fn gnp_stream_extremes() {
+        assert!(drain(&mut GnpStream::new(30, 0.0, 1)).is_empty());
+        let complete = drain(&mut GnpStream::new(30, 1.0, 1));
+        assert_eq!(complete.len(), 30 * 29 / 2);
+        assert!(complete.windows(2).all(|w| w[0] < w[1]));
+        assert!(drain(&mut GnpStream::new(1, 0.5, 1)).is_empty());
+        assert!(drain(&mut GnpStream::new(0, 0.5, 1)).is_empty());
+    }
+
+    #[test]
+    fn planted_stream_is_sorted_unique_and_restartable() {
+        let mut s = PlantedNearCliqueStream::new(120, 40, 0.15, 0.03, 9);
+        let first = drain(&mut s);
+        assert!(first.windows(2).all(|w| w[0] < w[1]), "strictly sorted");
+        s.reset();
+        assert_eq!(drain(&mut s), first);
+        assert_eq!(s.dense_set().len(), 40);
+    }
+
+    #[test]
+    fn planted_stream_zero_background_is_internal_only() {
+        let mut s = PlantedNearCliqueStream::new(60, 20, 0.1, 0.0, 5);
+        let edges = drain(&mut s);
+        let expected = 20 * 19 / 2 - (0.1f64 * (20.0 * 19.0 / 2.0)).floor() as usize;
+        assert_eq!(edges.len(), expected);
+        assert!(edges.iter().all(|&(u, v)| s.dense_set().contains(u) && s.dense_set().contains(v)));
+    }
+
+    #[test]
+    fn vec_edge_stream_round_trips_a_graph() {
+        let mut s = GnpStream::new(80, 0.1, 3);
+        let g = materialize(&mut s);
+        let mut v = VecEdgeStream::from_graph(&g);
+        assert_eq!(drain(&mut v), g.edges().collect::<Vec<_>>());
+        v.reset();
+        assert_eq!(materialize(&mut v).edge_count(), g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn vec_edge_stream_rejects_unsorted_input() {
+        let _ = VecEdgeStream::new(5, vec![(1, 2), (0, 3)]);
+    }
+}

@@ -143,6 +143,23 @@ impl Graph {
         self.rows.is_some()
     }
 
+    /// Heap bytes held by the graph, broken down by component.
+    ///
+    /// `rows_bytes` is 0 whenever bit rows are off — which
+    /// [`RowPolicy::Auto`](GraphBuilder::bitset_rows) guarantees above
+    /// [`GraphBuilder::AUTO_BITSET_LIMIT`] nodes.
+    #[must_use]
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            nodes_bytes: self.offsets.len() * std::mem::size_of::<usize>(),
+            edges_bytes: self.neighbors.len() * std::mem::size_of::<usize>(),
+            rows_bytes: self.rows.as_ref().map_or(0, |rows| {
+                rows.iter().map(|r| r.capacity().div_ceil(64) * 8).sum::<usize>()
+                    + rows.len() * std::mem::size_of::<FixedBitSet>()
+            }),
+        }
+    }
+
     /// Number of neighbors of `v` inside `set`.
     ///
     /// Uses the bit row when available, otherwise scans the shorter side.
@@ -282,6 +299,32 @@ pub struct GraphBuilder {
     n: usize,
     edges: Vec<(usize, usize)>,
     rows: RowPolicy,
+    /// `true` once an edge arrived through a path that tolerates
+    /// duplicates; forces the sort + dedup pass at build time.
+    needs_dedup: bool,
+}
+
+/// Heap bytes held by each component of a [`Graph`].
+///
+/// Returned by [`Graph::memory_footprint`]; used by tests and benches to
+/// assert the per-node/per-edge memory budget (bit rows must stay off for
+/// scale-tier instances).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Bytes of the CSR offset array (`(n + 1) × 8`).
+    pub nodes_bytes: usize,
+    /// Bytes of the concatenated neighbor lists (`2m × 8`).
+    pub edges_bytes: usize,
+    /// Bytes of the adjacency bit rows (0 when rows are off).
+    pub rows_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total heap bytes across all components.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.nodes_bytes + self.edges_bytes + self.rows_bytes
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -299,7 +342,7 @@ impl GraphBuilder {
     /// Starts a builder for a graph on `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new(), rows: RowPolicy::Auto }
+        Self { n, edges: Vec::new(), rows: RowPolicy::Auto, needs_dedup: false }
     }
 
     /// Forces adjacency bit rows on (`true`) or off (`false`), overriding
@@ -316,10 +359,32 @@ impl GraphBuilder {
     ///
     /// Panics if `u == v` (self-loop) or either endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.needs_dedup = true;
+        self.push_edge(u, v);
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}` under the caller's guarantee that
+    /// it was not added before (in either orientation).
+    ///
+    /// Unlike [`add_edge`](Self::add_edge), edges added only through the
+    /// unique-edge APIs skip the `O(m log m)` sort + dedup pass at
+    /// [`build`](Self::build) time — the fast path for generators that
+    /// already produce each pair at most once. Uniqueness is verified in
+    /// debug builds (at build time) and trusted in release builds.
+    ///
+    /// # Panics
+    ///
+    /// As for [`add_edge`](Self::add_edge).
+    pub fn add_unique_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.push_edge(u, v);
+        self
+    }
+
+    fn push_edge(&mut self, u: usize, v: usize) {
         assert!(u != v, "self-loops are not allowed (u = v = {u})");
         assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for n = {}", self.n);
         self.edges.push(if u < v { (u, v) } else { (v, u) });
-        self
     }
 
     /// Adds every edge from an iterator of pairs.
@@ -330,6 +395,26 @@ impl GraphBuilder {
     pub fn extend_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) -> &mut Self {
         for (u, v) in iter {
             self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Adds every edge from an iterator of pairs guaranteed by the caller to
+    /// be mutually distinct (and distinct from all previously added edges).
+    ///
+    /// See [`add_unique_edge`](Self::add_unique_edge) for the contract and
+    /// the payoff: builders fed exclusively through the unique-edge APIs
+    /// skip the global sort + dedup at [`build`](Self::build) time.
+    ///
+    /// # Panics
+    ///
+    /// As for [`add_edge`](Self::add_edge).
+    pub fn extend_unique_edges<I: IntoIterator<Item = (usize, usize)>>(
+        &mut self,
+        iter: I,
+    ) -> &mut Self {
+        for (u, v) in iter {
+            self.push_edge(u, v);
         }
         self
     }
@@ -368,12 +453,32 @@ impl GraphBuilder {
     #[must_use]
     pub fn build(&self) -> Graph {
         let n = self.n;
-        let mut edges = self.edges.clone();
-        edges.sort_unstable();
-        edges.dedup();
+        // Edges from the unique-edge fast path skip the O(m log m) sort +
+        // dedup (and its O(m) clone): per-node neighbor slices are sorted
+        // individually below either way.
+        let edges: std::borrow::Cow<'_, [(usize, usize)]> = if self.needs_dedup {
+            let mut e = self.edges.clone();
+            e.sort_unstable();
+            e.dedup();
+            std::borrow::Cow::Owned(e)
+        } else {
+            #[cfg(debug_assertions)]
+            {
+                let mut check = self.edges.clone();
+                check.sort_unstable();
+                check.dedup();
+                assert_eq!(
+                    check.len(),
+                    self.edges.len(),
+                    "edges passed to the unique-edge APIs must be distinct"
+                );
+            }
+            std::borrow::Cow::Borrowed(&self.edges)
+        };
+        let edges: &[(usize, usize)] = &edges;
 
         let mut degree = vec![0usize; n];
-        for &(u, v) in &edges {
+        for &(u, v) in edges {
             degree[u] += 1;
             degree[v] += 1;
         }
@@ -383,14 +488,15 @@ impl GraphBuilder {
         }
         let mut cursor = offsets.clone();
         let mut neighbors = vec![0usize; 2 * edges.len()];
-        for &(u, v) in &edges {
+        for &(u, v) in edges {
             neighbors[cursor[u]] = v;
             cursor[u] += 1;
             neighbors[cursor[v]] = u;
             cursor[v] += 1;
         }
-        // Each per-node slice is sorted because edges were processed in
-        // lexicographic order only for the first endpoint; sort explicitly.
+        // Per-node slices are not sorted by placement (edge order is
+        // arbitrary on the unique path, and even lexicographic edge order
+        // only sorts first-endpoint slices); sort each explicitly.
         for v in 0..n {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
@@ -402,7 +508,7 @@ impl GraphBuilder {
         };
         let rows = build_rows.then(|| {
             let mut rows: Vec<FixedBitSet> = (0..n).map(|_| FixedBitSet::new(n)).collect();
-            for &(u, v) in &edges {
+            for &(u, v) in edges {
                 rows[u].insert(v);
                 rows[v].insert(u);
             }
@@ -544,6 +650,55 @@ mod tests {
         let mut edges: Vec<_> = g.edges().collect();
         edges.sort_unstable();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn unique_edges_build_same_graph_as_dedup_path() {
+        let edges = [(3, 5), (1, 3), (0, 4), (3, 0), (2, 5)];
+        let mut dedup = GraphBuilder::new(6);
+        dedup.extend_edges(edges.iter().copied());
+        let mut unique = GraphBuilder::new(6);
+        unique.extend_unique_edges(edges.iter().copied());
+        let a = dedup.build();
+        let b = unique.build();
+        assert_eq!(a.edge_count(), b.edge_count());
+        for v in 0..6 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "must be distinct")]
+    fn unique_edges_duplicate_caught_in_debug() {
+        let mut b = GraphBuilder::new(3);
+        b.add_unique_edge(0, 1).add_unique_edge(1, 0);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn rows_stay_off_above_auto_limit() {
+        let n = GraphBuilder::AUTO_BITSET_LIMIT + 1;
+        let mut b = GraphBuilder::new(n);
+        b.add_edge(0, n - 1);
+        let g = b.build();
+        assert!(!g.has_rows(), "RowPolicy::Auto must not build bit rows above the limit");
+        assert_eq!(g.memory_footprint().rows_bytes, 0);
+    }
+
+    #[test]
+    fn memory_footprint_accounts_for_each_component() {
+        let g = triangle_plus_isolated(); // n = 4, m = 3, rows on (Auto)
+        let fp = g.memory_footprint();
+        assert_eq!(fp.nodes_bytes, 5 * std::mem::size_of::<usize>());
+        assert_eq!(fp.edges_bytes, 6 * std::mem::size_of::<usize>());
+        assert!(fp.rows_bytes >= 4 * 8, "4 bit rows of at least one word each");
+        assert_eq!(fp.total_bytes(), fp.nodes_bytes + fp.edges_bytes + fp.rows_bytes);
+
+        let mut no_rows = GraphBuilder::new(4);
+        no_rows.bitset_rows(false);
+        no_rows.add_edge(0, 1);
+        assert_eq!(no_rows.build().memory_footprint().rows_bytes, 0);
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod quasi;
 pub mod triangles;
 
 pub use bitset::FixedBitSet;
-pub use graph::{Graph, GraphBuilder};
+pub use generators::stream::EdgeStream;
+pub use graph::{Graph, GraphBuilder, MemoryFootprint};
 
 #[cfg(test)]
 mod proptests {

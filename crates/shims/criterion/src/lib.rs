@@ -266,6 +266,84 @@ impl Criterion {
     }
 }
 
+/// Peak-RSS tracking for memory-annotated benches (shim extension).
+///
+/// Linux exposes a per-process resident-set high-water mark (`VmHWM` in
+/// `/proc/self/status`) that the kernel resets to the *current* RSS when
+/// `5` is written to `/proc/self/clear_refs`. Benches bracket a build or
+/// run with [`rss::reset_peak`] / [`rss::peak_kb`] and attach the delta
+/// via [`BenchmarkGroup::annotate`] — e.g. the `delivery_plane_xl`
+/// group's `peak_rss_kb` records. On non-Linux targets every reader
+/// returns `None` and the reset reports `false`.
+pub mod rss {
+    /// Reads a kB-denominated field from `/proc/self/status`.
+    #[cfg(target_os = "linux")]
+    fn status_kb(field: &str) -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with(field))?;
+        line.split_whitespace().nth(1)?.parse().ok()
+    }
+
+    /// Peak resident set size in kB (`VmHWM`) since process start or the
+    /// last successful [`reset_peak`].
+    #[must_use]
+    pub fn peak_kb() -> Option<u64> {
+        #[cfg(target_os = "linux")]
+        {
+            status_kb("VmHWM:")
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            None
+        }
+    }
+
+    /// Current resident set size in kB (`VmRSS`).
+    #[must_use]
+    pub fn current_kb() -> Option<u64> {
+        #[cfg(target_os = "linux")]
+        {
+            status_kb("VmRSS:")
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            None
+        }
+    }
+
+    /// Resets the peak-RSS watermark to the current RSS, so the next
+    /// [`peak_kb`] read reflects only allocations made after this call.
+    /// Returns `false` where the kernel interface is unavailable (the
+    /// watermark then keeps accumulating from process start).
+    pub fn reset_peak() -> bool {
+        #[cfg(target_os = "linux")]
+        {
+            std::fs::write("/proc/self/clear_refs", "5").is_ok()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            false
+        }
+    }
+
+    #[cfg(all(test, target_os = "linux"))]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn watermark_tracks_allocations() {
+            assert!(reset_peak(), "clear_refs must accept a peak reset");
+            let before = peak_kb().expect("VmHWM present");
+            // Touch ~8 MiB so the watermark visibly moves.
+            let v = vec![1u8; 8 << 20];
+            std::hint::black_box(&v);
+            let after = peak_kb().expect("VmHWM present");
+            assert!(after >= before + (4 << 10), "peak {after} kB vs {before} kB");
+            assert!(current_kb().is_some());
+        }
+    }
+}
+
 /// Declares a benchmark group function, mirroring `criterion`'s macro.
 #[macro_export]
 macro_rules! criterion_group {

@@ -68,6 +68,14 @@
 //! assert_eq!(run.metrics, alpha.metrics);
 //! # Ok::<(), nearclique::InvalidParams>(())
 //! ```
+//!
+//! At scale, skip the graph entirely: a seeded [`graphs::EdgeStream`]
+//! (e.g. [`graphs::generators::GnpStream`]) feeds
+//! [`congest::Session::on_stream`], which compiles the flat plane's
+//! route table in two counted passes — peak memory is the final CSR,
+//! never an edge list — and runs bit-identically to the materialized
+//! path. `examples/million_node.rs` floods a G(10⁶, deg 16) instance
+//! this way in under a gigabyte.
 
 #![warn(missing_docs)]
 
@@ -85,7 +93,7 @@ pub mod prelude {
         FaultModel, Metrics, MetricsMode, Mode, Observer, PhaseBudget, PhasePlan, RoundDelta,
         RunLimits, RunProfile, RunReport, Session, SyncModel, Termination, TraceConfig, TraceSink,
     };
-    pub use graphs::{density, generators, FixedBitSet, Graph, GraphBuilder};
+    pub use graphs::{density, generators, EdgeStream, FixedBitSet, Graph, GraphBuilder};
     pub use nearclique::{
         check_labels, check_theorem_5_7, near_clique_phase_plan, reference_run, run_near_clique,
         run_near_clique_phased, run_near_clique_with, NearCliqueParams, NearCliqueRun, RunOptions,
